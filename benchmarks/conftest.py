@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper and prints the
+rows through ``capsys.disabled()`` so they appear in the terminal even
+under pytest's capture.  ``benchmark.pedantic(..., rounds=1)`` is used
+throughout: these are experiment harnesses, not micro-benchmarks, and one
+timed run is what we want to record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print experiment tables through the capture layer."""
+
+    def _emit(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _emit

@@ -1,0 +1,40 @@
+"""Ablation: h2 spline accuracy vs number of control points.
+
+The paper uses 25 control points (5×5) and calls the approximation
+"satisfactory"; it also notes that better approximations "will likely
+improve accuracy and/or reduce the number of control points".  This
+ablation quantifies the error as the control grid grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure15_16
+from repro.experiments.report import format_table
+
+GRIDS = (4, 5, 8, 12)
+
+
+def test_ablation_h2_controls(benchmark, emit):
+    def run_all():
+        return {
+            n: figure15_16(n_controls=n, n_dense=9, exact_steps=30)
+            for n in GRIDS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = {}
+    for n, cmp in results.items():
+        rows[f"{n}x{n} ({n * n} points)"] = {
+            "max err / max h2": cmp.max_abs_error / cmp.max_value,
+            "mean err / max h2": cmp.mean_abs_error / cmp.max_value,
+        }
+    emit("Ablation: h2 spline error vs control-point count", format_table(
+        rows, row_label="control grid", fmt="{:.4f}"
+    ))
+
+    errors = [results[n].max_abs_error for n in GRIDS]
+    # Error shrinks (weakly) as the grid refines, and the paper's 5x5
+    # grid is already within a reasonable fraction of the surface scale.
+    assert errors[-1] <= errors[0] + 1e-12
+    five = results[5]
+    assert five.max_abs_error < 0.25 * five.max_value

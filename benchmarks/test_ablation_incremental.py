@@ -1,0 +1,79 @@
+"""Ablation: time-incremental vs direct HEEB evaluation (Section 4.4.1).
+
+Measures the per-step cost of Corollary-3 updates against recomputing
+the truncated sum, and asserts the speedup the optimization exists for.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.heeb import heeb_join
+from repro.core.incremental import IncrementalHeebTracker, join_step
+from repro.core.lifetime import LExp
+from repro.experiments.report import format_table
+from repro.streams import LinearTrendStream, bounded_normal
+
+ALPHA = 10.0
+HORIZON = 300
+STEPS = 400
+
+
+def _model():
+    return LinearTrendStream(bounded_normal(10, 2.0), speed=1.0)
+
+
+def test_incremental_update_speed(benchmark, emit):
+    """One Corollary-3 update, timed properly."""
+    model = _model()
+    estimator = LExp(ALPHA)
+    h = heeb_join(model, 50, 55, estimator, HORIZON)
+    prob = model.prob(51, 55)
+    result = benchmark(lambda: join_step(h, ALPHA, prob))
+    assert result is not None
+
+
+def test_incremental_vs_direct_throughput(benchmark, emit):
+    model = _model()
+    estimator = LExp(ALPHA)
+    value = 60
+
+    def run_incremental():
+        tracker = IncrementalHeebTracker(
+            model, "join", value, 40, estimator,
+            horizon=HORIZON, resync_every=64,
+        )
+        for _ in range(STEPS):
+            tracker.advance()
+
+    benchmark.pedantic(run_incremental, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    tracker = IncrementalHeebTracker(
+        model, "join", value, 40, estimator, horizon=HORIZON, resync_every=64
+    )
+    for _ in range(STEPS):
+        tracker.advance()
+    incremental_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for t in range(41, 41 + STEPS):
+        heeb_join(model, t, value, estimator, HORIZON)
+    direct_s = time.perf_counter() - start
+
+    speedup = direct_s / incremental_s if incremental_s > 0 else float("inf")
+    emit(
+        "Ablation: incremental vs direct H updates "
+        f"({STEPS} steps, horizon={HORIZON})",
+        format_table(
+            {
+                "incremental (resync 64)": {"seconds": incremental_s},
+                "direct recomputation": {"seconds": direct_s},
+                "speedup": {"seconds": speedup},
+            },
+            row_label="method",
+            fmt="{:.4f}",
+        ),
+    )
+    # The incremental path must be meaningfully faster.
+    assert incremental_s < direct_s

@@ -1,0 +1,72 @@
+"""Ablation: OPT-offline graph formulations.
+
+The paper (via Das et al. [8]) formulates OPT-offline on the slice graph
+of Section 3.1 -- which FlowExpect with full look-ahead reproduces on
+offline streams -- with O(n²) nodes.  Our compact tuple-chain formulation
+has O(#matches) arcs.  This ablation (a) confirms both produce the same
+optimum and (b) measures the cost gap that makes paper-scale OPT runs
+feasible only with the compact graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.flow.opt_offline import solve_opt_offline
+from repro.policies.flowexpect_policy import FlowExpectPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import OfflineStream
+
+LENGTH = 40
+CACHE = 3
+
+
+def _instance(seed: int):
+    rng = np.random.default_rng(seed)
+    r = list(rng.integers(0, 5, size=LENGTH))
+    s = list(rng.integers(0, 5, size=LENGTH))
+    return r, s
+
+
+def test_ablation_opt_graph(benchmark, emit):
+    agreements = []
+    compact_s = slice_s = 0.0
+    for seed in range(3):
+        r, s = _instance(seed)
+
+        start = time.perf_counter()
+        sol = solve_opt_offline(r, s, CACHE)
+        compact_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        policy = FlowExpectPolicy(
+            LENGTH, OfflineStream(r), OfflineStream(s)
+        )
+        result = JoinSimulator(CACHE, policy).run(r, s)
+        slice_s += time.perf_counter() - start
+
+        agreements.append(result.total_results == sol.total_benefit)
+
+    benchmark.pedantic(
+        lambda: solve_opt_offline(*_instance(0), CACHE), rounds=3, iterations=1
+    )
+    emit(
+        f"Ablation: OPT-offline formulations (n={LENGTH}, k={CACHE}, 3 seeds)",
+        format_table(
+            {
+                "compact tuple-chain": {"seconds": compact_s},
+                "slice graph (FlowExpect, full look-ahead)": {
+                    "seconds": slice_s
+                },
+            },
+            row_label="formulation",
+            fmt="{:.4f}",
+        ),
+    )
+    assert all(agreements)
+    # Even at this tiny scale the compact formulation is far cheaper
+    # (the slice variant re-solves an O(n²)-node graph at every step).
+    assert compact_s < slice_s / 10

@@ -1,0 +1,70 @@
+"""Extension bench: self-configuring HEEB vs hand-configured HEEB.
+
+Measures how much of hand-configured HEEB's advantage the model-driven
+policy (online classification + fitting + adaptive α) retains when given
+no prior knowledge of the inputs.
+"""
+
+from __future__ import annotations
+
+from repro.core.lifetime import LExp, alpha_for_mean_lifetime
+from repro.experiments.report import format_table
+from repro.policies import (
+    HeebPolicy,
+    ModelDrivenHeebPolicy,
+    ProbPolicy,
+    RandPolicy,
+    TrendJoinHeeb,
+)
+from repro.sim.runner import generate_paths, run_join_experiment
+from repro.streams import LinearTrendStream, bounded_normal
+
+LENGTH = 1500
+CACHE = 10
+N_RUNS = 3
+
+
+def _run_all():
+    r_model = LinearTrendStream(bounded_normal(10, 1.0), speed=1.0, lag=1)
+    s_model = LinearTrendStream(bounded_normal(15, 2.0), speed=1.0)
+    paths = generate_paths(r_model, s_model, LENGTH, N_RUNS, 0)
+    alpha = alpha_for_mean_lifetime(3.0)
+    variants = {
+        "HEEB (hand-configured models)": (
+            lambda: HeebPolicy(TrendJoinHeeb(LExp(alpha))),
+            True,
+        ),
+        "HEEB-AUTO (no models given)": (
+            lambda: ModelDrivenHeebPolicy(min_history=150, refit_every=400),
+            False,
+        ),
+        "PROB": (lambda: ProbPolicy(), False),
+        "RAND": (lambda: RandPolicy(seed=1), False),
+    }
+    out = {}
+    for name, (factory, give_models) in variants.items():
+        result = run_join_experiment(
+            factory,
+            paths,
+            CACHE,
+            warmup=4 * CACHE,
+            r_model=r_model if give_models else None,
+            s_model=s_model if give_models else None,
+        )
+        out[name] = result.mean_results
+    return out
+
+
+def test_ext_model_driven(benchmark, emit):
+    out = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    emit(
+        "Extension: self-configuring HEEB on TOWER-like streams "
+        f"(cache={CACHE}, length={LENGTH}, runs={N_RUNS})",
+        format_table({k: {"results": v} for k, v in out.items()},
+                     row_label="policy"),
+    )
+    manual = out["HEEB (hand-configured models)"]
+    auto = out["HEEB-AUTO (no models given)"]
+    assert auto >= 0.8 * manual
+    assert auto > 1.2 * out["RAND"]
+    assert auto > out["PROB"]

@@ -1,0 +1,39 @@
+"""Figure 6: precomputed h_R curves for random walks with drift 0 / 2 / 4.
+
+Paper: N(0,1) steps, L_exp; larger positive drift makes values to the
+right of the current mean more desirable to cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import format_series_table
+
+
+def test_fig06_walk_h1(benchmark, emit):
+    curves = benchmark.pedantic(
+        lambda: figure6(drifts=(0, 2, 4), alpha=10.0, max_offset=20),
+        rounds=1,
+        iterations=1,
+    )
+    offsets = list(range(-20, 21, 4))
+    series = {
+        f"drift={d}": [curves[d](o) for o in offsets] for d in (0, 2, 4)
+    }
+    emit(
+        "Figure 6: h_R(v_x − x_t0) for random walk with drift (alpha=10)",
+        format_series_table("offset", offsets, series, fmt="{:.4f}"),
+    )
+
+    zero, two, four = curves[0], curves[2], curves[4]
+    # Zero drift: symmetric and unimodal at 0 (Section 5.5 optimal rule).
+    assert zero(0) == max(zero(o) for o in range(-20, 21))
+    np.testing.assert_allclose(zero(6), zero(-6), rtol=1e-9)
+    # Drift: rightward preference, growing with the drift constant.
+    assert two(6) > two(-6)
+    assert four(10) > four(-10)
+    peak2 = int(two.offsets[np.argmax(two.values)])
+    peak4 = int(four.offsets[np.argmax(four.values)])
+    assert peak4 >= peak2 >= 0

@@ -1,0 +1,28 @@
+"""Figure 7: the TOWER / ROOF / FLOOR noise pdfs (S-stream bound ±15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import format_series_table
+
+
+def test_fig07_noise_pdfs(benchmark, emit):
+    pdfs = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    values = list(range(-15, 16, 3))
+    series = {
+        name: [dist.pmf(v) for v in values] for name, dist in pdfs.items()
+    }
+    emit(
+        "Figure 7: TOWER/ROOF/FLOOR noise pdfs",
+        format_series_table("value", values, series, fmt="{:.4f}"),
+    )
+
+    tower, roof, floor = pdfs["TOWER"], pdfs["ROOF"], pdfs["FLOOR"]
+    # TOWER: sharp peak; ROOF: rounded; FLOOR: flat.
+    assert tower.pmf(0) > roof.pmf(0) > floor.pmf(0)
+    assert floor.pmf(-15) == pytest.approx(floor.pmf(15))
+    assert floor.pmf(0) == pytest.approx(1 / 31)
+    for dist in pdfs.values():
+        assert sum(p for _, p in dist.items()) == pytest.approx(1.0)

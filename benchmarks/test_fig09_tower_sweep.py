@@ -1,0 +1,35 @@
+"""Figure 9: TOWER cache-size sweep (paper: sizes 1..50, length 5000,
+50 runs; HEEB converges to OPT-offline much faster than the other
+heuristics)."""
+
+from __future__ import annotations
+
+from repro.experiments.configs import tower_config
+from repro.experiments.figures import figure9_12
+from repro.experiments.report import format_series_table
+
+SIZES = (1, 5, 10, 20, 30, 50)
+LENGTH = 1200
+N_RUNS = 3
+
+
+def test_fig09_tower_sweep(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure9_12(
+            tower_config(), cache_sizes=SIZES, length=LENGTH, n_runs=N_RUNS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 9: TOWER, results vs cache size (length={LENGTH}, "
+        f"runs={N_RUNS})",
+        format_series_table("cache", SIZES, out),
+    )
+    # HEEB approaches OPT quickly and dominates the naive baselines.
+    for i in range(len(SIZES)):
+        assert out["HEEB"][i] >= out["PROB"][i]
+        assert out["HEEB"][i] >= out["LIFE"][i]
+    mid = SIZES.index(10)
+    assert out["HEEB"][mid] >= 0.9 * out["OPT-OFFLINE"][mid]
+    assert out["RAND"][mid] < 0.9 * out["OPT-OFFLINE"][mid]

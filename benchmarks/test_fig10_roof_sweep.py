@@ -1,0 +1,35 @@
+"""Figure 10: ROOF cache-size sweep (wider normal noise: HEEB still leads
+but the gap to the baselines narrows relative to TOWER)."""
+
+from __future__ import annotations
+
+from repro.experiments.configs import roof_config
+from repro.experiments.figures import figure9_12
+from repro.experiments.report import format_series_table
+
+SIZES = (1, 5, 10, 20, 30, 50)
+LENGTH = 1200
+N_RUNS = 3
+
+
+def test_fig10_roof_sweep(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure9_12(
+            roof_config(), cache_sizes=SIZES, length=LENGTH, n_runs=N_RUNS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 10: ROOF, results vs cache size (length={LENGTH}, "
+        f"runs={N_RUNS})",
+        format_series_table("cache", SIZES, out),
+    )
+    for i in range(len(SIZES)):
+        assert out["OPT-OFFLINE"][i] >= out["HEEB"][i] - 1e-9
+        assert out["HEEB"][i] >= out["PROB"][i]
+    mid = SIZES.index(10)
+    assert out["HEEB"][mid] > out["RAND"][mid]
+    # All heuristics approach OPT with ample memory.
+    last = len(SIZES) - 1
+    assert out["HEEB"][last] >= 0.9 * out["OPT-OFFLINE"][last]

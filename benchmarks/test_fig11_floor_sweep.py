@@ -1,0 +1,36 @@
+"""Figure 11: FLOOR cache-size sweep (uniform noise: the future is least
+predictable, so HEEB's edge over the window-aware baselines is smallest
+-- 'HEEB still does well but is certainly not as spectacular')."""
+
+from __future__ import annotations
+
+from repro.experiments.configs import floor_config
+from repro.experiments.figures import figure9_12
+from repro.experiments.report import format_series_table
+
+SIZES = (1, 5, 10, 20, 30, 50)
+LENGTH = 1200
+N_RUNS = 3
+
+
+def test_fig11_floor_sweep(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure9_12(
+            floor_config(), cache_sizes=SIZES, length=LENGTH, n_runs=N_RUNS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 11: FLOOR, results vs cache size (length={LENGTH}, "
+        f"runs={N_RUNS})",
+        format_series_table("cache", SIZES, out),
+    )
+    for i in range(len(SIZES)):
+        assert out["OPT-OFFLINE"][i] >= out["HEEB"][i] - 1e-9
+    # HEEB at least matches the best baseline at the paper's cache size.
+    mid = SIZES.index(10)
+    best_baseline = max(out["RAND"][mid], out["PROB"][mid], out["LIFE"][mid])
+    assert out["HEEB"][mid] >= 0.95 * best_baseline
+    last = len(SIZES) - 1
+    assert out["HEEB"][last] >= 0.9 * out["OPT-OFFLINE"][last]

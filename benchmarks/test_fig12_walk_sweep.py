@@ -1,0 +1,38 @@
+"""Figure 12: WALK cache-size sweep.
+
+Random walks: the near future is predictable (HEEB/FlowExpect beat RAND
+and PROB) but variances cumulate quickly, so no online algorithm comes
+close to OPT-offline even with more memory.  LIFE is omitted (no window).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import walk_config
+from repro.experiments.figures import figure9_12
+from repro.experiments.report import format_series_table
+
+SIZES = (1, 5, 10, 20, 30, 50)
+LENGTH = 1200
+N_RUNS = 3
+
+
+def test_fig12_walk_sweep(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure9_12(
+            walk_config(), cache_sizes=SIZES, length=LENGTH, n_runs=N_RUNS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 12: WALK, results vs cache size (length={LENGTH}, "
+        f"runs={N_RUNS})",
+        format_series_table("cache", SIZES, out),
+    )
+    assert "LIFE" not in out  # no window on random walks
+    mid = SIZES.index(10)
+    assert out["HEEB"][mid] > out["RAND"][mid]
+    assert out["HEEB"][mid] > out["PROB"][mid]
+    # The online/offline gap persists even at the largest cache size.
+    last = len(SIZES) - 1
+    assert out["HEEB"][last] < 0.9 * out["OPT-OFFLINE"][last]

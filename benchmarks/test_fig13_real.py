@@ -1,0 +1,51 @@
+"""Figure 13: REAL -- caching a Melbourne-like temperature stream.
+
+Paper pipeline (Section 6.5): fit an AR(1) by MLE (paper obtains
+X_t = 0.72·X_{t-1} + 5.59 + N(0, 4.22²)), precompute the h2 surface at
+25 control points with bicubic interpolation, and compare LFD, RAND,
+LRU, PROB(LFU), HEEB for memory sizes 10..300 on 3650 daily readings.
+Temperature locality keeps all heuristics close; LFD is the offline
+floor and HEEB leads the online pack at larger memories.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure13
+from repro.experiments.report import format_series_table
+
+MEMORY_SIZES = (10, 50, 100, 200, 300)
+
+
+def test_fig13_real(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure13(memory_sizes=MEMORY_SIZES, n_days=3650),
+        rounds=1,
+        iterations=1,
+    )
+    fit = result.fit
+    emit(
+        "Figure 13: REAL, misses vs memory (3650 days; fitted AR(1): "
+        f"phi1={fit.phi1:.2f}, phi0={fit.phi0:.2f}, sigma={fit.sigma:.2f}; "
+        "paper fit: 0.72 / 5.59 / 4.22)",
+        format_series_table(
+            "memory", MEMORY_SIZES, result.misses, fmt="{:.0f}"
+        ),
+    )
+
+    # LFD (offline optimal) has the fewest misses at every size.
+    for name, series in result.misses.items():
+        for lfd_m, other_m in zip(result.misses["LFD"], series):
+            assert lfd_m <= other_m, name
+        # Misses decrease with memory.
+        assert all(a >= b for a, b in zip(series, series[1:])), name
+
+    # HEEB leads the online heuristics at the larger memory sizes.
+    for i in (-2, -1):
+        online = {
+            k: v[i] for k, v in result.misses.items() if k != "LFD"
+        }
+        assert online["HEEB"] <= min(online.values()) * 1.05
+
+    # The fitted model is in the ballpark of the paper's fit.
+    assert 0.5 <= fit.phi1 <= 0.9
+    assert 2.5 <= fit.sigma <= 6.0

@@ -1,0 +1,51 @@
+"""Figure 14: how HEEB allocates cache memory between the two streams.
+
+Paper: starting from identical streams, make R lag by 2/4 steps or give
+S noise 2×/4× the standard deviation.  HEEB allocates less memory to
+streams that lag behind or have larger variances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure14
+from repro.experiments.report import format_table
+
+LENGTH = 2500
+CACHE = 10
+N_RUNS = 3
+
+
+def test_fig14_allocation(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure14(length=LENGTH, cache_size=CACHE, n_runs=N_RUNS),
+        rounds=1,
+        iterations=1,
+    )
+    steady = {
+        label: float(np.mean(series[LENGTH // 2 :]))
+        for label, series in out.items()
+    }
+    emit(
+        f"Figure 14: steady-state fraction of cache taken by R tuples "
+        f"(cache={CACHE}, length={LENGTH}, runs={N_RUNS})",
+        format_table(
+            {label: {"R fraction": v} for label, v in steady.items()},
+            row_label="variant",
+            fmt="{:.3f}",
+        ),
+    )
+
+    base = steady["R AND S HAVE SAME PROPERTIES"]
+    # Lagging stream R receives less memory, monotonically in the lag.
+    assert steady["R LAGS BEHIND BY 2"] < base
+    assert steady["R LAGS BEHIND BY 4"] <= steady["R LAGS BEHIND BY 2"]
+    # Noisier S loses memory to R, monotonically in the noise ratio.
+    assert steady["S NOISE HAS TWICE THE STDEV"] > base
+    assert (
+        steady["S NOISE HAS FOUR TIMES THE STDEV"]
+        >= steady["S NOISE HAS TWICE THE STDEV"]
+    )
+    # Symmetric base case splits the cache roughly evenly.
+    assert 0.35 < base < 0.65

@@ -1,0 +1,44 @@
+"""Figures 15/16: the REAL h2 surface, actual vs 25-control-point spline.
+
+Paper: "We precompute and approximate this surface using bicubic
+interpolation of 25 control points equally spaced over the domain.  We
+have found this simple approximation satisfactory in terms of space,
+speed, and accuracy."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure15_16
+from repro.experiments.report import format_series_table
+
+
+def test_fig15_16_h2_surface(benchmark, emit):
+    cmp = benchmark.pedantic(
+        lambda: figure15_16(n_controls=5, n_dense=9, exact_steps=40),
+        rounds=1,
+        iterations=1,
+    )
+    # Print the middle slice of both surfaces.
+    mid = cmp.dense_x.size // 2
+    series = {
+        "actual": list(cmp.actual_values[:, mid]),
+        "bicubic(25 pts)": list(cmp.approx_values[:, mid]),
+    }
+    emit(
+        "Figures 15/16: h2 surface slice at the middle anchor "
+        f"(max |err| = {cmp.max_abs_error:.2e}, "
+        f"mean |err| = {cmp.mean_abs_error:.2e}, "
+        f"surface max = {cmp.max_value:.2e})",
+        format_series_table(
+            "bucket", list(cmp.dense_v), series, fmt="{:.5f}"
+        ),
+    )
+
+    # The approximation is satisfactory relative to the surface scale.
+    assert cmp.max_abs_error < 0.25 * cmp.max_value
+    assert cmp.mean_abs_error < 0.05 * cmp.max_value
+    # The surface peaks where the candidate value is close to the anchor.
+    peak_rows = np.argmax(cmp.actual_values, axis=0)
+    assert (np.diff(peak_rows) >= 0).all()

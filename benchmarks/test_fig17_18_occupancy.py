@@ -1,0 +1,47 @@
+"""Figures 17/18: stream-0 (R) cache occupancy over time under HEEB,
+for variance ratios 1:1 / 1:2 / 1:4 and lags 1 / 2 / 4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure17_18
+from repro.experiments.report import format_series_table
+
+LENGTH = 2000
+CACHE = 10
+N_RUNS = 3
+CHECKPOINTS = (100, 500, 1000, 1500, 1999)
+
+
+def test_fig17_18_occupancy(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: figure17_18(length=LENGTH, cache_size=CACHE, n_runs=N_RUNS),
+        rounds=1,
+        iterations=1,
+    )
+    for group, title in (
+        ("variance", "Figure 17: occupancy vs time, variance ratios"),
+        ("lag", "Figure 18: occupancy vs time, lags"),
+    ):
+        series = {
+            label: [float(arr[t]) for t in CHECKPOINTS]
+            for label, arr in out[group].items()
+        }
+        emit(title, format_series_table("t", CHECKPOINTS, series, fmt="{:.3f}"))
+
+    steady = lambda arr: float(np.mean(arr[LENGTH // 2 :]))  # noqa: E731
+
+    var = {k: steady(v) for k, v in out["variance"].items()}
+    assert var["Std0:Std1 = 1:1"] < var["Std0:Std1 = 1:2"] < var["Std0:Std1 = 1:4"] + 0.05
+    # Equal-variance case splits roughly evenly; 1:4 strongly favors R.
+    assert 0.35 < var["Std0:Std1 = 1:1"] < 0.65
+    assert var["Std0:Std1 = 1:4"] > 0.55
+
+    lag = {k: steady(v) for k, v in out["lag"].items()}
+    assert (
+        lag["stream0 is 1 behind stream1"]
+        >= lag["stream0 is 2 behind stream1"]
+        >= lag["stream0 is 4 behind stream1"]
+    )
+    assert lag["stream0 is 4 behind stream1"] < 0.45

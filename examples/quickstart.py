@@ -1,0 +1,91 @@
+"""Quickstart: join two drifting streams with a bounded cache.
+
+Builds the paper's TOWER-style workload (two streams whose join values
+follow a linear trend with bounded normal noise, R lagging one step
+behind S), then compares cache replacement policies under the MAX-subset
+metric: how many join results can a 10-tuple cache produce?
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lifetime import LExp, alpha_for_mean_lifetime
+from repro.flow.opt_offline import solve_opt_offline
+from repro.policies import (
+    HeebPolicy,
+    LifePolicy,
+    ProbPolicy,
+    RandPolicy,
+    ScheduledPolicy,
+    TrendJoinHeeb,
+    TrendWindowOracle,
+)
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import LinearTrendStream, bounded_normal
+
+CACHE_SIZE = 10
+LENGTH = 2000
+SEED = 42
+
+
+def main() -> None:
+    # 1. Stream models: join values drift upward at speed 1; R lags S by
+    #    one step; noise is a discretized normal bounded at ±10 / ±15.
+    r_model = LinearTrendStream(bounded_normal(10, 1.0), speed=1.0, lag=1)
+    s_model = LinearTrendStream(bounded_normal(15, 2.0), speed=1.0)
+
+    # 2. One realization of each stream.
+    rng = np.random.default_rng(SEED)
+    r_values = r_model.sample_path(LENGTH, rng)
+    s_values = s_model.sample_path(LENGTH, rng)
+
+    # 3. Policies.  HEEB exploits the known statistics; the baselines are
+    #    window-aware per the paper's experimental setup.
+    oracle = TrendWindowOracle(r_model, s_model)
+    alpha = alpha_for_mean_lifetime(3.0)  # ≈ time to drift 2 noise stdevs
+    policies = {
+        "HEEB": HeebPolicy(TrendJoinHeeb(LExp(alpha))),
+        "PROB": ProbPolicy(),
+        "LIFE": LifePolicy(),
+        "RAND": RandPolicy(seed=SEED),
+    }
+
+    print(f"Joining {LENGTH}-tuple streams with a {CACHE_SIZE}-slot cache\n")
+    results = {}
+    for name, policy in policies.items():
+        sim = JoinSimulator(
+            CACHE_SIZE,
+            policy,
+            warmup=4 * CACHE_SIZE,
+            r_model=r_model,
+            s_model=s_model,
+            window_oracle=oracle,
+        )
+        results[name] = sim.run(r_values, s_values).results_after_warmup
+
+    # 4. The offline optimum for calibration.
+    solution = solve_opt_offline(r_values, s_values, CACHE_SIZE)
+    opt = (
+        JoinSimulator(CACHE_SIZE, ScheduledPolicy(solution), warmup=4 * CACHE_SIZE)
+        .run(r_values, s_values)
+        .results_after_warmup
+    )
+    results["OPT-OFFLINE (oracle)"] = opt
+
+    width = max(len(n) for n in results)
+    for name, count in sorted(results.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(40 * count / max(results.values()))
+        print(f"  {name:<{width}}  {count:>6}  {bar}")
+
+    print(
+        "\nHEEB recovers most of the offline optimum by exploiting the "
+        "streams' statistics;\nfrequency-based heuristics (PROB/LIFE) "
+        "misread the drifting value distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

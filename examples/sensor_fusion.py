@@ -1,0 +1,106 @@
+"""Domain scenario: correlating two sensor streams with random-walk state.
+
+Two sensors publish readings of slowly wandering physical quantities
+(modeled as random walks with discretized normal steps, the paper's WALK
+configuration).  A correlation query equi-joins the two streams on the
+quantized reading; memory for join state is scarce.
+
+This example shows the Section-5.5 machinery end to end:
+
+* the precomputed ``h1`` curve (Theorem 5(2)): HEEB's score depends only
+  on the offset between a tuple's value and the partner's latest reading,
+* how HEEB's offset-based retention beats frequency-based PROB, whose
+  history mispredicts a wandering distribution, and
+* how the gap to OPT-offline stays large -- random-walk variance
+  accumulates too fast for any online policy (the paper's Figure 12).
+
+Run:  python examples/sensor_fusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lifetime import LExp
+from repro.core.precompute import random_walk_h1_join
+from repro.flow.opt_offline import solve_opt_offline
+from repro.policies import (
+    HeebPolicy,
+    ProbPolicy,
+    RandPolicy,
+    ScheduledPolicy,
+    WalkJoinHeeb,
+)
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import RandomWalkStream, discretized_normal
+
+CACHE_SIZE = 12
+LENGTH = 3000
+SEED = 7
+
+
+def main() -> None:
+    step = discretized_normal(1.0)
+    sensor_a = RandomWalkStream(step, start=0)
+    sensor_b = RandomWalkStream(step, start=0)
+
+    rng = np.random.default_rng(SEED)
+    a_values = sensor_a.sample_path(LENGTH, rng)
+    b_values = sensor_b.sample_path(LENGTH, rng)
+
+    # --- Inspect HEEB's precomputed h1 curve -------------------------------
+    estimator = LExp(float(CACHE_SIZE))  # α = cache size (Section 5.5)
+    table = random_walk_h1_join(
+        sensor_a, estimator, horizon=estimator.suggested_horizon(1e-6)
+    )
+    print("h1(offset): HEEB's value of caching a tuple at a given distance")
+    print("from the partner sensor's latest reading (alpha = cache size):")
+    for d in (0, 1, 2, 4, 8, 16):
+        bar = "#" * int(60 * table(d) / table(0))
+        print(f"  |offset| = {d:>2}   h1 = {table(d):.4f}  {bar}")
+    print()
+
+    # --- Compare policies ---------------------------------------------------
+    policies = {
+        "HEEB": HeebPolicy(
+            WalkJoinHeeb(estimator, horizon=estimator.suggested_horizon(1e-6))
+        ),
+        "PROB": ProbPolicy(),
+        "RAND": RandPolicy(seed=SEED),
+    }
+    results = {}
+    for name, policy in policies.items():
+        sim = JoinSimulator(
+            CACHE_SIZE,
+            policy,
+            warmup=4 * CACHE_SIZE,
+            r_model=sensor_a,
+            s_model=sensor_b,
+        )
+        results[name] = sim.run(a_values, b_values).results_after_warmup
+
+    solution = solve_opt_offline(a_values, b_values, CACHE_SIZE)
+    results["OPT-OFFLINE"] = (
+        JoinSimulator(
+            CACHE_SIZE, ScheduledPolicy(solution), warmup=4 * CACHE_SIZE
+        )
+        .run(a_values, b_values)
+        .results_after_warmup
+    )
+
+    print(f"correlated readings produced (cache {CACHE_SIZE}, {LENGTH} steps):")
+    width = max(len(n) for n in results)
+    for name, count in sorted(results.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<{width}}  {count:>6}")
+
+    print(
+        "\nHEEB keeps tuples near the partner's current level and drops "
+        "stragglers; PROB\nclings to historically frequent values the walk "
+        "has already left behind.  The\nremaining gap to OPT-offline is "
+        "inherent: future random-walk positions are\ntoo dispersed to "
+        "predict far ahead (Section 6.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

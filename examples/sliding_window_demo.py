@@ -1,0 +1,88 @@
+"""Sliding-window semantics (Section 7): why PROB and LIFE both misrank.
+
+Three candidate tuples compete for cache slots under a sliding window:
+
+    x1: match probability 0.50, remaining window life  1 step
+    x2: match probability 0.49, remaining window life 50 steps
+    x3: match probability 0.01, remaining window life 51 steps
+
+PROB prefers x1 to x2 (shortsighted: x2 stays productive long after x1
+expires).  LIFE prefers x3 to x1 (pessimistic: it assumes nothing better
+will arrive for 50 steps).  Windowed HEEB -- L_exp clipped to the
+window, per Section 7 -- ranks x2 > x1 > x3, "arguably the most
+reasonable order".
+
+The script computes the three scores from the actual implementation and
+then verifies the ranking's consequence in a windowed join simulation.
+
+Run:  python examples/sliding_window_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ecb import ECB
+from repro.core.heeb import heeb_from_ecb
+from repro.core.lifetime import WindowedLExp
+from repro.policies import GenericJoinHeeb, HeebPolicy, ProbPolicy
+from repro.core.lifetime import LExp
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import StationaryStream, from_mapping
+
+CANDIDATES = {
+    "x1": {"p": 0.50, "life": 1},
+    "x2": {"p": 0.49, "life": 50},
+    "x3": {"p": 0.01, "life": 51},
+}
+ALPHA = 20.0
+HORIZON = 200
+
+
+def main() -> None:
+    print("candidate   p      window life   PROB order   LIFE score   HEEB H")
+    heeb_scores = {}
+    for name, spec in CANDIDATES.items():
+        # Stationary partner: the ECB rises by p every step; the tuple's
+        # own window clips its participation.
+        ecb = ECB(np.cumsum(np.full(HORIZON, spec["p"])))
+        h = heeb_from_ecb(ecb, WindowedLExp(ALPHA, spec["life"]))
+        heeb_scores[name] = h
+        life_score = spec["p"] * spec["life"]
+        print(
+            f"  {name}      {spec['p']:.2f}   {spec['life']:>4}          "
+            f"p = {spec['p']:.2f}     {life_score:>6.2f}     {h:.4f}"
+        )
+
+    prob_rank = sorted(CANDIDATES, key=lambda n: -CANDIDATES[n]["p"])
+    life_rank = sorted(
+        CANDIDATES, key=lambda n: -CANDIDATES[n]["p"] * CANDIDATES[n]["life"]
+    )
+    heeb_rank = sorted(CANDIDATES, key=lambda n: -heeb_scores[n])
+    print(f"\n  PROB keeps, best-first: {prob_rank}   (overvalues the expiring x1)")
+    print(f"  LIFE keeps, best-first: {life_rank}   (overvalues the barren x3)")
+    print(f"  HEEB keeps, best-first: {heeb_rank}   (the reasonable order)")
+    assert heeb_rank == ["x2", "x1", "x3"]
+
+    # ----------------------------------------------------------------------
+    # The ranking matters: windowed join where HEEB's retention wins.
+    # ----------------------------------------------------------------------
+    model = StationaryStream(from_mapping({1: 0.45, 2: 0.44, 3: 0.11}))
+    rng = np.random.default_rng(3)
+    r = model.sample_path(2000, rng)
+    s = model.sample_path(2000, np.random.default_rng(4))
+    window = 10
+    heeb = HeebPolicy(GenericJoinHeeb(LExp(8.0), horizon=60))
+    heeb_result = JoinSimulator(
+        2, heeb, window=window, r_model=model, s_model=model
+    ).run(r, s)
+    prob_result = JoinSimulator(2, ProbPolicy(), window=window).run(r, s)
+    print(
+        f"\nwindowed join (w={window}, cache 2, 2000 steps): "
+        f"HEEB {heeb_result.total_results} results, "
+        f"PROB {prob_result.total_results} results"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""The REAL scenario: caching database tuples referenced by temperatures.
+
+A stream of daily temperatures (Melbourne-like; the paper's Section 6.5
+uses 10 years of real Melbourne data) looks up projected energy
+consumption in a database keyed by 0.1 °C ranges.  The cache holds
+database tuples; we compare classic policies against HEEB driven by an
+AR(1) model fitted to the stream.
+
+Pipeline, exactly as in the paper:
+  1. obtain the temperature series,
+  2. fit an AR(1) by MLE,
+  3. precompute the h2 surface at 25 control points (Theorem 5) and
+     interpolate it bicubically,
+  4. simulate, counting cache misses.
+
+Run:  python examples/temperature_cache.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import fit_ar1
+from repro.core.lifetime import LExp
+from repro.core.precompute import ar1_h2_cache
+from repro.policies import (
+    AR1CacheHeeb,
+    HeebPolicy,
+    LfdPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandPolicy,
+)
+from repro.sim.cache_sim import CacheSimulator
+from repro.streams import AR1Stream, melbourne_like_temperatures
+
+N_DAYS = 3650
+MEMORY = 150
+BUCKET = 0.1  # one database tuple per 0.1 °C
+
+
+def main() -> None:
+    # 1. Ten years of daily temperatures.
+    temps = melbourne_like_temperatures(N_DAYS, np.random.default_rng(0))
+    print(
+        f"{N_DAYS} days of temperatures: "
+        f"mean {temps.mean():.1f} °C, min {temps.min():.1f}, max {temps.max():.1f}"
+    )
+
+    # 2. Fit the AR(1) model (the paper reports 0.72 / 5.59 / 4.22 for
+    #    the real Melbourne data).
+    fit = fit_ar1(temps)
+    print(
+        f"fitted AR(1): X_t = {fit.phi1:.2f}·X_(t-1) + {fit.phi0:.2f} "
+        f"+ N(0, {fit.sigma:.2f}²)\n"
+    )
+    model = AR1Stream(fit.phi0, fit.phi1, fit.sigma, bucket=BUCKET)
+    reference = [model.to_bucket(t) for t in temps]
+
+    # 3. Precompute HEEB's h2 surface: 5×5 control points, bicubic spline.
+    lo, hi = min(reference), max(reference)
+    v_grid = np.linspace(lo, hi, 5).round().astype(int)
+    x_grid = np.linspace(lo * BUCKET, hi * BUCKET, 5)
+    surface = ar1_h2_cache(model, LExp(float(MEMORY)), v_grid, x_grid)
+
+    # 4. Simulate.
+    policies = {
+        "LFD (offline oracle)": LfdPolicy(reference),
+        "LRU": LruPolicy(),
+        "LFU / PROB": LfuPolicy(),
+        "RAND": RandPolicy(seed=1),
+        "HEEB": HeebPolicy(AR1CacheHeeb(model, surface)),
+    }
+    print(f"cache: {MEMORY} database tuples; {len(reference)} references")
+    rows = []
+    for name, policy in policies.items():
+        result = CacheSimulator(MEMORY, policy, reference_model=model).run(
+            reference
+        )
+        rows.append((name, result.misses, result.hit_rate))
+    rows.sort(key=lambda r: r[1])
+    width = max(len(r[0]) for r in rows)
+    for name, misses, hit_rate in rows:
+        print(f"  {name:<{width}}  misses {misses:>5}   hit rate {hit_rate:.3f}")
+
+    print(
+        "\nTemperature locality keeps every heuristic in the same league "
+        "(small RAND-to-LFD gap);\nHEEB leads the online policies by "
+        "modeling where tomorrow's temperature will be."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so legacy
+(``--no-use-pep517``) editable installs work in offline environments
+that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

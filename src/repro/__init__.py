@@ -1,0 +1,52 @@
+"""repro: a reproduction of "On Joining and Caching Stochastic Streams".
+
+A framework for cache replacement in stream joins under the MAX-subset
+metric, driven by known or fitted statistical properties of the input
+streams (Xie, Yang, Chen; SIGMOD 2005).
+
+Layout
+------
+``repro.streams``
+    Stochastic stream models (offline, stationary, linear trend, random
+    walk, AR(1)) and the caching→joining reduction.
+``repro.core``
+    Expected cumulative benefits, dominance tests, HEEB with its lifetime
+    estimators, and incremental / precomputed evaluation.
+``repro.flow``
+    FlowExpect's look-ahead min-cost flow and the OPT-offline solver.
+``repro.sim``
+    Join and cache simulators plus multi-run orchestration.
+``repro.policies``
+    RAND, PROB, LIFE, LRU(-k), LFU, LFD, HEEB, FlowExpect, OPT replay,
+    and the provably optimal case-study policies.
+``repro.experiments``
+    The paper's experiment configurations and one harness per figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import core, streams, policies, sim
+>>> r = streams.LinearTrendStream(streams.bounded_uniform(10), lag=1)
+>>> s = streams.LinearTrendStream(streams.bounded_uniform(15))
+>>> rng = np.random.default_rng(0)
+>>> heeb = policies.HeebPolicy(policies.TrendJoinHeeb(core.LExp(10.0)))
+>>> simulator = sim.JoinSimulator(10, heeb, r_model=r, s_model=s)
+>>> result = simulator.run(r.sample_path(500, rng), s.sample_path(500, rng))
+>>> result.total_results > 0
+True
+"""
+
+from . import analysis, core, experiments, flow, policies, sim, streams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "flow",
+    "policies",
+    "sim",
+    "streams",
+    "__version__",
+]

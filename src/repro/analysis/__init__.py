@@ -1,0 +1,15 @@
+"""Analysis utilities: model fitting, model identification, statistics."""
+
+from .detection import ModelDiagnosis, detect_model, diagnose_series
+from .fitting import AR1Fit, fit_ar1
+from .stats import Summary, summarize
+
+__all__ = [
+    "AR1Fit",
+    "ModelDiagnosis",
+    "Summary",
+    "detect_model",
+    "diagnose_series",
+    "fit_ar1",
+    "summarize",
+]

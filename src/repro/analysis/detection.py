@@ -1,0 +1,173 @@
+"""Online identification of a stream's statistical model.
+
+The paper assumes the stochastic processes governing the inputs are
+"known or observed" and notes that identifying them "is a problem
+orthogonal to ours but essential to the applicability of our framework"
+(Section 1).  This module supplies that missing piece for the model
+classes the framework supports:
+
+* stationary i.i.d. values,
+* linear trend plus i.i.d. bounded noise,
+* random walk (with drift),
+* AR(1).
+
+The classifier is deliberately simple and transparent -- the kind of
+procedure the paper's "standard MLE procedure" remark suggests:
+
+1. Fit an OLS line ``a·t + b``; a clearly nonzero slope with stationary
+   residuals means *linear trend*.
+2. Otherwise fit an AR(1) to the (detrended) series.  ``φ1 ≈ 0`` means
+   *stationary*; ``φ1 ≈ 1`` (equivalently, differences look i.i.d. while
+   levels wander) means *random walk*; anything in between is *AR(1)*.
+
+:func:`detect_model` returns a fitted, ready-to-use
+:class:`~repro.streams.base.StreamModel`, so callers can hand observed
+history to HEEB without specifying the model class by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..streams.ar1 import AR1Stream
+from ..streams.base import StreamModel
+from ..streams.linear_trend import LinearTrendStream
+from ..streams.noise import DiscreteDistribution, from_mapping
+from ..streams.random_walk import RandomWalkStream
+from ..streams.stationary import StationaryStream
+from .fitting import fit_ar1
+
+__all__ = ["ModelDiagnosis", "diagnose_series", "detect_model"]
+
+#: |slope| (in value units per step) above which a trend is declared,
+#: relative to the residual spread.
+_TREND_SNR = 0.05
+#: φ1 below this is treated as stationary; above 1 − _UNIT_ROOT_MARGIN as
+#: a random walk.
+_STATIONARY_PHI1 = 0.2
+_UNIT_ROOT_MARGIN = 0.08
+
+
+@dataclass(frozen=True)
+class ModelDiagnosis:
+    """The classifier's verdict plus the statistics it was based on."""
+
+    kind: str  # "trend" | "stationary" | "random_walk" | "ar1"
+    slope: float
+    intercept: float
+    residual_std: float
+    phi1: float
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.kind} (slope={self.slope:.4f}, phi1={self.phi1:.3f}, "
+            f"residual std={self.residual_std:.3f})"
+        )
+
+
+def _ols_line(series: np.ndarray) -> tuple[float, float, np.ndarray]:
+    t = np.arange(series.size, dtype=np.float64)
+    slope, intercept = np.polyfit(t, series, 1)
+    residuals = series - (slope * t + intercept)
+    return float(slope), float(intercept), residuals
+
+
+def diagnose_series(series: Sequence[float]) -> ModelDiagnosis:
+    """Classify a series into one of the framework's model classes."""
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1 or x.size < 20:
+        raise ValueError("need a 1-D series with at least 20 observations")
+
+    slope, intercept, residuals = _ols_line(x)
+    residual_std = float(residuals.std())
+
+    # Trend test: the drift over the observation window must dwarf the
+    # residual spread, and the residuals must not themselves wander
+    # (a random walk also produces a spurious OLS slope, but its
+    # residuals are strongly autocorrelated with huge spread).
+    drift_total = abs(slope) * x.size
+    if residual_std == 0.0 and drift_total > 0:
+        trendlike = True
+        resid_phi1 = 0.0
+    else:
+        resid_phi1 = fit_ar1(residuals).phi1 if residual_std > 0 else 0.0
+        trendlike = (
+            drift_total > 10 * max(residual_std, 1e-9)
+            and abs(slope) > _TREND_SNR * max(residual_std, 1e-9)
+            and resid_phi1 < 0.9
+        )
+    if trendlike:
+        return ModelDiagnosis(
+            kind="trend",
+            slope=slope,
+            intercept=intercept,
+            residual_std=residual_std,
+            phi1=resid_phi1,
+        )
+
+    fit = fit_ar1(x)
+    if abs(fit.phi1) < _STATIONARY_PHI1:
+        kind = "stationary"
+    elif fit.phi1 > 1.0 - _UNIT_ROOT_MARGIN:
+        kind = "random_walk"
+    else:
+        kind = "ar1"
+    return ModelDiagnosis(
+        kind=kind,
+        slope=0.0,
+        intercept=float(x.mean()),
+        residual_std=float(np.diff(x).std()),
+        phi1=float(fit.phi1),
+    )
+
+
+def _empirical_distribution(values: np.ndarray) -> DiscreteDistribution:
+    ints = np.round(values).astype(np.int64)
+    uniq, counts = np.unique(ints, return_counts=True)
+    return from_mapping({int(v): float(c) for v, c in zip(uniq, counts)})
+
+
+def detect_model(series: Sequence[float], bucket: float = 1.0) -> StreamModel:
+    """Fit and return a ready-to-use stream model for an observed series.
+
+    * trend → :class:`LinearTrendStream` with the empirical residual
+      distribution as noise;
+    * stationary → :class:`StationaryStream` over the empirical pmf;
+    * random walk → :class:`RandomWalkStream` with the empirical step
+      distribution;
+    * AR(1) → :class:`AR1Stream` with the conditional-MLE parameters.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    diagnosis = diagnose_series(x)
+
+    if diagnosis.kind == "trend":
+        if diagnosis.slope < 0:
+            raise ValueError(
+                "decreasing trend detected; the framework's trend model "
+                "covers non-decreasing trends only (Section 5.3)"
+            )
+        _, _, residuals = _ols_line(x)
+        noise = _empirical_distribution(residuals)
+        # Anchor the trend so that trend(t) matches the fitted line for
+        # the observed time indices (lag folds the intercept in).
+        speed = diagnosis.slope
+        lag = -diagnosis.intercept / speed if speed != 0 else 0.0
+        return LinearTrendStream(noise, speed=speed, lag=int(round(lag)))
+
+    if diagnosis.kind == "stationary":
+        return StationaryStream(_empirical_distribution(x))
+
+    if diagnosis.kind == "random_walk":
+        steps = _empirical_distribution(np.diff(x))
+        drift = int(round(float(np.diff(x).mean())))
+        if drift != 0:
+            steps = steps.shift(-drift)
+        return RandomWalkStream(
+            steps, drift=drift, start=int(round(float(x[-1])))
+        )
+
+    fit = fit_ar1(x)
+    return AR1Stream(fit.phi0, fit.phi1, fit.sigma, bucket=bucket)

@@ -1,0 +1,39 @@
+"""Run-aggregation helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of one metric across runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (the paper reports <5% for most runs)."""
+        return self.std / self.mean if self.mean else float("inf")
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values to summarize")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )

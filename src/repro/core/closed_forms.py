@@ -1,0 +1,120 @@
+"""Closed-form ECBs for linear trend + bounded uniform noise.
+
+Section 5.3 and Appendix O derive the ECBs for the FLOOR scenario in
+closed form, assuming both streams share the trend ``f(t) = t`` and have
+zero-centered uniform noise windows ``[-w_R, w_R]`` and ``[-w_S, w_S]``
+with ``w_R < w_S``.  Candidate tuples fall into five categories (R1, R2,
+S1, S2, S3) by which side they come from and where their value sits
+relative to the two moving windows.
+
+These forms serve two purposes: they are exercised directly by the HEEB
+strategy for trend streams, and they validate the generic Lemma-1
+computation in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ecb import ECB
+
+__all__ = [
+    "join_category",
+    "join_ecb_linear_uniform",
+    "cache_ecb_linear_uniform",
+]
+
+
+def join_category(side: str, value: int, t0: int, w_r: int, w_s: int) -> str:
+    """Classify a candidate tuple into the Appendix-O category.
+
+    ``side`` is the stream the tuple came *from* ("R" or "S"); both
+    streams are assumed to follow ``f(t) = t``.
+    """
+    if side == "R":
+        if value <= t0 - w_s:
+            return "R1"
+        if value <= t0 + w_r:
+            return "R2"
+        # Values ahead of both windows behave like R2 with delayed onset;
+        # the paper's table stops at R2 because R cannot produce them
+        # (its own window tops out at t0 + w_r), so flag them explicitly.
+        raise ValueError(
+            f"R tuple value {value} exceeds t0 + w_r = {t0 + w_r}; "
+            "unreachable under the FLOOR generative model"
+        )
+    if side == "S":
+        if value <= t0 - w_r:
+            return "S1"
+        if value <= t0 + w_r + 1:
+            return "S2"
+        if value <= t0 + w_s:
+            return "S3"
+        raise ValueError(
+            f"S tuple value {value} exceeds t0 + w_s = {t0 + w_s}; "
+            "unreachable under the FLOOR generative model"
+        )
+    raise ValueError(f"unknown side {side!r}")
+
+
+def join_ecb_linear_uniform(
+    side: str, value: int, t0: int, w_r: int, w_s: int, horizon: int
+) -> ECB:
+    """Appendix O: the joining ECB of a FLOOR candidate tuple.
+
+    An R tuple joins future S arrivals (window half-width ``w_s``) and an
+    S tuple joins future R arrivals (half-width ``w_r``); each partner
+    arrival matches with probability ``1/(2w+1)`` while the tuple's value
+    lies inside the partner's moving window.
+    """
+    category = join_category(side, value, t0, w_r, w_s)
+    dts = np.arange(1, horizon + 1)
+
+    if category in ("R1", "S1"):
+        return ECB(np.zeros(horizon))
+
+    if category == "R2":
+        rate = 1.0 / (2 * w_s + 1)
+        last = value - (t0 - w_s)  # Δt at which the S window passes value
+        cumulative = rate * np.minimum(dts, last)
+        return ECB(cumulative)
+
+    if category == "S2":
+        rate = 1.0 / (2 * w_r + 1)
+        last = value - (t0 - w_r)
+        cumulative = rate * np.minimum(dts, last)
+        return ECB(cumulative)
+
+    # S3: the R window has not reached the value yet; benefits start at
+    # Δt = value − (t0 + w_r) and stop once the window passes.
+    rate = 1.0 / (2 * w_r + 1)
+    start = value - (t0 + w_r)
+    last = value - (t0 - w_r)
+    inside = np.clip(dts - start + 1, 0, last - start + 1)
+    return ECB(rate * inside)
+
+
+def cache_ecb_linear_uniform(
+    value: int,
+    t0: int,
+    w: int,
+    horizon: int,
+    trend_offset: int = 0,
+) -> ECB:
+    """Section 5.3 (caching): ECB of a database tuple under FLOOR reference.
+
+    The reference stream follows ``f(t) = t + trend_offset`` with uniform
+    noise in ``[-w, w]``.  Category 1 tuples (window already passed) have
+    zero ECB; Category 2 tuples accrue ``1 − (1 − 1/(2w+1))^Δt`` until the
+    window moves beyond them at ``t_x = min{t : value < f(t) − w}``.
+    """
+    f_t0 = t0 + trend_offset
+    if value < f_t0 - w:
+        return ECB(np.zeros(horizon))
+    q = 1.0 / (2 * w + 1)
+    # First time the window passes the value: value < f(t) - w.
+    t_x = value + w + 1 - trend_offset
+    dts = np.arange(1, horizon + 1)
+    effective = np.minimum(dts, max(t_x - t0 - 1, 0))
+    cumulative = 1.0 - (1.0 - q) ** effective
+    return ECB(cumulative)

@@ -1,0 +1,125 @@
+"""ECB dominance tests -- Section 4.2.
+
+``B_x`` *dominates* ``B_y`` when ``B_x(Δt) ≥ B_y(Δt)`` for all ``Δt ≥ 1``;
+it *strongly* dominates when the inequality is strict everywhere.  Theorem
+3 shows dominance identifies optimal replacement decisions: an optimal
+algorithm may always keep the dominating tuple, and under strong dominance
+every optimal algorithm must.
+
+Corollary 2 lifts this to sets: a *dominated subset* ``V ⊆ U`` is one
+where every ECB outside ``V`` dominates every ECB inside it; if at most
+``Δk`` tuples must be discarded and ``|V| ≤ Δk``, discarding ``V`` is
+optimal.
+
+These tests operate on materialized ECBs over a shared finite horizon;
+callers choose a horizon beyond which the ECBs are flat or the comparison
+irrelevant for their weights.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from .ecb import ECB
+
+__all__ = [
+    "dominates",
+    "strongly_dominates",
+    "comparable",
+    "dominance_matrix",
+    "find_dominated_subset",
+]
+
+_ATOL = 1e-12
+
+
+def _aligned(a: ECB, b: ECB) -> tuple[np.ndarray, np.ndarray]:
+    """Extend both cumulative arrays to a common horizon (ECBs are flat
+    beyond their recorded horizon only if fully accrued; we conservatively
+    clamp at the last recorded value, matching :meth:`ECB.__call__`)."""
+    h = max(a.horizon, b.horizon)
+    pa = np.full(h, a.cumulative[-1])
+    pa[: a.horizon] = a.cumulative
+    pb = np.full(h, b.cumulative[-1])
+    pb[: b.horizon] = b.cumulative
+    return pa, pb
+
+
+def dominates(a: ECB, b: ECB) -> bool:
+    """``B_a(Δt) ≥ B_b(Δt)`` for every Δt in the shared horizon."""
+    pa, pb = _aligned(a, b)
+    return bool(np.all(pa >= pb - _ATOL))
+
+
+def strongly_dominates(a: ECB, b: ECB) -> bool:
+    """``B_a(Δt) > B_b(Δt)`` for every Δt in the shared horizon."""
+    pa, pb = _aligned(a, b)
+    return bool(np.all(pa > pb + _ATOL))
+
+
+def comparable(a: ECB, b: ECB) -> bool:
+    """True when one of the two ECBs dominates the other."""
+    return dominates(a, b) or dominates(b, a)
+
+
+def dominance_matrix(
+    ecbs: Sequence[ECB],
+) -> np.ndarray:
+    """``M[i, j]`` is True when ``ecbs[i]`` dominates ``ecbs[j]``."""
+    n = len(ecbs)
+    m = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                m[i, j] = dominates(ecbs[i], ecbs[j])
+    return m
+
+
+def find_dominated_subset(
+    ecbs: Mapping[Hashable, ECB],
+    max_size: int,
+    exhaustive_limit: int = 12,
+) -> list[Hashable]:
+    """Find a largest dominated subset of size at most ``max_size``.
+
+    Per Corollary 2, discarding the returned keys is optimal (assuming at
+    least that many tuples must be discarded).  For small candidate sets
+    (``len(ecbs) <= exhaustive_limit``) the search is exact; otherwise a
+    greedy pass sorts candidates by how many others dominate them and
+    verifies the best prefix, which is sound (the returned set is always a
+    valid dominated subset) but may miss a larger one.
+    """
+    if max_size <= 0:
+        return []
+    keys = list(ecbs.keys())
+    n = len(keys)
+    if n == 0:
+        return []
+    arr = [ecbs[k] for k in keys]
+    dom = dominance_matrix(arr)
+
+    def valid(subset: tuple[int, ...]) -> bool:
+        inside = set(subset)
+        return all(
+            dom[u, v] for v in subset for u in range(n) if u not in inside
+        )
+
+    limit = min(max_size, n)
+    if n <= exhaustive_limit:
+        for size in range(limit, 0, -1):
+            for subset in combinations(range(n), size):
+                if valid(subset):
+                    return [keys[i] for i in subset]
+        return []
+
+    # Greedy: most-dominated candidates first; take the largest valid prefix.
+    dominated_counts = dom.sum(axis=0)
+    order = sorted(range(n), key=lambda i: -int(dominated_counts[i]))
+    for size in range(limit, 0, -1):
+        subset = tuple(order[:size])
+        if valid(subset):
+            return [keys[i] for i in subset]
+    return []

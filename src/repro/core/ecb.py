@@ -1,0 +1,177 @@
+"""Expected cumulative benefit (ECB) functions -- Section 4.1.
+
+At current time ``t0``, the ECB of a candidate tuple ``x`` is
+
+    ``B_x(Δt) = E[# results x generates during (t0, t0 + Δt]]``.
+
+* Joining (Lemma 1): ``B_x(Δt) = Σ_{t=t0+1..t0+Δt} Pr{X^R_t = v_x | x̄_t0}``
+  -- a running sum of per-step match probabilities against the partner
+  stream ``R``.
+* Caching (Corollary 1): ``B_x(Δt) = 1 − Pr{no reference to v_x during
+  (t0, t0+Δt] | x̄_t0}`` -- the probability that the database tuple is
+  referenced at all in the period; equivalently the running sum of
+  *first-reference* probabilities.  Reference-stream tuples have ECB ≡ 0.
+
+ECBs are materialized over a finite horizon ``Δt = 1..H``; every consumer
+(dominance tests, HEEB) picks a horizon past which its weights are
+negligible.
+
+The sliding-window variant of Section 7 clips a tuple's ECB once the tuple
+itself leaves the window: for a tuple that arrived at ``t_x`` with window
+``w``, benefits stop accruing after ``Δt = t_x + w − t0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streams.base import History, StreamModel, Value
+from .first_reference import first_reference_probs
+
+__all__ = ["ECB", "ecb_join", "ecb_join_band", "ecb_cache", "windowed_ecb"]
+
+
+class ECB:
+    """A materialized expected-cumulative-benefit function.
+
+    Wraps the nondecreasing array ``B(1), B(2), ..., B(H)``.
+    """
+
+    __slots__ = ("_cumulative",)
+
+    def __init__(self, cumulative: np.ndarray):
+        arr = np.asarray(cumulative, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("ECB needs a nonempty 1-D cumulative array")
+        if np.any(np.diff(arr) < -1e-12):
+            raise ValueError("ECB must be nondecreasing")
+        if arr[0] < -1e-12:
+            raise ValueError("ECB must be nonnegative")
+        self._cumulative = arr
+
+    @classmethod
+    def from_increments(cls, increments: np.ndarray) -> "ECB":
+        """Build from per-step expected benefits ``b(1), ..., b(H)``."""
+        return cls(np.cumsum(np.asarray(increments, dtype=np.float64)))
+
+    @property
+    def horizon(self) -> int:
+        return int(self._cumulative.size)
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        view = self._cumulative.view()
+        view.flags.writeable = False
+        return view
+
+    def __call__(self, dt: int) -> float:
+        """``B(Δt)``; clamped to the final value beyond the horizon."""
+        if dt < 1:
+            raise ValueError("ECB is defined for Δt >= 1")
+        idx = min(dt, self.horizon) - 1
+        return float(self._cumulative[idx])
+
+    def increments(self) -> np.ndarray:
+        """Per-step expected benefits ``b(Δt) = B(Δt) − B(Δt−1)``."""
+        return np.diff(self._cumulative, prepend=0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ECB(horizon={self.horizon}, total={self._cumulative[-1]:.4f})"
+
+
+def ecb_join(
+    partner: StreamModel,
+    t0: int,
+    value: Value,
+    horizon: int,
+    history: History | None = None,
+) -> ECB:
+    """Lemma 1: the joining-problem ECB of a tuple with the given value.
+
+    ``partner`` is the stream the tuple joins against (a tuple from ``S``
+    joins arrivals of ``R``, and vice versa).
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if value is None:
+        return ECB(np.zeros(horizon))
+    probs = np.array(
+        [partner.prob(t0 + dt, value, history) for dt in range(1, horizon + 1)]
+    )
+    return ECB.from_increments(probs)
+
+
+def ecb_join_band(
+    partner: StreamModel,
+    t0: int,
+    value: Value,
+    band: int,
+    horizon: int,
+    history: History | None = None,
+) -> ECB:
+    """Band-join generalization of Lemma 1 (the paper's future work).
+
+    Under the non-equality predicate ``|X^R_t − v_x| ≤ band``, the
+    per-step match probability becomes the partner pmf mass over the
+    band:  ``b(Δt) = Pr{X^R_{t0+Δt} ∈ [v_x − band, v_x + band]}``.
+    ``band=0`` reduces to :func:`ecb_join`.
+    """
+    if band < 0:
+        raise ValueError("band must be nonnegative")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if value is None:
+        return ECB(np.zeros(horizon))
+    v = int(value)
+    increments = np.zeros(horizon)
+    for i, dt in enumerate(range(1, horizon + 1)):
+        increments[i] = sum(
+            partner.prob(t0 + dt, v + offset, history)
+            for offset in range(-band, band + 1)
+        )
+    return ECB.from_increments(increments)
+
+
+def ecb_cache(
+    reference: StreamModel,
+    t0: int,
+    value: Value,
+    horizon: int,
+    history: History | None = None,
+) -> ECB:
+    """Corollary 1: the caching-problem ECB of a database tuple.
+
+    ``B_x(Δt) = Pr{v_x referenced during (t0, t0+Δt]}``, the cumulative
+    first-reference probability.  Handles independent reference streams
+    exactly via the product form and Markov streams (random walk, AR(1))
+    via exact dynamic programming; see
+    :mod:`repro.core.first_reference`.
+
+    Reference-stream tuples themselves have ECB ≡ 0 (they can never join a
+    future supply tuple); model that by passing ``value=None``.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if value is None:
+        return ECB(np.zeros(horizon))
+    first = first_reference_probs(reference, t0, int(value), horizon, history)
+    return ECB(np.cumsum(first))
+
+
+def windowed_ecb(ecb: ECB, arrival: int, t0: int, window: int) -> ECB:
+    """Section 7: clip an ECB under sliding-window join semantics.
+
+    A tuple that arrived at ``arrival`` participates in joins only while
+    ``t ∈ [t' − window, t']``; its benefit stops accruing after
+    ``Δt = arrival + window − t0``.  If it already fell out of the window
+    the ECB is identically zero.
+    """
+    if window < 0:
+        raise ValueError("window must be nonnegative")
+    cutoff = arrival + window - t0
+    if cutoff <= 0:
+        return ECB(np.zeros(ecb.horizon))
+    cumulative = ecb.cumulative.copy()
+    if cutoff < ecb.horizon:
+        cumulative[cutoff:] = cumulative[cutoff - 1]
+    return ECB(cumulative)

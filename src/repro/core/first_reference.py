@@ -1,0 +1,212 @@
+"""First-reference probabilities for caching ECBs (Corollary 1).
+
+The caching ECB is the cumulative probability that a database tuple's
+value is referenced at all in a period, i.e. the running sum of
+*first-reference* probabilities
+
+    ``f(Δt) = Pr{X_{t0+Δt} = v  ∧  X_t ≠ v for t0 < t < t0+Δt | x̄_t0}``.
+
+This module computes ``f`` exactly for every stream model in the library:
+
+* **independent streams** -- product form
+  ``f(Δt) = p_{Δt} · Π_{j<Δt} (1 − p_j)``;
+* **random walks** -- a lattice dynamic program over value offsets with a
+  taboo state at the tuple's value;
+* **AR(1) streams** -- a dynamic program over discretized value buckets
+  with a taboo bucket, using the exact one-step normal kernel.
+
+A Monte-Carlo estimator is provided to validate the analytic paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from ..streams.ar1 import AR1Stream
+from ..streams.base import History, StreamModel
+from ..streams.random_walk import RandomWalkStream
+
+__all__ = [
+    "first_reference_probs",
+    "first_reference_independent",
+    "first_reference_random_walk",
+    "first_reference_ar1",
+    "first_reference_monte_carlo",
+    "ar1_transition_matrix",
+]
+
+
+def first_reference_probs(
+    model: StreamModel,
+    t0: int,
+    value: int,
+    horizon: int,
+    history: History | None = None,
+) -> np.ndarray:
+    """Dispatch to the exact computation appropriate for ``model``."""
+    if model.is_independent:
+        return first_reference_independent(model, t0, value, horizon, history)
+    if isinstance(model, RandomWalkStream):
+        return first_reference_random_walk(model, value, horizon, history)
+    if isinstance(model, AR1Stream):
+        return first_reference_ar1(model, value, horizon, history)
+    raise TypeError(
+        f"no exact first-reference computation for {type(model).__name__}; "
+        "use first_reference_monte_carlo"
+    )
+
+
+def first_reference_independent(
+    model: StreamModel,
+    t0: int,
+    value: int,
+    horizon: int,
+    history: History | None = None,
+) -> np.ndarray:
+    """Product form for mutually independent per-step variables."""
+    probs = np.array(
+        [model.prob(t0 + dt, value, history) for dt in range(1, horizon + 1)]
+    )
+    survival = np.cumprod(1.0 - probs)
+    first = probs.copy()
+    first[1:] *= survival[:-1]
+    return first
+
+
+def first_reference_random_walk(
+    walk: RandomWalkStream,
+    value: int,
+    horizon: int,
+    history: History | None = None,
+) -> np.ndarray:
+    """Exact lattice DP for a random walk with drift.
+
+    The walk is translation invariant, so only the offset
+    ``d = value − x_{t0}`` matters (Theorem 5(2)).  We evolve the offset
+    distribution one step at a time, recording and then removing the mass
+    sitting on the taboo offset ``d``.
+    """
+    if history is None:
+        anchor = walk.start
+    elif history.last_value is None:
+        raise ValueError("random walk history must carry a value")
+    else:
+        anchor = int(history.last_value)
+    d = int(value) - anchor
+
+    step = walk.step
+    kernel = step.probs  # aligned with offsets step.min_value..step.max_value
+    # Dense distribution over offsets; track the offset of index 0.
+    dist = np.array([1.0])
+    lo = 0
+    first = np.zeros(horizon)
+    for i in range(horizon):
+        dist = np.convolve(dist, kernel)
+        lo = lo + step.min_value + walk.drift
+        idx = d - lo
+        if 0 <= idx < dist.size:
+            first[i] = dist[idx]
+            dist[idx] = 0.0
+    return first
+
+
+def ar1_transition_matrix(
+    model: AR1Stream, buckets: np.ndarray
+) -> np.ndarray:
+    """One-step transition matrix between emitted buckets of an AR(1).
+
+    ``T[i, j] = Pr{bucket j at t+1 | latent at center of bucket i at t}``.
+    Mass falling outside the bucket range is folded into the edge buckets
+    so every row sums to one (the range should cover the stationary
+    distribution generously; edge folding only guards numerical corners).
+    """
+    centers = buckets * model.bucket
+    means = model.phi0 + model.phi1 * centers
+    edges = (np.concatenate([buckets, [buckets[-1] + 1]]) - 0.5) * model.bucket
+    # cdf_grid[i, e] = Phi((edge_e - mean_i) / sigma)
+    cdf_grid = norm.cdf((edges[None, :] - means[:, None]) / model.sigma)
+    transition = np.diff(cdf_grid, axis=1)
+    transition[:, 0] += cdf_grid[:, 0]
+    transition[:, -1] += 1.0 - cdf_grid[:, -1]
+    return transition
+
+
+def _ar1_bucket_range(
+    model: AR1Stream, anchor_latent: float, n_sigmas: float = 6.0
+) -> np.ndarray:
+    """Bucket indices generously covering the reachable value range."""
+    lo_latent = min(model.stationary_mean, anchor_latent) - n_sigmas * model.stationary_std
+    hi_latent = max(model.stationary_mean, anchor_latent) + n_sigmas * model.stationary_std
+    return np.arange(model.to_bucket(lo_latent), model.to_bucket(hi_latent) + 1)
+
+
+def first_reference_ar1(
+    model: AR1Stream,
+    value: int,
+    horizon: int,
+    history: History | None = None,
+    n_sigmas: float = 6.0,
+) -> np.ndarray:
+    """Exact bucket DP for an AR(1) reference stream.
+
+    Evolves the (taboo-avoiding) bucket distribution with the one-step
+    kernel.  The first step uses the exact latent anchor rather than its
+    bucket center.
+    """
+    if history is None:
+        anchor_latent = model.start
+    elif history.last_value is None:
+        raise ValueError("AR(1) history must carry a value")
+    else:
+        anchor_latent = model.to_latent(int(history.last_value))
+
+    buckets = _ar1_bucket_range(model, anchor_latent, n_sigmas)
+    taboo = int(value) - int(buckets[0])
+    in_range = 0 <= taboo < buckets.size
+
+    transition = ar1_transition_matrix(model, buckets)
+
+    # Exact first step from the latent anchor.
+    mean1 = model.phi0 + model.phi1 * anchor_latent
+    edges = (np.concatenate([buckets, [buckets[-1] + 1]]) - 0.5) * model.bucket
+    cdf = norm.cdf((edges - mean1) / model.sigma)
+    dist = np.diff(cdf)
+    dist[0] += cdf[0]
+    dist[-1] += 1.0 - cdf[-1]
+
+    first = np.zeros(horizon)
+    for i in range(horizon):
+        if i > 0:
+            dist = dist @ transition
+        if in_range:
+            first[i] = dist[taboo]
+            dist[taboo] = 0.0
+    return first
+
+
+def first_reference_monte_carlo(
+    model: StreamModel,
+    t0: int,
+    value: int,
+    horizon: int,
+    history: History | None = None,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of the first-reference probabilities.
+
+    Samples ``n_samples`` future trajectories and histograms the first
+    time each one hits ``value``.  Used in tests to validate the analytic
+    computations.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    counts = np.zeros(horizon)
+    for _ in range(n_samples):
+        path = model.sample_future(t0, horizon, rng, history)
+        for i, v in enumerate(path):
+            if v == value:
+                counts[i] += 1
+                break
+    return counts / n_samples

@@ -1,0 +1,162 @@
+"""Incremental HEEB computation -- Section 4.4.1/4.4.2.
+
+For independent streams and ``L_exp``, the paper derives exact one-step
+update rules so that ``H_x`` need not be recomputed from scratch at every
+time step:
+
+* Corollary 3 (joining):
+  ``H_{x,t0} = e^{1/α} · H_{x,t0−1} − Pr{X^R_{t0} = v_x}``.
+* Corollary 4 (caching):
+  ``H_{x,t0} = (e^{1/α} · H_{x,t0−1} − Pr{X^R_{t0} = v_x})
+  / (1 − Pr{X^R_{t0} = v_x})``.
+  (Setting ``α = ∞`` recovers the ``L_inf`` update.)
+
+Value-incremental computation (Corollary 5) exploits the translation
+invariance of linear-trend streams: a tuple with value ``v`` at time ``t``
+has the same ECB (hence ``H``) as a tuple with value ``v + a(t' − t)`` at
+time ``t'``.
+
+**Numerical caveat** (documented behaviour, exercised by the test suite):
+the joining recurrence multiplies by ``e^{1/α} > 1`` every step, so any
+floating-point error in ``H`` is amplified exponentially over time.  The
+closed-form algebra is exact, but a practical tracker must periodically
+re-synchronize against the direct sum.  :class:`IncrementalHeebTracker`
+does so every ``resync_every`` steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..streams.base import StreamModel, Value
+from .heeb import heeb_cache, heeb_join
+from .lifetime import LExp
+
+__all__ = [
+    "join_step",
+    "cache_step",
+    "value_shifted_time",
+    "IncrementalHeebTracker",
+]
+
+
+def join_step(h_prev: float, alpha: float, prob_now: float) -> float:
+    """Corollary 3: advance a joining ``H`` from ``t0−1`` to ``t0``.
+
+    ``prob_now`` is ``Pr{X^R_{t0} = v_x}``, the match probability of the
+    step that just became the present.
+    """
+    return math.exp(1.0 / alpha) * h_prev - prob_now
+
+
+def cache_step(h_prev: float, alpha: float, prob_now: float) -> float:
+    """Corollary 4: advance a caching ``H`` from ``t0−1`` to ``t0``."""
+    if prob_now >= 1.0:
+        raise ValueError(
+            "cache_step undefined when the current reference probability is 1"
+        )
+    return (math.exp(1.0 / alpha) * h_prev - prob_now) / (1.0 - prob_now)
+
+
+def value_shifted_time(
+    value_new: int, value_anchor: int, t_anchor: int, slope: float
+) -> float:
+    """Corollary 5: the time at which ``value_anchor``'s H equals
+    ``value_new``'s H now.
+
+    For a stream ``X_t = a·t + b + Y_t`` with i.i.d. noise,
+    ``B_{v,t}(Δt) = B_{v + a(t'−t), t'}(Δt)``; solving for the anchor's
+    reference frame gives ``t' = t_anchor + (value_anchor − value_new)/a``.
+    """
+    if slope == 0:
+        raise ValueError("value-incremental computation requires a ≠ 0")
+    return t_anchor + (value_anchor - value_new) / slope
+
+
+class IncrementalHeebTracker:
+    """Tracks ``H_x`` for one tuple over time using the Corollary-3/4 updates.
+
+    Parameters
+    ----------
+    model:
+        The stream whose arrivals the tuple matches (the partner stream
+        for joining, the reference stream for caching).  Must be
+        independent (the corollaries require it).
+    kind:
+        ``"join"`` or ``"cache"``.
+    value:
+        The tuple's join-attribute value.
+    t0:
+        Time at which tracking starts.
+    estimator:
+        The ``L_exp`` estimator in use.
+    resync_every:
+        Recompute the direct sum after this many incremental steps to
+        bound the exponential error amplification (see module docstring).
+        ``0`` disables re-synchronization.
+    """
+
+    def __init__(
+        self,
+        model: StreamModel,
+        kind: str,
+        value: Value,
+        t0: int,
+        estimator: LExp,
+        horizon: int | None = None,
+        resync_every: int = 32,
+    ):
+        if not model.is_independent:
+            raise ValueError(
+                "incremental HEEB requires an independent stream model "
+                "(Corollaries 3-4); use precomputation for Markov models"
+            )
+        if kind not in ("join", "cache"):
+            raise ValueError("kind must be 'join' or 'cache'")
+        self._model = model
+        self._kind = kind
+        self._value = value
+        self._estimator = estimator
+        self._horizon = horizon
+        self._resync_every = int(resync_every)
+        self._steps_since_sync = 0
+        self._t = t0
+        self._h = self._direct(t0)
+
+    @property
+    def time(self) -> int:
+        return self._t
+
+    @property
+    def value(self) -> Value:
+        return self._value
+
+    @property
+    def h(self) -> float:
+        return self._h
+
+    def _direct(self, t0: int) -> float:
+        if self._kind == "join":
+            return heeb_join(
+                self._model, t0, self._value, self._estimator, self._horizon
+            )
+        return heeb_cache(
+            self._model, t0, self._value, self._estimator, self._horizon
+        )
+
+    def advance(self) -> float:
+        """Advance one step (``t → t+1``) and return the updated ``H``."""
+        self._t += 1
+        prob_now = self._model.prob(self._t, self._value)
+        if self._kind == "join":
+            self._h = join_step(self._h, self._estimator.alpha, prob_now)
+        else:
+            self._h = cache_step(self._h, self._estimator.alpha, prob_now)
+        self._steps_since_sync += 1
+        if self._resync_every and self._steps_since_sync >= self._resync_every:
+            self._h = self._direct(self._t)
+            self._steps_since_sync = 0
+        # Clamp tiny negative drift: H is a sum of nonnegative terms.
+        if -1e-9 < self._h < 0.0:
+            self._h = 0.0
+        return self._h

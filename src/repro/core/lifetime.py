@@ -1,0 +1,195 @@
+"""Lifetime estimators ``L_x(Δt)`` for HEEB -- Section 4.3.
+
+``L_x(Δt)`` estimates the probability that a candidate tuple is still
+cached ``Δt`` steps from now.  The paper requires five properties:
+
+1. ``0 ≤ L(Δt) ≤ 1``;
+2. ``L`` is non-increasing;
+3. the HEEB sum converges (sufficient: ``Σ L(Δt)`` converges);
+4. if ``B_x`` dominates ``B_y`` then ``L_x`` dominates ``L_y`` (trivially
+   satisfied when one shared ``L`` is used for all candidates, as all
+   strategies here do);
+5. if ``B_x`` strongly dominates ``B_y`` then ``L_x(1) > 0``.
+
+The catalog from the paper's table:
+
+* ``L_fixed``: 1 up to a fixed ``ΔT`` then 0 -- assume replacement after
+  exactly ``ΔT`` steps, giving ``H = B(ΔT)``;
+* ``L_inf``: constantly 1 -- ``H = lim B(Δt)``, the probability of any
+  future reference (converges for caching problems only);
+* ``L_inv``: ``1/Δt`` -- expected inverse waiting time (caching only);
+* ``L_exp``: ``e^(−Δt/α)`` -- exponentially decaying survival; the
+  paper's choice because it converges and supports incremental
+  computation (Section 4.4);
+* ``WindowedLExp``: ``L_exp`` forced to 0 once the tuple leaves a sliding
+  window (Section 7).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = [
+    "LifetimeEstimator",
+    "LFixed",
+    "LInf",
+    "LInv",
+    "LExp",
+    "WindowedLExp",
+    "alpha_for_mean_lifetime",
+    "mean_lifetime_for_alpha",
+    "check_lifetime_properties",
+]
+
+
+class LifetimeEstimator(abc.ABC):
+    """A survival-probability estimate ``L(Δt)`` for ``Δt ≥ 1``."""
+
+    #: Whether ``Σ_{Δt≥1} L(Δt)`` converges, making the HEEB sum converge
+    #: for any (bounded-increment) ECB, not just caching ECBs.
+    converges: bool = False
+
+    @abc.abstractmethod
+    def __call__(self, dt: int) -> float:
+        """``L(Δt)``."""
+
+    def weights(self, horizon: int) -> np.ndarray:
+        """Vectorized ``[L(1), ..., L(horizon)]``."""
+        return np.array([self(dt) for dt in range(1, horizon + 1)])
+
+    def suggested_horizon(self, tol: float = 1e-9) -> int | None:
+        """A horizon past which ``L`` is below ``tol`` (None if unbounded)."""
+        return None
+
+
+class LFixed(LifetimeEstimator):
+    """``L(Δt) = 1`` for ``Δt ≤ ΔT``, else 0: ``H = B(ΔT)``."""
+
+    converges = True
+
+    def __init__(self, delta_t: int):
+        if delta_t < 1:
+            raise ValueError("ΔT must be >= 1")
+        self.delta_t = int(delta_t)
+
+    def __call__(self, dt: int) -> float:
+        return 1.0 if 1 <= dt <= self.delta_t else 0.0
+
+    def suggested_horizon(self, tol: float = 1e-9) -> int:
+        return self.delta_t
+
+
+class LInf(LifetimeEstimator):
+    """``L ≡ 1``: ``H`` is the probability of any future reference.
+
+    Only guaranteed to converge for caching ECBs (which saturate at 1);
+    callers must supply an explicit horizon.
+    """
+
+    converges = False
+
+    def __call__(self, dt: int) -> float:
+        return 1.0 if dt >= 1 else 0.0
+
+
+class LInv(LifetimeEstimator):
+    """``L(Δt) = 1/Δt``: ``H`` is the expected inverse waiting time.
+
+    Like ``L_inf``, convergence is guaranteed for caching problems only.
+    Not amenable to time-incremental computation (Section 4.4.1).
+    """
+
+    converges = False
+
+    def __call__(self, dt: int) -> float:
+        if dt < 1:
+            return 0.0
+        return 1.0 / dt
+
+
+class LExp(LifetimeEstimator):
+    """``L(Δt) = e^(−Δt/α)``: the paper's estimator of choice.
+
+    ``α`` calibrates the predicted mean lifetime
+    ``1 / (1 − e^(−1/α))``; see :func:`alpha_for_mean_lifetime`.
+    """
+
+    converges = True
+
+    def __init__(self, alpha: float):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = float(alpha)
+
+    def __call__(self, dt: int) -> float:
+        if dt < 1:
+            return 0.0
+        return math.exp(-dt / self.alpha)
+
+    def weights(self, horizon: int) -> np.ndarray:
+        dts = np.arange(1, horizon + 1)
+        return np.exp(-dts / self.alpha)
+
+    def suggested_horizon(self, tol: float = 1e-9) -> int:
+        return max(1, int(math.ceil(self.alpha * math.log(1.0 / tol))))
+
+
+class WindowedLExp(LifetimeEstimator):
+    """Section 7: ``L_exp`` clipped to a tuple's remaining window life.
+
+    ``remaining`` is the number of future steps the tuple stays inside the
+    sliding window; ``L`` is zero beyond it.
+    """
+
+    converges = True
+
+    def __init__(self, alpha: float, remaining: int):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if remaining < 0:
+            raise ValueError("remaining must be nonnegative")
+        self.alpha = float(alpha)
+        self.remaining = int(remaining)
+
+    def __call__(self, dt: int) -> float:
+        if dt < 1 or dt > self.remaining:
+            return 0.0
+        return math.exp(-dt / self.alpha)
+
+    def suggested_horizon(self, tol: float = 1e-9) -> int:
+        return max(1, self.remaining)
+
+
+def alpha_for_mean_lifetime(mean_lifetime: float) -> float:
+    """Solve ``1 / (1 − e^(−1/α)) = mean_lifetime`` for ``α``.
+
+    This is the calibration rule of Section 4.3: pick ``α`` so that the
+    lifetime predicted by ``L_exp`` matches the estimated or observed
+    average lifetime of a cached tuple.
+    """
+    if mean_lifetime <= 1.0:
+        raise ValueError("mean lifetime must exceed one step")
+    return -1.0 / math.log(1.0 - 1.0 / mean_lifetime)
+
+
+def mean_lifetime_for_alpha(alpha: float) -> float:
+    """The mean lifetime ``1 / (1 − e^(−1/α))`` predicted by ``L_exp``."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return 1.0 / (1.0 - math.exp(-1.0 / alpha))
+
+
+def check_lifetime_properties(
+    estimator: LifetimeEstimator, horizon: int = 200
+) -> list[str]:
+    """Numerically check properties 1-2 over a horizon; return violations."""
+    problems: list[str] = []
+    weights = estimator.weights(horizon)
+    if np.any(weights < -1e-12) or np.any(weights > 1.0 + 1e-12):
+        problems.append("property 1 violated: L outside [0, 1]")
+    if np.any(np.diff(weights) > 1e-12):
+        problems.append("property 2 violated: L increases somewhere")
+    return problems

@@ -1,0 +1,286 @@
+"""Command-line runner for the paper's experiments.
+
+Usage examples::
+
+    python -m repro.experiments fig8 --length 600 --runs 3
+    python -m repro.experiments fig9 --sizes 1 5 10 20 30 50
+    python -m repro.experiments fig13 --memories 10 50 100 200 300
+    python -m repro.experiments fig19 --deltas 1 2 3 5 8
+    python -m repro.experiments all          # everything, bench-scale
+
+Each command prints the same rows/series the corresponding paper figure
+reports.  Paper-scale parameters: ``--length 5000 --runs 50``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .configs import floor_config, roof_config, tower_config, walk_config
+from .figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9_12,
+    figure13,
+    figure14,
+    figure15_16,
+    figure17_18,
+    figure19,
+)
+from .report import format_series_table, format_table
+
+
+def _print(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    curves = figure6(drifts=(0, 2, 4), alpha=args.alpha)
+    offsets = list(range(-20, 21, 4))
+    series = {f"drift={d}": [curves[d](o) for o in offsets] for d in (0, 2, 4)}
+    _print(
+        f"Figure 6: h_R offsets (alpha={args.alpha})",
+        format_series_table("offset", offsets, series, fmt="{:.4f}"),
+    )
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    pdfs = figure7()
+    values = list(range(-15, 16, 3))
+    series = {n: [d.pmf(v) for v in values] for n, d in pdfs.items()}
+    _print(
+        "Figure 7: noise pdfs",
+        format_series_table("value", values, series, fmt="{:.4f}"),
+    )
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    results = figure8(
+        length=args.length,
+        cache_size=args.cache,
+        n_runs=args.runs,
+        include_flowexpect=not args.no_flowexpect,
+        lookahead=args.lookahead,
+        seed=args.seed,
+    )
+    _print(
+        f"Figure 8: average join counts (cache={args.cache}, "
+        f"length={args.length}, runs={args.runs})",
+        format_table(results),
+    )
+
+
+def _sweep(config, args: argparse.Namespace, label: str) -> None:
+    out = figure9_12(
+        config,
+        cache_sizes=tuple(args.sizes),
+        length=args.length,
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    _print(
+        f"{label}: results vs cache size (length={args.length}, "
+        f"runs={args.runs})",
+        format_series_table("cache", args.sizes, out),
+    )
+
+
+def cmd_fig9(args):
+    _sweep(tower_config(), args, "Figure 9 (TOWER)")
+
+
+def cmd_fig10(args):
+    _sweep(roof_config(), args, "Figure 10 (ROOF)")
+
+
+def cmd_fig11(args):
+    _sweep(floor_config(), args, "Figure 11 (FLOOR)")
+
+
+def cmd_fig12(args):
+    _sweep(walk_config(), args, "Figure 12 (WALK)")
+
+
+def cmd_fig13(args: argparse.Namespace) -> None:
+    result = figure13(
+        memory_sizes=tuple(args.memories), n_days=args.days, seed=args.seed
+    )
+    fit = result.fit
+    _print(
+        f"Figure 13: REAL (fitted AR(1): phi1={fit.phi1:.2f}, "
+        f"phi0={fit.phi0:.2f}, sigma={fit.sigma:.2f})",
+        format_series_table(
+            "memory", args.memories, result.misses, fmt="{:.0f}"
+        ),
+    )
+
+
+def cmd_fig14(args: argparse.Namespace) -> None:
+    out = figure14(length=args.length, cache_size=args.cache, n_runs=args.runs)
+    steady = {
+        label: {"R fraction": float(np.mean(series[args.length // 2 :]))}
+        for label, series in out.items()
+    }
+    _print(
+        f"Figure 14: cache fraction held by R (cache={args.cache})",
+        format_table(steady, row_label="variant", fmt="{:.3f}"),
+    )
+
+
+def cmd_fig15(args: argparse.Namespace) -> None:
+    cmp = figure15_16()
+    _print(
+        "Figures 15/16: h2 surface approximation",
+        f"max |err| = {cmp.max_abs_error:.3e}\n"
+        f"mean |err| = {cmp.mean_abs_error:.3e}\n"
+        f"surface max = {cmp.max_value:.3e}",
+    )
+
+
+def cmd_fig17(args: argparse.Namespace) -> None:
+    out = figure17_18(
+        length=args.length, cache_size=args.cache, n_runs=args.runs
+    )
+    for group in ("variance", "lag"):
+        steady = {
+            label: {"fraction": float(np.mean(series[args.length // 2 :]))}
+            for label, series in out[group].items()
+        }
+        _print(
+            f"Figures 17/18 ({group} variants)",
+            format_table(steady, row_label="variant", fmt="{:.3f}"),
+        )
+
+
+def cmd_fig19(args: argparse.Namespace) -> None:
+    out = figure19(
+        delta_ts=tuple(args.deltas),
+        length=args.length,
+        cache_size=args.cache,
+        n_runs=args.runs,
+    )
+    _print(
+        f"Figure 19: FlowExpect look-ahead (length={args.length}, "
+        f"cache={args.cache})",
+        format_series_table("deltaT", args.deltas, out),
+    )
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    for name in (
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig17",
+        "fig19",
+    ):
+        start = time.perf_counter()
+        _DISPATCH[name](_defaults_for(name, args))
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]")
+
+
+def _defaults_for(name: str, base: argparse.Namespace) -> argparse.Namespace:
+    """Build a namespace with that command's defaults for `all`."""
+    parser = _build_parser()
+    ns = parser.parse_args([name])
+    ns.seed = base.seed
+    return ns
+
+
+def _add_common(p: argparse.ArgumentParser, length: int, runs: int, cache: int):
+    p.add_argument("--length", type=int, default=length)
+    p.add_argument("--runs", type=int, default=runs)
+    p.add_argument("--cache", type=int, default=cache)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig6", help="random-walk h_R curves")
+    p.add_argument("--alpha", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig7", help="noise pdfs")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig8", help="headline comparison")
+    _add_common(p, length=600, runs=3, cache=10)
+    p.add_argument("--lookahead", type=int, default=5)
+    p.add_argument("--no-flowexpect", action="store_true")
+
+    for name in ("fig9", "fig10", "fig11", "fig12"):
+        p = sub.add_parser(name, help=f"cache-size sweep ({name})")
+        _add_common(p, length=1200, runs=3, cache=10)
+        p.add_argument(
+            "--sizes", type=int, nargs="+", default=[1, 5, 10, 20, 30, 50]
+        )
+
+    p = sub.add_parser("fig13", help="REAL caching")
+    p.add_argument(
+        "--memories", type=int, nargs="+", default=[10, 50, 100, 200, 300]
+    )
+    p.add_argument("--days", type=int, default=3650)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig14", help="memory allocation")
+    _add_common(p, length=2500, runs=3, cache=10)
+
+    p = sub.add_parser("fig15", help="h2 surface approximation")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig17", help="occupancy variants")
+    _add_common(p, length=2000, runs=3, cache=10)
+
+    p = sub.add_parser("fig19", help="FlowExpect look-ahead sweep")
+    _add_common(p, length=400, runs=2, cache=10)
+    p.add_argument("--deltas", type=int, nargs="+", default=[1, 2, 3, 5, 7, 10])
+
+    p = sub.add_parser("all", help="run everything at bench scale")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_DISPATCH = {
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "fig13": cmd_fig13,
+    "fig14": cmd_fig14,
+    "fig15": cmd_fig15,
+    "fig17": cmd_fig17,
+    "fig19": cmd_fig19,
+    "all": cmd_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    _DISPATCH[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,528 @@
+"""Per-figure experiment harnesses for the paper's evaluation (Section 6).
+
+Each ``figureN`` function regenerates the data behind one figure of the
+paper and returns plain data structures (dicts of series) that the
+benchmark suite prints as tables.  Parameters default to laptop-scale
+values; the paper-scale parameters (50 runs × 5000 tuples) are reachable
+through the keyword arguments and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.fitting import AR1Fit, fit_ar1
+from ..core.lifetime import LExp
+from ..core.precompute import (
+    H1Table,
+    H2Surface,
+    ar1_cache_heeb_values,
+    ar1_h2_cache,
+    random_walk_h1_cache,
+)
+from ..flow.opt_offline import solve_opt_offline
+from ..policies.base import ReplacementPolicy
+from ..policies.flowexpect_policy import FlowExpectPolicy
+from ..policies.heeb_policy import AR1CacheHeeb, HeebPolicy
+from ..policies.lfd import LfdPolicy
+from ..policies.lfu import LfuPolicy
+from ..policies.life import LifePolicy
+from ..policies.lru import LruPolicy
+from ..policies.prob import ProbPolicy
+from ..policies.rand import RandPolicy
+from ..policies.scheduled import ScheduledPolicy
+from ..sim.cache_sim import CacheSimulator
+from ..sim.join_sim import JoinSimulator
+from ..sim.runner import generate_paths, run_join_experiment
+from ..streams.ar1 import AR1Stream
+from ..streams.linear_trend import LinearTrendStream
+from ..streams.melbourne import melbourne_like_temperatures
+from ..streams.noise import (
+    DiscreteDistribution,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+)
+from ..streams.random_walk import RandomWalkStream
+from .configs import JoinConfig, SYNTHETIC_CONFIGS, floor_config
+
+__all__ = [
+    "run_opt_offline",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9_12",
+    "figure13",
+    "figure14",
+    "figure15_16",
+    "figure17_18",
+    "figure19",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def run_opt_offline(
+    paths: Sequence[tuple[list, list]],
+    cache_size: int,
+    warmup: int,
+) -> float:
+    """Mean OPT-offline result count across paths (solve + replay)."""
+    totals = []
+    for r_values, s_values in paths:
+        solution = solve_opt_offline(r_values, s_values, cache_size)
+        policy = ScheduledPolicy(solution)
+        sim = JoinSimulator(cache_size, policy, warmup=warmup)
+        result = sim.run(r_values, s_values)
+        totals.append(result.results_after_warmup)
+    return float(np.mean(totals))
+
+
+def _join_policies(
+    config: JoinConfig,
+    cache_size: int,
+    include_flowexpect: bool,
+    lookahead: int,
+) -> dict[str, Callable[[], ReplacementPolicy]]:
+    """Policy factories for one configuration (everything but OPT)."""
+    factories: dict[str, Callable[[], ReplacementPolicy]] = {}
+    if include_flowexpect:
+        factories["FLOWEXPECT"] = lambda: FlowExpectPolicy(
+            lookahead, config.r_model, config.s_model
+        )
+    factories["RAND"] = lambda: RandPolicy(seed=1)
+    factories["PROB"] = lambda: ProbPolicy()
+    if config.has_life:
+        factories["LIFE"] = lambda: LifePolicy()
+    factories["HEEB"] = lambda: config.make_heeb(cache_size)
+    return factories
+
+
+def _run_config(
+    config: JoinConfig,
+    cache_size: int,
+    length: int,
+    n_runs: int,
+    warmup: int,
+    seed: int,
+    include_opt: bool = True,
+    include_flowexpect: bool = False,
+    lookahead: int = 5,
+) -> dict[str, float]:
+    """Mean results for every algorithm on one configuration."""
+    paths = generate_paths(config.r_model, config.s_model, length, n_runs, seed)
+    out: dict[str, float] = {}
+    if include_opt:
+        out["OPT-OFFLINE"] = run_opt_offline(paths, cache_size, warmup)
+    factories = _join_policies(config, cache_size, include_flowexpect, lookahead)
+    for name, factory in factories.items():
+        result = run_join_experiment(
+            factory,
+            paths,
+            cache_size,
+            warmup=warmup,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+        )
+        out[name] = result.mean_results
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6: precomputed h_R for random walks with drift 0 / 2 / 4
+# ----------------------------------------------------------------------
+def figure6(
+    drifts: Sequence[int] = (0, 2, 4),
+    alpha: float = 10.0,
+    step_sigma: float = 1.0,
+    horizon: int | None = None,
+    max_offset: int = 25,
+) -> dict[int, H1Table]:
+    """The caching ``h_R`` curves of Figure 6 (Section 5.5)."""
+    estimator = LExp(alpha)
+    if horizon is None:
+        horizon = estimator.suggested_horizon(1e-6)
+    out: dict[int, H1Table] = {}
+    for drift in drifts:
+        walk = RandomWalkStream(discretized_normal(step_sigma), drift=drift)
+        out[drift] = random_walk_h1_cache(
+            walk, estimator, horizon=horizon, max_offset=max_offset
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7: the TOWER / ROOF / FLOOR noise pdfs
+# ----------------------------------------------------------------------
+def figure7(bound: int = 15) -> dict[str, DiscreteDistribution]:
+    """The S-stream noise distributions of Figure 7."""
+    return {
+        "TOWER": bounded_normal(bound, 2.0),
+        "ROOF": bounded_normal(bound, 5.0),
+        "FLOOR": bounded_uniform(bound),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 8: all algorithms across the synthetic configurations
+# ----------------------------------------------------------------------
+def figure8(
+    length: int = 600,
+    cache_size: int = 10,
+    n_runs: int = 5,
+    warmup: int | None = None,
+    seed: int = 0,
+    include_flowexpect: bool = True,
+    lookahead: int = 5,
+    configs: dict[str, JoinConfig] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Figure 8: average join counts per algorithm per configuration.
+
+    Paper parameters: ``length=5000, n_runs=50, cache_size=10`` ("the
+    scale is intentionally kept small so that FlowExpect is feasible").
+    """
+    if warmup is None:
+        warmup = 4 * cache_size
+    if configs is None:
+        configs = SYNTHETIC_CONFIGS()
+    out: dict[str, dict[str, float]] = {}
+    for name, config in configs.items():
+        out[name] = _run_config(
+            config,
+            cache_size,
+            length,
+            n_runs,
+            warmup,
+            seed,
+            include_opt=True,
+            include_flowexpect=include_flowexpect,
+            lookahead=lookahead,
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 9-12: cache-size sweeps per configuration
+# ----------------------------------------------------------------------
+def figure9_12(
+    config: JoinConfig,
+    cache_sizes: Sequence[int] = (1, 5, 10, 20, 30, 50),
+    length: int = 1000,
+    n_runs: int = 3,
+    warmup_factor: int = 4,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """One cache-size sweep (Figure 9=TOWER, 10=ROOF, 11=FLOOR, 12=WALK).
+
+    Paper parameters: sizes 1..50, ``length=5000, n_runs=50``.
+    FlowExpect is excluded, as in the paper.
+    """
+    out: dict[str, list[float]] = {}
+    for k in cache_sizes:
+        warmup = warmup_factor * k
+        row = _run_config(
+            config,
+            k,
+            length,
+            n_runs,
+            warmup,
+            seed,
+            include_opt=True,
+            include_flowexpect=False,
+        )
+        for name, value in row.items():
+            out.setdefault(name, []).append(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 13: REAL -- caching the Melbourne-like temperature stream
+# ----------------------------------------------------------------------
+@dataclass
+class Figure13Result:
+    memory_sizes: list[int]
+    misses: dict[str, list[float]]
+    fit: AR1Fit
+    n_days: int
+
+
+def figure13(
+    memory_sizes: Sequence[int] = (10, 50, 100, 200, 300),
+    n_days: int = 3650,
+    seed: int = 0,
+    bucket: float = 0.1,
+    exact_steps: int = 60,
+    n_controls: int = 5,
+) -> Figure13Result:
+    """Figure 13: misses vs memory for LFD, RAND, LRU, PROB(LFU), HEEB.
+
+    Pipeline per Section 6.5: generate the temperature series (our
+    synthetic Melbourne substitute), fit an AR(1) by MLE, precompute the
+    ``h2`` surface at ``n_controls²`` control points, run the caching
+    simulation.  One run (real-data experiment in the paper is a single
+    run too).
+    """
+    rng = np.random.default_rng(seed)
+    temps = melbourne_like_temperatures(n_days, rng)
+    fit = fit_ar1(temps)
+    model = AR1Stream(fit.phi0, fit.phi1, fit.sigma, bucket=bucket)
+    reference = [model.to_bucket(t) for t in temps]
+
+    lo, hi = min(reference), max(reference)
+    v_grid = np.linspace(lo, hi, n_controls).round().astype(int)
+    x_grid = np.linspace(lo * bucket, hi * bucket, n_controls)
+
+    misses: dict[str, list[float]] = {}
+    for m in memory_sizes:
+        estimator = LExp(float(m))
+        surface = ar1_h2_cache(
+            model, estimator, v_grid, x_grid, exact_steps=exact_steps
+        )
+        policies: dict[str, ReplacementPolicy] = {
+            "LFD": LfdPolicy(reference),
+            "RAND": RandPolicy(seed=1),
+            "LRU": LruPolicy(),
+            "PROB(LFU)": LfuPolicy(),
+            "HEEB": HeebPolicy(AR1CacheHeeb(model, surface)),
+        }
+        for name, policy in policies.items():
+            sim = CacheSimulator(m, policy, reference_model=model)
+            result = sim.run(reference)
+            misses.setdefault(name, []).append(float(result.misses))
+    return Figure13Result(
+        memory_sizes=list(memory_sizes),
+        misses=misses,
+        fit=fit,
+        n_days=n_days,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 14 / Figures 17-18: HEEB memory allocation between streams
+# ----------------------------------------------------------------------
+def _allocation_config(lag: int, sigma_r: float, sigma_s: float) -> JoinConfig:
+    """A TOWER-style configuration with identical bounds on both streams.
+
+    Figure 14 starts from "R and S having identical statistical
+    properties and no lag" and varies lag / S-noise spread.
+    """
+    from ..core.lifetime import alpha_for_mean_lifetime
+    from ..policies.heeb_policy import TrendJoinHeeb
+    from ..policies.window_oracle import TrendWindowOracle
+
+    bound = 10
+    r_model = LinearTrendStream(bounded_normal(bound, sigma_r), speed=1.0, lag=lag)
+    s_model = LinearTrendStream(bounded_normal(bound, sigma_s), speed=1.0, lag=0)
+    alpha = alpha_for_mean_lifetime(max(1.5, sigma_r + sigma_s))
+    return JoinConfig(
+        name=f"lag={lag},sigmaR={sigma_r},sigmaS={sigma_s}",
+        r_model=r_model,
+        s_model=s_model,
+        heeb_alpha_for=lambda k: alpha,
+        heeb_strategy_for=lambda k: TrendJoinHeeb(LExp(alpha)),
+        window_oracle=TrendWindowOracle(r_model, s_model),
+    )
+
+
+def figure14(
+    length: int = 2000,
+    cache_size: int = 10,
+    n_runs: int = 3,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Figure 14: fraction of cache held by R tuples under HEEB.
+
+    Variants: identical streams; R lagging by 2 and 4; S noise with 2×
+    and 4× the standard deviation.  Paper: ``length=5000``.
+    """
+    variants = {
+        "R AND S HAVE SAME PROPERTIES": _allocation_config(0, 1.0, 1.0),
+        "R LAGS BEHIND BY 2": _allocation_config(2, 1.0, 1.0),
+        "R LAGS BEHIND BY 4": _allocation_config(4, 1.0, 1.0),
+        "S NOISE HAS TWICE THE STDEV": _allocation_config(0, 1.0, 2.0),
+        "S NOISE HAS FOUR TIMES THE STDEV": _allocation_config(0, 1.0, 4.0),
+    }
+    out: dict[str, np.ndarray] = {}
+    for label, config in variants.items():
+        paths = generate_paths(config.r_model, config.s_model, length, n_runs, seed)
+        result = run_join_experiment(
+            lambda config=config: config.make_heeb(cache_size),
+            paths,
+            cache_size,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+        )
+        out[label] = result.mean_r_fraction()
+    return out
+
+
+def figure17_18(
+    length: int = 2000,
+    cache_size: int = 10,
+    n_runs: int = 3,
+    seed: int = 0,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Figures 17/18: occupancy over time for variance ratios and lags."""
+    variance_variants = {
+        "Std0:Std1 = 1:1": _allocation_config(0, 1.0, 1.0),
+        "Std0:Std1 = 1:2": _allocation_config(0, 1.0, 2.0),
+        "Std0:Std1 = 1:4": _allocation_config(0, 1.0, 4.0),
+    }
+    lag_variants = {
+        "stream0 is 1 behind stream1": _allocation_config(1, 1.0, 1.0),
+        "stream0 is 2 behind stream1": _allocation_config(2, 1.0, 1.0),
+        "stream0 is 4 behind stream1": _allocation_config(4, 1.0, 1.0),
+    }
+    out: dict[str, dict[str, np.ndarray]] = {"variance": {}, "lag": {}}
+    for group, variants in (("variance", variance_variants), ("lag", lag_variants)):
+        for label, config in variants.items():
+            paths = generate_paths(
+                config.r_model, config.s_model, length, n_runs, seed
+            )
+            result = run_join_experiment(
+                lambda config=config: config.make_heeb(cache_size),
+                paths,
+                cache_size,
+                r_model=config.r_model,
+                s_model=config.s_model,
+                window_oracle=config.window_oracle,
+            )
+            out[group][label] = result.mean_r_fraction()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 15/16: actual vs approximated h2 surface for REAL
+# ----------------------------------------------------------------------
+@dataclass
+class SurfaceComparison:
+    actual: H2Surface
+    approximated: H2Surface
+    dense_v: np.ndarray
+    dense_x: np.ndarray
+    actual_values: np.ndarray
+    approx_values: np.ndarray
+
+    @property
+    def max_abs_error(self) -> float:
+        return float(np.max(np.abs(self.actual_values - self.approx_values)))
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(np.mean(np.abs(self.actual_values - self.approx_values)))
+
+    @property
+    def max_value(self) -> float:
+        return float(np.max(self.actual_values))
+
+
+def figure15_16(
+    phi0: float = 5.59,
+    phi1: float = 0.72,
+    sigma: float = 4.22,
+    bucket: float = 0.1,
+    alpha: float = 100.0,
+    n_controls: int = 5,
+    n_dense: int = 9,
+    exact_steps: int = 40,
+    span_sigmas: float = 2.5,
+) -> SurfaceComparison:
+    """Figures 15/16: the ``h2`` surface and its 25-control-point spline.
+
+    The "actual" surface is computed exactly on a dense grid; the
+    approximation interpolates ``n_controls²`` control points (paper: 25,
+    bicubic).  Returns both plus error statistics.
+    """
+    model = AR1Stream(phi0, phi1, sigma, bucket=bucket)
+    center = model.stationary_mean
+    half = span_sigmas * model.stationary_std
+    v_lo, v_hi = model.to_bucket(center - half), model.to_bucket(center + half)
+
+    control_v = np.linspace(v_lo, v_hi, n_controls).round().astype(int)
+    control_x = np.linspace(
+        (center - half), (center + half), n_controls
+    )
+    estimator = LExp(alpha)
+    approximated = ar1_h2_cache(
+        model, estimator, control_v, control_x, exact_steps=exact_steps
+    )
+
+    dense_v = np.linspace(v_lo, v_hi, n_dense).round().astype(int)
+    dense_x = np.linspace(center - half, center + half, n_dense)
+    actual_values = np.zeros((dense_v.size, dense_x.size))
+    for i, v in enumerate(dense_v):
+        actual_values[i, :] = ar1_cache_heeb_values(
+            model, int(v), dense_x, estimator, exact_steps=exact_steps
+        )
+    actual = H2Surface(dense_v.astype(float), dense_x, actual_values)
+    approx_values = approximated.evaluate_grid(
+        dense_v.astype(float), dense_x
+    )
+    return SurfaceComparison(
+        actual=actual,
+        approximated=approximated,
+        dense_v=dense_v,
+        dense_x=dense_x,
+        actual_values=actual_values,
+        approx_values=approx_values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 19: FlowExpect look-ahead distance
+# ----------------------------------------------------------------------
+def figure19(
+    delta_ts: Sequence[int] = (1, 2, 3, 5, 8),
+    length: int = 200,
+    cache_size: int = 10,
+    n_runs: int = 2,
+    warmup: int | None = None,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Figure 19: FlowExpect performance vs look-ahead distance ΔT.
+
+    Streams follow the FLOOR scenario (linear trend, bounded uniform
+    noise).  Paper parameters: ``length=500, cache_size=20`` and ΔT up to
+    30.  The baselines (RAND/PROB/LIFE) are look-ahead independent and
+    reported as flat series.
+    """
+    if warmup is None:
+        warmup = 4 * cache_size
+    config = floor_config()
+    paths = generate_paths(config.r_model, config.s_model, length, n_runs, seed)
+
+    out: dict[str, list[float]] = {"FLOWEXPECT": []}
+    for dt in delta_ts:
+        result = run_join_experiment(
+            lambda dt=dt: FlowExpectPolicy(dt, config.r_model, config.s_model),
+            paths,
+            cache_size,
+            warmup=warmup,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+        )
+        out["FLOWEXPECT"].append(result.mean_results)
+
+    for name, factory in (
+        ("RAND", lambda: RandPolicy(seed=1)),
+        ("PROB", lambda: ProbPolicy()),
+        ("LIFE", lambda: LifePolicy()),
+    ):
+        result = run_join_experiment(
+            factory,
+            paths,
+            cache_size,
+            warmup=warmup,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+        )
+        out[name] = [result.mean_results] * len(delta_ts)
+    return out

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results, matching the paper's rows."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series_table", "format_curve"]
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    row_label: str = "config",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render ``{row: {column: value}}`` as an aligned ASCII table."""
+    columns: list[str] = []
+    for cols in rows.values():
+        for c in cols:
+            if c not in columns:
+                columns.append(c)
+    header = [row_label] + columns
+    body = []
+    for row_name, cols in rows.items():
+        body.append(
+            [row_name]
+            + [fmt.format(cols[c]) if c in cols else "-" for c in columns]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in body)
+    return "\n".join(out)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render ``{name: [y per x]}`` with one row per x value."""
+    rows = {}
+    for i, x in enumerate(x_values):
+        rows[str(x)] = {name: values[i] for name, values in series.items()}
+    return format_table(rows, row_label=x_label, fmt=fmt)
+
+
+def format_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 15,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render a (possibly downsampled) curve as two aligned columns."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) > max_points:
+        idx = np.linspace(0, len(xs) - 1, max_points).round().astype(int)
+        xs = [xs[i] for i in idx]
+        ys = [ys[i] for i in idx]
+    rows = {str(x): {y_label: float(y)} for x, y in zip(xs, ys)}
+    return format_table(rows, row_label=x_label, fmt=fmt)

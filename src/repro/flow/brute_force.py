@@ -1,0 +1,230 @@
+"""Brute-force optimal offline join scheduling, for validation only.
+
+Enumerates every reachable cache state over time with memoization and
+returns the maximum number of join results.  Exponential in cache size ×
+length -- usable only on tiny instances, where it certifies that
+:func:`~repro.flow.opt_offline.solve_opt_offline` is exactly optimal.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from ..streams.base import Value
+
+__all__ = [
+    "brute_force_offline_benefit",
+    "brute_force_adaptive_expectation",
+    "brute_force_predetermined_expectation",
+]
+
+
+def brute_force_offline_benefit(
+    r_values: Sequence[Value],
+    s_values: Sequence[Value],
+    cache_size: int,
+    max_states: int = 2_000_000,
+    band: int = 0,
+) -> int:
+    """Maximum achievable join-result count for fully known streams.
+
+    Tuples are identified by ``(side, arrival)``.  The state after step
+    ``t`` is the frozenset of cached tuples; transitions admit any subset
+    of {new arrivals} and evict down to capacity in all possible ways.
+    ``band > 0`` uses the band-join predicate.
+    """
+    n = min(len(r_values), len(s_values))
+    states_seen = 0
+
+    from itertools import combinations
+
+    def matches(value, partner_value) -> bool:
+        if value is None or partner_value is None:
+            return False
+        if band == 0:
+            return partner_value == value
+        return abs(int(partner_value) - int(value)) <= band
+
+    def step(t: int, cache: frozenset) -> int:
+        nonlocal states_seen
+        states_seen += 1
+        if states_seen > max_states:
+            raise RuntimeError("state budget exhausted; instance too large")
+        if t == n:
+            return 0
+        # Matches collected at step t by cached tuples.
+        gained = 0
+        for (side, arrival, value) in cache:
+            partner_value = s_values[t] if side == "R" else r_values[t]
+            if matches(value, partner_value):
+                gained += 1
+        # Candidates: cache plus joinable arrivals of step t.
+        new = []
+        if r_values[t] is not None:
+            new.append(("R", t, r_values[t]))
+        if s_values[t] is not None:
+            new.append(("S", t, s_values[t]))
+        candidates = list(cache) + new
+        n_keep = min(cache_size, len(candidates))
+        best = 0
+        seen_keeps = set()
+        for keep in combinations(candidates, n_keep):
+            key = frozenset(keep)
+            if key in seen_keeps:
+                continue
+            seen_keeps.add(key)
+            best = max(best, solve(t + 1, key))
+        return gained + best
+
+    @lru_cache(maxsize=None)
+    def solve(t: int, cache: frozenset) -> int:
+        return step(t, cache)
+
+    return solve(0, frozenset())
+
+
+def brute_force_adaptive_expectation(
+    scenario_steps: Sequence[Sequence[tuple[Value, Value, float]]],
+    initial_cache: Sequence[tuple[str, Value]],
+    cache_size: int,
+) -> float:
+    """Optimal *adaptive* expected benefit for a small stochastic scenario.
+
+    ``scenario_steps[t]`` lists the possible ``(r_value, s_value, prob)``
+    outcomes of step ``t`` (probabilities summing to 1).  The optimum
+    ranges over strategies that may condition every decision on all
+    values observed so far -- the full space of Section 3.3/3.4, which
+    FlowExpect's predetermined sequences cannot cover.  Used to reproduce
+    the 1.75-vs-1.6 example of Section 3.4.
+
+    Tuples are identified by ``(side, arrival, value)``; the initial
+    cache entries use arrival ``-1``.
+    """
+    from itertools import combinations
+
+    n = len(scenario_steps)
+
+    def expectation(t: int, cache: frozenset) -> float:
+        if t == n:
+            return 0.0
+        total = 0.0
+        for r_val, s_val, prob in scenario_steps[t]:
+            if prob == 0.0:
+                continue
+            gained = 0
+            for (side, _arr, value) in cache:
+                partner_value = s_val if side == "R" else r_val
+                if value is not None and partner_value == value:
+                    gained += 1
+            new = []
+            if r_val is not None:
+                new.append(("R", t, r_val))
+            if s_val is not None:
+                new.append(("S", t, s_val))
+            candidates = list(cache) + new
+            n_keep = min(cache_size, len(candidates))
+            best = float("-inf")
+            seen = set()
+            for keep in combinations(candidates, n_keep):
+                key = frozenset(keep)
+                if key in seen:
+                    continue
+                seen.add(key)
+                best = max(best, expectation(t + 1, key))
+            if best == float("-inf"):
+                best = 0.0
+            total += prob * (gained + best)
+        return total
+
+    cache0 = frozenset(
+        (side, -1, value) for side, value in initial_cache
+    )
+    return expectation(0, cache0)
+
+
+def brute_force_predetermined_expectation(
+    candidates,
+    t0: int,
+    lookahead: int,
+    cache_size: int,
+    r_model,
+    s_model,
+    r_history=None,
+    s_history=None,
+) -> float:
+    """Optimal expected benefit over *predetermined* decision sequences.
+
+    Enumerates exactly the space FlowExpect's min-cost flow ranges over
+    (Section 3.1): at every future step, a fixed (value-independent)
+    choice of which tuples to keep, where each new arrival may replace at
+    most one kept tuple.  Theorem 2 says the flow optimum equals this
+    value; tests assert the two agree, which validates the graph
+    construction and cost assignment independently of networkx.
+
+    Entities mirror the graph's nodes: determined candidates and
+    undetermined future arrivals ``("u", side, t)``.  Transition benefits
+    reuse the same probability computations as the graph builder.
+    """
+    from itertools import combinations
+
+    from ..core.tuples import partner
+    from .graph import expected_match_prob
+
+    models = {"R": r_model, "S": s_model}
+    histories = {"R": r_history, "S": s_history}
+
+    def keep_benefit(entity, t_next: int) -> float:
+        if entity[0] == "c":
+            _, _uid, side, value = entity
+            return models[partner(side)].prob(
+                t_next, value, histories[partner(side)]
+            )
+        _, side, t_arr = entity
+        return expected_match_prob(
+            models[side],
+            t_arr,
+            models[partner(side)],
+            t_next,
+            histories[side],
+            histories[partner(side)],
+        )
+
+    initial_entities = [
+        ("c", tup.uid, tup.side, tup.value) for tup in candidates
+    ]
+    flow_size = min(cache_size, len(initial_entities))
+
+    def best(state: tuple, slice_t: int) -> float:
+        """Max expected benefit from slice ``slice_t`` onward."""
+        if slice_t == t0 + lookahead - 1:
+            # Sink arcs: every kept entity collects one more benefit.
+            return sum(keep_benefit(e, slice_t + 1) for e in state)
+        next_t = slice_t + 1
+        new_entities = [("u", "R", next_t), ("u", "S", next_t)]
+        best_value = float("-inf")
+        state_list = list(state)
+        # Every cached entity collects its benefit at next_t *before* any
+        # replacement (the horizontal arc into slice next_t precedes the
+        # non-horizontal replacement arc; equivalently, the simulator
+        # counts joins before evictions).
+        gained = sum(keep_benefit(e, next_t) for e in state_list)
+        # Then replace r of the entities with r of the new arrivals.
+        for r in range(0, min(2, len(state_list)) + 1):
+            for dropped in combinations(range(len(state_list)), r):
+                kept = [
+                    e for i, e in enumerate(state_list) if i not in dropped
+                ]
+                for added in combinations(new_entities, r):
+                    next_state = tuple(sorted(kept + list(added)))
+                    best_value = max(
+                        best_value, gained + best(next_state, next_t)
+                    )
+        return best_value
+
+    if flow_size == 0:
+        return 0.0
+    overall = float("-inf")
+    for initial in combinations(initial_entities, flow_size):
+        overall = max(overall, best(tuple(sorted(initial)), t0))
+    return overall

@@ -1,0 +1,77 @@
+"""FlowExpect: online expected-benefit min-cost-flow decisions (Section 3).
+
+At every step, FlowExpect asks: given the cache contents and the two
+arrivals of the current time, which tuples should be discarded to
+maximize the *expected* number of results over the next ``l`` steps?  It
+answers by building the Section-3.1 look-ahead graph and solving a
+min-cost flow; the candidates left without flow are discarded.  The
+decision is recomputed from scratch at the next step with the newly
+observed arrivals (unlike OPT-offline, which solves once with full
+knowledge).
+
+Section 3.4 proves FlowExpect is *suboptimal* even with unbounded
+look-ahead, because the flow only ranges over predetermined decision
+sequences, not strategies that adapt to future observations; the test
+suite reproduces the paper's 1.75-vs-1.6 counterexample with this exact
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.tuples import StreamTuple
+from ..streams.base import History, StreamModel
+from .graph import build_lookahead_graph
+from .solver import solve_min_cost_flow
+
+__all__ = ["FlowExpectDecision", "flowexpect_decide"]
+
+
+@dataclass
+class FlowExpectDecision:
+    """One FlowExpect step: who to keep, who to evict, at what value."""
+
+    kept: list[StreamTuple]
+    victims: list[StreamTuple]
+    #: Expected benefit over the look-ahead window of the chosen sequence
+    #: (the negated min-cost).
+    expected_benefit: float
+
+
+def flowexpect_decide(
+    candidates: Sequence[StreamTuple],
+    t0: int,
+    lookahead: int,
+    cache_size: int,
+    r_model: StreamModel,
+    s_model: StreamModel,
+    r_history: History | None = None,
+    s_history: History | None = None,
+) -> FlowExpectDecision:
+    """Solve one FlowExpect step and split candidates into kept/victims."""
+    if not candidates:
+        return FlowExpectDecision(kept=[], victims=[], expected_benefit=0.0)
+    lookahead_graph = build_lookahead_graph(
+        candidates,
+        t0,
+        lookahead,
+        r_model,
+        s_model,
+        r_history,
+        s_history,
+        cache_size=cache_size,
+    )
+    flow_dict, cost = solve_min_cost_flow(
+        lookahead_graph.graph,
+        ("src",),
+        ("sink",),
+        lookahead_graph.flow_size,
+    )
+    kept_uids = lookahead_graph.kept_uids(flow_dict)
+    kept = [c for c in candidates if c.uid in kept_uids]
+    victims = [c for c in candidates if c.uid not in kept_uids]
+    return FlowExpectDecision(
+        kept=kept, victims=victims, expected_benefit=-cost
+    )

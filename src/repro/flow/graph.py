@@ -1,0 +1,175 @@
+"""FlowExpect's look-ahead flow graph -- Section 3.1.
+
+The graph captures every *predetermined* sequence of cache replacement
+decisions over the interval ``[t0, t0 + l − 1]``:
+
+* Slice ``G_t0`` holds one *determined* node per candidate tuple (the
+  ``k`` cached tuples plus the joinable arrivals of the current step).
+* Each later slice ``G_t`` copies all nodes of ``G_{t−1}`` and adds two
+  *undetermined* nodes for the (not yet observed) arrivals of step ``t``.
+* A horizontal arc keeps a tuple one more step and costs the negated
+  expected benefit of joining the partner arrival of the next step;
+  non-horizontal arcs (replace a kept tuple by a new arrival) cost 0.
+* A feasible integral flow of size ``k`` is exactly one decision
+  sequence, and its cost is the negated expected benefit (Theorem 2).
+
+Node encoding: logical entities are ``("c", uid)`` for a determined
+candidate and ``("u", side, t_arr)`` for the undetermined arrival of
+stream ``side`` at time ``t_arr``; graph nodes are ``(entity, slice_t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.tuples import StreamTuple, partner
+from ..streams.base import History, StreamModel
+
+__all__ = ["LookaheadGraph", "build_lookahead_graph", "expected_match_prob"]
+
+SOURCE = ("src",)
+SINK = ("sink",)
+
+
+def expected_match_prob(
+    producer: StreamModel,
+    t_produce: int,
+    consumer: StreamModel,
+    t_consume: int,
+    producer_history: History | None,
+    consumer_history: History | None,
+) -> float:
+    """``Σ_v Pr{X^producer_{t_produce} = v} · Pr{X^consumer_{t_consume} = v}``.
+
+    The expected benefit of an *undetermined* tuple (produced at
+    ``t_produce``) joining the partner arrival at ``t_consume``.  The two
+    streams are governed by independent processes, so the joint
+    probability factorizes (both factors conditioned on the observed
+    history, as in Section 3.1).
+    """
+    support = producer.support(t_produce, producer_history)
+    total = 0.0
+    for v, p in support:
+        if p:
+            total += p * consumer.prob(t_consume, v, consumer_history)
+    return total
+
+
+@dataclass
+class LookaheadGraph:
+    """The constructed graph plus the bookkeeping to read decisions back."""
+
+    graph: nx.DiGraph
+    #: Node ids of the first slice, keyed by candidate uid.
+    first_slice: dict[int, tuple]
+    flow_size: int
+    lookahead: int
+
+    def kept_uids(self, flow_dict: dict) -> set[int]:
+        """Uids of candidates that carry flow out of the source."""
+        kept = set()
+        for uid, node in self.first_slice.items():
+            if flow_dict.get(SOURCE, {}).get(node, 0) > 0:
+                kept.add(uid)
+        return kept
+
+
+def build_lookahead_graph(
+    candidates: Sequence[StreamTuple],
+    t0: int,
+    lookahead: int,
+    r_model: StreamModel,
+    s_model: StreamModel,
+    r_history: History | None = None,
+    s_history: History | None = None,
+    cache_size: int | None = None,
+) -> LookaheadGraph:
+    """Build the Section-3.1 graph for one FlowExpect decision.
+
+    ``candidates`` are the determined tuples of slice ``G_t0`` (cache
+    contents plus current arrivals); ``lookahead`` is the paper's ``l``.
+    The flow size is ``min(cache_size, len(candidates))``.
+    """
+    if lookahead < 1:
+        raise ValueError("lookahead must be >= 1")
+    if cache_size is None:
+        cache_size = len(candidates)
+
+    models = {"R": r_model, "S": s_model}
+    histories = {"R": r_history, "S": s_history}
+
+    def keep_benefit(entity: tuple, t_next: int) -> float:
+        """Expected benefit at ``t_next`` of keeping the entity's tuple."""
+        if entity[0] == "c":
+            tup = entity[2]
+            side = tup.side
+            return models[partner(side)].prob(
+                t_next, tup.value, histories[partner(side)]
+            )
+        _, side, t_arr = entity
+        return expected_match_prob(
+            models[side],
+            t_arr,
+            models[partner(side)],
+            t_next,
+            histories[side],
+            histories[partner(side)],
+        )
+
+    graph = nx.DiGraph()
+    graph.add_node(SOURCE)
+    graph.add_node(SINK)
+
+    # Logical entities present in each slice, in creation order.
+    entities: list[tuple] = [("c", tup.uid, tup) for tup in candidates]
+    first_slice: dict[int, tuple] = {}
+
+    # Slice t0: source arcs.
+    for entity in entities:
+        node = (entity[:2], t0)
+        graph.add_node(node)
+        graph.add_edge(SOURCE, node, capacity=1, weight=0.0)
+        first_slice[entity[1]] = node
+
+    entity_by_key = {entity[:2]: entity for entity in entities}
+    last_slice_keys = [entity[:2] for entity in entities]
+
+    for slice_t in range(t0 + 1, t0 + lookahead):
+        prev_keys = list(last_slice_keys)
+        # Copy previous slice's entities; horizontal arcs carry benefits.
+        for key in prev_keys:
+            prev_node = (key, slice_t - 1)
+            node = (key, slice_t)
+            graph.add_node(node)
+            benefit = keep_benefit(entity_by_key[key], slice_t)
+            graph.add_edge(prev_node, node, capacity=1, weight=-benefit)
+        # Two new undetermined arrivals.
+        new_keys = []
+        for side in ("R", "S"):
+            entity = ("u", side, slice_t)
+            key = entity[:3]
+            entity_by_key[key] = entity
+            node = (key, slice_t)
+            graph.add_node(node)
+            new_keys.append(key)
+            # Non-horizontal arcs: any copied tuple may be replaced.
+            for old_key in prev_keys:
+                graph.add_edge((old_key, slice_t), node, capacity=1, weight=0.0)
+        last_slice_keys = prev_keys + new_keys
+
+    # Sink arcs from the final slice, costed as horizontal arcs out of it.
+    final_t = t0 + lookahead - 1
+    for key in last_slice_keys:
+        benefit = keep_benefit(entity_by_key[key], final_t + 1)
+        graph.add_edge((key, final_t), SINK, capacity=1, weight=-benefit)
+
+    flow_size = min(cache_size, len(candidates))
+    return LookaheadGraph(
+        graph=graph,
+        first_slice=first_slice,
+        flow_size=flow_size,
+        lookahead=lookahead,
+    )

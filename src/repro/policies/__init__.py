@@ -1,0 +1,60 @@
+"""Cache replacement policies: baselines, classics, HEEB, and FlowExpect."""
+
+from .adaptive_alpha import AdaptiveAlphaHeebPolicy
+from .base import PolicyContext, ReplacementPolicy, ScoredPolicy, WindowOracle
+from .case_optimal import FarthestFromReferencePolicy, SmallestValueFirstPolicy
+from .dominance_policy import DominanceGuardedPolicy
+from .flowexpect_policy import FlowExpectPolicy
+from .heeb_policy import (
+    AR1CacheHeeb,
+    AR1JoinHeeb,
+    BandJoinHeeb,
+    GenericCacheHeeb,
+    GenericJoinHeeb,
+    HeebPolicy,
+    HeebStrategy,
+    TrendJoinHeeb,
+    WalkJoinHeeb,
+)
+from .lfd import LfdPolicy
+from .lfu import LfuPolicy
+from .life import LifePolicy
+from .lru import LrukPolicy, LruPolicy
+from .model_driven import ModelDrivenHeebPolicy
+from .prob import ProbPolicy
+from .rand import RandPolicy
+from .reduction_adapter import ReducedJoiningPolicy
+from .scheduled import ScheduledPolicy
+from .window_oracle import TrendWindowOracle
+
+__all__ = [
+    "AR1CacheHeeb",
+    "AR1JoinHeeb",
+    "AdaptiveAlphaHeebPolicy",
+    "BandJoinHeeb",
+    "DominanceGuardedPolicy",
+    "FarthestFromReferencePolicy",
+    "FlowExpectPolicy",
+    "GenericCacheHeeb",
+    "GenericJoinHeeb",
+    "HeebPolicy",
+    "HeebStrategy",
+    "LfdPolicy",
+    "LfuPolicy",
+    "LifePolicy",
+    "LrukPolicy",
+    "LruPolicy",
+    "ModelDrivenHeebPolicy",
+    "PolicyContext",
+    "ProbPolicy",
+    "RandPolicy",
+    "ReducedJoiningPolicy",
+    "ReplacementPolicy",
+    "ScheduledPolicy",
+    "ScoredPolicy",
+    "SmallestValueFirstPolicy",
+    "TrendJoinHeeb",
+    "TrendWindowOracle",
+    "WalkJoinHeeb",
+    "WindowOracle",
+]

@@ -1,0 +1,154 @@
+"""Replacement-policy interface shared by the join and cache simulators.
+
+A policy is asked, at each time step, to pick victims among the candidate
+tuples (cached tuples plus new arrivals), exactly as in the paper's
+Section 3.3 formalization: the algorithm sees the cache ``K``, the new
+arrivals ``N``, the observed history ``H``, and (optionally) the stream
+models ``p``, and outputs the tuples *not* kept.
+
+Policies may also receive notification hooks (admissions, evictions, and
+references, i.e. join matches or cache hits) so that recency/frequency
+bookkeeping such as LRU's does not require scanning histories.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+from ..core.tuples import StreamTuple
+from ..streams.base import StreamModel, Value
+
+__all__ = [
+    "PolicyContext",
+    "WindowOracle",
+    "ReplacementPolicy",
+    "ScoredPolicy",
+]
+
+
+class WindowOracle(Protocol):
+    """Joinability window knowledge handed to window-aware heuristics.
+
+    Section 6.2: "LIFE requires a sliding window to determine tuples'
+    lifetimes ... we use the bound on the noise distribution as the
+    sliding window.  We make RAND and PROB aware of this sliding window,
+    too, so they always discard tuples outside the window first."
+    """
+
+    def is_dead(self, tup: StreamTuple, t: int) -> bool:
+        """True when the tuple can no longer join any future arrival."""
+        ...
+
+    def remaining_life(self, tup: StreamTuple, t: int) -> int:
+        """Number of future steps during which the tuple can still join."""
+        ...
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult when choosing victims.
+
+    Attributes
+    ----------
+    kind:
+        ``"join"`` (two-stream equijoin) or ``"cache"`` (reference stream
+        against a database relation).
+    time:
+        The current step ``t0``; the new arrivals of this step are already
+        appended to the histories.
+    cache_size:
+        Capacity ``k`` in tuples.
+    r_history / s_history:
+        Observed values so far (indices are time steps).  For the caching
+        problem, ``r_history`` is the reference stream and ``s_history``
+        is empty.
+    r_model / s_model:
+        The stochastic models, when the policy is model-aware (HEEB,
+        FlowExpect).  For caching, ``r_model`` is the reference model.
+    window:
+        Sliding-window length under Section-7 semantics, else ``None``.
+    window_oracle:
+        Value-window knowledge for the window-aware baselines.
+    """
+
+    kind: str
+    time: int
+    cache_size: int
+    r_history: list[Value] = field(default_factory=list)
+    s_history: list[Value] = field(default_factory=list)
+    r_model: Optional[StreamModel] = None
+    s_model: Optional[StreamModel] = None
+    window: Optional[int] = None
+    window_oracle: Optional[WindowOracle] = None
+
+    def history_for(self, side: str) -> list[Value]:
+        return self.r_history if side == "R" else self.s_history
+
+    def partner_history(self, side: str) -> list[Value]:
+        """History of the stream that tuples from ``side`` join against."""
+        return self.s_history if side == "R" else self.r_history
+
+    def partner_model(self, side: str) -> Optional[StreamModel]:
+        return self.s_model if side == "R" else self.r_model
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for all cache replacement policies."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "policy"
+
+    def reset(self, ctx: PolicyContext) -> None:
+        """Called once before a run starts; clear any per-run state."""
+
+    @abc.abstractmethod
+    def select_victims(
+        self,
+        candidates: Sequence[StreamTuple],
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list[StreamTuple]:
+        """Choose at least ``n_evict`` candidates to discard.
+
+        Returning more than ``n_evict`` victims is allowed (evicting
+        tuples known to be worthless is never harmful); returning fewer
+        is an error the simulator rejects.
+        """
+
+    # -- notification hooks (default no-ops) ---------------------------
+    def on_admit(self, tup: StreamTuple, t: int) -> None:
+        """A tuple entered the cache at step ``t``."""
+
+    def on_evict(self, tup: StreamTuple, t: int) -> None:
+        """A tuple left the cache at step ``t``."""
+
+    def on_reference(self, tup: StreamTuple, t: int) -> None:
+        """A cached tuple joined a new arrival / produced a hit at ``t``."""
+
+
+class ScoredPolicy(ReplacementPolicy):
+    """A policy that evicts the ``n`` lowest-scoring candidates.
+
+    Subclasses implement :meth:`score`; higher scores mean more worth
+    keeping.  Ties break deterministically by tuple uid (oldest first) so
+    runs are reproducible.
+    """
+
+    @abc.abstractmethod
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        """Desirability of keeping ``tup`` (higher is better)."""
+
+    def select_victims(
+        self,
+        candidates: Sequence[StreamTuple],
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list[StreamTuple]:
+        if n_evict <= 0:
+            return []
+        ranked = sorted(
+            candidates, key=lambda tup: (self.score(tup, ctx), tup.uid)
+        )
+        return ranked[:n_evict]

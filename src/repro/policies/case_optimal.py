@@ -1,0 +1,49 @@
+"""Provably optimal policies derived from dominance analysis (Section 5).
+
+Two scenario-specific algorithms the framework proves optimal:
+
+* :class:`SmallestValueFirstPolicy` -- caching with a non-decreasing
+  trend and right-bounded noise (Section 5.3): the reference window moves
+  right, so dominance totally orders database tuples by value and
+  discarding the smallest is optimal.
+* :class:`FarthestFromReferencePolicy` -- caching with a zero-drift
+  random walk whose steps follow a symmetric unimodal distribution
+  (Section 5.5): all ECBs are ranked by distance from the latest
+  reference, so discarding the farthest value is optimal.
+
+Both are used in tests to confirm that HEEB agrees with optimal decisions
+whenever dominance applies (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from ..core.tuples import StreamTuple
+from .base import PolicyContext, ScoredPolicy
+
+__all__ = ["SmallestValueFirstPolicy", "FarthestFromReferencePolicy"]
+
+
+class SmallestValueFirstPolicy(ScoredPolicy):
+    """Evict the cached tuple with the smallest join-attribute value."""
+
+    name = "SMALLEST-VALUE"
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        return float(tup.value)
+
+
+class FarthestFromReferencePolicy(ScoredPolicy):
+    """Evict the tuple farthest from the most recent reference value."""
+
+    name = "FARTHEST"
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        history = ctx.r_history
+        current = None
+        for v in reversed(history):
+            if v is not None:
+                current = v
+                break
+        if current is None:
+            return 0.0
+        return -abs(float(tup.value) - float(current))

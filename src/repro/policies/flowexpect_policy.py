@@ -1,0 +1,77 @@
+"""FlowExpect as a replacement policy pluggable into the simulators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.tuples import StreamTuple
+from ..flow.flowexpect import flowexpect_decide
+from ..streams.base import History, StreamModel, Value
+from .base import PolicyContext, ReplacementPolicy
+
+__all__ = ["FlowExpectPolicy"]
+
+
+def _latest_history(values: Sequence[Value], now: int) -> History | None:
+    """Anchor a Markov model on the most recent observed (non-"−") value."""
+    for t in range(now, -1, -1):
+        if t < len(values) and values[t] is not None:
+            return History(now=t, last_value=values[t])
+    return None
+
+
+class FlowExpectPolicy(ReplacementPolicy):
+    """Solve the Section-3 min-cost flow at every step; apply its decision.
+
+    Parameters
+    ----------
+    lookahead:
+        The paper's ``l``: how many future steps the flow graph spans.
+    r_model / s_model:
+        Stream models; if omitted, they are taken from the simulator
+        context.
+    """
+
+    name = "FLOWEXPECT"
+
+    def __init__(
+        self,
+        lookahead: int,
+        r_model: StreamModel | None = None,
+        s_model: StreamModel | None = None,
+    ):
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        self.lookahead = int(lookahead)
+        self._r_model = r_model
+        self._s_model = s_model
+
+    def select_victims(
+        self,
+        candidates: Sequence[StreamTuple],
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list[StreamTuple]:
+        if n_evict <= 0:
+            return []
+        r_model = self._r_model or ctx.r_model
+        s_model = self._s_model or ctx.s_model
+        if r_model is None or s_model is None:
+            raise ValueError("FlowExpect needs both stream models")
+        r_history = None
+        s_history = None
+        if not r_model.is_independent:
+            r_history = _latest_history(ctx.r_history, ctx.time)
+        if not s_model.is_independent:
+            s_history = _latest_history(ctx.s_history, ctx.time)
+        decision = flowexpect_decide(
+            candidates,
+            ctx.time,
+            self.lookahead,
+            ctx.cache_size,
+            r_model,
+            s_model,
+            r_history,
+            s_history,
+        )
+        return decision.victims

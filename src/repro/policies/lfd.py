@@ -1,0 +1,58 @@
+"""LFD: Longest Forward Distance -- the optimal offline caching policy.
+
+Belady's algorithm [5]: evict the tuple whose value will not be
+referenced for the longest time.  Section 5.1 derives it from the
+framework: with an offline reference stream every caching ECB is a
+single-step function jumping at the tuple's next reference, dominance
+totally orders the candidates, and Theorem 3 makes the farthest-reference
+eviction optimal.
+
+The policy precomputes, for each position in the reference sequence, the
+next occurrence of each value (one backwards pass), so scoring is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..core.tuples import StreamTuple
+from .base import PolicyContext, ScoredPolicy
+
+__all__ = ["LfdPolicy"]
+
+
+class LfdPolicy(ScoredPolicy):
+    name = "LFD"
+
+    def __init__(self, reference: Sequence[Hashable]):
+        self._reference = list(reference)
+        n = len(self._reference)
+        #: next_ref[t] = first time > t at which reference[?] == value of
+        #: the tuple referenced at t... we need per (t, value) lookups, so
+        #: store, for each time t, the next occurrence of reference[t]
+        #: after t, and for scoring use a per-value sorted occurrence list.
+        self._occurrences: dict[Hashable, list[int]] = {}
+        for t in range(n):
+            v = self._reference[t]
+            if v is not None:
+                self._occurrences.setdefault(v, []).append(t)
+        self._cursor: dict[Hashable, int] = {}
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._cursor = {}
+
+    def _next_occurrence(self, value: Hashable, after: int) -> float:
+        """First reference to ``value`` strictly after time ``after``."""
+        occs = self._occurrences.get(value)
+        if not occs:
+            return float("inf")
+        # Advance a per-value cursor; time only moves forward within a run.
+        i = self._cursor.get(value, 0)
+        while i < len(occs) and occs[i] <= after:
+            i += 1
+        self._cursor[value] = i
+        return float(occs[i]) if i < len(occs) else float("inf")
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        # Farthest next reference => evict first => lowest score.
+        return -self._next_occurrence(tup.value, ctx.time)

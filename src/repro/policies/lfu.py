@@ -1,0 +1,19 @@
+"""LFU: evict the least frequently referenced value.
+
+The "perfect" LFU of Section 6.5: a tuple's frequency is the total number
+of references to its value so far (not just while cached).  On the
+caching problem this coincides with PROB -- the paper's REAL experiment
+labels the policy "PROB (essentially LFU in this case)" -- so LFU is a
+thin, separately named wrapper over :class:`~repro.policies.prob.ProbPolicy`
+to keep reports readable.
+"""
+
+from __future__ import annotations
+
+from .prob import ProbPolicy
+
+__all__ = ["LfuPolicy"]
+
+
+class LfuPolicy(ProbPolicy):
+    name = "LFU"

@@ -1,0 +1,42 @@
+"""LIFE: discard the tuple with the least expected remaining output.
+
+LIFE (Das, Gehrke, Riedewald [8]) scores a tuple by its estimated match
+probability times its remaining lifetime, so long-lived tuples gain an
+advantage over briefly productive ones.  Lifetimes come from a sliding
+window; for the TOWER / ROOF / FLOOR experiments the paper uses the bound
+of the noise distribution as the window, which our
+:class:`~repro.policies.base.WindowOracle` encodes.  WALK has no window,
+so LIFE is not applicable there (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from ..core.tuples import StreamTuple
+from .base import PolicyContext, ScoredPolicy
+from .prob import ProbPolicy
+
+__all__ = ["LifePolicy"]
+
+
+class LifePolicy(ScoredPolicy):
+    name = "LIFE"
+
+    def __init__(self) -> None:
+        # Reuse PROB's frequency bookkeeping for the probability estimate.
+        self._prob = ProbPolicy()
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._prob.reset(ctx)
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        oracle = ctx.window_oracle
+        if oracle is None:
+            raise ValueError(
+                "LIFE requires a window oracle to determine tuple lifetimes "
+                "(the paper does not run LIFE on windowless configurations)"
+            )
+        self._prob._sync_counts(ctx)
+        life = max(0, oracle.remaining_life(tup, ctx.time))
+        freq = self._prob.frequency(tup, ctx)
+        total = max(1, ctx.time + 1)
+        return (freq / total) * life

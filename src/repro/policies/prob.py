@@ -1,0 +1,70 @@
+"""PROB: discard the tuple least likely to join, by observed frequency.
+
+PROB (Das, Gehrke, Riedewald [8]) estimates a tuple's match probability
+from the historical frequency of its join value in the partner stream and
+evicts the least frequent.  Section 5.2 proves this is optimal for
+stationary, independent streams; Section 6.3 shows it fails under trends
+because "the past is used to predict the future in a simplistic manner".
+
+On the caching problem the same rule counts value frequencies in the
+reference stream, which is exactly perfect LFU (the paper labels the REAL
+experiment's variant "PROB (essentially LFU in this case)").
+
+With a window oracle, dead tuples are evicted first (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.tuples import StreamTuple
+from .base import PolicyContext, ScoredPolicy
+
+__all__ = ["ProbPolicy"]
+
+#: Score penalty that forces window-dead tuples below every live tuple.
+_DEAD_PENALTY = 1e18
+
+
+class ProbPolicy(ScoredPolicy):
+    name = "PROB"
+
+    def __init__(self) -> None:
+        self._r_counts: Counter = Counter()
+        self._s_counts: Counter = Counter()
+        self._consumed = 0
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._r_counts = Counter()
+        self._s_counts = Counter()
+        self._consumed = 0
+
+    def _sync_counts(self, ctx: PolicyContext) -> None:
+        """Fold newly observed history entries into the frequency counters."""
+        r_hist, s_hist = ctx.r_history, ctx.s_history
+        n = len(r_hist)
+        for t in range(self._consumed, n):
+            v = r_hist[t]
+            if v is not None:
+                self._r_counts[v] += 1
+            if t < len(s_hist):
+                w = s_hist[t]
+                if w is not None:
+                    self._s_counts[w] += 1
+        self._consumed = n
+
+    def frequency(self, tup: StreamTuple, ctx: PolicyContext) -> int:
+        """Observed occurrences of the tuple's value in the stream it matches."""
+        if ctx.kind == "cache":
+            # Database tuples are referenced by the reference stream R.
+            return self._r_counts[tup.value]
+        counts = self._s_counts if tup.side == "R" else self._r_counts
+        return counts[tup.value]
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        self._sync_counts(ctx)
+        score = float(self.frequency(tup, ctx))
+        oracle = ctx.window_oracle
+        if oracle is not None and oracle.is_dead(tup, ctx.time):
+            score -= _DEAD_PENALTY
+        return score

@@ -1,0 +1,48 @@
+"""Value-window oracles for window-aware baselines (Section 6.2).
+
+For the trend configurations (TOWER / ROOF / FLOOR), the paper gives
+RAND, PROB, and LIFE knowledge of the noise bound: a tuple whose value
+the partner's moving window has passed is dead and is always discarded
+first, and LIFE's lifetimes are the time until the window passes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.tuples import StreamTuple
+from ..streams.linear_trend import LinearTrendStream
+
+__all__ = ["TrendWindowOracle"]
+
+
+class TrendWindowOracle:
+    """Window knowledge for two :class:`LinearTrendStream` inputs."""
+
+    def __init__(self, r_model: LinearTrendStream, s_model: LinearTrendStream):
+        self._models = {"R": r_model, "S": s_model}
+
+    def _partner(self, side: str) -> LinearTrendStream:
+        return self._models["S" if side == "R" else "R"]
+
+    def _last_joinable_time(self, tup: StreamTuple) -> int:
+        """Latest time at which the partner window still covers the value.
+
+        The partner window at time τ is ``[trend(τ) + noise.min,
+        trend(τ) + noise.max]``; it covers ``v`` while ``trend(τ) ≤
+        v − noise.min``, i.e. while ``τ ≤ lag + (v − noise.min −
+        intercept) / speed``.
+        """
+        partner = self._partner(tup.side)
+        v = int(tup.value)
+        if partner.speed == 0:
+            return 2**62  # window never moves: tuple joinable forever
+        return partner.lag + math.floor(
+            (v - partner.noise.min_value - partner.intercept) / partner.speed
+        )
+
+    def is_dead(self, tup: StreamTuple, t: int) -> bool:
+        return self._last_joinable_time(tup) <= t
+
+    def remaining_life(self, tup: StreamTuple, t: int) -> int:
+        return max(0, self._last_joinable_time(tup) - t)

@@ -1,0 +1,47 @@
+"""Simulators: two-stream joining, classic caching, and run orchestration."""
+
+from .cache_sim import CacheRunResult, CacheSimulator
+from .join_sim import JoinRunResult, JoinSimulator
+from .multi_join import (
+    MultiHeebPolicy,
+    MultiJoinPolicy,
+    MultiJoinRunResult,
+    MultiJoinSimulator,
+    MultiPolicyContext,
+    MultiProbPolicy,
+    MultiRandPolicy,
+    MultiScheduledPolicy,
+    brute_force_multi_benefit,
+    solve_opt_offline_multi,
+)
+from .runner import (
+    CacheExperimentResult,
+    JoinExperimentResult,
+    generate_paths,
+    generate_reference_paths,
+    run_cache_experiment,
+    run_join_experiment,
+)
+
+__all__ = [
+    "CacheExperimentResult",
+    "CacheRunResult",
+    "CacheSimulator",
+    "generate_reference_paths",
+    "run_cache_experiment",
+    "JoinExperimentResult",
+    "JoinRunResult",
+    "JoinSimulator",
+    "MultiHeebPolicy",
+    "MultiJoinPolicy",
+    "MultiJoinRunResult",
+    "MultiJoinSimulator",
+    "MultiPolicyContext",
+    "MultiProbPolicy",
+    "MultiRandPolicy",
+    "MultiScheduledPolicy",
+    "brute_force_multi_benefit",
+    "generate_paths",
+    "run_join_experiment",
+    "solve_opt_offline_multi",
+]

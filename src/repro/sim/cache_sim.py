@@ -1,0 +1,125 @@
+"""Classic caching simulator: a reference stream against a database.
+
+Implements the caching problem of Section 2: every reference-stream tuple
+joins exactly one database tuple (referential integrity); a hit occurs
+when that tuple is cached, otherwise the tuple is demand-fetched and may
+be cached.  The policy maximizes hits (minimizes misses).
+
+Database tuples are represented as side-"S" :class:`StreamTuple` objects
+(matching the supply-stream role they play in the Section-2 reduction),
+with the referenced value as their join value and the fetch time as their
+arrival.  There is at most one cached tuple per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core.tuples import CacheState, TupleFactory
+from ..policies.base import PolicyContext, ReplacementPolicy
+from ..streams.base import StreamModel
+
+__all__ = ["CacheRunResult", "CacheSimulator"]
+
+
+@dataclass
+class CacheRunResult:
+    """Outcome of one simulated caching run."""
+
+    hits: int
+    misses: int
+    hits_after_warmup: int
+    misses_after_warmup: int
+    steps: int
+    warmup: int
+    cache_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheSimulator:
+    """Drives one replacement policy over a reference value sequence."""
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: ReplacementPolicy,
+        warmup: int = 0,
+        reference_model: StreamModel | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+        self._reference_model = reference_model
+
+    def run(self, reference: Sequence[Hashable]) -> CacheRunResult:
+        cache = CacheState()
+        factory = TupleFactory()
+        ctx = PolicyContext(
+            kind="cache",
+            time=-1,
+            cache_size=self._cache_size,
+            r_model=self._reference_model,
+        )
+        self._policy.reset(ctx)
+
+        hits = misses = 0
+        hits_w = misses_w = 0
+
+        for t, value in enumerate(reference):
+            ctx.time = t
+            ctx.r_history.append(value)
+            if value is None:
+                continue
+
+            cached = cache.matching("S", value)
+            if cached:
+                hits += 1
+                if t >= self._warmup:
+                    hits_w += 1
+                self._policy.on_reference(cached[0], t)
+                continue
+
+            misses += 1
+            if t >= self._warmup:
+                misses_w += 1
+            fetched = factory.make("S", value, t)
+            candidates = cache.tuples() + [fetched]
+            n_evict = max(0, len(candidates) - self._cache_size)
+            victims = list(
+                self._policy.select_victims(candidates, n_evict, ctx)
+            )
+            victim_uids = {v.uid for v in victims}
+            candidate_uids = {c.uid for c in candidates}
+            if len(victim_uids) != len(victims) or not victim_uids <= candidate_uids:
+                raise ValueError(f"{self._policy.name}: invalid victims")
+            if len(victims) < n_evict:
+                raise ValueError(
+                    f"{self._policy.name}: returned {len(victims)} victims, "
+                    f"needed {n_evict}"
+                )
+            for tup in victims:
+                if tup in cache:
+                    cache.remove(tup)
+                self._policy.on_evict(tup, t)
+            if fetched.uid not in victim_uids:
+                cache.add(fetched)
+                self._policy.on_admit(fetched, t)
+
+        return CacheRunResult(
+            hits=hits,
+            misses=misses,
+            hits_after_warmup=hits_w,
+            misses_after_warmup=misses_w,
+            steps=len(reference),
+            warmup=self._warmup,
+            cache_size=self._cache_size,
+        )

@@ -1,0 +1,211 @@
+"""Two-stream equijoin simulator under the MAX-subset metric.
+
+Implements the joining problem of Section 2: at every step each stream
+produces one tuple; new arrivals join against cached tuples of the other
+stream; then the replacement policy chooses which tuples to discard so the
+cache stays within its capacity.  The performance metric is the number of
+result tuples produced (after an optional warm-up period, per Section
+6.2), which is what every algorithm in the paper tries to maximize in
+expectation.
+
+Sliding-window semantics (Section 7) are supported via ``window``: a tuple
+that arrived at ``t_x`` participates in joins only while the current time
+is at most ``t_x + window``; expired tuples are removed from the cache
+automatically (keeping them is never useful, so this does not restrict
+any policy).
+
+Accounting choices (constant across policies, hence shape-preserving):
+
+* a new R and a new S tuple arriving at the same step do **not** join
+  each other (Section 3.1 ignores same-step joins because they happen
+  regardless of replacement decisions);
+* "−" tuples (``value is None``) join nothing and are not cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.tuples import CacheState, StreamTuple, TupleFactory
+from ..policies.base import PolicyContext, ReplacementPolicy, WindowOracle
+from ..streams.base import StreamModel, Value
+
+__all__ = ["JoinRunResult", "JoinSimulator"]
+
+
+@dataclass
+class JoinRunResult:
+    """Outcome of one simulated run."""
+
+    total_results: int
+    results_after_warmup: int
+    steps: int
+    warmup: int
+    cache_size: int
+    #: Per-step count of cached R tuples (after that step's evictions).
+    r_occupancy: np.ndarray
+    #: Per-step total cache occupancy.
+    occupancy: np.ndarray
+
+    @property
+    def r_fraction(self) -> np.ndarray:
+        """Fraction of the cache capacity held by R tuples at each step."""
+        return self.r_occupancy / max(self.cache_size, 1)
+
+
+class JoinSimulator:
+    """Drives one replacement policy over a pair of value sequences.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity ``k`` shared by tuples from both streams.
+    policy:
+        The replacement policy under test.
+    warmup:
+        Results produced during the first ``warmup`` steps are excluded
+        from ``results_after_warmup`` (the paper uses at least 4× the
+        cache size).
+    window:
+        Optional sliding-window length (Section 7 semantics).
+    band:
+        Non-equality band-join generalization: a new arrival with value
+        ``v`` joins cached partner tuples with values in ``[v − band,
+        v + band]``.  ``0`` (the default) is the paper's equijoin.
+    r_model / s_model:
+        Stream models passed through to model-aware policies.
+    window_oracle:
+        Value-window knowledge passed through to window-aware baselines.
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: ReplacementPolicy,
+        warmup: int = 0,
+        window: int | None = None,
+        band: int = 0,
+        r_model: StreamModel | None = None,
+        s_model: StreamModel | None = None,
+        window_oracle: WindowOracle | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        if window is not None and window < 0:
+            raise ValueError("window must be nonnegative")
+        if band < 0:
+            raise ValueError("band must be nonnegative")
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+        self._window = window
+        self._band = band
+        self._r_model = r_model
+        self._s_model = s_model
+        self._window_oracle = window_oracle
+
+    def run(
+        self, r_values: Sequence[Value], s_values: Sequence[Value]
+    ) -> JoinRunResult:
+        """Simulate the join over the given value sequences."""
+        n = min(len(r_values), len(s_values))
+        cache = CacheState()
+        factory = TupleFactory()
+        ctx = PolicyContext(
+            kind="join",
+            time=-1,
+            cache_size=self._cache_size,
+            r_model=self._r_model,
+            s_model=self._s_model,
+            window=self._window,
+            window_oracle=self._window_oracle,
+        )
+        self._policy.reset(ctx)
+
+        total = 0
+        after_warmup = 0
+        r_occupancy = np.zeros(n, dtype=np.int64)
+        occupancy = np.zeros(n, dtype=np.int64)
+
+        for t in range(n):
+            ctx.time = t
+            r_val = r_values[t]
+            s_val = s_values[t]
+            ctx.r_history.append(r_val)
+            ctx.s_history.append(s_val)
+
+            # Sliding-window expiry: free removal of dead tuples.
+            if self._window is not None:
+                for dead in cache.expired(t - self._window):
+                    cache.remove(dead)
+                    self._policy.on_evict(dead, t)
+
+            # New arrivals join cached partner tuples.
+            step_results = 0
+            for side, val in (("R", r_val), ("S", s_val)):
+                partner_side = "S" if side == "R" else "R"
+                for match in cache.matching_band(partner_side, val, self._band):
+                    step_results += 1
+                    self._policy.on_reference(match, t)
+            total += step_results
+            if t >= self._warmup:
+                after_warmup += step_results
+
+            # Candidate set: cache plus joinable new arrivals.
+            new_tuples = []
+            if r_val is not None:
+                new_tuples.append(factory.make("R", r_val, t))
+            if s_val is not None:
+                new_tuples.append(factory.make("S", s_val, t))
+            candidates = cache.tuples() + new_tuples
+
+            n_evict = max(0, len(candidates) - self._cache_size)
+            victims = self._select_victims(candidates, n_evict, ctx)
+
+            victim_uids = {v.uid for v in victims}
+            for tup in victims:
+                if tup in cache:
+                    cache.remove(tup)
+                self._policy.on_evict(tup, t)
+            for tup in new_tuples:
+                if tup.uid not in victim_uids:
+                    cache.add(tup)
+                    self._policy.on_admit(tup, t)
+
+            r_occupancy[t] = cache.count_side("R")
+            occupancy[t] = len(cache)
+
+        return JoinRunResult(
+            total_results=total,
+            results_after_warmup=after_warmup,
+            steps=n,
+            warmup=self._warmup,
+            cache_size=self._cache_size,
+            r_occupancy=r_occupancy,
+            occupancy=occupancy,
+        )
+
+    def _select_victims(
+        self,
+        candidates: list[StreamTuple],
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list[StreamTuple]:
+        victims = list(self._policy.select_victims(candidates, n_evict, ctx))
+        uids = {v.uid for v in victims}
+        if len(uids) != len(victims):
+            raise ValueError(f"{self._policy.name}: duplicate victims")
+        candidate_uids = {c.uid for c in candidates}
+        if not uids <= candidate_uids:
+            raise ValueError(f"{self._policy.name}: victim not a candidate")
+        if len(victims) < n_evict:
+            raise ValueError(
+                f"{self._policy.name}: returned {len(victims)} victims, "
+                f"needed {n_evict}"
+            )
+        return victims

@@ -1,0 +1,513 @@
+"""Multi-stream joins: multiple binary join queries over many streams.
+
+Appendix C of the paper notes that the framework extends from one binary
+join to "the general scenario in which multiple binary join queries
+[run] over multiple probabilistic streams.  The only difference ... lies
+in computation of expected benefit of the horizontal arc: ... this
+expected benefit is a summary of each expected benefit of the binary
+join with one partner stream."
+
+This module implements that generalization end to end:
+
+* :class:`MultiJoinSimulator` -- ``n`` named streams, a set of binary
+  equijoin queries (stream-name pairs), one shared cache;
+* :class:`MultiHeebPolicy` -- HEEB where ``H_x`` sums the per-partner
+  joining benefits, exactly the appendix's "summary" rule;
+* :class:`MultiProbPolicy` / reuse of :class:`~repro.policies.rand.RandPolicy`
+  as baselines;
+* :func:`solve_opt_offline_multi` -- the compact OPT-offline formulation
+  with per-match-step benefit *counts* (a tuple may match arrivals from
+  several partners in one step), replayable through the simulator via
+  the ordinary :class:`~repro.policies.scheduled.ScheduledPolicy`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.heeb import default_horizon
+from ..core.lifetime import LifetimeEstimator
+from ..core.tuples import CacheState, StreamTuple, TupleFactory
+from ..flow.opt_offline import OfflineSolution
+from ..streams.base import History, StreamModel, Value
+
+__all__ = [
+    "MultiPolicyContext",
+    "MultiJoinPolicy",
+    "MultiHeebPolicy",
+    "MultiProbPolicy",
+    "MultiRandPolicy",
+    "MultiJoinRunResult",
+    "MultiJoinSimulator",
+    "solve_opt_offline_multi",
+    "MultiScheduledPolicy",
+    "brute_force_multi_benefit",
+]
+
+
+@dataclass
+class MultiPolicyContext:
+    """What a multi-join policy may consult."""
+
+    time: int
+    cache_size: int
+    #: partner_names[s] = streams that s has a join query with.
+    partner_names: Mapping[str, tuple[str, ...]]
+    histories: dict[str, list[Value]] = field(default_factory=dict)
+    models: Optional[Mapping[str, StreamModel]] = None
+
+    def latest_history(self, name: str) -> History | None:
+        values = self.histories.get(name, [])
+        for t in range(len(values) - 1, -1, -1):
+            if values[t] is not None:
+                return History(now=t, last_value=values[t])
+        return None
+
+
+class MultiJoinPolicy:
+    """Base class for multi-join replacement policies."""
+
+    name = "multi-policy"
+
+    def reset(self, ctx: MultiPolicyContext) -> None:
+        """Clear per-run state."""
+
+    def select_victims(
+        self,
+        candidates: Sequence[StreamTuple],
+        n_evict: int,
+        ctx: MultiPolicyContext,
+    ) -> list[StreamTuple]:
+        raise NotImplementedError
+
+
+class MultiHeebPolicy(MultiJoinPolicy):
+    """HEEB with per-partner benefit summation (the appendix rule).
+
+    ``H_x = Σ_{P ∈ partners(stream(x))} Σ_Δt Pr{X^P_{t0+Δt} = v_x} L(Δt)``.
+    """
+
+    name = "HEEB"
+
+    def __init__(self, estimator: LifetimeEstimator, horizon: int | None = None):
+        self.estimator = estimator
+        self.horizon = horizon
+
+    def _h_value(self, tup: StreamTuple, ctx: MultiPolicyContext) -> float:
+        if ctx.models is None:
+            raise ValueError("MultiHeebPolicy needs stream models")
+        h = (
+            default_horizon(self.estimator)
+            if self.horizon is None
+            else self.horizon
+        )
+        weights = self.estimator.weights(h)
+        total = 0.0
+        for partner_name in ctx.partner_names.get(tup.side, ()):
+            model = ctx.models[partner_name]
+            history = None
+            if not model.is_independent:
+                history = ctx.latest_history(partner_name)
+            probs = np.array(
+                [
+                    model.prob(ctx.time + dt, tup.value, history)
+                    for dt in range(1, h + 1)
+                ]
+            )
+            total += float(np.dot(probs, weights))
+        return total
+
+    def select_victims(self, candidates, n_evict, ctx):
+        if n_evict <= 0:
+            return []
+        ranked = sorted(
+            candidates, key=lambda tup: (self._h_value(tup, ctx), tup.uid)
+        )
+        return ranked[:n_evict]
+
+
+class MultiProbPolicy(MultiJoinPolicy):
+    """PROB generalized: frequency of the value across all partner
+    streams' observed histories."""
+
+    name = "PROB"
+
+    def __init__(self) -> None:
+        self._counts: dict[str, Counter] = {}
+        self._consumed: dict[str, int] = {}
+
+    def reset(self, ctx: MultiPolicyContext) -> None:
+        self._counts = {}
+        self._consumed = {}
+
+    def _sync(self, ctx: MultiPolicyContext) -> None:
+        for name, history in ctx.histories.items():
+            counts = self._counts.setdefault(name, Counter())
+            start = self._consumed.get(name, 0)
+            for t in range(start, len(history)):
+                v = history[t]
+                if v is not None:
+                    counts[v] += 1
+            self._consumed[name] = len(history)
+
+    def select_victims(self, candidates, n_evict, ctx):
+        if n_evict <= 0:
+            return []
+        self._sync(ctx)
+
+        def score(tup: StreamTuple) -> float:
+            return float(
+                sum(
+                    self._counts.get(p, Counter())[tup.value]
+                    for p in ctx.partner_names.get(tup.side, ())
+                )
+            )
+
+        ranked = sorted(candidates, key=lambda tup: (score(tup), tup.uid))
+        return ranked[:n_evict]
+
+
+class MultiRandPolicy(MultiJoinPolicy):
+    """Uniformly random victims."""
+
+    name = "RAND"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, ctx: MultiPolicyContext) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def select_victims(self, candidates, n_evict, ctx):
+        if n_evict <= 0:
+            return []
+        order = sorted(candidates, key=lambda t: t.uid)
+        picks = self._rng.choice(len(order), size=n_evict, replace=False)
+        return [order[i] for i in picks]
+
+
+class MultiScheduledPolicy(MultiJoinPolicy):
+    """Replays a precomputed multi-join schedule (OPT-offline)."""
+
+    name = "OPT-OFFLINE"
+
+    def __init__(self, solution: OfflineSolution):
+        self._solution = solution
+        self.mismatches = 0
+
+    def reset(self, ctx: MultiPolicyContext) -> None:
+        self.mismatches = 0
+
+    def select_victims(self, candidates, n_evict, ctx):
+        due = [
+            c
+            for c in candidates
+            if self._solution.scheduled_eviction(c.side, c.arrival) <= ctx.time
+        ]
+        if len(due) >= n_evict:
+            return due
+        self.mismatches += 1
+        others = sorted(
+            (c for c in candidates if c not in due),
+            key=lambda c: self._solution.scheduled_eviction(c.side, c.arrival),
+        )
+        return due + others[: n_evict - len(due)]
+
+
+# ----------------------------------------------------------------------
+# Simulator
+# ----------------------------------------------------------------------
+@dataclass
+class MultiJoinRunResult:
+    total_results: int
+    results_after_warmup: int
+    steps: int
+    cache_size: int
+    #: results attributed to each query (unordered stream-name pair).
+    per_query: dict[frozenset, int]
+    #: per-step cache occupancy per stream.
+    occupancy_by_stream: dict[str, np.ndarray]
+
+
+class MultiJoinSimulator:
+    """Simulates several streams sharing one cache under binary queries.
+
+    Parameters
+    ----------
+    cache_size:
+        Shared capacity in tuples.
+    policy:
+        A :class:`MultiJoinPolicy`.
+    queries:
+        Binary equijoin queries as stream-name pairs.  A pair may appear
+        once; self-joins are rejected.
+    models:
+        Optional per-stream models handed to model-aware policies.
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: MultiJoinPolicy,
+        queries: Sequence[tuple[str, str]],
+        warmup: int = 0,
+        models: Mapping[str, StreamModel] | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        if not queries:
+            raise ValueError("need at least one join query")
+        partner_names: dict[str, list[str]] = {}
+        seen = set()
+        for a, b in queries:
+            if a == b:
+                raise ValueError(f"self-join {a!r} not supported")
+            key = frozenset((a, b))
+            if key in seen:
+                raise ValueError(f"duplicate query {a!r}-{b!r}")
+            seen.add(key)
+            partner_names.setdefault(a, []).append(b)
+            partner_names.setdefault(b, []).append(a)
+        self._queries = [tuple(q) for q in queries]
+        self._partner_names = {
+            name: tuple(ps) for name, ps in partner_names.items()
+        }
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+        self._models = models
+
+    def run(
+        self, streams: Mapping[str, Sequence[Value]]
+    ) -> MultiJoinRunResult:
+        names = list(streams.keys())
+        missing = set(self._partner_names) - set(names)
+        if missing:
+            raise ValueError(f"queries reference unknown streams {missing}")
+        n = min(len(v) for v in streams.values())
+        cache = CacheState()
+        factory = TupleFactory()
+        ctx = MultiPolicyContext(
+            time=-1,
+            cache_size=self._cache_size,
+            partner_names=self._partner_names,
+            histories={name: [] for name in names},
+            models=self._models,
+        )
+        self._policy.reset(ctx)
+
+        total = after_warmup = 0
+        per_query: dict[frozenset, int] = {
+            frozenset(q): 0 for q in self._queries
+        }
+        occupancy = {name: np.zeros(n, dtype=np.int64) for name in names}
+
+        for t in range(n):
+            ctx.time = t
+            arrivals = {name: streams[name][t] for name in names}
+            for name in names:
+                ctx.histories[name].append(arrivals[name])
+
+            step_results = 0
+            for name in names:
+                val = arrivals[name]
+                if val is None:
+                    continue
+                for partner_name in self._partner_names.get(name, ()):
+                    matches = cache.matching(partner_name, val)
+                    step_results += len(matches)
+                    per_query[frozenset((name, partner_name))] += len(matches)
+            total += step_results
+            if t >= self._warmup:
+                after_warmup += step_results
+
+            new_tuples = [
+                factory.make(name, arrivals[name], t)
+                for name in names
+                if arrivals[name] is not None
+                and name in self._partner_names  # streams in no query
+            ]
+            candidates = cache.tuples() + new_tuples
+            n_evict = max(0, len(candidates) - self._cache_size)
+            victims = list(
+                self._policy.select_victims(candidates, n_evict, ctx)
+            )
+            victim_uids = {v.uid for v in victims}
+            if len(victim_uids) != len(victims) or not victim_uids <= {
+                c.uid for c in candidates
+            }:
+                raise ValueError(f"{self._policy.name}: invalid victims")
+            if len(victims) < n_evict:
+                raise ValueError(
+                    f"{self._policy.name}: returned {len(victims)}, "
+                    f"needed {n_evict}"
+                )
+            for tup in victims:
+                if tup in cache:
+                    cache.remove(tup)
+            for tup in new_tuples:
+                if tup.uid not in victim_uids:
+                    cache.add(tup)
+
+            for name in names:
+                occupancy[name][t] = cache.count_side(name)
+
+        return MultiJoinRunResult(
+            total_results=total,
+            results_after_warmup=after_warmup,
+            steps=n,
+            cache_size=self._cache_size,
+            per_query=per_query,
+            occupancy_by_stream=occupancy,
+        )
+
+
+# ----------------------------------------------------------------------
+# OPT-offline for the multi-join case
+# ----------------------------------------------------------------------
+def solve_opt_offline_multi(
+    streams: Mapping[str, Sequence[Value]],
+    queries: Sequence[tuple[str, str]],
+    cache_size: int,
+) -> OfflineSolution:
+    """Optimal offline schedule for multiple binary queries.
+
+    Same compact tuple-chain formulation as the two-stream solver, except
+    that a tuple's match *events* carry counts: at one step, arrivals
+    from several partner streams may all match, so the chain arc entering
+    that event costs ``−count``.
+    """
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    partner_names: dict[str, list[str]] = {}
+    for a, b in queries:
+        partner_names.setdefault(a, []).append(b)
+        partner_names.setdefault(b, []).append(a)
+    names = [n for n in streams if n in partner_names]
+    n = min(len(streams[name]) for name in streams) if streams else 0
+
+    eviction: dict[tuple[str, int], int] = {}
+    cached: set[tuple[str, int]] = set()
+    if n == 0:
+        return OfflineSolution(eviction, 0, cache_size, 0, cached)
+
+    # occurrence[name][v] = sorted arrival times of v in that stream.
+    occurrence: dict[str, dict[Value, list[int]]] = {}
+    for name in names:
+        occ: dict[Value, list[int]] = {}
+        for t in range(n):
+            v = streams[name][t]
+            if v is not None:
+                occ.setdefault(v, []).append(t)
+        occurrence[name] = occ
+
+    graph = nx.DiGraph()
+    for t in range(n):
+        graph.add_edge(("T", t), ("T", t + 1), capacity=cache_size, weight=0)
+
+    chains: list[tuple[str, int, list[tuple[int, int]]]] = []
+    for name in names:
+        for t in range(n):
+            eviction[(name, t)] = t
+            v = streams[name][t]
+            if v is None:
+                continue
+            counts: Counter = Counter()
+            for partner_name in partner_names[name]:
+                for m in occurrence[partner_name].get(v, ()):  # type: ignore[arg-type]
+                    if m > t:
+                        counts[m] += 1
+            if counts:
+                events = sorted(counts.items())
+                chains.append((name, t, events))
+
+    for name, arrival, events in chains:
+        prev = ("T", arrival)
+        for i, (m, count) in enumerate(events):
+            node = ("x", name, arrival, i)
+            graph.add_edge(prev, node, capacity=1, weight=-count)
+            graph.add_edge(node, ("T", m), capacity=1, weight=0)
+            prev = node
+
+    graph.nodes[("T", 0)]["demand"] = -cache_size
+    graph.nodes[("T", n)]["demand"] = cache_size
+    cost, flow_dict = nx.network_simplex(graph)
+
+    for name, arrival, events in chains:
+        if flow_dict[("T", arrival)].get(("x", name, arrival, 0), 0) <= 0:
+            continue
+        cached.add((name, arrival))
+        evict_at = events[0][0]
+        for i, (m, _count) in enumerate(events):
+            node = ("x", name, arrival, i)
+            if flow_dict[node].get(("T", m), 0) > 0:
+                evict_at = m
+                break
+        eviction[(name, arrival)] = evict_at
+
+    return OfflineSolution(
+        eviction_time=eviction,
+        total_benefit=-cost,
+        cache_size=cache_size,
+        length=n,
+        cached=cached,
+    )
+
+
+def brute_force_multi_benefit(
+    streams: Mapping[str, Sequence[Value]],
+    queries: Sequence[tuple[str, str]],
+    cache_size: int,
+    max_states: int = 2_000_000,
+) -> int:
+    """Exhaustive optimum for tiny multi-join instances (validation)."""
+    from functools import lru_cache
+    from itertools import combinations
+
+    partner_names: dict[str, list[str]] = {}
+    for a, b in queries:
+        partner_names.setdefault(a, []).append(b)
+        partner_names.setdefault(b, []).append(a)
+    names = [name for name in streams if name in partner_names]
+    n = min(len(v) for v in streams.values())
+    states_seen = 0
+
+    @lru_cache(maxsize=None)
+    def solve(t: int, cache: frozenset) -> int:
+        nonlocal states_seen
+        states_seen += 1
+        if states_seen > max_states:
+            raise RuntimeError("state budget exhausted")
+        if t == n:
+            return 0
+        gained = 0
+        for (name, _arrival, value) in cache:
+            for partner_name in partner_names[name]:
+                if streams[partner_name][t] == value:
+                    gained += 1
+        new = [
+            (name, t, streams[name][t])
+            for name in names
+            if streams[name][t] is not None
+        ]
+        candidates = list(cache) + new
+        n_keep = min(cache_size, len(candidates))
+        best = 0
+        seen = set()
+        for keep in combinations(candidates, n_keep):
+            key = frozenset(keep)
+            if key in seen:
+                continue
+            seen.add(key)
+            best = max(best, solve(t + 1, key))
+        return gained + best
+
+    return solve(0, frozenset())

@@ -1,0 +1,157 @@
+"""Multi-run experiment execution with seeded stream generation.
+
+The paper's synthetic experiments average 50 runs of 5000-tuple streams
+(Section 6.2); this module provides the run loop: draw sample paths from
+the configured models with per-run seeds, drive each policy over the same
+paths, and aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..policies.base import ReplacementPolicy, WindowOracle
+from ..streams.base import StreamModel, Value
+from .join_sim import JoinRunResult, JoinSimulator
+
+__all__ = [
+    "JoinExperimentResult",
+    "CacheExperimentResult",
+    "run_join_experiment",
+    "run_cache_experiment",
+    "generate_paths",
+    "generate_reference_paths",
+]
+
+
+@dataclass
+class JoinExperimentResult:
+    """Aggregated results of one policy across runs."""
+
+    policy_name: str
+    per_run: list[JoinRunResult]
+
+    @property
+    def mean_results(self) -> float:
+        return float(
+            np.mean([r.results_after_warmup for r in self.per_run])
+        )
+
+    @property
+    def std_results(self) -> float:
+        return float(np.std([r.results_after_warmup for r in self.per_run]))
+
+    def mean_r_fraction(self) -> np.ndarray:
+        """Per-step fraction of cache held by R tuples, averaged over runs."""
+        return np.mean([r.r_fraction for r in self.per_run], axis=0)
+
+
+def generate_paths(
+    r_model: StreamModel,
+    s_model: StreamModel,
+    length: int,
+    n_runs: int,
+    seed: int,
+) -> list[tuple[list[Value], list[Value]]]:
+    """Draw ``n_runs`` independent stream-pair realizations."""
+    paths = []
+    for run in range(n_runs):
+        rng = np.random.default_rng(seed + run)
+        paths.append(
+            (r_model.sample_path(length, rng), s_model.sample_path(length, rng))
+        )
+    return paths
+
+
+def run_join_experiment(
+    policy_factory: Callable[[], ReplacementPolicy],
+    paths: Sequence[tuple[list[Value], list[Value]]],
+    cache_size: int,
+    warmup: int = 0,
+    window: int | None = None,
+    r_model: StreamModel | None = None,
+    s_model: StreamModel | None = None,
+    window_oracle: WindowOracle | None = None,
+) -> JoinExperimentResult:
+    """Run one (fresh) policy instance per path and aggregate.
+
+    ``policy_factory`` builds a new policy per run so that per-run state
+    (frequency counters, RNG streams) never leaks across runs.
+    """
+    results = []
+    name = None
+    for r_values, s_values in paths:
+        policy = policy_factory()
+        name = policy.name
+        sim = JoinSimulator(
+            cache_size,
+            policy,
+            warmup=warmup,
+            window=window,
+            r_model=r_model,
+            s_model=s_model,
+            window_oracle=window_oracle,
+        )
+        results.append(sim.run(r_values, s_values))
+    return JoinExperimentResult(policy_name=name or "policy", per_run=results)
+
+
+@dataclass
+class CacheExperimentResult:
+    """Aggregated caching results of one policy across runs."""
+
+    policy_name: str
+    per_run: list
+
+    @property
+    def mean_hits(self) -> float:
+        return float(np.mean([r.hits_after_warmup for r in self.per_run]))
+
+    @property
+    def mean_misses(self) -> float:
+        return float(np.mean([r.misses_after_warmup for r in self.per_run]))
+
+    @property
+    def mean_hit_rate(self) -> float:
+        return float(np.mean([r.hit_rate for r in self.per_run]))
+
+
+def generate_reference_paths(
+    model: StreamModel,
+    length: int,
+    n_runs: int,
+    seed: int,
+) -> list[list[Value]]:
+    """Draw ``n_runs`` independent reference-stream realizations."""
+    return [
+        model.sample_path(length, np.random.default_rng(seed + run))
+        for run in range(n_runs)
+    ]
+
+
+def run_cache_experiment(
+    policy_factory: Callable[[], ReplacementPolicy],
+    references: Sequence[Sequence[Value]],
+    cache_size: int,
+    warmup: int = 0,
+    reference_model: StreamModel | None = None,
+) -> CacheExperimentResult:
+    """Caching counterpart of :func:`run_join_experiment`."""
+    from .cache_sim import CacheSimulator
+
+    results = []
+    name = None
+    for reference in references:
+        policy = policy_factory()
+        name = policy.name
+        sim = CacheSimulator(
+            cache_size,
+            policy,
+            warmup=warmup,
+            reference_model=reference_model,
+        )
+        results.append(sim.run(reference))
+    return CacheExperimentResult(policy_name=name or "policy", per_run=results)

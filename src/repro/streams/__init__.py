@@ -1,0 +1,60 @@
+"""Stochastic stream models: the statistical substrate of the framework.
+
+This subpackage implements every input model used by the paper's case
+studies and experiments (Sections 5-6):
+
+* :class:`~repro.streams.offline.OfflineStream` -- fully known sequences,
+* :class:`~repro.streams.stationary.StationaryStream` -- i.i.d. values,
+* :class:`~repro.streams.linear_trend.LinearTrendStream` -- linear trend
+  plus bounded uniform / bounded normal noise (FLOOR / TOWER / ROOF),
+* :class:`~repro.streams.random_walk.RandomWalkStream` -- random walk with
+  drift (WALK),
+* :class:`~repro.streams.ar1.AR1Stream` -- AR(1), the model fitted to the
+  REAL (Melbourne temperature) data,
+
+together with the caching→joining reduction of Section 2
+(:mod:`~repro.streams.reduction`) and a synthetic substitute for the
+Melbourne data set (:mod:`~repro.streams.melbourne`).
+"""
+
+from .ar1 import AR1Stream
+from .base import History, StreamModel, Value, as_history
+from .linear_trend import LinearTrendStream
+from .melbourne import PAPER_AR1_FIT, melbourne_like_temperatures
+from .noise import (
+    DiscreteDistribution,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+    point_mass,
+)
+from .offline import OfflineStream
+from .random_walk import RandomWalkStream
+from .reduction import PairedValue, occurrence_index, reduce_reference_stream
+from .stationary import StationaryStream
+from .tabular import TabularStream
+
+__all__ = [
+    "AR1Stream",
+    "DiscreteDistribution",
+    "History",
+    "LinearTrendStream",
+    "OfflineStream",
+    "PAPER_AR1_FIT",
+    "PairedValue",
+    "RandomWalkStream",
+    "StationaryStream",
+    "StreamModel",
+    "TabularStream",
+    "Value",
+    "as_history",
+    "bounded_normal",
+    "bounded_uniform",
+    "discretized_normal",
+    "from_mapping",
+    "melbourne_like_temperatures",
+    "occurrence_index",
+    "point_mass",
+    "reduce_reference_stream",
+]

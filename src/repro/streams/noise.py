@@ -1,0 +1,269 @@
+"""Discrete probability distributions over integer values.
+
+The paper models every stream as a discrete-time stochastic process whose
+join-attribute values are discrete random variables (Section 2).  All noise
+terms used in the case studies (Section 5) and experiments (Section 6) are
+distributions over a contiguous range of integers:
+
+* bounded uniform noise over ``[-w, w]`` (the FLOOR configuration),
+* discretized bounded normal noise (TOWER and ROOF),
+* discretized normal steps for random walks (WALK).
+
+:class:`DiscreteDistribution` is the shared representation: a sorted integer
+support with matching probabilities.  It supports the operations the rest of
+the library needs -- pmf lookup, sampling, shifting, convolution (for
+multi-step random-walk distributions), and moments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DiscreteDistribution",
+    "bounded_uniform",
+    "bounded_normal",
+    "discretized_normal",
+    "point_mass",
+    "from_mapping",
+]
+
+
+class DiscreteDistribution:
+    """An immutable probability distribution over integer values.
+
+    Parameters
+    ----------
+    values:
+        Integer support.  Need not be sorted or contiguous; duplicates are
+        merged by summing their probabilities.
+    probs:
+        Nonnegative weights matching ``values``.  They are normalized to sum
+        to one.
+    """
+
+    __slots__ = ("_values", "_probs", "_index")
+
+    def __init__(self, values: Sequence[int], probs: Sequence[float]):
+        values_arr = np.asarray(values, dtype=np.int64)
+        probs_arr = np.asarray(probs, dtype=np.float64)
+        if values_arr.shape != probs_arr.shape or values_arr.ndim != 1:
+            raise ValueError("values and probs must be 1-D and equal length")
+        if values_arr.size == 0:
+            raise ValueError("distribution needs at least one value")
+        if np.any(probs_arr < 0):
+            raise ValueError("probabilities must be nonnegative")
+        total = float(probs_arr.sum())
+        if not total > 0:
+            raise ValueError("probabilities must not all be zero")
+
+        order = np.argsort(values_arr, kind="stable")
+        values_arr = values_arr[order]
+        probs_arr = probs_arr[order]
+        if np.any(values_arr[1:] == values_arr[:-1]):
+            uniq, inverse = np.unique(values_arr, return_inverse=True)
+            merged = np.zeros(uniq.size, dtype=np.float64)
+            np.add.at(merged, inverse, probs_arr)
+            values_arr, probs_arr = uniq, merged
+
+        self._values = values_arr
+        self._probs = probs_arr / total
+        self._index = {int(v): i for i, v in enumerate(values_arr)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted integer support (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`values` (read-only view)."""
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def min_value(self) -> int:
+        return int(self._values[0])
+
+    @property
+    def max_value(self) -> int:
+        return int(self._values[-1])
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiscreteDistribution(support=[{self.min_value}, "
+            f"{self.max_value}], size={len(self)})"
+        )
+
+    def items(self) -> Iterable[tuple[int, float]]:
+        """Iterate over ``(value, probability)`` pairs in value order."""
+        for v, p in zip(self._values, self._probs):
+            yield int(v), float(p)
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def pmf(self, value: int) -> float:
+        """Return ``Pr{X = value}`` (zero outside the support)."""
+        i = self._index.get(int(value))
+        return 0.0 if i is None else float(self._probs[i])
+
+    def pmf_many(self, values: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`pmf` over an array of integer values."""
+        values_arr = np.asarray(values, dtype=np.int64)
+        idx = np.searchsorted(self._values, values_arr)
+        idx_clipped = np.clip(idx, 0, self._values.size - 1)
+        hit = self._values[idx_clipped] == values_arr
+        out = np.where(hit, self._probs[idx_clipped], 0.0)
+        return out
+
+    def cdf(self, value: int) -> float:
+        """Return ``Pr{X <= value}``."""
+        pos = np.searchsorted(self._values, int(value), side="right")
+        return float(self._probs[:pos].sum())
+
+    def mean(self) -> float:
+        return float(np.dot(self._values, self._probs))
+
+    def variance(self) -> float:
+        mu = self.mean()
+        return float(np.dot((self._values - mu) ** 2, self._probs))
+
+    def std(self) -> float:
+        return math.sqrt(self.variance())
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one integer (``size is None``) or an array of integers."""
+        drawn = rng.choice(self._values, size=size, p=self._probs)
+        if size is None:
+            return int(drawn)
+        return drawn.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def shift(self, offset: int) -> "DiscreteDistribution":
+        """Distribution of ``X + offset``."""
+        return DiscreteDistribution(self._values + int(offset), self._probs)
+
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of ``X + Y`` for independent ``X`` (self) and ``Y``.
+
+        Both operands are embedded into dense contiguous arrays so the sum
+        can be computed with :func:`numpy.convolve`; gaps in either support
+        simply carry zero probability.
+        """
+        dense_a = self._dense()
+        dense_b = other._dense()
+        probs = np.convolve(dense_a, dense_b)
+        lo = self.min_value + other.min_value
+        values = np.arange(lo, lo + probs.size, dtype=np.int64)
+        keep = probs > 0
+        return DiscreteDistribution(values[keep], probs[keep])
+
+    def truncate(self, threshold: float) -> "DiscreteDistribution":
+        """Drop support points with probability below ``threshold``.
+
+        Useful to keep repeated convolutions (multi-step random-walk
+        distributions) compact.  The result is renormalized.
+        """
+        keep = self._probs >= threshold
+        if not np.any(keep):
+            # Keep the single most likely value rather than return nothing.
+            keep = self._probs == self._probs.max()
+        return DiscreteDistribution(self._values[keep], self._probs[keep])
+
+    def _dense(self) -> np.ndarray:
+        dense = np.zeros(self.max_value - self.min_value + 1, dtype=np.float64)
+        dense[self._values - self.min_value] = self._probs
+        return dense
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (used in tests)
+    # ------------------------------------------------------------------
+    def allclose(self, other: "DiscreteDistribution", atol: float = 1e-12) -> bool:
+        """True when both distributions agree within ``atol`` pointwise."""
+        lo = min(self.min_value, other.min_value)
+        hi = max(self.max_value, other.max_value)
+        grid = np.arange(lo, hi + 1)
+        return bool(
+            np.allclose(self.pmf_many(grid), other.pmf_many(grid), atol=atol)
+        )
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def bounded_uniform(width: int) -> DiscreteDistribution:
+    """Uniform noise over the integers ``[-width, width]`` (FLOOR noise).
+
+    Every value has probability ``1 / (2*width + 1)`` exactly as in
+    Section 5.3 of the paper.
+    """
+    if width < 0:
+        raise ValueError("width must be nonnegative")
+    values = np.arange(-width, width + 1)
+    probs = np.full(values.size, 1.0 / values.size)
+    return DiscreteDistribution(values, probs)
+
+
+def bounded_normal(width: int, sigma: float) -> DiscreteDistribution:
+    """Discretized zero-mean normal noise truncated to ``[-width, width]``.
+
+    This is the TOWER / ROOF noise of Section 6.1: a normal density sampled
+    at the integers inside the bound and renormalized.
+    """
+    if width < 0:
+        raise ValueError("width must be nonnegative")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    values = np.arange(-width, width + 1)
+    probs = np.exp(-0.5 * (values / sigma) ** 2)
+    return DiscreteDistribution(values, probs)
+
+
+def discretized_normal(
+    sigma: float, mean: float = 0.0, tail: float = 1e-10
+) -> DiscreteDistribution:
+    """Discretized normal over all integers with negligible tail dropped.
+
+    Used for random-walk steps (WALK configuration, Section 5.5).  The
+    support is cut where the density falls below ``tail`` times the peak.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    # Half-width where density / peak < tail:  exp(-d^2 / (2 sigma^2)) < tail
+    half = int(math.ceil(sigma * math.sqrt(max(2.0 * math.log(1.0 / tail), 1.0))))
+    values = np.arange(math.floor(mean) - half, math.ceil(mean) + half + 1)
+    probs = np.exp(-0.5 * ((values - mean) / sigma) ** 2)
+    keep = probs > 0
+    return DiscreteDistribution(values[keep], probs[keep])
+
+
+def point_mass(value: int) -> DiscreteDistribution:
+    """Distribution concentrated on a single integer."""
+    return DiscreteDistribution([int(value)], [1.0])
+
+
+def from_mapping(pmf: dict[int, float]) -> DiscreteDistribution:
+    """Build a distribution from a ``{value: probability}`` mapping."""
+    if not pmf:
+        raise ValueError("mapping must not be empty")
+    values = list(pmf.keys())
+    probs = list(pmf.values())
+    return DiscreteDistribution(values, probs)

@@ -1,0 +1,100 @@
+"""Offline (fully known) streams -- the scenario of Section 5.1.
+
+An offline stream is a deterministic sequence ``a_0, a_1, ...`` analyzed as
+the degenerate independent process with ``Pr{X_t = a_t} = 1``.  The paper
+uses this scenario to recover the classic results: LFD is optimal for
+caching, and FlowExpect degenerates into OPT-offline for joining.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import History, StreamModel, Value
+from .noise import DiscreteDistribution, point_mass
+
+__all__ = ["OfflineStream"]
+
+
+class OfflineStream(StreamModel):
+    """A stream whose entire value sequence is known in advance.
+
+    Parameters
+    ----------
+    values:
+        The sequence of join-attribute values; ``None`` entries are "−"
+        tuples that join with nothing.
+    """
+
+    is_independent = True
+
+    def __init__(self, values: Sequence[Value]):
+        self._values: list[Value] = [
+            None if v is None else int(v) for v in values
+        ]
+        if not self._values:
+            raise ValueError("offline stream needs at least one value")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[Value]:
+        """The full deterministic value sequence (copy)."""
+        return list(self._values)
+
+    def value_at(self, t: int) -> Value:
+        """The (certain) value produced at time ``t``.
+
+        Times beyond the recorded sequence produce "−" (no tuple joins).
+        """
+        if t < 0:
+            raise ValueError("time must be nonnegative")
+        if t >= len(self._values):
+            return None
+        return self._values[t]
+
+    def sample_path(self, length: int, rng: np.random.Generator) -> list[Value]:
+        if length <= len(self._values):
+            return self._values[:length]
+        return self._values + [None] * (length - len(self._values))
+
+    def cond_dist(self, t: int, history: History | None = None) -> DiscreteDistribution:
+        self.check_time(t, history)
+        v = self.value_at(t)
+        if v is None:
+            raise ValueError(
+                f"offline stream produces '−' at t={t}; no distribution over "
+                "joinable values exists -- use prob(), which returns 0"
+            )
+        return point_mass(v)
+
+    def prob(self, t: int, value: Value, history: History | None = None) -> float:
+        self.check_time(t, history)
+        if value is None:
+            return 0.0
+        actual = self.value_at(t)
+        return 1.0 if actual is not None and actual == value else 0.0
+
+    def support(
+        self, t: int, history: History | None = None
+    ) -> list[tuple[int, float]]:
+        self.check_time(t, history)
+        v = self.value_at(t)
+        if v is None:
+            return []
+        return [(v, 1.0)]
+
+    def next_occurrence(self, value: int, after: int) -> int | None:
+        """First time strictly after ``after`` at which ``value`` appears.
+
+        This is the quantity driving LFD (Longest Forward Distance):
+        Section 5.1 shows the offline caching ECB is a single-step function
+        jumping at exactly this time.
+        """
+        for t in range(after + 1, len(self._values)):
+            if self._values[t] == value:
+                return t
+        return None

@@ -1,0 +1,139 @@
+"""Random walks with drift -- the scenario of Section 5.5 (WALK).
+
+The process is ``X_t = φ0 + X_{t-1} + Y_t`` where ``φ0`` is a constant
+drift and the ``Y_t`` are i.i.d. zero-mean steps.  Conditioned on the last
+observation ``x_{t0}``, the value ``Δt`` steps ahead is distributed as
+
+    ``x_{t0} + Δt·φ0 + (Y_1 + ... + Y_Δt)``,
+
+so the conditional pmf is the ``Δt``-fold convolution of the step
+distribution, shifted.  The convolutions are cached: they depend only on
+``Δt``, never on the time or the observed value (this is exactly the
+translation invariance behind Theorem 5(2)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import History, StreamModel, Value
+from .noise import DiscreteDistribution, point_mass
+
+__all__ = ["RandomWalkStream"]
+
+
+class RandomWalkStream(StreamModel):
+    """A first-order random walk with optional constant drift.
+
+    Parameters
+    ----------
+    step:
+        Distribution of the zero-mean step ``Y_t``.
+    drift:
+        The constant drift ``φ0`` added every step.
+    start:
+        The deterministic value ``X_0``.
+    truncate_tail:
+        Probabilities below this threshold are dropped from cached
+        multi-step convolutions to keep their support compact.
+    """
+
+    is_independent = False
+
+    def __init__(
+        self,
+        step: DiscreteDistribution,
+        drift: int = 0,
+        start: int = 0,
+        truncate_tail: float = 1e-12,
+    ):
+        self._step = step
+        self._drift = int(drift)
+        self._start = int(start)
+        self._truncate_tail = float(truncate_tail)
+        # _sums[k] = distribution of Y_1 + ... + Y_k (no drift); _sums[0]
+        # is a point mass at zero.
+        self._sums: list[DiscreteDistribution] = [point_mass(0)]
+
+    # ------------------------------------------------------------------
+    @property
+    def step(self) -> DiscreteDistribution:
+        return self._step
+
+    @property
+    def drift(self) -> int:
+        return self._drift
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    def step_sum(self, k: int) -> DiscreteDistribution:
+        """Distribution of the sum of ``k`` i.i.d. steps (drift excluded)."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        while len(self._sums) <= k:
+            nxt = self._sums[-1].convolve(self._step)
+            if self._truncate_tail > 0:
+                nxt = nxt.truncate(self._truncate_tail)
+            self._sums.append(nxt)
+        return self._sums[k]
+
+    # ------------------------------------------------------------------
+    def sample_path(self, length: int, rng: np.random.Generator) -> list[Value]:
+        steps = self._step.sample(rng, size=length)
+        path: list[Value] = []
+        x = self._start
+        for t in range(length):
+            if t == 0:
+                x = self._start
+            else:
+                x = x + self._drift + int(steps[t])
+            path.append(x)
+        return path
+
+    def sample_future(
+        self,
+        t0: int,
+        horizon: int,
+        rng: np.random.Generator,
+        history: History | None = None,
+    ) -> list[Value]:
+        if history is None:
+            anchor_v = self._start
+        elif history.last_value is None:
+            raise ValueError("random walk history must carry a value")
+        else:
+            anchor_v = int(history.last_value)
+        steps = self._step.sample(rng, size=horizon)
+        path: list[Value] = []
+        x = anchor_v
+        for i in range(horizon):
+            x = x + self._drift + int(steps[i])
+            path.append(x)
+        return path
+
+    def cond_dist(self, t: int, history: History | None = None) -> DiscreteDistribution:
+        self.check_time(t, history)
+        if history is None:
+            # Unconditional: treat X_0 = start as the anchor.
+            anchor_t, anchor_v = 0, self._start
+        else:
+            if history.last_value is None:
+                raise ValueError("random walk history must carry a value")
+            anchor_t, anchor_v = history.now, int(history.last_value)
+        k = t - anchor_t
+        return self.step_sum(k).shift(anchor_v + k * self._drift)
+
+    def prob(self, t: int, value: Value, history: History | None = None) -> float:
+        self.check_time(t, history)
+        if value is None:
+            return 0.0
+        if history is None:
+            anchor_t, anchor_v = 0, self._start
+        else:
+            if history.last_value is None:
+                raise ValueError("random walk history must carry a value")
+            anchor_t, anchor_v = history.now, int(history.last_value)
+        k = t - anchor_t
+        return self.step_sum(k).pmf(int(value) - anchor_v - k * self._drift)

@@ -1,0 +1,74 @@
+"""Reduction from the caching problem to the joining problem (Section 2).
+
+Given a reference stream ``R`` hitting a database relation, the paper
+constructs a "supply" stream ``S`` that emits, at every step, the database
+tuple joining with the current reference.  Because the joining problem
+requires all tuples to be distinct, join-attribute values are rewritten to
+``(v, i)`` pairs:
+
+* the *i*-th occurrence of value ``v`` in ``R`` becomes ``(v, i-1)``,
+* the *i*-th occurrence of value ``v`` in ``S`` becomes ``(v, i)``.
+
+With this relabeling (Observation 1-3 in the paper): neither stream has
+duplicates; each supply tuple ``s_(v,i)`` joins with exactly one future
+reference tuple ``r_(v,i)``; and no reference tuple joins with any future
+supply tuple.  Theorem 1 then states that for any *reasonable* replacement
+policy, hits in the caching problem equal join results in the reduced
+joining problem.
+
+Values here are hashable pairs ``(v, i)``; the join simulator only ever
+compares values for equality, so non-integer values are fine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+__all__ = [
+    "PairedValue",
+    "reduce_reference_stream",
+    "occurrence_index",
+]
+
+#: A relabeled join value: ``(original_value, occurrence_counter)``.
+PairedValue = tuple[Hashable, int]
+
+
+def occurrence_index(values: Sequence[Hashable]) -> list[int]:
+    """For each position, how many times its value occurred before it.
+
+    ``occurrence_index(['a','b','a'])`` is ``[0, 0, 1]``.
+    """
+    seen: Counter = Counter()
+    out: list[int] = []
+    for v in values:
+        out.append(seen[v])
+        seen[v] += 1
+    return out
+
+
+def reduce_reference_stream(
+    reference: Sequence[Hashable],
+) -> tuple[list[PairedValue], list[PairedValue]]:
+    """Apply the Section-2 transformation to a reference sequence.
+
+    Returns ``(r_values, s_values)``: the relabeled reference stream ``R'``
+    and the supply stream ``S'``.  At every time ``t``,
+
+    * ``r_values[t] = (v, k)`` where ``v = reference[t]`` and ``k`` counts
+      prior occurrences of ``v`` (the paper's ``(v, i-1)`` for the *i*-th
+      occurrence), and
+    * ``s_values[t] = (v, k + 1)`` (the paper's ``(v, i)``).
+
+    The supply tuple emitted at ``t`` is exactly the database tuple that a
+    cache miss at ``t`` would fetch, relabeled so that it joins with the
+    *next* reference to ``v`` and nothing else.
+    """
+    occ = occurrence_index(reference)
+    r_values: list[PairedValue] = []
+    s_values: list[PairedValue] = []
+    for v, k in zip(reference, occ):
+        r_values.append((v, k))
+        s_values.append((v, k + 1))
+    return r_values, s_values

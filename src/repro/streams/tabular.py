@@ -1,0 +1,105 @@
+"""Tabular streams: explicit per-step value distributions.
+
+Section 3.4's suboptimality example specifies, for each future time step,
+a small table such as "2 with probability 0.5, − otherwise".  A
+:class:`TabularStream` stores exactly such tables: one list of
+``(value, probability)`` pairs per time step, where the probabilities may
+sum to less than one -- the remaining mass produces a "−" tuple that joins
+with nothing.
+
+Steps are independent of each other, so the incremental machinery of
+Section 4.4 applies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import History, StreamModel, Value
+from .noise import DiscreteDistribution
+
+__all__ = ["TabularStream"]
+
+#: One step's specification: ``[(value, prob), ...]`` with total mass <= 1.
+StepSpec = Sequence[tuple[int, float]]
+
+
+class TabularStream(StreamModel):
+    """A stream defined by an explicit table of per-step distributions.
+
+    Parameters
+    ----------
+    steps:
+        ``steps[t]`` lists the joinable values at time ``t`` and their
+        probabilities.  An empty list means the step certainly produces a
+        "−" tuple.  Times beyond the table also produce "−".
+    """
+
+    is_independent = True
+
+    def __init__(self, steps: Sequence[StepSpec]):
+        cleaned: list[list[tuple[int, float]]] = []
+        for t, spec in enumerate(steps):
+            pairs = [(int(v), float(p)) for v, p in spec]
+            total = sum(p for _, p in pairs)
+            if total > 1.0 + 1e-9:
+                raise ValueError(
+                    f"step {t}: probabilities sum to {total} > 1"
+                )
+            if any(p < 0 for _, p in pairs):
+                raise ValueError(f"step {t}: negative probability")
+            values = [v for v, _ in pairs]
+            if len(set(values)) != len(values):
+                raise ValueError(f"step {t}: duplicate values")
+            cleaned.append(pairs)
+        self._steps = cleaned
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def sample_path(self, length: int, rng: np.random.Generator) -> list[Value]:
+        path: list[Value] = []
+        for t in range(length):
+            spec = self._steps[t] if t < len(self._steps) else []
+            u = rng.random()
+            acc = 0.0
+            drawn: Value = None
+            for v, p in spec:
+                acc += p
+                if u < acc:
+                    drawn = v
+                    break
+            path.append(drawn)
+        return path
+
+    def support(
+        self, t: int, history: History | None = None
+    ) -> list[tuple[int, float]]:
+        self.check_time(t, history)
+        if t >= len(self._steps):
+            return []
+        return list(self._steps[t])
+
+    def prob(self, t: int, value: Value, history: History | None = None) -> float:
+        self.check_time(t, history)
+        if value is None or t >= len(self._steps):
+            return 0.0
+        for v, p in self._steps[t]:
+            if v == value:
+                return p
+        return 0.0
+
+    def cond_dist(self, t: int, history: History | None = None) -> DiscreteDistribution:
+        """Distribution over *joinable* values, renormalized.
+
+        Raises when the step is certainly "−"; use :meth:`support` or
+        :meth:`prob` when "−" mass matters.
+        """
+        spec = self.support(t, history)
+        if not spec:
+            raise ValueError(f"step {t} produces '−' with certainty")
+        values = [v for v, _ in spec]
+        probs = [p for _, p in spec]
+        return DiscreteDistribution(values, probs)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    AR1Stream,
+    LinearTrendStream,
+    RandomWalkStream,
+    StationaryStream,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_noise():
+    return bounded_uniform(3)
+
+
+@pytest.fixture
+def stationary_stream():
+    return StationaryStream(from_mapping({1: 0.5, 2: 0.3, 3: 0.2}))
+
+
+@pytest.fixture
+def trend_stream():
+    return LinearTrendStream(bounded_uniform(3), speed=1.0)
+
+
+@pytest.fixture
+def lagged_trend_stream():
+    return LinearTrendStream(bounded_normal(5, 2.0), speed=1.0, lag=1)
+
+
+@pytest.fixture
+def walk_stream():
+    return RandomWalkStream(discretized_normal(1.0), drift=0, start=0)
+
+
+@pytest.fixture
+def drifting_walk_stream():
+    return RandomWalkStream(discretized_normal(1.0), drift=2, start=0)
+
+
+@pytest.fixture
+def ar1_stream():
+    return AR1Stream(phi0=5.59, phi1=0.72, sigma=4.22, bucket=0.5)

@@ -1,0 +1,122 @@
+"""Tests for runtime-adaptive α calibration (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import LExp, mean_lifetime_for_alpha
+from repro.policies import AdaptiveAlphaHeebPolicy, TrendJoinHeeb
+from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import LinearTrendStream, bounded_normal
+
+
+def trend_models():
+    r = LinearTrendStream(bounded_normal(10, 1.0), speed=1.0, lag=1)
+    s = LinearTrendStream(bounded_normal(15, 2.0), speed=1.0)
+    return r, s
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        factory = lambda est: TrendJoinHeeb(est)  # noqa: E731
+        with pytest.raises(ValueError):
+            AdaptiveAlphaHeebPolicy(factory, initial_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveAlphaHeebPolicy(factory, 2.0, smoothing=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveAlphaHeebPolicy(factory, 2.0, rebuild_threshold=0.0)
+
+
+class TestAdaptation:
+    def test_alpha_converges_to_observed_lifetime(self):
+        """After a long run, the calibrated α should predict a mean
+        lifetime close to the lifetimes actually observed."""
+        r_model, s_model = trend_models()
+        rng = np.random.default_rng(0)
+        r = r_model.sample_path(2000, rng)
+        s = s_model.sample_path(2000, np.random.default_rng(1))
+        policy = AdaptiveAlphaHeebPolicy(
+            lambda est: TrendJoinHeeb(est), initial_alpha=50.0
+        )
+        JoinSimulator(10, policy, r_model=r_model, s_model=s_model).run(r, s)
+        assert policy.rebuilds >= 1
+        assert policy.alpha < 50.0  # badly-overestimated start corrected
+        predicted = mean_lifetime_for_alpha(policy.alpha)
+        assert policy._mean_lifetime == pytest.approx(predicted, rel=0.3)
+
+    def test_no_rebuild_when_start_is_right(self):
+        """Starting at the converged α should trigger few or no rebuilds."""
+        r_model, s_model = trend_models()
+        rng = np.random.default_rng(2)
+        r = r_model.sample_path(1000, rng)
+        s = s_model.sample_path(1000, np.random.default_rng(3))
+        probe = AdaptiveAlphaHeebPolicy(
+            lambda est: TrendJoinHeeb(est), initial_alpha=40.0
+        )
+        JoinSimulator(10, probe, r_model=r_model, s_model=s_model).run(r, s)
+        settled_alpha = probe.alpha
+        policy = AdaptiveAlphaHeebPolicy(
+            lambda est: TrendJoinHeeb(est), initial_alpha=settled_alpha
+        )
+        JoinSimulator(10, policy, r_model=r_model, s_model=s_model).run(r, s)
+        assert policy.rebuilds <= 2
+
+    def test_adaptive_matches_calibrated_fixed_alpha(self):
+        """Starting from a badly wrong α, the adaptive policy should land
+        within a few percent of a hand-calibrated fixed-α HEEB."""
+        from repro.core.lifetime import alpha_for_mean_lifetime
+
+        r_model, s_model = trend_models()
+        good_alpha = alpha_for_mean_lifetime(3.0)
+        adaptive_total = fixed_total = 0
+        for run in range(3):
+            rng = np.random.default_rng(run)
+            r = r_model.sample_path(1200, rng)
+            s = s_model.sample_path(1200, np.random.default_rng(100 + run))
+            adaptive = AdaptiveAlphaHeebPolicy(
+                lambda est: TrendJoinHeeb(est), initial_alpha=200.0
+            )
+            fixed = HeebPolicy(TrendJoinHeeb(LExp(good_alpha)))
+            adaptive_total += (
+                JoinSimulator(10, adaptive, r_model=r_model, s_model=s_model)
+                .run(r, s)
+                .total_results
+            )
+            fixed_total += (
+                JoinSimulator(10, fixed, r_model=r_model, s_model=s_model)
+                .run(r, s)
+                .total_results
+            )
+        assert adaptive_total >= 0.93 * fixed_total
+
+    def test_reset_clears_state(self):
+        r_model, s_model = trend_models()
+        rng = np.random.default_rng(4)
+        r = r_model.sample_path(500, rng)
+        s = s_model.sample_path(500, np.random.default_rng(5))
+        policy = AdaptiveAlphaHeebPolicy(
+            lambda est: TrendJoinHeeb(est), initial_alpha=100.0
+        )
+        sim = JoinSimulator(8, policy, r_model=r_model, s_model=s_model)
+        first = sim.run(r, s).total_results
+        second = (
+            JoinSimulator(8, policy, r_model=r_model, s_model=s_model)
+            .run(r, s)
+            .total_results
+        )
+        assert first == second  # reset makes runs reproducible
+
+    def test_works_with_generic_strategy(self):
+        r_model, s_model = trend_models()
+        rng = np.random.default_rng(6)
+        r = r_model.sample_path(200, rng)
+        s = s_model.sample_path(200, np.random.default_rng(7))
+        policy = AdaptiveAlphaHeebPolicy(
+            lambda est: GenericJoinHeeb(est, horizon=50), initial_alpha=10.0
+        )
+        result = JoinSimulator(
+            5, policy, r_model=r_model, s_model=s_model
+        ).run(r, s)
+        assert result.total_results > 0

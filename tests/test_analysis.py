@@ -1,0 +1,97 @@
+"""Tests for model fitting and run statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_ar1
+from repro.analysis.stats import summarize
+from repro.streams import AR1Stream
+from repro.streams.melbourne import melbourne_like_temperatures
+
+
+class TestFitAR1:
+    def test_recovers_known_parameters(self):
+        model = AR1Stream(phi0=5.59, phi1=0.72, sigma=4.22, bucket=0.001)
+        rng = np.random.default_rng(0)
+        # Use the latent path (tiny buckets ≈ continuous).
+        series = np.array(model.sample_path(20_000, rng)) * model.bucket
+        fit = fit_ar1(series)
+        assert fit.phi1 == pytest.approx(0.72, abs=0.02)
+        assert fit.phi0 == pytest.approx(5.59, rel=0.1)
+        assert fit.sigma == pytest.approx(4.22, rel=0.05)
+
+    def test_stationary_moments(self):
+        model = AR1Stream(phi0=2.0, phi1=0.5, sigma=1.0, bucket=0.001)
+        rng = np.random.default_rng(1)
+        series = np.array(model.sample_path(30_000, rng)) * model.bucket
+        fit = fit_ar1(series)
+        assert fit.stationary_mean == pytest.approx(4.0, abs=0.2)
+        assert fit.stationary_std == pytest.approx(
+            1.0 / np.sqrt(1 - 0.25), abs=0.1
+        )
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            fit_ar1([1.0, 2.0])
+
+    def test_rejects_constant_series(self):
+        with pytest.raises(ValueError):
+            fit_ar1([3.0] * 100)
+
+    def test_white_noise_fits_near_zero_phi1(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(10.0, 2.0, size=20_000)
+        fit = fit_ar1(series)
+        assert abs(fit.phi1) < 0.05
+
+
+class TestMelbourneGenerator:
+    def test_length_and_range(self):
+        temps = melbourne_like_temperatures(3650)
+        assert temps.shape == (3650,)
+        assert temps.min() > -10 and temps.max() < 45
+
+    def test_seasonality_present(self):
+        temps = melbourne_like_temperatures(3650)
+        # Summer (Jan) warmer than winter (Jul) on average.
+        januaries = np.concatenate(
+            [temps[y * 365 : y * 365 + 31] for y in range(9)]
+        )
+        julys = np.concatenate(
+            [temps[y * 365 + 180 : y * 365 + 211] for y in range(9)]
+        )
+        assert januaries.mean() > julys.mean() + 5
+
+    def test_fitted_ar1_in_plausible_band(self):
+        """The raw AR(1) fit should land near the paper's 0.72 / 4.22."""
+        temps = melbourne_like_temperatures(3650)
+        fit = fit_ar1(temps)
+        assert 0.55 <= fit.phi1 <= 0.9
+        assert 2.5 <= fit.sigma <= 6.0
+
+    def test_deterministic_given_rng(self):
+        a = melbourne_like_temperatures(100, np.random.default_rng(7))
+        b = melbourne_like_temperatures(100, np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            melbourne_like_temperatures(0)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.n == 3
+
+    def test_relative_std(self):
+        s = summarize([10.0, 10.0])
+        assert s.relative_std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,146 @@
+"""Band joins: the paper's non-equality-join future work, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecb import ecb_join, ecb_join_band
+from repro.core.heeb import heeb_join, heeb_join_band
+from repro.core.lifetime import LExp
+from repro.core.tuples import CacheState, StreamTuple
+from repro.flow.brute_force import brute_force_offline_benefit
+from repro.flow.opt_offline import match_times, solve_opt_offline
+from repro.policies import BandJoinHeeb, HeebPolicy, RandPolicy, ScheduledPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import (
+    RandomWalkStream,
+    StationaryStream,
+    discretized_normal,
+    from_mapping,
+)
+
+
+class TestCacheStateBand:
+    def test_matching_band(self):
+        c = CacheState()
+        for i, v in enumerate([3, 5, 7, 9]):
+            c.add(StreamTuple(i, "R", v, 0))
+        assert {t.value for t in c.matching_band("R", 6, 1)} == {5, 7}
+        assert {t.value for t in c.matching_band("R", 6, 3)} == {3, 5, 7, 9}
+        assert c.matching_band("R", 6, 0) == []
+        assert c.matching_band("R", None, 2) == []
+
+
+class TestBandEcbAndHeeb:
+    def test_band_zero_reduces_to_equijoin(self, stationary_stream):
+        a = ecb_join(stationary_stream, 0, 1, 10)
+        b = ecb_join_band(stationary_stream, 0, 1, 0, 10)
+        assert np.allclose(a.cumulative, b.cumulative)
+        ha = heeb_join(stationary_stream, 0, 1, LExp(5.0), 50)
+        hb = heeb_join_band(stationary_stream, 0, 1, 0, LExp(5.0), 50)
+        assert ha == pytest.approx(hb)
+
+    def test_band_sums_neighbor_mass(self):
+        model = StationaryStream(from_mapping({1: 0.2, 2: 0.3, 3: 0.5}))
+        b = ecb_join_band(model, 0, 2, 1, 4)
+        # Per-step match probability = p(1)+p(2)+p(3) = 1.0.
+        assert b(4) == pytest.approx(4.0)
+
+    def test_band_monotone_in_width(self, walk_stream):
+        from repro.streams import History
+
+        h = History(now=0, last_value=0)
+        prev = 0.0
+        for band in range(0, 4):
+            cur = heeb_join_band(walk_stream, 0, 2, band, LExp(8.0), 60, h)
+            assert cur >= prev - 1e-12
+            prev = cur
+
+    def test_rejects_negative_band(self, stationary_stream):
+        with pytest.raises(ValueError):
+            ecb_join_band(stationary_stream, 0, 1, -1, 5)
+        with pytest.raises(ValueError):
+            heeb_join_band(stationary_stream, 0, 1, -1, LExp(5.0))
+        with pytest.raises(ValueError):
+            BandJoinHeeb(-1, LExp(5.0))
+
+
+class TestBandMatchTimes:
+    def test_band_widens_matches(self):
+        r = [5]
+        s = [0, 4, 6, 9]
+        assert match_times(r, s, band=0) == [[]]
+        assert match_times(r, s, band=1) == [[1, 2]]
+        assert match_times(r, s, band=4) == [[1, 2, 3]]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            match_times([1], [1], band=-1)
+
+
+class TestBandSimulator:
+    def test_band_counting_hand_case(self):
+        # Cached r(5); arrivals s=4 then s=7 with band 1: only s=4 joins.
+        from tests.test_join_sim import KeepOldest
+
+        r = [5, 0, 0]
+        s = [9, 4, 7]
+        result = JoinSimulator(10, KeepOldest(), band=1).run(r, s)
+        assert result.total_results == 1
+        wide = JoinSimulator(10, KeepOldest(), band=2).run(r, s)
+        assert wide.total_results == 2
+
+    def test_band_rejects_negative(self):
+        from tests.test_join_sim import KeepOldest
+
+        with pytest.raises(ValueError):
+            JoinSimulator(1, KeepOldest(), band=-1)
+
+
+class TestBandOptOffline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        r = list(rng.integers(0, 6, size=8))
+        s = list(rng.integers(0, 6, size=8))
+        for band in (1, 2):
+            sol = solve_opt_offline(r, s, 2, band=band)
+            brute = brute_force_offline_benefit(r, s, 2, band=band)
+            assert sol.total_benefit == brute, (r, s, band)
+
+    def test_replay_through_band_simulator(self):
+        rng = np.random.default_rng(1)
+        r = list(rng.integers(0, 8, size=60))
+        s = list(rng.integers(0, 8, size=60))
+        band = 1
+        sol = solve_opt_offline(r, s, 3, band=band)
+        policy = ScheduledPolicy(sol)
+        result = JoinSimulator(3, policy, band=band).run(r, s)
+        assert result.total_results == sol.total_benefit
+        assert policy.mismatches == 0
+
+
+class TestBandHeebPolicy:
+    def test_band_heeb_beats_rand_on_walks(self):
+        step = discretized_normal(1.0)
+        a = RandomWalkStream(step)
+        b = RandomWalkStream(step)
+        band = 2
+        heeb_total = rand_total = 0
+        for run in range(3):
+            rng = np.random.default_rng(run)
+            r = a.sample_path(400, rng)
+            s = b.sample_path(400, np.random.default_rng(100 + run))
+            heeb = HeebPolicy(BandJoinHeeb(band, LExp(10.0), horizon=60))
+            heeb_total += (
+                JoinSimulator(6, heeb, band=band, r_model=a, s_model=b)
+                .run(r, s)
+                .total_results
+            )
+            rand_total += (
+                JoinSimulator(6, RandPolicy(seed=run), band=band)
+                .run(r, s)
+                .total_results
+            )
+        assert heeb_total > rand_total

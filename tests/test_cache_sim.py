@@ -1,0 +1,120 @@
+"""Tests for the classic caching simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.base import PolicyContext, ScoredPolicy
+from repro.policies.lfd import LfdPolicy
+from repro.policies.lru import LruPolicy
+from repro.sim.cache_sim import CacheSimulator
+
+
+class KeepOldest(ScoredPolicy):
+    name = "KEEP-OLDEST"
+
+    def score(self, tup, ctx: PolicyContext) -> float:
+        return -float(tup.uid)
+
+
+class TestBasics:
+    def test_all_misses_when_unique(self):
+        sim = CacheSimulator(3, KeepOldest())
+        result = sim.run([1, 2, 3, 4, 5])
+        assert result.misses == 5 and result.hits == 0
+
+    def test_hits_on_repeats_with_room(self):
+        sim = CacheSimulator(10, KeepOldest())
+        result = sim.run([1, 2, 1, 2, 1])
+        assert result.misses == 2 and result.hits == 3
+
+    def test_hit_rate(self):
+        sim = CacheSimulator(10, KeepOldest())
+        result = sim.run([1, 1, 1, 1])
+        assert result.hit_rate == pytest.approx(0.75)
+
+    def test_none_steps_skipped(self):
+        sim = CacheSimulator(2, KeepOldest())
+        result = sim.run([1, None, 1])
+        assert result.hits == 1 and result.misses == 1
+
+    def test_warmup_counters(self):
+        sim = CacheSimulator(10, KeepOldest(), warmup=2)
+        result = sim.run([1, 2, 1, 2])
+        assert result.hits == 2 and result.hits_after_warmup == 2
+        assert result.misses == 2 and result.misses_after_warmup == 0
+
+    def test_fetched_tuple_can_be_rejected(self):
+        # KEEP-OLDEST pins the first value forever with capacity 1.
+        sim = CacheSimulator(1, KeepOldest())
+        result = sim.run([7, 8, 9, 7])
+        assert result.hits == 1  # only the final re-reference of 7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(0, KeepOldest())
+        with pytest.raises(ValueError):
+            CacheSimulator(1, KeepOldest(), warmup=-1)
+
+
+class TestLruBehaviour:
+    def test_classic_lru_trace(self):
+        # Capacity 2, trace 1 2 1 3 2: LRU evicts 2 when 3 arrives
+        # (1 was just used), then 2 misses again.
+        sim = CacheSimulator(2, LruPolicy())
+        result = sim.run([1, 2, 1, 3, 2])
+        assert result.hits == 1  # the second reference to 1
+        assert result.misses == 4
+
+    def test_lru_keeps_hot_value(self):
+        sim = CacheSimulator(1, LruPolicy())
+        result = sim.run([5, 5, 5, 5])
+        assert result.hits == 3
+
+
+class TestLfdOptimality:
+    def test_belady_beats_lru_on_adversarial_trace(self):
+        # Cyclic trace of 3 values with capacity 2: LRU thrashes, LFD
+        # keeps hits.
+        trace = [1, 2, 3] * 5
+        lru = CacheSimulator(2, LruPolicy()).run(trace)
+        lfd = CacheSimulator(2, LfdPolicy(trace)).run(trace)
+        assert lfd.hits > lru.hits
+
+    def test_lfd_is_optimal_on_small_traces(self):
+        """Compare LFD against exhaustive search over eviction choices."""
+        import itertools
+
+        def best_possible(trace, k):
+            # Exhaustive DP over cache states.
+            from functools import lru_cache
+
+            trace_t = tuple(trace)
+
+            @lru_cache(maxsize=None)
+            def go(i, cache):
+                if i == len(trace_t):
+                    return 0
+                v = trace_t[i]
+                if v in cache:
+                    return 1 + go(i + 1, cache)
+                options = []
+                if len(cache) < k:
+                    options.append(go(i + 1, tuple(sorted(cache + (v,)))))
+                else:
+                    # replace any cached value, or don't cache v at all
+                    options.append(go(i + 1, cache))
+                    for out in cache:
+                        nxt = tuple(sorted([c for c in cache if c != out] + [v]))
+                        options.append(go(i + 1, nxt))
+                return max(options)
+
+            return go(0, ())
+
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            trace = list(rng.integers(0, 4, size=12))
+            lfd = CacheSimulator(2, LfdPolicy(trace)).run(trace)
+            assert lfd.hits == best_possible(tuple(trace), 2)

@@ -1,0 +1,119 @@
+"""Case-study analyses of Sections 5.4-5.5 and Appendices P-Q.
+
+These tests turn the paper's analytical claims about dominance structure
+into executable checks on the actual ECB computations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import comparable, dominates, strongly_dominates
+from repro.core.ecb import ecb_cache, ecb_join
+from repro.streams import (
+    History,
+    LinearTrendStream,
+    RandomWalkStream,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+)
+
+
+class TestAppendixP:
+    """Linear trend + bounded normal noise (Section 5.4)."""
+
+    @pytest.fixture
+    def s_stream(self):
+        return LinearTrendStream(bounded_normal(8, 2.0), speed=1.0)
+
+    def test_left_farther_is_strongly_dominated(self, s_stream):
+        """For R tuples x, y: if v_y is left of f_S(t0) and farther from
+        it than v_x, then B_x strongly dominates B_y."""
+        t0 = 50
+        f = s_stream.trend(t0)
+        x_val, y_val = f - 2, f - 5  # both left; y farther
+        b_x = ecb_join(s_stream, t0, x_val, 20)
+        b_y = ecb_join(s_stream, t0, y_val, 20)
+        assert strongly_dominates(b_x, b_y)
+
+    def test_straddling_pair_incomparable(self, s_stream):
+        """A tuple close-right (good soon) vs far-right (good later):
+        crossing ECBs, hence incomparable -- the x-vs-z dilemma."""
+        t0 = 50
+        f = s_stream.trend(t0)
+        near = ecb_join(s_stream, t0, f + 1, 25)
+        far = ecb_join(s_stream, t0, f + 6, 25)
+        assert not comparable(near, far)
+
+    def test_caching_also_has_incomparable_pairs(self):
+        """Section 5.4: the trend+normal *caching* problem is not almost
+        stationary; incomparable tuples exist, so A_o does not apply."""
+        ref = LinearTrendStream(bounded_normal(8, 2.0), speed=1.0)
+        t0 = 50
+        f = ref.trend(t0)
+        found_incomparable = False
+        for va in range(f - 3, f + 3):
+            for vb in range(f + 3, f + 8):
+                if not comparable(
+                    ecb_cache(ref, t0, va, 25), ecb_cache(ref, t0, vb, 25)
+                ):
+                    found_incomparable = True
+        assert found_incomparable
+
+
+class TestAppendixQ:
+    """Random walk with drift (Section 5.5)."""
+
+    def test_nonzero_drift_dominance_breaks_over_horizon(self):
+        """Appendix Q: with positive drift, a value near the next-step
+        mean is referenced sooner (dominates early), but a farther-ahead
+        value is more likely to be referenced *at all* (the drifting walk
+        can jump over nearby values); the dominance breaks over time and
+        the pair is incomparable."""
+        walk = RandomWalkStream(discretized_normal(1.0), drift=2)
+        h = History(now=0, last_value=0)
+        near = ecb_cache(walk, 0, 1, 20, h)
+        far = ecb_cache(walk, 0, 9, 20, h)
+        assert near(1) > far(1)  # near wins at the next step...
+        assert far(20) > near(20)  # ...but far wins overall
+        assert not comparable(near, far)
+
+    def test_zero_drift_total_order_by_distance(self):
+        """Zero drift + symmetric unimodal steps: ECBs are totally
+        ordered by |v − x_t0| (caching AND joining)."""
+        walk = RandomWalkStream(discretized_normal(1.0))
+        h = History(now=0, last_value=0)
+        horizon = 40
+        for problem in ("join", "cache"):
+            prev = None
+            for d in range(0, 8):
+                if problem == "join":
+                    b = ecb_join(walk, 0, d, horizon, h)
+                else:
+                    b = ecb_cache(walk, 0, d, horizon, h)
+                if prev is not None:
+                    assert dominates(prev, b), (problem, d)
+                prev = b
+
+    def test_zero_drift_symmetry(self):
+        walk = RandomWalkStream(discretized_normal(1.0))
+        h = History(now=0, last_value=10)
+        left = ecb_join(walk, 0, 7, 15, h)
+        right = ecb_join(walk, 0, 13, 15, h)
+        assert np.allclose(left.cumulative, right.cumulative)
+
+
+class TestSection52AlmostStationary:
+    """Section 5.3's remark: the trend-caching case is almost stationary
+    (the value order by reference probability never changes), which is
+    why A_o-style discard-smallest-value is optimal there."""
+
+    def test_value_order_stable_over_time(self):
+        ref = LinearTrendStream(bounded_uniform(4), speed=1.0)
+        for t0 in (30, 40, 50):
+            values = range(t0 - 4, t0 + 5)
+            ecbs = [ecb_cache(ref, t0, v, 20) for v in values]
+            for smaller, larger in zip(ecbs, ecbs[1:]):
+                assert dominates(larger, smaller)

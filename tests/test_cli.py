@@ -1,0 +1,74 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "TOWER" in out and "FLOOR" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--alpha", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "drift=0" in out and "drift=4" in out
+
+    def test_fig8_small(self, capsys):
+        assert (
+            main(
+                [
+                    "fig8",
+                    "--length",
+                    "80",
+                    "--runs",
+                    "1",
+                    "--no-flowexpect",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OPT-OFFLINE" in out and "HEEB" in out
+
+    def test_fig9_small(self, capsys):
+        assert (
+            main(["fig9", "--length", "80", "--runs", "1", "--sizes", "2", "5"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_fig19_small(self, capsys):
+        assert (
+            main(
+                [
+                    "fig19",
+                    "--length",
+                    "40",
+                    "--runs",
+                    "1",
+                    "--cache",
+                    "3",
+                    "--deltas",
+                    "1",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "FLOWEXPECT" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,124 @@
+"""Closed-form FLOOR ECBs (Appendix O / Section 5.3) vs the generic Lemma-1
+computation on the actual stream models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.closed_forms import (
+    cache_ecb_linear_uniform,
+    join_category,
+    join_ecb_linear_uniform,
+)
+from repro.core.ecb import ecb_cache, ecb_join
+from repro.streams import LinearTrendStream, bounded_uniform
+
+W_R = 3
+W_S = 5
+T0 = 40
+HORIZON = 30
+
+
+@pytest.fixture
+def r_stream():
+    return LinearTrendStream(bounded_uniform(W_R), speed=1.0)
+
+
+@pytest.fixture
+def s_stream():
+    return LinearTrendStream(bounded_uniform(W_S), speed=1.0)
+
+
+class TestCategories:
+    @pytest.mark.parametrize(
+        "side,value,expected",
+        [
+            ("R", T0 - W_S, "R1"),
+            ("R", T0 - W_S + 1, "R2"),
+            ("R", T0 + W_R, "R2"),
+            ("S", T0 - W_R, "S1"),
+            ("S", T0 - W_R + 1, "S2"),
+            ("S", T0 + W_R + 1, "S2"),
+            ("S", T0 + W_R + 2, "S3"),
+            ("S", T0 + W_S, "S3"),
+        ],
+    )
+    def test_category_boundaries(self, side, value, expected):
+        assert join_category(side, value, T0, W_R, W_S) == expected
+
+    def test_unreachable_values_rejected(self):
+        with pytest.raises(ValueError):
+            join_category("R", T0 + W_R + 1, T0, W_R, W_S)
+        with pytest.raises(ValueError):
+            join_category("S", T0 + W_S + 1, T0, W_R, W_S)
+        with pytest.raises(ValueError):
+            join_category("Q", 0, T0, W_R, W_S)
+
+
+class TestJoinClosedForms:
+    @pytest.mark.parametrize("value", range(T0 - W_S, T0 + W_R + 1))
+    def test_r_tuples_match_lemma1(self, value, s_stream):
+        """An R tuple joins future S arrivals."""
+        closed = join_ecb_linear_uniform("R", value, T0, W_R, W_S, HORIZON)
+        generic = ecb_join(s_stream, T0, value, HORIZON)
+        assert np.allclose(closed.cumulative, generic.cumulative)
+
+    @pytest.mark.parametrize("value", range(T0 - W_R, T0 + W_S + 1))
+    def test_s_tuples_match_lemma1(self, value, r_stream):
+        """An S tuple joins future R arrivals."""
+        closed = join_ecb_linear_uniform("S", value, T0, W_R, W_S, HORIZON)
+        generic = ecb_join(r_stream, T0, value, HORIZON)
+        assert np.allclose(closed.cumulative, generic.cumulative)
+
+    def test_s3_total_benefit_is_one(self):
+        """An S3 tuple eventually collects the whole R window: total 1."""
+        value = T0 + W_R + 2
+        closed = join_ecb_linear_uniform("S", value, T0, W_R, W_S, HORIZON)
+        assert closed(HORIZON) == pytest.approx(1.0)
+
+    def test_r2_rate(self):
+        value = T0
+        closed = join_ecb_linear_uniform("R", value, T0, W_R, W_S, HORIZON)
+        assert closed(1) == pytest.approx(1 / (2 * W_S + 1))
+
+    def test_within_category_dominance_by_value(self):
+        """Section 5.3: within R2/S2, larger values dominate."""
+        from repro.core.dominance import dominates
+
+        b_small = join_ecb_linear_uniform("R", T0 - 1, T0, W_R, W_S, HORIZON)
+        b_large = join_ecb_linear_uniform("R", T0 + 1, T0, W_R, W_S, HORIZON)
+        assert dominates(b_large, b_small)
+        assert not dominates(b_small, b_large)
+
+
+class TestCacheClosedForm:
+    @pytest.mark.parametrize("value", range(T0 - W_R - 2, T0 + W_R + 1))
+    def test_matches_corollary1(self, value, r_stream):
+        closed = cache_ecb_linear_uniform(value, T0, W_R, HORIZON)
+        generic = ecb_cache(r_stream, T0, value, HORIZON)
+        assert np.allclose(closed.cumulative, generic.cumulative)
+
+    def test_missed_window_is_zero(self):
+        closed = cache_ecb_linear_uniform(T0 - W_R - 1, T0, W_R, HORIZON)
+        assert closed(HORIZON) == 0.0
+
+    def test_trend_offset(self):
+        r_lagged = LinearTrendStream(bounded_uniform(W_R), speed=1.0, lag=2)
+        value = T0 - 1
+        closed = cache_ecb_linear_uniform(
+            value, T0, W_R, HORIZON, trend_offset=-2
+        )
+        generic = ecb_cache(r_lagged, T0, value, HORIZON)
+        assert np.allclose(closed.cumulative, generic.cumulative)
+
+    def test_total_order_by_value(self):
+        """Section 5.3: discard-smallest-value is optimal (dominance)."""
+        from repro.core.dominance import dominates
+
+        ecbs = [
+            cache_ecb_linear_uniform(v, T0, W_R, HORIZON)
+            for v in range(T0 - W_R - 3, T0 + W_R + 1)
+        ]
+        for smaller, larger in zip(ecbs, ecbs[1:]):
+            assert dominates(larger, smaller)

@@ -1,0 +1,113 @@
+"""Tests for online model identification (repro.analysis.detection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.detection import detect_model, diagnose_series
+from repro.streams import (
+    AR1Stream,
+    LinearTrendStream,
+    RandomWalkStream,
+    StationaryStream,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+
+def path(model, n, seed):
+    return np.array(
+        model.sample_path(n, np.random.default_rng(seed)), dtype=float
+    )
+
+
+class TestDiagnosis:
+    def test_detects_trend(self):
+        model = LinearTrendStream(bounded_uniform(8), speed=1.0)
+        d = diagnose_series(path(model, 800, 0))
+        assert d.kind == "trend"
+        assert d.slope == pytest.approx(1.0, abs=0.05)
+
+    def test_detects_slow_trend(self):
+        model = LinearTrendStream(bounded_normal(5, 2.0), speed=0.5)
+        d = diagnose_series(path(model, 1500, 1))
+        assert d.kind == "trend"
+        assert d.slope == pytest.approx(0.5, abs=0.05)
+
+    def test_detects_stationary(self):
+        model = StationaryStream(from_mapping({1: 0.4, 5: 0.3, 9: 0.3}))
+        d = diagnose_series(path(model, 800, 2))
+        assert d.kind == "stationary"
+        assert abs(d.phi1) < 0.2
+
+    def test_detects_random_walk(self):
+        model = RandomWalkStream(discretized_normal(1.0))
+        d = diagnose_series(path(model, 1500, 3))
+        assert d.kind == "random_walk"
+
+    def test_detects_drifting_walk_as_walk_not_trend(self):
+        """A drifting random walk has a trend-looking mean but wandering
+        residuals; it must classify as a walk, not a trend."""
+        model = RandomWalkStream(discretized_normal(1.0), drift=1)
+        d = diagnose_series(path(model, 1500, 4))
+        assert d.kind == "random_walk"
+
+    def test_detects_ar1(self):
+        model = AR1Stream(phi0=5.59, phi1=0.72, sigma=4.22, bucket=0.1)
+        series = path(model, 3000, 5) * 0.1
+        d = diagnose_series(series)
+        assert d.kind == "ar1"
+        assert d.phi1 == pytest.approx(0.72, abs=0.06)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            diagnose_series([1.0] * 10)
+
+
+class TestDetectModel:
+    def test_trend_model_reproduces_window(self):
+        true = LinearTrendStream(bounded_uniform(6), speed=1.0, lag=2)
+        fitted = detect_model(path(true, 1200, 6))
+        assert isinstance(fitted, LinearTrendStream)
+        # The fitted trend tracks the true trend.
+        for t in (1300, 1500):
+            assert fitted.trend(t) == pytest.approx(true.trend(t), abs=3)
+        # The fitted noise spread matches.
+        assert fitted.noise.std() == pytest.approx(true.noise.std(), rel=0.15)
+
+    def test_stationary_model_pmf(self):
+        true = StationaryStream(from_mapping({1: 0.6, 3: 0.4}))
+        fitted = detect_model(path(true, 3000, 7))
+        assert isinstance(fitted, StationaryStream)
+        assert fitted.dist.pmf(1) == pytest.approx(0.6, abs=0.04)
+
+    def test_walk_model_steps(self):
+        true = RandomWalkStream(discretized_normal(1.5))
+        fitted = detect_model(path(true, 2500, 8))
+        assert isinstance(fitted, RandomWalkStream)
+        assert fitted.step.std() == pytest.approx(1.5, rel=0.12)
+        assert fitted.drift == 0
+
+    def test_walk_with_drift(self):
+        true = RandomWalkStream(discretized_normal(1.0), drift=2)
+        fitted = detect_model(path(true, 2000, 9))
+        assert isinstance(fitted, RandomWalkStream)
+        assert fitted.drift == 2
+        assert abs(fitted.step.mean()) < 0.1  # drift separated from steps
+
+    def test_ar1_model_parameters(self):
+        true = AR1Stream(phi0=2.0, phi1=0.6, sigma=2.0, bucket=0.01)
+        series = path(true, 8000, 10) * 0.01
+        fitted = detect_model(series, bucket=1.0)
+        assert isinstance(fitted, AR1Stream)
+        assert fitted.phi1 == pytest.approx(0.6, abs=0.05)
+        assert fitted.sigma == pytest.approx(2.0, rel=0.1)
+
+    def test_decreasing_trend_rejected(self):
+        t = np.arange(500, dtype=float)
+        series = -1.0 * t + np.random.default_rng(0).uniform(-3, 3, 500)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            detect_model(series)

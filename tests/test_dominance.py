@@ -1,0 +1,161 @@
+"""Tests for ECB dominance (Section 4.2, Theorem 3, Corollary 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import (
+    comparable,
+    dominance_matrix,
+    dominates,
+    find_dominated_subset,
+    strongly_dominates,
+)
+from repro.core.ecb import ECB
+
+
+def ecb_of(*cumulative) -> ECB:
+    return ECB(np.array(cumulative, dtype=float))
+
+
+class TestPairwise:
+    def test_basic_dominance(self):
+        a = ecb_of(0.5, 1.0, 1.5)
+        b = ecb_of(0.2, 0.9, 1.5)
+        assert dominates(a, b)
+        assert not strongly_dominates(a, b)  # equal at Δt=3
+        assert not dominates(b, a)
+
+    def test_strong_dominance(self):
+        a = ecb_of(0.5, 1.0)
+        b = ecb_of(0.2, 0.8)
+        assert strongly_dominates(a, b)
+        assert dominates(a, b)
+
+    def test_incomparable_crossing(self):
+        """The x-vs-z dilemma of Figure 2: crossing ECBs are incomparable."""
+        x = ecb_of(0.5, 0.6, 0.6)
+        z = ecb_of(0.1, 0.5, 1.2)
+        assert not comparable(x, z)
+
+    def test_self_dominance(self):
+        a = ecb_of(0.3, 0.6)
+        assert dominates(a, a)
+        assert not strongly_dominates(a, a)
+
+    def test_different_horizons_align(self):
+        short = ecb_of(0.5)  # flat at 0.5 afterwards
+        long = ecb_of(0.4, 0.6, 0.8)
+        assert not dominates(short, long)
+        assert not dominates(long, short)
+
+    def test_zero_dominated_by_everything(self):
+        zero = ecb_of(0.0, 0.0)
+        other = ecb_of(0.1, 0.1)
+        assert dominates(other, zero)
+
+
+class TestMatrix:
+    def test_matrix_entries(self):
+        a = ecb_of(0.5, 1.0)
+        b = ecb_of(0.2, 0.8)
+        c = ecb_of(0.6, 0.9)
+        m = dominance_matrix([a, b, c])
+        assert m[0, 1] and not m[1, 0]
+        assert m[2, 1] and not m[1, 2]
+        assert not m[0, 2] and not m[2, 0]  # crossing
+        assert not m.diagonal().any()
+
+
+class TestDominatedSubset:
+    def test_figure2_example(self):
+        """Corollary 2's w/x/y/z scenario.
+
+        w dominates all; y is dominated by everyone; x and z cross.
+        Discarding 3 of 4 → {x, y, z}; discarding 1 → {y} only (the
+        choice between x and z is unclear).
+        """
+        w = ecb_of(1.0, 2.0, 3.0)
+        x = ecb_of(0.5, 0.6, 0.6)
+        y = ecb_of(0.1, 0.2, 0.3)
+        z = ecb_of(0.1, 0.5, 1.2)
+        ecbs = {"w": w, "x": x, "y": y, "z": z}
+        three = find_dominated_subset(ecbs, 3)
+        assert sorted(three) == ["x", "y", "z"]
+        one = find_dominated_subset(ecbs, 1)
+        assert one == ["y"]
+        # Two: {x, y} is not valid (z does not dominate x) and {y, z}
+        # is not valid (x does not dominate z) → only {y} qualifies.
+        two = find_dominated_subset(ecbs, 2)
+        assert two == ["y"]
+
+    def test_total_order_returns_full_request(self):
+        ecbs = {i: ecb_of(0.1 * i, 0.2 * i) for i in range(1, 6)}
+        subset = find_dominated_subset(ecbs, 2)
+        assert sorted(subset) == [1, 2]
+
+    def test_empty_request(self):
+        assert find_dominated_subset({"a": ecb_of(0.1)}, 0) == []
+
+    def test_empty_candidates(self):
+        assert find_dominated_subset({}, 3) == []
+
+    def test_greedy_path_is_sound(self):
+        """Above the exhaustive limit, returned subsets must still be valid."""
+        ecbs = {i: ecb_of(0.01 * i, 0.02 * i) for i in range(20)}
+        subset = find_dominated_subset(ecbs, 5, exhaustive_limit=4)
+        assert sorted(subset) == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@st.composite
+def ecbs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return ECB(np.cumsum(increments))
+
+
+class TestDominanceProperties:
+    @given(ecbs(), ecbs(), ecbs())
+    @settings(max_examples=80, deadline=None)
+    def test_transitivity(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(ecbs(), ecbs())
+    @settings(max_examples=80, deadline=None)
+    def test_strong_implies_weak(self, a, b):
+        if strongly_dominates(a, b):
+            assert dominates(a, b)
+            assert not dominates(b, a)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=9),
+            ecbs(),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_found_subsets_are_valid(self, candidates, max_size):
+        subset = find_dominated_subset(candidates, max_size)
+        assert len(subset) <= max_size
+        inside = set(subset)
+        for u, bu in candidates.items():
+            if u in inside:
+                continue
+            for v in subset:
+                assert dominates(bu, candidates[v])

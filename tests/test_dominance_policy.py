@@ -1,0 +1,124 @@
+"""Tests for the dominance-guarded policy (Corollary 2 as a policy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies import (
+    DominanceGuardedPolicy,
+    HeebPolicy,
+    ProbPolicy,
+    RandPolicy,
+    TrendJoinHeeb,
+)
+from repro.core.lifetime import LExp
+from repro.sim.cache_sim import CacheSimulator
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import (
+    LinearTrendStream,
+    StationaryStream,
+    bounded_uniform,
+    from_mapping,
+)
+
+
+class TestStationaryTotalOrder:
+    """Stationary streams: dominance totally orders candidates by p, so
+    the guard decides every eviction and the fallback is never consulted
+    beyond warm-up corner cases."""
+
+    def test_guard_decides_everything(self):
+        dist = from_mapping({1: 0.5, 2: 0.3, 3: 0.2})
+        model = StationaryStream(dist)
+        rng = np.random.default_rng(0)
+        r = model.sample_path(200, rng)
+        s = model.sample_path(200, np.random.default_rng(1))
+        guarded = DominanceGuardedPolicy(RandPolicy(seed=0), horizon=40)
+        JoinSimulator(3, guarded, r_model=model, s_model=model).run(r, s)
+        assert guarded.decided_by_dominance > 0
+        assert guarded.decided_by_fallback == 0
+
+    def test_matches_prob_results(self):
+        """With a total dominance order the guard reproduces PROB-with-
+        true-probabilities; its results match PROB's closely."""
+        dist = from_mapping({1: 0.5, 2: 0.25, 3: 0.15, 4: 0.1})
+        model = StationaryStream(dist)
+        rng = np.random.default_rng(2)
+        r = model.sample_path(800, rng)
+        s = model.sample_path(800, np.random.default_rng(3))
+        guarded = DominanceGuardedPolicy(RandPolicy(seed=0), horizon=60)
+        g = JoinSimulator(3, guarded, r_model=model, s_model=model).run(r, s)
+        p = JoinSimulator(3, ProbPolicy()).run(r, s)
+        assert g.total_results >= p.total_results * 0.9
+
+
+class TestIncomparableFallback:
+    def test_fallback_consulted_on_trends(self):
+        """FLOOR joining ECBs cross (Section 5.3), so some evictions
+        must fall through to the fallback."""
+        r_model = LinearTrendStream(bounded_uniform(4), speed=1.0, lag=1)
+        s_model = LinearTrendStream(bounded_uniform(6), speed=1.0)
+        rng = np.random.default_rng(4)
+        r = r_model.sample_path(300, rng)
+        s = s_model.sample_path(300, np.random.default_rng(5))
+        guarded = DominanceGuardedPolicy(RandPolicy(seed=0), horizon=30)
+        JoinSimulator(6, guarded, r_model=r_model, s_model=s_model).run(r, s)
+        assert guarded.decided_by_fallback > 0
+        assert guarded.decided_by_dominance > 0  # dead tuples are dominated
+
+    def test_guard_never_hurts_heeb(self):
+        """Guarding HEEB with provably-optimal evictions should not lose
+        results relative to plain HEEB."""
+        r_model = LinearTrendStream(bounded_uniform(4), speed=1.0, lag=1)
+        s_model = LinearTrendStream(bounded_uniform(6), speed=1.0)
+        heeb_total = guarded_total = 0
+        for run in range(3):
+            rng = np.random.default_rng(run)
+            r = r_model.sample_path(400, rng)
+            s = s_model.sample_path(400, np.random.default_rng(50 + run))
+            plain = HeebPolicy(TrendJoinHeeb(LExp(10.0)))
+            guarded = DominanceGuardedPolicy(
+                HeebPolicy(TrendJoinHeeb(LExp(10.0))), horizon=40
+            )
+            heeb_total += (
+                JoinSimulator(8, plain, r_model=r_model, s_model=s_model)
+                .run(r, s)
+                .total_results
+            )
+            guarded_total += (
+                JoinSimulator(8, guarded, r_model=r_model, s_model=s_model)
+                .run(r, s)
+                .total_results
+            )
+        assert guarded_total >= 0.95 * heeb_total
+
+
+class TestCachingKind:
+    def test_cache_guard_on_stationary(self):
+        dist = from_mapping({1: 0.5, 2: 0.3, 3: 0.15, 4: 0.05})
+        model = StationaryStream(dist)
+        trace = model.sample_path(600, np.random.default_rng(0))
+        guarded = DominanceGuardedPolicy(RandPolicy(seed=1), horizon=100)
+        rand = RandPolicy(seed=1)
+        g = CacheSimulator(2, guarded, reference_model=model).run(trace)
+        r = CacheSimulator(2, rand).run(trace)
+        assert g.hits > r.hits
+
+    def test_requires_model(self):
+        from repro.core.tuples import StreamTuple
+        from repro.policies.base import PolicyContext
+
+        guarded = DominanceGuardedPolicy(RandPolicy(), horizon=10)
+        ctx = PolicyContext(kind="cache", time=0, cache_size=1)
+        with pytest.raises(ValueError):
+            guarded.select_victims([StreamTuple(0, "S", 1, 0)], 1, ctx)
+
+
+class TestConstruction:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            DominanceGuardedPolicy(RandPolicy(), horizon=0)
+
+    def test_name_includes_fallback(self):
+        assert DominanceGuardedPolicy(RandPolicy()).name == "DOM+RAND"

@@ -1,0 +1,140 @@
+"""Tests for ECB computation (Lemma 1 / Corollary 1, Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecb import ECB, ecb_cache, ecb_join, windowed_ecb
+from repro.streams import (
+    LinearTrendStream,
+    OfflineStream,
+    StationaryStream,
+    bounded_uniform,
+    from_mapping,
+)
+
+
+class TestECBClass:
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            ECB([1.0, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ECB([-0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ECB([])
+
+    def test_call_clamps_beyond_horizon(self):
+        b = ECB([0.1, 0.2, 0.3])
+        assert b(3) == pytest.approx(0.3)
+        assert b(100) == pytest.approx(0.3)
+
+    def test_call_rejects_dt_zero(self):
+        with pytest.raises(ValueError):
+            ECB([0.1])(0)
+
+    def test_increments_roundtrip(self):
+        inc = np.array([0.1, 0.0, 0.4])
+        b = ECB.from_increments(inc)
+        assert np.allclose(b.increments(), inc)
+        assert b(2) == pytest.approx(0.1)
+        assert b(3) == pytest.approx(0.5)
+
+
+class TestJoinECB:
+    def test_stationary_is_linear(self):
+        """Section 5.2: B_x(Δt) = p(v_x)·Δt for stationary partners."""
+        partner = StationaryStream(from_mapping({1: 0.3, 2: 0.7}))
+        b = ecb_join(partner, t0=5, value=1, horizon=10)
+        for dt in range(1, 11):
+            assert b(dt) == pytest.approx(0.3 * dt)
+
+    def test_offline_is_step_function(self):
+        """Section 5.1: each step corresponds to a partner occurrence."""
+        partner = OfflineStream([9, 1, 9, 1, 1])
+        b = ecb_join(partner, t0=0, value=1, horizon=4)
+        assert list(b.cumulative) == [1.0, 1.0, 2.0, 3.0]
+
+    def test_none_value_zero(self, stationary_stream):
+        b = ecb_join(stationary_stream, 0, None, 5)
+        assert b(5) == 0.0
+
+    def test_trend_ecb_saturates(self):
+        """Once the partner window passes the value, the ECB flattens."""
+        partner = LinearTrendStream(bounded_uniform(2), speed=1.0)
+        # value 3: window [t-2, t+2] covers 3 while t <= 5.
+        b = ecb_join(partner, t0=0, value=3, horizon=12)
+        assert b(12) == pytest.approx(b(5))
+        assert b(5) > b(4)
+
+    def test_rejects_bad_horizon(self, stationary_stream):
+        with pytest.raises(ValueError):
+            ecb_join(stationary_stream, 0, 1, 0)
+
+
+class TestCacheECB:
+    def test_stationary_geometric(self):
+        """Section 5.2: B_x(Δt) = 1 − (1 − p)^Δt."""
+        ref = StationaryStream(from_mapping({1: 0.3, 2: 0.7}))
+        b = ecb_cache(ref, t0=0, value=1, horizon=8)
+        for dt in range(1, 9):
+            assert b(dt) == pytest.approx(1 - 0.7**dt)
+
+    def test_offline_single_step(self):
+        """Section 5.1: jumps 0→1 at the next occurrence (LFD's quantity)."""
+        ref = OfflineStream([0, 5, 5, 7, 5])
+        b = ecb_cache(ref, t0=0, value=7, horizon=6)
+        assert list(b.cumulative) == [0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_never_referenced_zero(self):
+        ref = OfflineStream([1, 2, 3])
+        b = ecb_cache(ref, t0=0, value=99, horizon=3)
+        assert b(3) == 0.0
+
+    def test_reference_tuple_zero(self, stationary_stream):
+        """Corollary 1: reference-stream tuples have ECB ≡ 0."""
+        b = ecb_cache(stationary_stream, 0, None, 5)
+        assert b(5) == 0.0
+
+    def test_bounded_by_one(self):
+        ref = StationaryStream(from_mapping({1: 0.9, 2: 0.1}))
+        b = ecb_cache(ref, 0, 1, 50)
+        assert b(50) <= 1.0 + 1e-12
+
+    def test_cache_le_join_ecb(self):
+        """First-reference mass never exceeds total reference mass."""
+        ref = StationaryStream(from_mapping({1: 0.4, 2: 0.6}))
+        bj = ecb_join(ref, 0, 1, 20)
+        bc = ecb_cache(ref, 0, 1, 20)
+        assert all(
+            c <= j + 1e-12 for c, j in zip(bc.cumulative, bj.cumulative)
+        )
+
+
+class TestWindowedECB:
+    def test_clips_after_cutoff(self):
+        base = ECB([0.1, 0.2, 0.3, 0.4, 0.5])
+        w = windowed_ecb(base, arrival=8, t0=10, window=4)
+        # cutoff = 8 + 4 − 10 = 2: flat from Δt = 3 on.
+        assert w(1) == pytest.approx(0.1)
+        assert w(2) == pytest.approx(0.2)
+        assert w(3) == pytest.approx(0.2)
+        assert w(5) == pytest.approx(0.2)
+
+    def test_already_expired_is_zero(self):
+        base = ECB([0.5, 1.0])
+        w = windowed_ecb(base, arrival=0, t0=10, window=4)
+        assert w(1) == 0.0 and w(2) == 0.0
+
+    def test_wide_window_is_identity(self):
+        base = ECB([0.5, 1.0])
+        w = windowed_ecb(base, arrival=9, t0=10, window=100)
+        assert np.allclose(w.cumulative, base.cumulative)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            windowed_ecb(ECB([0.1]), 0, 0, -1)

@@ -1,0 +1,217 @@
+"""Tests for experiment configurations and figure harnesses.
+
+Figure harnesses run with tiny parameters here; the benchmark suite runs
+them at reporting scale.  Assertions target well-formedness plus the
+robust qualitative shapes (OPT on top, HEEB ≥ naive baselines where the
+paper shows a clear gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import (
+    SYNTHETIC_CONFIGS,
+    floor_config,
+    roof_config,
+    tower_config,
+    walk_config,
+)
+from repro.experiments.figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9_12,
+    figure13,
+    figure14,
+    figure15_16,
+    figure17_18,
+    figure19,
+)
+from repro.experiments.report import format_curve, format_series_table, format_table
+
+
+class TestConfigs:
+    def test_all_four_exist(self):
+        configs = SYNTHETIC_CONFIGS()
+        assert set(configs) == {"TOWER", "ROOF", "FLOOR", "WALK"}
+
+    def test_trend_configs_have_oracle_and_life(self):
+        for make in (tower_config, roof_config, floor_config):
+            cfg = make()
+            assert cfg.window_oracle is not None
+            assert cfg.has_life
+
+    def test_walk_has_no_window(self):
+        cfg = walk_config()
+        assert cfg.window_oracle is None
+        assert not cfg.has_life
+
+    def test_lag_structure(self):
+        cfg = tower_config()
+        assert cfg.r_model.lag == 1
+        assert cfg.s_model.lag == 0
+
+    def test_noise_bounds_match_paper(self):
+        cfg = floor_config()
+        assert cfg.r_model.noise.min_value == -10
+        assert cfg.r_model.noise.max_value == 10
+        assert cfg.s_model.noise.min_value == -15
+        assert cfg.s_model.noise.max_value == 15
+
+    def test_heeb_factory_builds_policy(self):
+        cfg = tower_config()
+        policy = cfg.make_heeb(10)
+        assert policy.name == "HEEB"
+
+
+class TestFigure6:
+    def test_curves_shapes(self):
+        curves = figure6(drifts=(0, 2), alpha=5.0, max_offset=12)
+        zero = curves[0]
+        # Zero drift: symmetric, peaked at 0 (Section 5.5 optimality).
+        assert zero(0) > zero(5) > 0
+        assert zero(3) == pytest.approx(zero(-3), rel=1e-6)
+        # Positive drift: prefers values to the right.
+        two = curves[2]
+        assert two(4) > two(-4)
+
+    def test_larger_drift_shifts_preference_further(self):
+        curves = figure6(drifts=(2, 4), alpha=5.0, max_offset=20)
+        peak2 = max(curves[2].offsets[np.argmax(curves[2].values)], 0)
+        peak4 = max(curves[4].offsets[np.argmax(curves[4].values)], 0)
+        assert peak4 >= peak2
+
+
+class TestFigure7:
+    def test_three_noises(self):
+        pdfs = figure7()
+        assert set(pdfs) == {"TOWER", "ROOF", "FLOOR"}
+        # TOWER is most peaked, FLOOR flat.
+        assert pdfs["TOWER"].pmf(0) > pdfs["ROOF"].pmf(0) > pdfs["FLOOR"].pmf(0)
+        assert pdfs["FLOOR"].pmf(0) == pytest.approx(pdfs["FLOOR"].pmf(15))
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure8(length=150, n_runs=2, include_flowexpect=False, seed=3)
+
+    def test_structure(self, results):
+        assert set(results) == {"TOWER", "ROOF", "FLOOR", "WALK"}
+        for name, row in results.items():
+            assert "OPT-OFFLINE" in row and "HEEB" in row and "RAND" in row
+            assert ("LIFE" in row) == (name != "WALK")
+
+    def test_opt_wins(self, results):
+        for name, row in results.items():
+            best_online = max(v for k, v in row.items() if k != "OPT-OFFLINE")
+            assert row["OPT-OFFLINE"] >= best_online - 1e-9, name
+
+    def test_heeb_beats_naive_on_tower(self, results):
+        row = results["TOWER"]
+        assert row["HEEB"] > row["RAND"]
+        assert row["HEEB"] > row["PROB"]
+        assert row["HEEB"] > row["LIFE"]
+
+    def test_heeb_beats_rand_and_prob_on_walk(self, results):
+        row = results["WALK"]
+        assert row["HEEB"] > row["RAND"]
+
+
+class TestFigure9to12:
+    def test_sweep_monotone_in_cache_size(self):
+        cfg = tower_config()
+        out = figure9_12(cfg, cache_sizes=(2, 10), length=150, n_runs=2)
+        assert set(out) >= {"OPT-OFFLINE", "RAND", "PROB", "LIFE", "HEEB"}
+        for name, series in out.items():
+            assert len(series) == 2
+            # More memory never hurts (averaged; allow tiny noise).
+            assert series[1] >= series[0] - 2.0, name
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure13(memory_sizes=(10, 60), n_days=700, exact_steps=30)
+
+    def test_structure(self, result):
+        assert set(result.misses) == {"LFD", "RAND", "LRU", "PROB(LFU)", "HEEB"}
+        assert all(len(v) == 2 for v in result.misses.values())
+
+    def test_lfd_is_best(self, result):
+        for name, series in result.misses.items():
+            if name == "LFD":
+                continue
+            for lfd_m, other_m in zip(result.misses["LFD"], series):
+                assert lfd_m <= other_m, name
+
+    def test_more_memory_fewer_misses(self, result):
+        for name, series in result.misses.items():
+            assert series[1] <= series[0], name
+
+
+class TestFigure14:
+    def test_allocation_shapes(self):
+        out = figure14(length=300, cache_size=10, n_runs=1)
+        assert len(out) == 5
+        base = out["R AND S HAVE SAME PROPERTIES"][-100:].mean()
+        lag4 = out["R LAGS BEHIND BY 4"][-100:].mean()
+        quad = out["S NOISE HAS FOUR TIMES THE STDEV"][-100:].mean()
+        # HEEB allocates less memory to the lagging stream...
+        assert lag4 < base
+        # ...and more to R when S is noisier (S tuples get discarded).
+        assert quad > base
+
+
+class TestFigure15_16:
+    def test_surface_and_approximation(self):
+        cmp = figure15_16(n_controls=5, n_dense=7, exact_steps=25, alpha=30.0)
+        assert cmp.actual_values.shape == (7, 7)
+        assert cmp.max_value > 0
+        # Bicubic interpolation from 25 points should stay within a
+        # reasonable fraction of the surface's scale.
+        assert cmp.max_abs_error < 0.35 * cmp.max_value
+        assert cmp.mean_abs_error < 0.1 * cmp.max_value
+
+
+class TestFigure17_18:
+    def test_groups_present(self):
+        out = figure17_18(length=200, cache_size=10, n_runs=1)
+        assert set(out) == {"variance", "lag"}
+        assert len(out["variance"]) == 3
+        assert len(out["lag"]) == 3
+        for series in out["lag"].values():
+            assert len(series) == 200
+
+
+class TestFigure19:
+    def test_lookahead_sweep(self):
+        out = figure19(delta_ts=(1, 3), length=80, cache_size=5, n_runs=1)
+        assert set(out) == {"FLOWEXPECT", "RAND", "PROB", "LIFE"}
+        assert len(out["FLOWEXPECT"]) == 2
+        # Baselines are flat.
+        assert out["RAND"][0] == out["RAND"][1]
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table({"TOWER": {"HEEB": 10.0, "RAND": 5.0}})
+        assert "TOWER" in text and "HEEB" in text and "10.0" in text
+
+    def test_missing_cells_dashed(self):
+        text = format_table(
+            {"A": {"x": 1.0}, "B": {"y": 2.0}}, row_label="cfg"
+        )
+        assert "-" in text
+
+    def test_format_series_table(self):
+        text = format_series_table("k", [1, 2], {"ALG": [3.0, 4.0]})
+        assert "ALG" in text and "4.0" in text
+
+    def test_format_curve_downsamples(self):
+        xs = list(range(100))
+        ys = [x * 0.5 for x in xs]
+        text = format_curve(xs, ys, max_points=5)
+        assert len(text.splitlines()) <= 8

@@ -1,0 +1,132 @@
+"""Tests for first-reference probabilities (caching ECB internals).
+
+The Markov computations (lattice / bucket DPs) are validated against
+Monte-Carlo simulation of the same models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.first_reference import (
+    ar1_transition_matrix,
+    first_reference_ar1,
+    first_reference_independent,
+    first_reference_monte_carlo,
+    first_reference_probs,
+    first_reference_random_walk,
+)
+from repro.streams import (
+    AR1Stream,
+    History,
+    OfflineStream,
+    RandomWalkStream,
+    StationaryStream,
+    discretized_normal,
+    from_mapping,
+)
+
+
+class TestIndependent:
+    def test_stationary_geometric(self):
+        ref = StationaryStream(from_mapping({1: 0.25, 2: 0.75}))
+        f = first_reference_independent(ref, 0, 1, 6)
+        for i in range(6):
+            assert f[i] == pytest.approx(0.25 * 0.75**i)
+
+    def test_offline_indicator(self):
+        ref = OfflineStream([0, 3, 3, 3])
+        f = first_reference_independent(ref, 0, 3, 3)
+        assert list(f) == [1.0, 0.0, 0.0]
+
+    def test_sums_below_one(self):
+        ref = StationaryStream(from_mapping({1: 0.1, 2: 0.9}))
+        f = first_reference_independent(ref, 0, 1, 100)
+        assert f.sum() <= 1.0 + 1e-12
+
+
+class TestRandomWalk:
+    def test_matches_monte_carlo(self, walk_stream, rng):
+        h = History(now=0, last_value=0)
+        exact = first_reference_random_walk(walk_stream, 2, 8, h)
+        mc = first_reference_monte_carlo(
+            walk_stream, 0, 2, 8, h, n_samples=40_000, rng=rng
+        )
+        assert np.allclose(exact, mc, atol=0.01)
+
+    def test_translation_invariance(self, walk_stream):
+        h_a = History(now=0, last_value=10)
+        h_b = History(now=0, last_value=-5)
+        fa = first_reference_random_walk(walk_stream, 13, 6, h_a)
+        fb = first_reference_random_walk(walk_stream, -2, 6, h_b)
+        assert np.allclose(fa, fb)
+
+    def test_drift_speeds_up_forward_reference(self, drifting_walk_stream):
+        h = History(now=0, last_value=0)
+        forward = first_reference_random_walk(drifting_walk_stream, 6, 5, h)
+        backward = first_reference_random_walk(drifting_walk_stream, -6, 5, h)
+        assert forward.sum() > backward.sum()
+
+    def test_total_mass_bounded(self, walk_stream):
+        h = History(now=0, last_value=0)
+        f = first_reference_random_walk(walk_stream, 1, 50, h)
+        assert 0.0 < f.sum() <= 1.0 + 1e-9
+
+    def test_dispatch(self, walk_stream):
+        h = History(now=0, last_value=0)
+        via_dispatch = first_reference_probs(walk_stream, 0, 3, 5, h)
+        direct = first_reference_random_walk(walk_stream, 3, 5, h)
+        assert np.allclose(via_dispatch, direct)
+
+
+class TestAR1:
+    def test_transition_matrix_rows_sum_to_one(self, ar1_stream):
+        buckets = np.arange(-20, 100)
+        transition = ar1_transition_matrix(ar1_stream, buckets)
+        assert np.allclose(transition.sum(axis=1), 1.0)
+
+    def test_matches_monte_carlo(self, rng):
+        model = AR1Stream(phi0=2.0, phi1=0.6, sigma=2.0, bucket=1.0)
+        h = History(now=0, last_value=5)
+        taboo = 6
+        exact = first_reference_ar1(model, taboo, 8, h)
+        mc = first_reference_monte_carlo(
+            model, 0, taboo, 8, h, n_samples=40_000, rng=rng
+        )
+        assert np.allclose(exact, mc, atol=0.012)
+
+    def test_out_of_range_value_zero(self, ar1_stream):
+        h = History(now=0, last_value=ar1_stream.to_bucket(20.0))
+        f = first_reference_ar1(ar1_stream, 10_000, 5, h)
+        assert np.all(f == 0.0)
+
+    def test_total_mass_bounded(self, ar1_stream):
+        h = History(now=0, last_value=ar1_stream.to_bucket(20.0))
+        f = first_reference_ar1(ar1_stream, ar1_stream.to_bucket(22.0), 60, h)
+        assert 0.0 < f.sum() <= 1.0 + 1e-9
+
+    def test_dispatch(self, ar1_stream):
+        h = History(now=0, last_value=40)
+        via = first_reference_probs(ar1_stream, 0, 41, 5, h)
+        direct = first_reference_ar1(ar1_stream, 41, 5, h)
+        assert np.allclose(via, direct)
+
+
+class TestDispatchErrors:
+    def test_unknown_model_rejected(self):
+        class Weird:
+            is_independent = False
+
+        with pytest.raises(TypeError):
+            first_reference_probs(Weird(), 0, 1, 5)
+
+
+class TestMonteCarloIndependent:
+    def test_mc_agrees_with_independent_formula(self, rng):
+        ref = StationaryStream(from_mapping({1: 0.3, 2: 0.7}))
+        exact = first_reference_independent(ref, 0, 1, 6)
+        mc = first_reference_monte_carlo(
+            ref, 0, 1, 6, n_samples=30_000, rng=rng
+        )
+        assert np.allclose(exact, mc, atol=0.01)

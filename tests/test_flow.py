@@ -1,0 +1,178 @@
+"""Tests for the flow machinery: solver, look-ahead graph, FlowExpect."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.flow.flowexpect import flowexpect_decide
+from repro.flow.graph import build_lookahead_graph, expected_match_prob
+from repro.flow.solver import solve_min_cost_flow
+from repro.streams import (
+    History,
+    OfflineStream,
+    StationaryStream,
+    TabularStream,
+    from_mapping,
+)
+
+
+class TestSolver:
+    def test_picks_cheapest_path(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", capacity=1, weight=-0.9)
+        g.add_edge("s", "b", capacity=1, weight=-0.1)
+        g.add_edge("a", "t", capacity=1, weight=0.0)
+        g.add_edge("b", "t", capacity=1, weight=0.0)
+        flow, cost = solve_min_cost_flow(g, "s", "t", 1)
+        assert flow["s"]["a"] == 1 and flow["s"]["b"] == 0
+        assert cost == pytest.approx(-0.9)
+
+    def test_float_costs_preserved(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity=2, weight=-0.123456789)
+        _, cost = solve_min_cost_flow(g, "s", "t", 2)
+        assert cost == pytest.approx(-0.246913578)
+
+    def test_zero_flow(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity=1, weight=-1.0)
+        flow, cost = solve_min_cost_flow(g, "s", "t", 0)
+        assert cost == 0.0
+
+    def test_rejects_negative_amount(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity=1, weight=0.0)
+        with pytest.raises(ValueError):
+            solve_min_cost_flow(g, "s", "t", -1)
+
+
+class TestExpectedMatchProb:
+    def test_independent_product(self):
+        a = StationaryStream(from_mapping({1: 0.5, 2: 0.5}))
+        b = StationaryStream(from_mapping({1: 0.25, 3: 0.75}))
+        # Σ_v P_a(v)·P_b(v) = 0.5·0.25 (only v=1 overlaps).
+        p = expected_match_prob(a, 1, b, 2, None, None)
+        assert p == pytest.approx(0.125)
+
+    def test_null_mass_excluded(self):
+        a = TabularStream([[], [(7, 0.4)]])
+        b = TabularStream([[], [], [(7, 0.5)]])
+        assert expected_match_prob(a, 1, b, 2, None, None) == pytest.approx(0.2)
+        assert expected_match_prob(a, 0, b, 2, None, None) == 0.0
+
+
+class TestLookaheadGraph:
+    def test_node_and_arc_counts(self):
+        """Slice G_t has k+2+2(t−t0) nodes; structure per Section 3.1."""
+        k = 3
+        candidates = [StreamTuple(i, "R", i, 0) for i in range(k + 2)]
+        model = StationaryStream(from_mapping({0: 1.0}))
+        lookahead = 4
+        lg = build_lookahead_graph(
+            candidates, 0, lookahead, model, model, cache_size=k
+        )
+        # Nodes: src + sink + Σ_{j=0..l−1} (k+2+2j)
+        expected_nodes = 2 + sum(k + 2 + 2 * j for j in range(lookahead))
+        assert lg.graph.number_of_nodes() == expected_nodes
+        assert lg.flow_size == k
+
+    def test_lookahead_one_is_greedy_next_step(self):
+        """With l=1, FlowExpect keeps the tuples most likely to join at
+        the next step."""
+        r_model = StationaryStream(from_mapping({1: 0.6, 2: 0.3, 3: 0.1}))
+        s_model = StationaryStream(from_mapping({1: 0.6, 2: 0.3, 3: 0.1}))
+        # Three S-side candidates valued 1, 2, 3; keep 2 of 3.
+        candidates = [StreamTuple(i, "S", v, 0) for i, v in enumerate([1, 2, 3])]
+        decision = flowexpect_decide(
+            candidates, 0, 1, 2, r_model, s_model
+        )
+        kept_values = sorted(t.value for t in decision.kept)
+        assert kept_values == [1, 2]
+        assert decision.expected_benefit == pytest.approx(0.9)
+
+    def test_empty_candidates(self):
+        model = StationaryStream(from_mapping({0: 1.0}))
+        decision = flowexpect_decide([], 0, 3, 2, model, model)
+        assert decision.kept == [] and decision.victims == []
+
+    def test_rejects_bad_lookahead(self):
+        model = StationaryStream(from_mapping({0: 1.0}))
+        with pytest.raises(ValueError):
+            build_lookahead_graph(
+                [StreamTuple(0, "R", 1, 0)], 0, 0, model, model
+            )
+
+    def test_fewer_candidates_than_cache(self):
+        model = StationaryStream(from_mapping({1: 1.0}))
+        candidates = [StreamTuple(0, "S", 1, 0)]
+        decision = flowexpect_decide(candidates, 0, 2, 5, model, model)
+        assert decision.kept == candidates
+
+
+class TestSection34Example:
+    """The paper's suboptimality counterexample, end to end."""
+
+    @pytest.fixture
+    def scenario(self):
+        r_model = TabularStream([[], [(2, 1.0)], [(3, 1.0)], [(2, 0.5)]])
+        s_model = TabularStream(
+            [[(2, 1.0)], [(3, 0.5)], [(1, 0.8)], [(1, 0.8)]]
+        )
+        cached = StreamTuple(0, "R", 1, -1)
+        new_s = StreamTuple(1, "S", 2, 0)
+        return r_model, s_model, cached, new_s
+
+    def test_flowexpect_keeps_cached_tuple(self, scenario):
+        r_model, s_model, cached, new_s = scenario
+        decision = flowexpect_decide(
+            [cached, new_s], 0, 4, 1, r_model, s_model
+        )
+        assert decision.kept == [cached]
+        assert decision.expected_benefit == pytest.approx(1.6)
+
+    def test_predetermined_alternatives_score_lower(self, scenario):
+        """The best predetermined S-caching sequences yield 1.5."""
+        r_model, s_model, cached, new_s = scenario
+        # Force keeping the new S tuple by removing the cached R tuple
+        # from the candidate set.
+        decision = flowexpect_decide([new_s], 0, 4, 1, r_model, s_model)
+        assert decision.expected_benefit == pytest.approx(1.5)
+
+    def test_adaptive_strategy_beats_flowexpect(self, scenario):
+        """Section 3.4: the adaptive optimum is 1.75 > 1.6."""
+        from repro.flow.brute_force import brute_force_adaptive_expectation
+
+        r_steps = [[], [(2, 1.0)], [(3, 1.0)], [(2, 0.5)]]
+        s_steps = [[(2, 1.0)], [(3, 0.5)], [(1, 0.8)], [(1, 0.8)]]
+        steps = []
+        for t in range(4):
+            outs = []
+            r_opts = r_steps[t] + [(None, 1.0 - sum(p for _, p in r_steps[t]))]
+            s_opts = s_steps[t] + [(None, 1.0 - sum(p for _, p in s_steps[t]))]
+            for rv, rp in r_opts:
+                for sv, sp in s_opts:
+                    if rp * sp > 0:
+                        outs.append((rv, sv, rp * sp))
+            steps.append(outs)
+        optimum = brute_force_adaptive_expectation(steps, [("R", 1)], 1)
+        assert optimum == pytest.approx(1.75)
+
+    def test_offline_degenerate_case(self):
+        """Section 5.1: with offline streams, FlowExpect's expected benefit
+        equals the deterministic count of its plan."""
+        r_model = OfflineStream([0, 5, 6, 5])
+        s_model = OfflineStream([5, 9, 9, 9])
+        cached = StreamTuple(0, "S", 5, -1)
+        new_r = StreamTuple(1, "R", 0, 0)
+        new_s = StreamTuple(2, "S", 5, 0)
+        decision = flowexpect_decide(
+            [cached, new_r, new_s], 0, 4, 2, r_model, s_model
+        )
+        # Keeping both S(5) tuples joins R(5) at t=1 and t=3: 2 each... but
+        # each S tuple joins every matching R arrival → 2 tuples × 2 = 4.
+        assert decision.expected_benefit == pytest.approx(4.0)
+        kept_values = sorted(t.value for t in decision.kept)
+        assert kept_values == [5, 5]

@@ -1,0 +1,87 @@
+"""Tests for FlowExpect as a simulator policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow.opt_offline import solve_opt_offline
+from repro.policies.flowexpect_policy import FlowExpectPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import (
+    OfflineStream,
+    StationaryStream,
+    from_mapping,
+)
+
+
+class TestOfflineDegeneracy:
+    """Section 5.1: on offline streams FlowExpect degenerates into
+    OPT-offline, which is optimal."""
+
+    def _compare(self, r, s, k):
+        r_model = OfflineStream(r)
+        s_model = OfflineStream(s)
+        lookahead = len(r)  # full knowledge of the future
+        policy = FlowExpectPolicy(lookahead, r_model, s_model)
+        result = JoinSimulator(k, policy).run(r, s)
+        opt = solve_opt_offline(r, s, k)
+        return result.total_results, opt.total_benefit
+
+    def test_small_random_instances(self):
+        rng = np.random.default_rng(3)
+        for trial in range(6):
+            r = list(rng.integers(0, 4, size=10))
+            s = list(rng.integers(0, 4, size=10))
+            got, want = self._compare(r, s, 2)
+            assert got == want, (r, s)
+
+    def test_instance_with_nones(self):
+        r = [1, None, 2, 1, None, 2]
+        s = [2, 1, None, 2, 1, 1]
+        got, want = self._compare(r, s, 1)
+        assert got == want
+
+    def test_capacity_larger_than_needed(self):
+        r = [1, 2, 3, 1]
+        s = [3, 1, 1, 2]
+        got, want = self._compare(r, s, 6)
+        assert got == want
+
+
+class TestStationary:
+    def test_flowexpect_beats_random_on_skewed_streams(self):
+        from repro.policies import RandPolicy
+
+        dist = from_mapping({1: 0.6, 2: 0.2, 3: 0.1, 4: 0.05, 5: 0.05})
+        model = StationaryStream(dist)
+        rng = np.random.default_rng(0)
+        r = model.sample_path(150, rng)
+        s = model.sample_path(150, np.random.default_rng(1))
+        fe = JoinSimulator(
+            3, FlowExpectPolicy(3, model, model)
+        ).run(r, s)
+        rand = JoinSimulator(3, RandPolicy(seed=4)).run(r, s)
+        assert fe.total_results > rand.total_results
+
+
+class TestConstruction:
+    def test_rejects_bad_lookahead(self):
+        with pytest.raises(ValueError):
+            FlowExpectPolicy(0)
+
+    def test_requires_models(self):
+        from repro.core.tuples import StreamTuple
+        from repro.policies.base import PolicyContext
+
+        policy = FlowExpectPolicy(2)
+        ctx = PolicyContext(kind="join", time=0, cache_size=1)
+        with pytest.raises(ValueError, match="models"):
+            policy.select_victims([StreamTuple(0, "R", 1, 0)], 1, ctx)
+
+    def test_models_from_context(self):
+        model = StationaryStream(from_mapping({1: 1.0}))
+        policy = FlowExpectPolicy(2)
+        sim = JoinSimulator(1, policy, r_model=model, s_model=model)
+        result = sim.run([1, 1, 1], [1, 1, 1])
+        assert result.total_results > 0

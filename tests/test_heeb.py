@@ -1,0 +1,147 @@
+"""Tests for HEEB values (Section 4.3, Theorem 4) and case-study rankings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import dominates, strongly_dominates
+from repro.core.ecb import ECB, ecb_cache, ecb_join
+from repro.core.heeb import default_horizon, heeb_cache, heeb_from_ecb, heeb_join
+from repro.core.lifetime import LExp, LFixed, LInf
+from repro.streams import (
+    History,
+    LinearTrendStream,
+    RandomWalkStream,
+    StationaryStream,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+
+class TestBasics:
+    def test_lfixed_gives_ecb_at_deltat(self, stationary_stream):
+        """The paper's table: H^fixed = B(ΔT)."""
+        b = ecb_join(stationary_stream, 0, 1, 20)
+        h = heeb_from_ecb(b, LFixed(7))
+        assert h == pytest.approx(b(7))
+
+    def test_linf_gives_limit_for_caching(self, stationary_stream):
+        """H^inf = lim B(Δt): the probability of any future reference."""
+        b = ecb_cache(stationary_stream, 0, 1, 300)
+        h = heeb_from_ecb(b, LInf())
+        assert h == pytest.approx(b(300), abs=1e-9)
+        assert h == pytest.approx(1.0, abs=1e-6)
+
+    def test_heeb_join_equals_ecb_form(self, stationary_stream):
+        """The two equivalent definitions of H agree (Lemma 1 applied)."""
+        L = LExp(8.0)
+        horizon = 200
+        direct = heeb_join(stationary_stream, 0, 1, L, horizon)
+        via_ecb = heeb_from_ecb(
+            ecb_join(stationary_stream, 0, 1, horizon), L
+        )
+        assert direct == pytest.approx(via_ecb)
+
+    def test_heeb_cache_equals_ecb_form(self, stationary_stream):
+        L = LExp(8.0)
+        horizon = 200
+        direct = heeb_cache(stationary_stream, 0, 1, L, horizon)
+        via_ecb = heeb_from_ecb(
+            ecb_cache(stationary_stream, 0, 1, horizon), L
+        )
+        assert direct == pytest.approx(via_ecb)
+
+    def test_none_value_zero(self, stationary_stream):
+        assert heeb_join(stationary_stream, 0, None, LExp(5.0)) == 0.0
+        assert heeb_cache(stationary_stream, 0, None, LExp(5.0)) == 0.0
+
+    def test_default_horizon(self):
+        assert default_horizon(LFixed(9)) == 9
+        assert default_horizon(LInf(), fallback=123) == 123
+        assert default_horizon(LExp(10.0)) == LExp(10.0).suggested_horizon()
+
+
+class TestTheorem4:
+    """Dominance in ECBs implies ordering in H (shared L)."""
+
+    @st.composite
+    @staticmethod
+    def dominating_pair(draw):
+        n = draw(st.integers(min_value=2, max_value=8))
+        inc_low = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=0.5),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        extra = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=0.5),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        low = np.cumsum(inc_low)
+        high = np.cumsum(np.asarray(inc_low) + np.asarray(extra))
+        return ECB(high), ECB(low)
+
+    @given(dominating_pair(), st.floats(min_value=0.5, max_value=50.0))
+    @settings(max_examples=80, deadline=None)
+    def test_h_respects_dominance(self, pair, alpha):
+        high, low = pair
+        assert dominates(high, low)
+        L = LExp(alpha)
+        assert heeb_from_ecb(high, L) >= heeb_from_ecb(low, L) - 1e-12
+
+    def test_h_strict_under_strong_dominance(self):
+        high = ECB([0.3, 0.7, 1.2])
+        low = ECB([0.1, 0.4, 0.8])
+        assert strongly_dominates(high, low)
+        L = LExp(4.0)
+        assert heeb_from_ecb(high, L) > heeb_from_ecb(low, L)
+
+
+class TestCaseStudyRankings:
+    def test_stationary_caching_ranks_by_probability(self):
+        """Section 5.2: discard lowest reference probability (LFU / A_o)."""
+        ref = StationaryStream(from_mapping({1: 0.5, 2: 0.3, 3: 0.2}))
+        L = LExp(10.0)
+        h = {v: heeb_cache(ref, 0, v, L) for v in (1, 2, 3)}
+        assert h[1] > h[2] > h[3]
+
+    def test_stationary_joining_ranks_by_probability(self):
+        """Section 5.2: PROB's ordering is optimal here."""
+        partner = StationaryStream(from_mapping({1: 0.5, 2: 0.3, 3: 0.2}))
+        L = LExp(10.0)
+        h = {v: heeb_join(partner, 0, v, L) for v in (1, 2, 3)}
+        assert h[1] > h[2] > h[3]
+
+    def test_trend_caching_ranks_by_value(self):
+        """Section 5.3: discard the smallest join value."""
+        ref = LinearTrendStream(bounded_uniform(4), speed=1.0)
+        L = LExp(6.0)
+        t0 = 50
+        values = [t0 - 4, t0 - 2, t0, t0 + 2, t0 + 4]
+        hs = [heeb_cache(ref, t0, v, L) for v in values]
+        assert all(a < b for a, b in zip(hs, hs[1:]))
+
+    def test_zero_drift_walk_caching_ranks_by_distance(self):
+        """Section 5.5: discard the value farthest from the current walk."""
+        walk = RandomWalkStream(discretized_normal(1.0))
+        history = History(now=10, last_value=100)
+        L = LExp(10.0)
+        distances = [0, 1, 3, 6, 10]
+        hs = [
+            heeb_cache(walk, 10, 100 + d, L, horizon=80, history=history)
+            for d in distances
+        ]
+        assert all(a > b for a, b in zip(hs, hs[1:]))
+        # Symmetry: equal distance, equal H.
+        left = heeb_cache(walk, 10, 97, L, horizon=80, history=history)
+        right = heeb_cache(walk, 10, 103, L, horizon=80, history=history)
+        assert left == pytest.approx(right, rel=1e-9)

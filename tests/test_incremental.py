@@ -1,0 +1,148 @@
+"""Tests for incremental HEEB computation (Corollaries 3-5, Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecb import ecb_join
+from repro.core.heeb import heeb_cache, heeb_join
+from repro.core.incremental import (
+    IncrementalHeebTracker,
+    cache_step,
+    join_step,
+    value_shifted_time,
+)
+from repro.core.lifetime import LExp
+from repro.streams import (
+    LinearTrendStream,
+    RandomWalkStream,
+    StationaryStream,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+ALPHA = 6.0
+HORIZON = 400  # deep enough that truncation error is ~e^-66
+
+
+@pytest.fixture
+def trend():
+    return LinearTrendStream(bounded_uniform(4), speed=1.0)
+
+
+class TestJoinStep:
+    def test_matches_direct_for_stationary(self, stationary_stream):
+        L = LExp(ALPHA)
+        h_prev = heeb_join(stationary_stream, 0, 1, L, HORIZON)
+        stepped = join_step(h_prev, ALPHA, stationary_stream.prob(1, 1))
+        direct = heeb_join(stationary_stream, 1, 1, L, HORIZON)
+        assert stepped == pytest.approx(direct, abs=1e-9)
+
+    def test_matches_direct_for_trend(self, trend):
+        L = LExp(ALPHA)
+        value = 20
+        for t0 in range(14, 26):
+            h_prev = heeb_join(trend, t0, value, L, HORIZON)
+            stepped = join_step(h_prev, ALPHA, trend.prob(t0 + 1, value))
+            direct = heeb_join(trend, t0 + 1, value, L, HORIZON)
+            assert stepped == pytest.approx(direct, abs=1e-8)
+
+
+class TestCacheStep:
+    def test_matches_direct_for_stationary(self, stationary_stream):
+        L = LExp(ALPHA)
+        h_prev = heeb_cache(stationary_stream, 0, 1, L, HORIZON)
+        stepped = cache_step(h_prev, ALPHA, stationary_stream.prob(1, 1))
+        direct = heeb_cache(stationary_stream, 1, 1, L, HORIZON)
+        assert stepped == pytest.approx(direct, abs=1e-9)
+
+    def test_matches_direct_for_trend(self, trend):
+        L = LExp(ALPHA)
+        value = 21
+        for t0 in range(15, 24):
+            h_prev = heeb_cache(trend, t0, value, L, HORIZON)
+            stepped = cache_step(h_prev, ALPHA, trend.prob(t0 + 1, value))
+            direct = heeb_cache(trend, t0 + 1, value, L, HORIZON)
+            assert stepped == pytest.approx(direct, abs=1e-8)
+
+    def test_rejects_certain_reference(self):
+        with pytest.raises(ValueError):
+            cache_step(0.5, ALPHA, 1.0)
+
+
+class TestTracker:
+    def test_tracks_over_many_steps_with_resync(self, trend):
+        tracker = IncrementalHeebTracker(
+            trend, "join", 40, 10, LExp(ALPHA), horizon=HORIZON, resync_every=16
+        )
+        L = LExp(ALPHA)
+        for _ in range(60):
+            tracker.advance()
+            direct = heeb_join(trend, tracker.time, 40, L, HORIZON)
+            assert tracker.h == pytest.approx(direct, abs=1e-6)
+
+    def test_h_goes_to_zero_after_window(self, trend):
+        tracker = IncrementalHeebTracker(
+            trend, "join", 10, 9, LExp(ALPHA), horizon=HORIZON, resync_every=8
+        )
+        for _ in range(30):
+            tracker.advance()
+        assert tracker.h == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_markov_models(self):
+        walk = RandomWalkStream(discretized_normal(1.0))
+        with pytest.raises(ValueError):
+            IncrementalHeebTracker(walk, "join", 0, 0, LExp(ALPHA))
+
+    def test_rejects_unknown_kind(self, stationary_stream):
+        with pytest.raises(ValueError):
+            IncrementalHeebTracker(
+                stationary_stream, "nope", 1, 0, LExp(ALPHA)
+            )
+
+    def test_error_amplification_without_resync(self, trend):
+        """The documented numerical caveat: disabling re-sync lets the
+        e^{1/α} amplification blow up small truncation errors."""
+        short_horizon = 40  # deliberately truncated
+        tracker = IncrementalHeebTracker(
+            trend,
+            "join",
+            55,  # value just beyond the truncated horizon: the initial H
+            10,  # misses a small-but-nonzero tail that then amplifies
+            LExp(ALPHA),
+            horizon=short_horizon,
+            resync_every=0,
+        )
+        for _ in range(400):
+            tracker.advance()
+        # With resync the value would be ~0; without, the amplified
+        # truncation error dominates.
+        assert abs(tracker.h) > 1.0
+
+
+class TestValueIncremental:
+    def test_corollary5_time_shift(self, trend):
+        """B_{v,t} = B_{v + a(t'−t), t'} for linear-trend streams."""
+        t, t_prime = 30, 42
+        v = 25
+        shifted_v = v + 1 * (t_prime - t)
+        b_now = ecb_join(trend, t, v, 20)
+        b_later = ecb_join(trend, t_prime, shifted_v, 20)
+        assert np.allclose(b_now.cumulative, b_later.cumulative)
+
+    def test_value_shifted_time_solves(self):
+        t = value_shifted_time(value_new=25, value_anchor=37, t_anchor=42, slope=1.0)
+        assert t == pytest.approx(54.0)
+
+    def test_value_shifted_time_rejects_zero_slope(self):
+        with pytest.raises(ValueError):
+            value_shifted_time(1, 2, 3, 0.0)
+
+    def test_h_equal_at_shifted_time(self, trend):
+        """Corollary 5 applied to H: same offset ⇒ same H."""
+        L = LExp(ALPHA)
+        h_a = heeb_join(trend, 30, 33, L, HORIZON)
+        h_b = heeb_join(trend, 50, 53, L, HORIZON)
+        assert h_a == pytest.approx(h_b, abs=1e-10)

@@ -1,0 +1,221 @@
+"""Tests for the two-stream join simulator (hand-computed scenarios)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.policies.base import PolicyContext, ReplacementPolicy, ScoredPolicy
+from repro.sim.join_sim import JoinSimulator
+
+
+class KeepOldest(ScoredPolicy):
+    """Evict newest tuples first (deterministic, for hand analysis)."""
+
+    name = "KEEP-OLDEST"
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        return -float(tup.uid)
+
+
+class KeepNewest(ScoredPolicy):
+    name = "KEEP-NEWEST"
+
+    def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        return float(tup.uid)
+
+
+class TestBasicCounting:
+    def test_simple_join(self):
+        # Cache big enough to hold everything: every cross match counts.
+        r = [1, 2, 3]
+        s = [9, 1, 2]
+        sim = JoinSimulator(10, KeepNewest())
+        result = sim.run(r, s)
+        # t=1: s=1 joins cached r(1). t=2: s=2 joins cached r(2).
+        assert result.total_results == 2
+
+    def test_same_step_pairs_not_counted(self):
+        sim = JoinSimulator(10, KeepNewest())
+        result = sim.run([5], [5])
+        assert result.total_results == 0
+
+    def test_duplicates_multiply(self):
+        # Two cached R tuples with value 7 both join one S arrival.
+        r = [7, 7, 0]
+        s = [1, 2, 7]
+        sim = JoinSimulator(10, KeepNewest())
+        result = sim.run(r, s)
+        assert result.total_results == 2
+
+    def test_none_tuples_ignored(self):
+        r = [1, None, 1]
+        s = [None, 1, None]
+        sim = JoinSimulator(10, KeepNewest())
+        result = sim.run(r, s)
+        # t=1: s=1 joins cached r(1); t=2: new r(1) joins cached s(1).
+        # "−" tuples themselves never join.
+        assert result.total_results == 2
+
+    def test_warmup_excludes_early_results(self):
+        r = [1, 2, 3, 4]
+        s = [9, 1, 2, 3]
+        sim = JoinSimulator(10, KeepNewest(), warmup=2)
+        result = sim.run(r, s)
+        assert result.total_results == 3
+        assert result.results_after_warmup == 2  # t=2 and t=3 only
+
+    def test_lengths_truncate_to_min(self):
+        sim = JoinSimulator(10, KeepNewest())
+        result = sim.run([1, 2, 3, 4, 5], [1])
+        assert result.steps == 1
+
+
+class TestEvictionMechanics:
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(0)
+        r = list(rng.integers(0, 5, size=50))
+        s = list(rng.integers(0, 5, size=50))
+        sim = JoinSimulator(3, KeepNewest())
+        result = sim.run(r, s)
+        assert result.occupancy.max() <= 3
+
+    def test_new_tuple_can_be_rejected(self):
+        # KEEP-OLDEST never admits new tuples once full.
+        r = [1, 2, 3]
+        s = [4, 5, 6]
+        sim = JoinSimulator(2, KeepOldest())
+        result = sim.run(r, s)
+        # Cache keeps r(1), s(4) forever; never joins.
+        assert result.total_results == 0
+        assert result.occupancy[-1] == 2
+
+    def test_policy_decides_outcome(self):
+        # value 1 reappears in S at t=3; keeping r(1) pays off.
+        r = [1, 7, 8, 9]
+        s = [0, 2, 3, 1]
+        res_old = JoinSimulator(1, KeepOldest()).run(r, s)
+        res_new = JoinSimulator(1, KeepNewest()).run(r, s)
+        assert res_old.total_results == 1  # kept r(1), joined at t=3
+        assert res_new.total_results == 0
+
+    def test_occupancy_tracking_sides(self):
+        r = [1, 2]
+        s = [None, None]
+        sim = JoinSimulator(5, KeepNewest())
+        result = sim.run(r, s)
+        assert list(result.r_occupancy) == [1, 2]
+        assert list(result.occupancy) == [1, 2]
+        assert result.r_fraction[-1] == pytest.approx(2 / 5)
+
+
+class TestPolicyValidation:
+    class TooFew(ReplacementPolicy):
+        name = "TOO-FEW"
+
+        def select_victims(self, candidates, n_evict, ctx):
+            return []
+
+    class NotACandidate(ReplacementPolicy):
+        name = "ALIEN"
+
+        def select_victims(self, candidates, n_evict, ctx):
+            return [StreamTuple(10**9, "R", 1, 0)] * 1 if n_evict else []
+
+    class Duplicates(ReplacementPolicy):
+        name = "DUP"
+
+        def select_victims(self, candidates, n_evict, ctx):
+            if n_evict <= 0:
+                return []
+            return [candidates[0]] * n_evict if n_evict > 1 else [candidates[0]]
+
+    def test_too_few_victims_rejected(self):
+        sim = JoinSimulator(1, self.TooFew())
+        with pytest.raises(ValueError, match="needed"):
+            sim.run([1, 2], [3, 4])
+
+    def test_alien_victims_rejected(self):
+        sim = JoinSimulator(1, self.NotACandidate())
+        with pytest.raises(ValueError, match="not a candidate"):
+            sim.run([1, 2], [3, 4])
+
+    def test_duplicate_victims_rejected(self):
+        sim = JoinSimulator(1, self.Duplicates())
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.run([1, 2, 3], [4, 5, 6])
+
+    def test_extra_victims_allowed(self):
+        class EvictEverything(ReplacementPolicy):
+            name = "SCORCHED-EARTH"
+
+            def select_victims(self, candidates, n_evict, ctx):
+                return list(candidates)
+
+        sim = JoinSimulator(3, EvictEverything())
+        result = sim.run([1, 1, 1], [1, 2, 1])
+        assert result.total_results == 0
+        assert result.occupancy.max() == 0
+
+
+class TestSlidingWindow:
+    def test_expired_tuples_cannot_join(self):
+        # r(1) at t=0 would join s=1 at t=3, but window 2 expires it at t=3.
+        r = [1, 0, 0, 0]
+        s = [9, 9, 9, 1]
+        no_window = JoinSimulator(10, KeepNewest()).run(r, s)
+        windowed = JoinSimulator(10, KeepNewest(), window=2).run(r, s)
+        assert no_window.total_results == 1
+        assert windowed.total_results == 0
+
+    def test_window_boundary_inclusive(self):
+        # arrival 0, window 3: joinable while t <= 3.
+        r = [1, 0, 0, 0]
+        s = [9, 9, 9, 1]
+        windowed = JoinSimulator(10, KeepNewest(), window=3).run(r, s)
+        assert windowed.total_results == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            JoinSimulator(0, KeepNewest())
+        with pytest.raises(ValueError):
+            JoinSimulator(1, KeepNewest(), warmup=-1)
+        with pytest.raises(ValueError):
+            JoinSimulator(1, KeepNewest(), window=-1)
+
+
+class RecordingPolicy(ScoredPolicy):
+    """Records hook invocations for verification."""
+
+    name = "RECORDER"
+
+    def __init__(self):
+        self.admitted: list[int] = []
+        self.evicted: list[int] = []
+        self.referenced: list[int] = []
+
+    def score(self, tup, ctx):
+        return -float(tup.uid)  # keep oldest
+
+    def on_admit(self, tup, t):
+        self.admitted.append(tup.uid)
+
+    def on_evict(self, tup, t):
+        self.evicted.append(tup.uid)
+
+    def on_reference(self, tup, t):
+        self.referenced.append(tup.uid)
+
+
+class TestHooks:
+    def test_hooks_fire(self):
+        policy = RecordingPolicy()
+        sim = JoinSimulator(1, policy)
+        sim.run([1, 2], [0, 1])
+        # r(1) admitted at t=0 (uid 0); at t=1 s=1 joins it (reference).
+        assert 0 in policy.admitted
+        assert 0 in policy.referenced
+        assert len(policy.evicted) >= 1

@@ -1,0 +1,146 @@
+"""Tests for lifetime estimators (Section 4.3's L functions)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifetime import (
+    LExp,
+    LFixed,
+    LInf,
+    LInv,
+    WindowedLExp,
+    alpha_for_mean_lifetime,
+    check_lifetime_properties,
+    mean_lifetime_for_alpha,
+)
+
+
+class TestLFixed:
+    def test_step_shape(self):
+        L = LFixed(3)
+        assert [L(dt) for dt in range(1, 6)] == [1.0, 1.0, 1.0, 0.0, 0.0]
+
+    def test_horizon(self):
+        assert LFixed(7).suggested_horizon() == 7
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            LFixed(0)
+
+
+class TestLInf:
+    def test_constant_one(self):
+        L = LInf()
+        assert L(1) == 1.0 and L(1000) == 1.0
+        assert L.suggested_horizon() is None
+
+
+class TestLInv:
+    def test_inverse(self):
+        L = LInv()
+        assert L(4) == pytest.approx(0.25)
+        assert L(0) == 0.0
+
+
+class TestLExp:
+    def test_values(self):
+        L = LExp(10.0)
+        assert L(1) == pytest.approx(math.exp(-0.1))
+        assert L(10) == pytest.approx(math.exp(-1.0))
+
+    def test_weights_vectorized(self):
+        L = LExp(5.0)
+        w = L.weights(20)
+        assert np.allclose(w, [L(dt) for dt in range(1, 21)])
+
+    def test_horizon_decay(self):
+        L = LExp(10.0)
+        h = L.suggested_horizon(1e-6)
+        assert L(h) <= 1e-6 * 1.001
+        assert L(h - 5) > 1e-6
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            LExp(0.0)
+
+    def test_zero_before_one(self):
+        assert LExp(3.0)(0) == 0.0
+
+
+class TestWindowedLExp:
+    def test_clips_at_remaining(self):
+        L = WindowedLExp(10.0, remaining=3)
+        assert L(3) > 0.0
+        assert L(4) == 0.0
+
+    def test_matches_lexp_inside(self):
+        base = LExp(7.0)
+        win = WindowedLExp(7.0, remaining=5)
+        for dt in range(1, 6):
+            assert win(dt) == pytest.approx(base(dt))
+
+    def test_zero_remaining(self):
+        L = WindowedLExp(2.0, remaining=0)
+        assert L(1) == 0.0
+
+    def test_rejects_negative_remaining(self):
+        with pytest.raises(ValueError):
+            WindowedLExp(1.0, remaining=-1)
+
+
+class TestCalibration:
+    def test_roundtrip(self):
+        for life in (2.0, 5.0, 12.5, 100.0):
+            alpha = alpha_for_mean_lifetime(life)
+            assert mean_lifetime_for_alpha(alpha) == pytest.approx(life)
+
+    def test_rejects_short_lifetime(self):
+        with pytest.raises(ValueError):
+            alpha_for_mean_lifetime(1.0)
+
+    def test_monotone(self):
+        assert alpha_for_mean_lifetime(20) > alpha_for_mean_lifetime(5)
+
+
+class TestPropertyChecker:
+    @pytest.mark.parametrize(
+        "estimator",
+        [LFixed(5), LInf(), LInv(), LExp(3.0), WindowedLExp(3.0, 10)],
+    )
+    def test_all_catalog_estimators_pass(self, estimator):
+        assert check_lifetime_properties(estimator) == []
+
+    def test_detects_violations(self):
+        from repro.core.lifetime import LifetimeEstimator
+
+        class Bad(LifetimeEstimator):
+            def __call__(self, dt):
+                return 2.0 if dt == 3 else math.exp(-dt / 3.0)
+
+        problems = check_lifetime_properties(Bad())
+        assert problems  # both range and monotonicity violated
+
+
+class TestPropertiesHypothesis:
+    @given(st.floats(min_value=0.5, max_value=200.0))
+    @settings(max_examples=50, deadline=None)
+    def test_lexp_satisfies_paper_properties(self, alpha):
+        L = LExp(alpha)
+        assert check_lifetime_properties(L, horizon=100) == []
+        # Property 5: L(1) > 0 so strong dominance is actionable.
+        assert L(1) > 0.0
+
+    @given(
+        st.floats(min_value=0.5, max_value=50.0),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_windowed_lexp_satisfies_properties(self, alpha, remaining):
+        L = WindowedLExp(alpha, remaining)
+        assert check_lifetime_properties(L, horizon=80) == []

@@ -1,0 +1,117 @@
+"""Tests for the self-configuring HEEB policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies import (
+    HeebPolicy,
+    ModelDrivenHeebPolicy,
+    ProbPolicy,
+    RandPolicy,
+    TrendJoinHeeb,
+    WalkJoinHeeb,
+)
+from repro.core.lifetime import LExp
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import (
+    LinearTrendStream,
+    RandomWalkStream,
+    StationaryStream,
+    bounded_normal,
+    discretized_normal,
+    from_mapping,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ModelDrivenHeebPolicy(min_history=5)
+        with pytest.raises(ValueError):
+            ModelDrivenHeebPolicy(refit_every=0)
+
+
+class TestIdentification:
+    def test_identifies_trend_streams(self):
+        r_model = LinearTrendStream(bounded_normal(10, 1.0), speed=1.0, lag=1)
+        s_model = LinearTrendStream(bounded_normal(15, 2.0), speed=1.0)
+        rng = np.random.default_rng(0)
+        r = r_model.sample_path(900, rng)
+        s = s_model.sample_path(900, np.random.default_rng(1))
+        policy = ModelDrivenHeebPolicy(min_history=150, refit_every=300)
+        JoinSimulator(10, policy).run(r, s)  # no models supplied!
+        assert policy.refits >= 1
+        assert policy.kinds == ("LinearTrendStream", "LinearTrendStream")
+
+    def test_identifies_random_walks(self):
+        step = discretized_normal(1.0)
+        a = RandomWalkStream(step)
+        b = RandomWalkStream(step)
+        rng = np.random.default_rng(2)
+        r = a.sample_path(900, rng)
+        s = b.sample_path(900, np.random.default_rng(3))
+        policy = ModelDrivenHeebPolicy(min_history=200, refit_every=300)
+        JoinSimulator(8, policy).run(r, s)
+        assert policy.kinds == ("RandomWalkStream", "RandomWalkStream")
+
+    def test_cold_start_uses_prob(self):
+        model = StationaryStream(from_mapping({1: 0.6, 2: 0.4}))
+        rng = np.random.default_rng(4)
+        r = model.sample_path(60, rng)  # below min_history: never refits
+        s = model.sample_path(60, np.random.default_rng(5))
+        policy = ModelDrivenHeebPolicy(min_history=500)
+        result = JoinSimulator(3, policy).run(r, s)
+        assert policy.refits == 0
+        assert result.total_results >= 0
+
+
+class TestEndToEndQuality:
+    def test_auto_heeb_beats_prob_on_trends(self):
+        """Without being told anything about the inputs, the policy should
+        approach hand-configured HEEB and clearly beat PROB."""
+        r_model = LinearTrendStream(bounded_normal(10, 1.0), speed=1.0, lag=1)
+        s_model = LinearTrendStream(bounded_normal(15, 2.0), speed=1.0)
+        auto_total = manual_total = prob_total = 0
+        for run in range(3):
+            rng = np.random.default_rng(run)
+            r = r_model.sample_path(1500, rng)
+            s = s_model.sample_path(1500, np.random.default_rng(100 + run))
+            auto = ModelDrivenHeebPolicy(min_history=150, refit_every=400)
+            manual = HeebPolicy(TrendJoinHeeb(LExp(3.0)))
+            auto_total += JoinSimulator(10, auto).run(r, s).total_results
+            manual_total += (
+                JoinSimulator(10, manual, r_model=r_model, s_model=s_model)
+                .run(r, s)
+                .total_results
+            )
+            prob_total += JoinSimulator(10, ProbPolicy()).run(r, s).total_results
+        assert auto_total > 1.3 * prob_total
+        assert auto_total >= 0.8 * manual_total
+
+    def test_auto_heeb_beats_rand_on_walks(self):
+        step = discretized_normal(1.0)
+        a = RandomWalkStream(step)
+        b = RandomWalkStream(step)
+        auto_total = rand_total = 0
+        for run in range(3):
+            rng = np.random.default_rng(run)
+            r = a.sample_path(1200, rng)
+            s = b.sample_path(1200, np.random.default_rng(50 + run))
+            auto = ModelDrivenHeebPolicy(min_history=200, refit_every=400)
+            auto_total += JoinSimulator(8, auto).run(r, s).total_results
+            rand_total += (
+                JoinSimulator(8, RandPolicy(seed=run)).run(r, s).total_results
+            )
+        assert auto_total > 1.5 * rand_total
+
+    def test_reset_reproducible(self):
+        model = StationaryStream(from_mapping({1: 0.5, 2: 0.5}))
+        rng = np.random.default_rng(6)
+        r = model.sample_path(400, rng)
+        s = model.sample_path(400, np.random.default_rng(7))
+        policy = ModelDrivenHeebPolicy(min_history=120, refit_every=100)
+        first = JoinSimulator(4, policy).run(r, s).total_results
+        second = JoinSimulator(4, policy).run(r, s).total_results
+        assert first == second

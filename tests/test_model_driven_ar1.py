@@ -1,0 +1,36 @@
+"""The model-driven policy's AR(1) path (per-side Theorem-5 surfaces)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies import ModelDrivenHeebPolicy, RandPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import AR1Stream
+
+
+class TestAutoAR1:
+    def test_identifies_and_runs_ar1_pair(self):
+        m1 = AR1Stream(2.0, 0.6, 2.0, bucket=1.0)
+        m2 = AR1Stream(3.0, 0.7, 1.5, bucket=1.0)
+        r = m1.sample_path(700, np.random.default_rng(0))
+        s = m2.sample_path(700, np.random.default_rng(1))
+        policy = ModelDrivenHeebPolicy(min_history=150, refit_every=300)
+        result = JoinSimulator(6, policy).run(r, s)
+        assert policy.kinds == ("AR1Stream", "AR1Stream")
+        assert policy.refits >= 1
+        assert result.total_results > 0
+
+    def test_beats_rand_on_mean_reverting_streams(self):
+        m1 = AR1Stream(2.0, 0.6, 2.0, bucket=1.0)
+        m2 = AR1Stream(2.0, 0.6, 2.0, bucket=1.0)
+        auto_total = rand_total = 0
+        for run in range(3):
+            r = m1.sample_path(900, np.random.default_rng(run))
+            s = m2.sample_path(900, np.random.default_rng(100 + run))
+            auto = ModelDrivenHeebPolicy(min_history=150, refit_every=300)
+            auto_total += JoinSimulator(5, auto).run(r, s).total_results
+            rand_total += (
+                JoinSimulator(5, RandPolicy(seed=run)).run(r, s).total_results
+            )
+        assert auto_total > rand_total

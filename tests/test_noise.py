@@ -1,0 +1,269 @@
+"""Tests for discrete distributions (repro.streams.noise)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.noise import (
+    DiscreteDistribution,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+    point_mass,
+)
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_normalizes_weights(self):
+        d = DiscreteDistribution([0, 1], [2.0, 6.0])
+        assert d.pmf(0) == pytest.approx(0.25)
+        assert d.pmf(1) == pytest.approx(0.75)
+
+    def test_sorts_values(self):
+        d = DiscreteDistribution([3, 1, 2], [0.2, 0.5, 0.3])
+        assert list(d.values) == [1, 2, 3]
+        assert d.pmf(1) == pytest.approx(0.5)
+
+    def test_merges_duplicates(self):
+        d = DiscreteDistribution([1, 1, 2], [0.25, 0.25, 0.5])
+        assert len(d) == 2
+        assert d.pmf(1) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([], [])
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1, 2], [0.5, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1, 2], [0.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1, 2, 3], [0.5, 0.5])
+
+    def test_from_mapping(self):
+        d = from_mapping({5: 0.25, -1: 0.75})
+        assert d.pmf(5) == pytest.approx(0.25)
+        assert d.min_value == -1
+
+    def test_from_mapping_rejects_empty(self):
+        with pytest.raises(ValueError):
+            from_mapping({})
+
+
+# ----------------------------------------------------------------------
+# Probability queries
+# ----------------------------------------------------------------------
+class TestQueries:
+    def test_pmf_outside_support_is_zero(self):
+        d = bounded_uniform(2)
+        assert d.pmf(3) == 0.0
+        assert d.pmf(-3) == 0.0
+
+    def test_pmf_many_matches_pmf(self):
+        d = bounded_normal(4, 1.5)
+        grid = np.arange(-6, 7)
+        many = d.pmf_many(grid)
+        singles = np.array([d.pmf(int(v)) for v in grid])
+        assert np.allclose(many, singles)
+
+    def test_pmf_many_on_gapped_support(self):
+        d = DiscreteDistribution([0, 5], [0.5, 0.5])
+        out = d.pmf_many([0, 1, 4, 5, 6])
+        assert np.allclose(out, [0.5, 0, 0, 0.5, 0])
+
+    def test_cdf_endpoints(self):
+        d = bounded_uniform(2)
+        assert d.cdf(-3) == 0.0
+        assert d.cdf(2) == pytest.approx(1.0)
+        assert d.cdf(0) == pytest.approx(3 / 5)
+
+    def test_mean_and_variance_uniform(self):
+        w = 5
+        d = bounded_uniform(w)
+        assert d.mean() == pytest.approx(0.0)
+        # Discrete uniform on [-w, w]: variance = w(w+1)/3.
+        assert d.variance() == pytest.approx(w * (w + 1) / 3)
+
+    def test_items_in_order(self):
+        d = DiscreteDistribution([2, 0], [0.3, 0.7])
+        assert list(d.items()) == [(0, pytest.approx(0.7)), (2, pytest.approx(0.3))]
+
+
+# ----------------------------------------------------------------------
+# Algebra
+# ----------------------------------------------------------------------
+class TestAlgebra:
+    def test_shift(self):
+        d = bounded_uniform(1).shift(10)
+        assert list(d.values) == [9, 10, 11]
+        assert d.pmf(10) == pytest.approx(1 / 3)
+
+    def test_convolve_two_coins(self):
+        coin = DiscreteDistribution([0, 1], [0.5, 0.5])
+        two = coin.convolve(coin)
+        assert two.pmf(0) == pytest.approx(0.25)
+        assert two.pmf(1) == pytest.approx(0.5)
+        assert two.pmf(2) == pytest.approx(0.25)
+
+    def test_convolve_matches_brute_force(self, rng):
+        a = DiscreteDistribution([-2, 0, 3], [0.2, 0.5, 0.3])
+        b = DiscreteDistribution([1, 2], [0.6, 0.4])
+        c = a.convolve(b)
+        brute = {}
+        for va, pa in a.items():
+            for vb, pb in b.items():
+                brute[va + vb] = brute.get(va + vb, 0.0) + pa * pb
+        for v, p in brute.items():
+            assert c.pmf(v) == pytest.approx(p)
+
+    def test_convolve_point_mass_is_shift(self):
+        d = bounded_normal(3, 1.0)
+        shifted = d.convolve(point_mass(4))
+        assert shifted.allclose(d.shift(4))
+
+    def test_truncate_drops_tiny_mass(self):
+        d = DiscreteDistribution([0, 1, 2], [0.9, 0.0999999, 1e-9])
+        t = d.truncate(1e-6)
+        assert t.pmf(2) == 0.0
+        assert t.pmf(0) + t.pmf(1) == pytest.approx(1.0)
+
+    def test_truncate_never_empties(self):
+        d = DiscreteDistribution([0, 1], [0.5, 0.5])
+        t = d.truncate(0.9)
+        assert len(t) >= 1
+        assert sum(p for _, p in t.items()) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_sample_scalar(self, rng):
+        d = bounded_uniform(2)
+        v = d.sample(rng)
+        assert isinstance(v, int)
+        assert -2 <= v <= 2
+
+    def test_sample_frequency(self, rng):
+        d = DiscreteDistribution([0, 1], [0.25, 0.75])
+        draws = d.sample(rng, size=20_000)
+        assert draws.mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_sample_stays_in_support(self, rng):
+        d = bounded_normal(4, 1.0)
+        draws = d.sample(rng, size=1000)
+        assert draws.min() >= -4 and draws.max() <= 4
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+class TestFactories:
+    def test_bounded_uniform_probs(self):
+        d = bounded_uniform(10)
+        assert len(d) == 21
+        for v, p in d.items():
+            assert p == pytest.approx(1 / 21)
+
+    def test_bounded_uniform_zero_width(self):
+        d = bounded_uniform(0)
+        assert d.pmf(0) == pytest.approx(1.0)
+
+    def test_bounded_uniform_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bounded_uniform(-1)
+
+    def test_bounded_normal_shape(self):
+        d = bounded_normal(10, 2.0)
+        # Symmetric, peaked at zero, decreasing outward.
+        assert d.pmf(0) > d.pmf(1) > d.pmf(5) > d.pmf(10) > 0
+        assert d.pmf(3) == pytest.approx(d.pmf(-3))
+
+    def test_bounded_normal_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            bounded_normal(5, 0.0)
+
+    def test_discretized_normal_mass(self):
+        d = discretized_normal(1.0)
+        assert sum(p for _, p in d.items()) == pytest.approx(1.0)
+        assert d.pmf(0) > d.pmf(1)
+        # 6-sigma support comfortably present.
+        assert d.min_value <= -5 and d.max_value >= 5
+
+    def test_discretized_normal_with_mean(self):
+        d = discretized_normal(1.0, mean=7.0)
+        assert d.mean() == pytest.approx(7.0, abs=0.01)
+
+    def test_point_mass(self):
+        d = point_mass(42)
+        assert d.pmf(42) == 1.0
+        assert d.mean() == 42
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@st.composite
+def distributions(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return DiscreteDistribution(values, weights)
+
+
+class TestProperties:
+    @given(distributions())
+    @settings(max_examples=50, deadline=None)
+    def test_pmf_sums_to_one(self, d):
+        assert sum(p for _, p in d.items()) == pytest.approx(1.0)
+
+    @given(distributions(), distributions())
+    @settings(max_examples=50, deadline=None)
+    def test_convolution_moments_add(self, a, b):
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(a.mean() + b.mean(), abs=1e-8)
+        assert c.variance() == pytest.approx(
+            a.variance() + b.variance(), abs=1e-7
+        )
+
+    @given(distributions(), st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_moments(self, d, k):
+        s = d.shift(k)
+        assert s.mean() == pytest.approx(d.mean() + k, abs=1e-9)
+        assert s.variance() == pytest.approx(d.variance(), abs=1e-8)
+
+    @given(distributions())
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_monotone(self, d):
+        grid = range(d.min_value - 1, d.max_value + 2)
+        cdfs = [d.cdf(v) for v in grid]
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert cdfs[-1] == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Tests for OPT-offline: exact optimality and schedule replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.brute_force import brute_force_offline_benefit
+from repro.flow.opt_offline import match_times, solve_opt_offline
+from repro.policies.scheduled import ScheduledPolicy
+from repro.sim.join_sim import JoinSimulator
+
+
+class TestMatchTimes:
+    def test_basic(self):
+        r = [1, 2, 1]
+        s = [2, 1, 1]
+        # r(1)@0 matched by s at 1 and 2; r(2)@1 matched never (s=2 at 0
+        # precedes it); r(1)@2 matched never.
+        assert match_times(r, s) == [[1, 2], [], []]
+
+    def test_none_values(self):
+        assert match_times([None, 1], [1, 1]) == [[], []]
+        assert match_times([1], [None]) == [[]]
+
+
+class TestSolveOptOffline:
+    def test_trivial_all_fit(self):
+        r = [1, 2, 3]
+        s = [0, 1, 2]
+        sol = solve_opt_offline(r, s, cache_size=10)
+        assert sol.total_benefit == 2
+
+    def test_capacity_one_forces_choice(self):
+        # Keeping r(1) yields 2 matches (s=1 at t=1,2); keeping anything
+        # else yields fewer.
+        r = [1, 9, 8]
+        s = [0, 1, 1]
+        sol = solve_opt_offline(r, s, cache_size=1)
+        assert sol.total_benefit == 2
+        assert ("R", 0) in sol.cached
+
+    def test_empty_streams(self):
+        sol = solve_opt_offline([], [], 3)
+        assert sol.total_benefit == 0
+
+    def test_eviction_defaults_to_arrival(self):
+        r = [1]
+        s = [2]
+        sol = solve_opt_offline(r, s, 1)
+        assert sol.scheduled_eviction("R", 0) == 0
+        assert sol.scheduled_eviction("S", 0) == 0
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ValueError):
+            solve_opt_offline([1], [1], 0)
+
+
+class TestOptimalityAgainstBruteForce:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=8),
+        st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exhaustive_optimum(self, r, s, k):
+        n = min(len(r), len(s))
+        sol = solve_opt_offline(r[:n], s[:n], k)
+        brute = brute_force_offline_benefit(r[:n], s[:n], k)
+        assert sol.total_benefit == brute
+
+    def test_randomized_medium_instances(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            r = list(rng.integers(0, 4, size=9))
+            s = list(rng.integers(0, 4, size=9))
+            sol = solve_opt_offline(r, s, 2)
+            assert sol.total_benefit == brute_force_offline_benefit(r, s, 2)
+
+
+class TestScheduleReplay:
+    def _replay(self, r, s, k):
+        sol = solve_opt_offline(r, s, k)
+        policy = ScheduledPolicy(sol)
+        sim = JoinSimulator(k, policy)
+        result = sim.run(r, s)
+        return sol, policy, result
+
+    def test_replay_achieves_flow_benefit(self):
+        rng = np.random.default_rng(5)
+        for trial in range(8):
+            n = 40
+            r = list(rng.integers(0, 6, size=n))
+            s = list(rng.integers(0, 6, size=n))
+            k = int(rng.integers(1, 4))
+            sol, policy, result = self._replay(r, s, k)
+            assert result.total_results == sol.total_benefit
+            assert policy.mismatches == 0
+
+    def test_replay_on_trend_streams(self):
+        from repro.streams import LinearTrendStream, bounded_uniform
+
+        rng = np.random.default_rng(9)
+        r_model = LinearTrendStream(bounded_uniform(4), speed=1.0, lag=1)
+        s_model = LinearTrendStream(bounded_uniform(6), speed=1.0)
+        r = r_model.sample_path(300, rng)
+        s = s_model.sample_path(300, rng)
+        sol, policy, result = self._replay(r, s, 5)
+        assert result.total_results == sol.total_benefit
+        assert policy.mismatches == 0
+
+    def test_opt_dominates_heuristics(self):
+        """OPT-offline must produce at least as many results as any
+        online policy on the same inputs."""
+        from repro.policies import ProbPolicy, RandPolicy
+
+        rng = np.random.default_rng(2)
+        r = list(rng.integers(0, 5, size=120))
+        s = list(rng.integers(0, 5, size=120))
+        k = 3
+        sol, _, result = self._replay(r, s, k)
+        for policy in (RandPolicy(seed=0), ProbPolicy()):
+            other = JoinSimulator(k, policy).run(r, s)
+            assert result.total_results >= other.total_results

@@ -1,0 +1,90 @@
+"""Tests for the caching→joining reduction (Section 2, Theorem 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow.opt_offline import solve_opt_offline
+from repro.policies.lfd import LfdPolicy
+from repro.sim.cache_sim import CacheSimulator
+from repro.streams.reduction import occurrence_index, reduce_reference_stream
+
+
+class TestOccurrenceIndex:
+    def test_counts_prior_occurrences(self):
+        assert occurrence_index(["a", "b", "a", "a"]) == [0, 0, 1, 2]
+
+    def test_empty(self):
+        assert occurrence_index([]) == []
+
+
+class TestTransformation:
+    def test_paper_example(self):
+        """The exact example of Section 2."""
+        reference = ["a", "b", "a", "c", "a"]
+        r, s = reduce_reference_stream(reference)
+        assert r == [("a", 0), ("b", 0), ("a", 1), ("c", 0), ("a", 2)]
+        assert s == [("a", 1), ("b", 1), ("a", 2), ("c", 1), ("a", 3)]
+
+    def test_no_duplicates_within_streams(self):
+        """Observation 1: neither transformed stream has duplicates."""
+        rng = np.random.default_rng(0)
+        reference = list(rng.integers(0, 5, size=200))
+        r, s = reduce_reference_stream(reference)
+        assert len(set(r)) == len(r)
+        assert len(set(s)) == len(s)
+
+    def test_each_s_tuple_joins_exactly_one_future_r(self):
+        """Observation 2: s_(v,i) joins only the next occurrence of v."""
+        reference = ["a", "b", "a", "a", "b"]
+        r, s = reduce_reference_stream(reference)
+        for t, s_val in enumerate(s):
+            future_matches = [t2 for t2 in range(len(r)) if r[t2] == s_val]
+            # Matches, if any, are strictly in the future and unique.
+            assert len(future_matches) <= 1
+            assert all(t2 > t for t2 in future_matches)
+
+    def test_no_r_tuple_joins_future_s(self):
+        """Observation 3: reference tuples never join future supply."""
+        reference = ["a", "a", "b", "a"]
+        r, s = reduce_reference_stream(reference)
+        for t, r_val in enumerate(r):
+            assert all(s[t2] != r_val for t2 in range(t + 1, len(s)))
+
+
+class TestTheorem1:
+    """Optimal hits on the caching side equal optimal joins on the
+    reduced joining side.
+
+    LFD maximizes hits (Belady); OPT-offline maximizes join results; by
+    Theorem 1 the two optima coincide at equal cache size (the expired
+    supply tuple s_(v,i) is replaced by s_(v,i+1) within one step, so no
+    extra slot is ever needed).
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lfd_hits_equal_opt_joins(self, seed):
+        rng = np.random.default_rng(seed)
+        reference = list(rng.integers(0, 4, size=60))
+        k = 2
+        lfd = CacheSimulator(k, LfdPolicy(reference)).run(reference)
+
+        r, s = reduce_reference_stream(reference)
+        opt = solve_opt_offline(r, s, cache_size=k)
+        assert opt.total_benefit == lfd.hits
+
+    def test_skewed_reference(self):
+        reference = [1, 1, 2, 1, 3, 1, 2, 1, 1, 4, 1, 2, 1]
+        k = 2
+        lfd = CacheSimulator(k, LfdPolicy(reference)).run(reference)
+        r, s = reduce_reference_stream(reference)
+        opt = solve_opt_offline(r, s, cache_size=k)
+        assert opt.total_benefit == lfd.hits
+
+    def test_cache_of_one(self):
+        reference = [1, 2, 1, 1, 2, 2]
+        lfd = CacheSimulator(1, LfdPolicy(reference)).run(reference)
+        r, s = reduce_reference_stream(reference)
+        opt = solve_opt_offline(r, s, cache_size=1)
+        assert opt.total_benefit == lfd.hits

@@ -1,0 +1,65 @@
+"""Tests for multi-run orchestration (repro.sim.runner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies.rand import RandPolicy
+from repro.sim.runner import generate_paths, run_join_experiment
+from repro.streams import StationaryStream, from_mapping
+
+
+@pytest.fixture
+def model():
+    return StationaryStream(from_mapping({1: 0.5, 2: 0.5}))
+
+
+class TestGeneratePaths:
+    def test_deterministic_given_seed(self, model):
+        a = generate_paths(model, model, 50, 3, seed=9)
+        b = generate_paths(model, model, 50, 3, seed=9)
+        assert a == b
+
+    def test_runs_are_independent(self, model):
+        paths = generate_paths(model, model, 200, 2, seed=0)
+        assert paths[0] != paths[1]
+
+    def test_shapes(self, model):
+        paths = generate_paths(model, model, 37, 4, seed=1)
+        assert len(paths) == 4
+        for r, s in paths:
+            assert len(r) == 37 and len(s) == 37
+
+
+class TestRunJoinExperiment:
+    def test_aggregation(self, model):
+        paths = generate_paths(model, model, 100, 4, seed=2)
+        result = run_join_experiment(
+            lambda: RandPolicy(seed=0), paths, 3, warmup=10
+        )
+        assert result.policy_name == "RAND"
+        assert len(result.per_run) == 4
+        per_run = [r.results_after_warmup for r in result.per_run]
+        assert result.mean_results == pytest.approx(np.mean(per_run))
+        assert result.std_results == pytest.approx(np.std(per_run))
+
+    def test_fresh_policy_per_run(self, model):
+        """State must not leak across runs: running the same path twice
+        yields identical results."""
+        paths = generate_paths(model, model, 100, 1, seed=3)
+        doubled = paths + paths
+        result = run_join_experiment(
+            lambda: RandPolicy(seed=5), doubled, 3
+        )
+        assert (
+            result.per_run[0].results_after_warmup
+            == result.per_run[1].results_after_warmup
+        )
+
+    def test_mean_r_fraction_shape(self, model):
+        paths = generate_paths(model, model, 60, 2, seed=4)
+        result = run_join_experiment(lambda: RandPolicy(seed=0), paths, 3)
+        frac = result.mean_r_fraction()
+        assert frac.shape == (60,)
+        assert np.all((0.0 <= frac) & (frac <= 1.0))

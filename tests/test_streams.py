@@ -1,0 +1,276 @@
+"""Tests for the stream models (repro.streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    AR1Stream,
+    History,
+    LinearTrendStream,
+    OfflineStream,
+    RandomWalkStream,
+    StationaryStream,
+    TabularStream,
+    as_history,
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+
+class TestHistory:
+    def test_as_history(self):
+        h = as_history([1, 2, 3], 1)
+        assert h.now == 1 and h.last_value == 2
+
+    def test_as_history_bounds(self):
+        with pytest.raises(ValueError):
+            as_history([1], 1)
+
+    def test_check_time_rejects_past(self, stationary_stream):
+        with pytest.raises(ValueError):
+            stationary_stream.cond_dist(3, History(now=5, last_value=1))
+
+    def test_check_time_rejects_negative(self, stationary_stream):
+        with pytest.raises(ValueError):
+            stationary_stream.cond_dist(-1)
+
+
+class TestOfflineStream:
+    def test_value_at(self):
+        s = OfflineStream([7, None, 9])
+        assert s.value_at(0) == 7
+        assert s.value_at(1) is None
+        assert s.value_at(99) is None  # beyond the sequence: "−"
+
+    def test_prob_is_indicator(self):
+        s = OfflineStream([7, None, 9])
+        assert s.prob(0, 7) == 1.0
+        assert s.prob(0, 8) == 0.0
+        assert s.prob(1, 7) == 0.0  # "−" joins nothing
+
+    def test_support(self):
+        s = OfflineStream([7, None])
+        assert s.support(0) == [(7, 1.0)]
+        assert s.support(1) == []
+
+    def test_cond_dist_raises_on_null_step(self):
+        s = OfflineStream([7, None])
+        with pytest.raises(ValueError):
+            s.cond_dist(1)
+
+    def test_sample_path_is_the_sequence(self, rng):
+        s = OfflineStream([1, 2, 3])
+        assert s.sample_path(5, rng) == [1, 2, 3, None, None]
+
+    def test_next_occurrence(self):
+        s = OfflineStream([1, 2, 1, 3, 1])
+        assert s.next_occurrence(1, 0) == 2
+        assert s.next_occurrence(1, 2) == 4
+        assert s.next_occurrence(1, 4) is None
+        assert s.next_occurrence(9, 0) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OfflineStream([])
+
+
+class TestStationaryStream:
+    def test_cond_dist_time_invariant(self, stationary_stream):
+        d1 = stationary_stream.cond_dist(1)
+        d2 = stationary_stream.cond_dist(100)
+        assert d1.allclose(d2)
+
+    def test_sample_frequencies(self, stationary_stream, rng):
+        path = stationary_stream.sample_path(30_000, rng)
+        freq = sum(1 for v in path if v == 1) / len(path)
+        assert freq == pytest.approx(0.5, abs=0.02)
+
+    def test_is_independent(self, stationary_stream):
+        assert stationary_stream.is_independent
+
+
+class TestLinearTrendStream:
+    def test_trend_with_lag(self):
+        s = LinearTrendStream(bounded_uniform(2), speed=1.0, lag=3)
+        assert s.trend(3) == 0
+        assert s.trend(10) == 7
+
+    def test_window(self):
+        s = LinearTrendStream(bounded_uniform(2), speed=1.0)
+        assert s.window(10) == (8, 12)
+
+    def test_prob_matches_cond_dist(self, lagged_trend_stream):
+        s = lagged_trend_stream
+        d = s.cond_dist(20)
+        for v in range(10, 30):
+            assert s.prob(20, v) == pytest.approx(d.pmf(v))
+
+    def test_prob_outside_window_zero(self, trend_stream):
+        lo, hi = trend_stream.window(50)
+        assert trend_stream.prob(50, lo - 1) == 0.0
+        assert trend_stream.prob(50, hi + 1) == 0.0
+
+    def test_samples_stay_in_window(self, trend_stream, rng):
+        path = trend_stream.sample_path(200, rng)
+        for t, v in enumerate(path):
+            lo, hi = trend_stream.window(t)
+            assert lo <= v <= hi
+
+    def test_none_prob_zero(self, trend_stream):
+        assert trend_stream.prob(5, None) == 0.0
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            LinearTrendStream(bounded_uniform(1), speed=-1.0)
+
+    def test_fractional_speed_trend(self):
+        s = LinearTrendStream(bounded_uniform(1), speed=0.5)
+        assert s.trend(4) == 2
+        assert s.trend(5) in (2, 3)  # rounding
+
+
+class TestRandomWalkStream:
+    def test_step_sum_is_iterated_convolution(self, walk_stream):
+        s1 = walk_stream.step_sum(1)
+        s2 = walk_stream.step_sum(2)
+        assert s2.allclose(s1.convolve(s1), atol=1e-9)
+
+    def test_cond_dist_anchors_on_history(self, walk_stream):
+        h = History(now=10, last_value=100)
+        d = walk_stream.cond_dist(11, h)
+        assert d.mean() == pytest.approx(100.0, abs=1e-9)
+
+    def test_drift_shifts_mean(self, drifting_walk_stream):
+        h = History(now=0, last_value=0)
+        d = drifting_walk_stream.cond_dist(5, h)
+        assert d.mean() == pytest.approx(10.0, abs=1e-6)
+
+    def test_variance_grows_linearly(self, walk_stream):
+        h = History(now=0, last_value=0)
+        v1 = walk_stream.cond_dist(1, h).variance()
+        v4 = walk_stream.cond_dist(4, h).variance()
+        assert v4 == pytest.approx(4 * v1, rel=0.01)
+
+    def test_prob_matches_cond_dist(self, walk_stream):
+        h = History(now=0, last_value=5)
+        d = walk_stream.cond_dist(3, h)
+        for v in range(-5, 16):
+            assert walk_stream.prob(3, v, h) == pytest.approx(d.pmf(v))
+
+    def test_sample_path_statistics(self, walk_stream, rng):
+        # Across many short paths the one-step increments have mean ~0, var ~1.
+        increments = []
+        for _ in range(300):
+            path = walk_stream.sample_path(10, rng)
+            increments.extend(np.diff(path))
+        increments = np.asarray(increments, dtype=float)
+        assert increments.mean() == pytest.approx(0.0, abs=0.1)
+        assert increments.var() == pytest.approx(1.0, abs=0.15)
+
+    def test_sample_future_anchors(self, walk_stream, rng):
+        h = History(now=7, last_value=50)
+        path = walk_stream.sample_future(7, 5, rng, h)
+        assert len(path) == 5
+        assert abs(path[0] - 50) <= walk_stream.step.max_value
+
+    def test_history_without_value_rejected(self, walk_stream):
+        with pytest.raises(ValueError):
+            walk_stream.cond_dist(3, History(now=1, last_value=None))
+
+    def test_translation_invariance(self, walk_stream):
+        """Theorem 5(2): the conditional pmf depends only on the offset."""
+        h_a = History(now=0, last_value=10)
+        h_b = History(now=0, last_value=-40)
+        for d in (-3, 0, 2):
+            assert walk_stream.prob(4, 10 + d, h_a) == pytest.approx(
+                walk_stream.prob(4, -40 + d, h_b)
+            )
+
+
+class TestAR1Stream:
+    def test_rejects_unit_root(self):
+        with pytest.raises(ValueError):
+            AR1Stream(0.0, 1.0, 1.0)
+
+    def test_stationary_moments(self, ar1_stream):
+        assert ar1_stream.stationary_mean == pytest.approx(5.59 / 0.28)
+        assert ar1_stream.stationary_std == pytest.approx(
+            4.22 / np.sqrt(1 - 0.72**2)
+        )
+
+    def test_conditional_moments_converge_to_stationary(self, ar1_stream):
+        mean, std = ar1_stream.conditional_moments(200, 0.0)
+        assert mean == pytest.approx(ar1_stream.stationary_mean, abs=1e-6)
+        assert std == pytest.approx(ar1_stream.stationary_std, abs=1e-6)
+
+    def test_one_step_moments(self, ar1_stream):
+        mean, std = ar1_stream.conditional_moments(1, 10.0)
+        assert mean == pytest.approx(5.59 + 0.72 * 10.0)
+        assert std == pytest.approx(4.22)
+
+    def test_cond_dist_sums_to_one(self, ar1_stream):
+        h = History(now=0, last_value=ar1_stream.to_bucket(20.0))
+        d = ar1_stream.cond_dist(3, h)
+        assert sum(p for _, p in d.items()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_prob_matches_cond_dist(self, ar1_stream):
+        h = History(now=0, last_value=40)
+        d = ar1_stream.cond_dist(2, h)
+        for v, p in list(d.items())[::5]:
+            assert ar1_stream.prob(2, v, h) == pytest.approx(p, abs=1e-9)
+
+    def test_sample_path_stationary_statistics(self, ar1_stream, rng):
+        path = ar1_stream.sample_path(20_000, rng)
+        latent = np.array(path) * ar1_stream.bucket
+        assert latent.mean() == pytest.approx(
+            ar1_stream.stationary_mean, abs=0.5
+        )
+        assert latent.std() == pytest.approx(
+            ar1_stream.stationary_std, rel=0.1
+        )
+
+    def test_bucketing_roundtrip(self, ar1_stream):
+        assert ar1_stream.to_bucket(ar1_stream.to_latent(37)) == 37
+
+
+class TestTabularStream:
+    def test_support_and_prob(self):
+        s = TabularStream([[(1, 0.5), (2, 0.3)], []])
+        assert s.support(0) == [(1, 0.5), (2, 0.3)]
+        assert s.prob(0, 1) == 0.5
+        assert s.prob(0, 3) == 0.0
+        assert s.support(1) == []
+        assert s.prob(1, 1) == 0.0
+        assert s.support(5) == []  # beyond table: "−"
+
+    def test_sampling_distribution(self, rng):
+        s = TabularStream([[(1, 0.5)]] * 1)
+        draws = [s.sample_path(1, np.random.default_rng(i))[0] for i in range(4000)]
+        frac_none = sum(1 for d in draws if d is None) / len(draws)
+        assert frac_none == pytest.approx(0.5, abs=0.03)
+
+    def test_rejects_excess_mass(self):
+        with pytest.raises(ValueError):
+            TabularStream([[(1, 0.7), (2, 0.7)]])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            TabularStream([[(1, 0.2), (1, 0.2)]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TabularStream([[(1, -0.1)]])
+
+    def test_cond_dist_renormalizes(self):
+        s = TabularStream([[(1, 0.25), (2, 0.25)]])
+        d = s.cond_dist(0)
+        assert d.pmf(1) == pytest.approx(0.5)
+
+    def test_cond_dist_raises_on_null_step(self):
+        s = TabularStream([[]])
+        with pytest.raises(ValueError):
+            s.cond_dist(0)

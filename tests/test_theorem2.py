@@ -1,0 +1,81 @@
+"""Theorem 2 validation: the flow optimum equals the best predetermined
+decision sequence, enumerated independently of the flow machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import StreamTuple
+from repro.flow.brute_force import brute_force_predetermined_expectation
+from repro.flow.flowexpect import flowexpect_decide
+from repro.streams import StationaryStream, TabularStream, from_mapping
+
+
+def random_tabular(rng: np.random.Generator, steps: int) -> TabularStream:
+    """A random per-step distribution over a small value domain with
+    possible '−' mass."""
+    table = []
+    for _ in range(steps):
+        values = rng.choice(np.arange(1, 5), size=rng.integers(0, 3), replace=False)
+        if values.size == 0:
+            table.append([])
+            continue
+        raw = rng.random(values.size)
+        total = raw.sum() / rng.uniform(0.6, 1.0)  # leave some '−' mass
+        table.append([(int(v), float(p / total)) for v, p in zip(values, raw)])
+    return TabularStream(table)
+
+
+class TestFlowEqualsPredeterminedOptimum:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_scenarios(self, seed):
+        rng = np.random.default_rng(seed)
+        lookahead = int(rng.integers(2, 5))
+        cache_size = int(rng.integers(1, 3))
+        r_model = random_tabular(rng, lookahead)
+        s_model = random_tabular(rng, lookahead)
+        # Candidates: cache_size + up to 2 arrivals with random values.
+        n_candidates = cache_size + int(rng.integers(1, 3))
+        candidates = [
+            StreamTuple(i, rng.choice(["R", "S"]), int(rng.integers(1, 5)), 0)
+            for i in range(n_candidates)
+        ]
+        decision = flowexpect_decide(
+            candidates, 0, lookahead, cache_size, r_model, s_model
+        )
+        brute = brute_force_predetermined_expectation(
+            candidates, 0, lookahead, cache_size, r_model, s_model
+        )
+        assert decision.expected_benefit == pytest.approx(brute, abs=1e-9)
+
+    def test_stationary_scenario(self):
+        model = StationaryStream(from_mapping({1: 0.6, 2: 0.4}))
+        candidates = [
+            StreamTuple(0, "R", 1, 0),
+            StreamTuple(1, "S", 2, 0),
+            StreamTuple(2, "S", 1, 0),
+        ]
+        decision = flowexpect_decide(candidates, 0, 3, 2, model, model)
+        brute = brute_force_predetermined_expectation(
+            candidates, 0, 3, 2, model, model
+        )
+        assert decision.expected_benefit == pytest.approx(brute, abs=1e-9)
+
+    def test_section34_scenario(self):
+        """The 3.4 example's flow value equals its predetermined optimum
+        (1.6) -- both below the adaptive optimum (1.75)."""
+        r_model = TabularStream([[], [(2, 1.0)], [(3, 1.0)], [(2, 0.5)]])
+        s_model = TabularStream(
+            [[(2, 1.0)], [(3, 0.5)], [(1, 0.8)], [(1, 0.8)]]
+        )
+        candidates = [
+            StreamTuple(0, "R", 1, -1),
+            StreamTuple(1, "S", 2, 0),
+        ]
+        brute = brute_force_predetermined_expectation(
+            candidates, 0, 4, 1, r_model, s_model
+        )
+        decision = flowexpect_decide(candidates, 0, 4, 1, r_model, s_model)
+        assert brute == pytest.approx(1.6)
+        assert decision.expected_benefit == pytest.approx(brute)
