@@ -12,6 +12,25 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        choices=("batch", "scalar"),
+        default="batch",
+        help=(
+            "Monte-Carlo engine for the figure sweeps: 'batch' (default) "
+            "runs all trials vectorized, 'scalar' uses the original "
+            "per-trial loop.  Results are seed-for-seed identical."
+        ),
+    )
+
+
+@pytest.fixture
+def batch_engine(request) -> bool:
+    """True when the sweeps should use the vectorized batch engine."""
+    return request.config.getoption("--engine") == "batch"
+
+
 @pytest.fixture
 def emit(capsys):
     """Print experiment tables through the capture layer."""

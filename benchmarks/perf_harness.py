@@ -1,0 +1,157 @@
+"""Perf-regression harness: batch engine vs scalar loop on fig08.
+
+Times every batchable policy of the Figure-8 comparison workload (all
+four synthetic configurations) on both engines and records trials/sec
+plus the batch-over-scalar speedup in ``BENCH_batch.json`` at the repo
+root.  The numbers seed the performance trajectory: future engine work
+should move ``aggregate.speedup`` up, and a regression below the
+recorded baseline is a red flag.
+
+Both engines consume the *same* pre-generated paths and produce
+identical per-trial results (asserted here run by run), so the timing
+comparison is apples to apples.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
+        [--length 600] [--out BENCH_batch.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.configs import SYNTHETIC_CONFIGS
+from repro.policies.life import LifePolicy
+from repro.policies.prob import ProbPolicy
+from repro.policies.rand import RandPolicy
+from repro.sim.runner import generate_paths, run_join_experiment
+
+CACHE_SIZE = 10
+
+
+def _policy_factories(config):
+    factories = {
+        "RAND": lambda: RandPolicy(seed=1),
+        "PROB": lambda: ProbPolicy(),
+    }
+    if config.has_life:
+        factories["LIFE"] = lambda: LifePolicy()
+    factories["HEEB"] = lambda: config.make_heeb(CACHE_SIZE)
+    return factories
+
+
+def run_harness(n_trials: int, length: int) -> dict:
+    """Time the fig08 workload on both engines; return the report dict."""
+    warmup = 4 * CACHE_SIZE
+    entries = []
+    total_scalar = total_batch = 0.0
+    total_trials = 0
+
+    for config_name, config in SYNTHETIC_CONFIGS().items():
+        paths = generate_paths(
+            config.r_model, config.s_model, length, n_trials, seed=0
+        )
+        kwargs = dict(
+            cache_size=CACHE_SIZE,
+            warmup=warmup,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+        )
+        for policy_name, factory in _policy_factories(config).items():
+            t0 = time.perf_counter()
+            scalar = run_join_experiment(factory, paths, **kwargs)
+            t_scalar = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            batch = run_join_experiment(factory, paths, batch=True, **kwargs)
+            t_batch = time.perf_counter() - t0
+
+            mismatches = sum(
+                a.total_results != b.total_results
+                or not np.array_equal(a.occupancy, b.occupancy)
+                for a, b in zip(scalar.per_run, batch.per_run)
+            )
+            if mismatches:
+                raise AssertionError(
+                    f"{config_name}/{policy_name}: batch diverged from "
+                    f"scalar on {mismatches} trials"
+                )
+
+            entries.append(
+                {
+                    "config": config_name,
+                    "policy": policy_name,
+                    "trials": n_trials,
+                    "scalar_seconds": round(t_scalar, 4),
+                    "batch_seconds": round(t_batch, 4),
+                    "scalar_trials_per_sec": round(n_trials / t_scalar, 2),
+                    "batch_trials_per_sec": round(n_trials / t_batch, 2),
+                    "speedup": round(t_scalar / t_batch, 2),
+                }
+            )
+            total_scalar += t_scalar
+            total_batch += t_batch
+            total_trials += n_trials
+            print(
+                f"{config_name:6s} {policy_name:5s} "
+                f"scalar {t_scalar:7.3f}s  batch {t_batch:7.3f}s  "
+                f"speedup {t_scalar / t_batch:5.1f}x"
+            )
+
+    report = {
+        "workload": {
+            "figure": "fig08 comparison (synthetic configs)",
+            "length": length,
+            "trials_per_experiment": n_trials,
+            "cache_size": CACHE_SIZE,
+            "warmup": warmup,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "entries": entries,
+        "aggregate": {
+            "trials": total_trials,
+            "scalar_seconds": round(total_scalar, 4),
+            "batch_seconds": round(total_batch, 4),
+            "scalar_trials_per_sec": round(total_trials / total_scalar, 2),
+            "batch_trials_per_sec": round(total_trials / total_batch, 2),
+            "speedup": round(total_scalar / total_batch, 2),
+        },
+    }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=256)
+    parser.add_argument("--length", type=int, default=600)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_batch.json",
+    )
+    args = parser.parse_args()
+
+    report = run_harness(args.trials, args.length)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    agg = report["aggregate"]
+    print(
+        f"\naggregate: {agg['scalar_trials_per_sec']} -> "
+        f"{agg['batch_trials_per_sec']} trials/sec "
+        f"({agg['speedup']}x), written to {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

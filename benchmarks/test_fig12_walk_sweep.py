@@ -16,10 +16,14 @@ LENGTH = 1200
 N_RUNS = 3
 
 
-def test_fig12_walk_sweep(benchmark, emit):
+def test_fig12_walk_sweep(benchmark, emit, batch_engine):
     out = benchmark.pedantic(
         lambda: figure9_12(
-            walk_config(), cache_sizes=SIZES, length=LENGTH, n_runs=N_RUNS
+            walk_config(),
+            cache_sizes=SIZES,
+            length=LENGTH,
+            n_runs=N_RUNS,
+            batch=batch_engine,
         ),
         rounds=1,
         iterations=1,

@@ -28,7 +28,14 @@ import numpy as np
 from ..streams.base import History, StreamModel, Value
 from .first_reference import first_reference_probs
 
-__all__ = ["ECB", "ecb_join", "ecb_join_band", "ecb_cache", "windowed_ecb"]
+__all__ = [
+    "ECB",
+    "ecb_join",
+    "ecb_join_batch",
+    "ecb_join_band",
+    "ecb_cache",
+    "windowed_ecb",
+]
 
 
 class ECB:
@@ -99,6 +106,36 @@ def ecb_join(
         [partner.prob(t0 + dt, value, history) for dt in range(1, horizon + 1)]
     )
     return ECB.from_increments(probs)
+
+
+def ecb_join_batch(
+    partner: StreamModel,
+    t0: int,
+    values: "np.ndarray | list[Value]",
+    horizon: int,
+    history: History | None = None,
+) -> np.ndarray:
+    """Vectorized Lemma 1: joining ECBs for many values at once.
+
+    Returns the cumulative array ``B(1..horizon)`` for every entry of
+    ``values`` as a ``(len(values), horizon)`` matrix.  Row ``i`` equals
+    ``ecb_join(partner, t0, values[i], horizon, history).cumulative``
+    exactly (the per-step probabilities come from the same pmf lookups
+    and are accumulated in the same order); ``None`` ("−") values yield
+    all-zero rows.  One conditional distribution is materialized per
+    look-ahead step instead of one pmf call per (value, step) pair,
+    which is what makes the batch engine's scoring loop array-shaped.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    none_mask = np.array([v is None for v in values], dtype=bool)
+    safe = np.array([0 if v is None else int(v) for v in values], dtype=np.int64)
+    increments = np.zeros((safe.size, horizon))
+    for dt in range(1, horizon + 1):
+        dist = partner.cond_dist(t0 + dt, history)
+        increments[:, dt - 1] = dist.pmf_many(safe)
+    increments[none_mask, :] = 0.0
+    return np.cumsum(increments, axis=1)
 
 
 def ecb_join_band(

@@ -30,8 +30,10 @@ from .lifetime import LifetimeEstimator
 __all__ = [
     "heeb_from_ecb",
     "heeb_join",
+    "heeb_join_batch",
     "heeb_join_band",
     "heeb_cache",
+    "heeb_cache_batch",
     "default_horizon",
 ]
 
@@ -65,6 +67,62 @@ def heeb_join(
         [partner.prob(t0 + dt, value, history) for dt in range(1, h + 1)]
     )
     return float(np.dot(probs, weights))
+
+
+def heeb_join_batch(
+    partner: StreamModel,
+    t0: int,
+    values: "np.ndarray | list[Value]",
+    estimator: LifetimeEstimator,
+    horizon: int | None = None,
+    history: History | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`heeb_join`: ``H`` for many candidate values.
+
+    Materializes one conditional distribution per look-ahead step and
+    evaluates all values against it, so the cost is ``O(horizon)``
+    distribution queries instead of ``O(len(values) · horizon)`` scalar
+    pmf calls.  ``None`` values get ``H = 0``.  Agrees with the scalar
+    function up to floating-point summation order.
+    """
+    h = default_horizon(estimator) if horizon is None else horizon
+    weights = estimator.weights(h)
+    none_mask = np.array([v is None for v in values], dtype=bool)
+    safe = np.array([0 if v is None else int(v) for v in values], dtype=np.int64)
+    probs = np.zeros((safe.size, h))
+    for dt in range(1, h + 1):
+        dist = partner.cond_dist(t0 + dt, history)
+        probs[:, dt - 1] = dist.pmf_many(safe)
+    out = probs @ weights
+    out[none_mask] = 0.0
+    return out
+
+
+def heeb_cache_batch(
+    reference: StreamModel,
+    t0: int,
+    values: "np.ndarray | list[Value]",
+    estimator: LifetimeEstimator,
+    horizon: int | None = None,
+    history: History | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`heeb_cache`: caching ``H`` for many values.
+
+    The taboo first-reference dynamic program is inherently per-value
+    (each value changes the taboo state), so this runs one DP per value
+    and only vectorizes the final weighting; it exists so batch callers
+    have an array-in/array-out entry point symmetric with
+    :func:`heeb_join_batch`.
+    """
+    h = default_horizon(estimator) if horizon is None else horizon
+    weights = estimator.weights(h)
+    out = np.zeros(len(values))
+    for i, v in enumerate(values):
+        if v is None:
+            continue
+        first = first_reference_probs(reference, t0, int(v), h, history)
+        out[i] = float(np.dot(first, weights))
+    return out
 
 
 def heeb_join_band(

@@ -81,6 +81,23 @@ class H1Table:
             return float(self._values[idx])
         return 0.0
 
+    def lookup(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over an arbitrary-shape offset array.
+
+        Each element equals the scalar lookup bit-for-bit (same stored
+        value, zero outside the grid); this is the array-in/array-out
+        entry point the batch engine scores whole ``(B, slots)`` blocks
+        through.
+        """
+        offs = np.asarray(offsets, dtype=np.int64)
+        if self._values.size == 0:
+            return np.zeros(offs.shape)
+        idx = offs - self._lo
+        valid = (idx >= 0) & (idx < self._values.size)
+        return np.where(
+            valid, self._values[np.clip(idx, 0, self._values.size - 1)], 0.0
+        )
+
 
 def _lexp_weights(estimator: LifetimeEstimator, horizon: int | None) -> np.ndarray:
     h = estimator.suggested_horizon() if horizon is None else horizon
@@ -258,6 +275,20 @@ class H2Surface:
         v_c = np.clip(v_values, self.v_grid[0], self.v_grid[-1])
         x_c = np.clip(x_values, self.x_grid[0], self.x_grid[-1])
         return self._spline(v_c, x_c)
+
+    def evaluate_many(self, v_values: np.ndarray, x_values: np.ndarray) -> np.ndarray:
+        """Pointwise spline evaluation over broadcastable (v, x) arrays.
+
+        Unlike :meth:`evaluate_grid` (outer product), this pairs
+        ``v_values[i]`` with ``x_values[i]``, which is the shape batch
+        scoring needs.  Out-of-domain queries clamp to the control-grid
+        boundary exactly like the scalar :meth:`__call__`.
+        """
+        v_c = np.clip(np.asarray(v_values, dtype=np.float64), self.v_grid[0], self.v_grid[-1])
+        x_c = np.clip(np.asarray(x_values, dtype=np.float64), self.x_grid[0], self.x_grid[-1])
+        v_b, x_b = np.broadcast_arrays(v_c, x_c)
+        flat = self._spline.ev(v_b.ravel(), x_b.ravel())
+        return flat.reshape(v_b.shape)
 
 
 def ar1_h2_join(

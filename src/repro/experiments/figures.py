@@ -112,8 +112,14 @@ def _run_config(
     include_opt: bool = True,
     include_flowexpect: bool = False,
     lookahead: int = 5,
+    batch: bool = False,
 ) -> dict[str, float]:
-    """Mean results for every algorithm on one configuration."""
+    """Mean results for every algorithm on one configuration.
+
+    ``batch=True`` runs each policy's trials on the vectorized engine
+    where an exact adapter exists (OPT and FlowExpect always use the
+    scalar loop).
+    """
     paths = generate_paths(config.r_model, config.s_model, length, n_runs, seed)
     out: dict[str, float] = {}
     if include_opt:
@@ -128,6 +134,7 @@ def _run_config(
             r_model=config.r_model,
             s_model=config.s_model,
             window_oracle=config.window_oracle,
+            batch=batch,
         )
         out[name] = result.mean_results
     return out
@@ -180,6 +187,7 @@ def figure8(
     include_flowexpect: bool = True,
     lookahead: int = 5,
     configs: dict[str, JoinConfig] | None = None,
+    batch: bool = False,
 ) -> dict[str, dict[str, float]]:
     """Figure 8: average join counts per algorithm per configuration.
 
@@ -202,6 +210,7 @@ def figure8(
             include_opt=True,
             include_flowexpect=include_flowexpect,
             lookahead=lookahead,
+            batch=batch,
         )
     return out
 
@@ -216,6 +225,7 @@ def figure9_12(
     n_runs: int = 3,
     warmup_factor: int = 4,
     seed: int = 0,
+    batch: bool = False,
 ) -> dict[str, list[float]]:
     """One cache-size sweep (Figure 9=TOWER, 10=ROOF, 11=FLOOR, 12=WALK).
 
@@ -234,6 +244,7 @@ def figure9_12(
             seed,
             include_opt=True,
             include_flowexpect=False,
+            batch=batch,
         )
         for name, value in row.items():
             out.setdefault(name, []).append(value)

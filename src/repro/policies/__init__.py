@@ -2,6 +2,16 @@
 
 from .adaptive_alpha import AdaptiveAlphaHeebPolicy
 from .base import PolicyContext, ReplacementPolicy, ScoredPolicy, WindowOracle
+from .batch import (
+    BatchLife,
+    BatchLru,
+    BatchPolicy,
+    BatchProb,
+    BatchRand,
+    BatchTrendOracle,
+    UnbatchablePolicyError,
+    make_batch_policy,
+)
 from .case_optimal import FarthestFromReferencePolicy, SmallestValueFirstPolicy
 from .dominance_policy import DominanceGuardedPolicy
 from .flowexpect_policy import FlowExpectPolicy
@@ -14,6 +24,7 @@ from .heeb_policy import (
     HeebPolicy,
     HeebStrategy,
     TrendJoinHeeb,
+    WalkCacheHeeb,
     WalkJoinHeeb,
 )
 from .lfd import LfdPolicy
@@ -37,8 +48,16 @@ __all__ = [
     "FlowExpectPolicy",
     "GenericCacheHeeb",
     "GenericJoinHeeb",
+    "BatchLife",
+    "BatchLru",
+    "BatchPolicy",
+    "BatchProb",
+    "BatchRand",
+    "BatchTrendOracle",
     "HeebPolicy",
     "HeebStrategy",
+    "make_batch_policy",
+    "UnbatchablePolicyError",
     "LfdPolicy",
     "LfuPolicy",
     "LifePolicy",
@@ -55,6 +74,7 @@ __all__ = [
     "SmallestValueFirstPolicy",
     "TrendJoinHeeb",
     "TrendWindowOracle",
+    "WalkCacheHeeb",
     "WalkJoinHeeb",
     "WindowOracle",
 ]

@@ -1,0 +1,644 @@
+"""Batch-aware replacement-policy adapters for the vectorized engine.
+
+The batch simulators in :mod:`repro.sim.batch` run ``B`` independent
+Monte-Carlo trials simultaneously over ``(B, slots)`` state arrays.  Each
+adapter here mirrors one scalar policy *exactly*: for the same per-trial
+seeds the batch engine's eviction decisions are identical to the scalar
+:class:`~repro.sim.join_sim.JoinSimulator` /
+:class:`~repro.sim.cache_sim.CacheSimulator` runs, which the equivalence
+suite (``tests/test_batch_equivalence.py``) asserts tuple-for-tuple.
+
+Equivalence is achieved by construction rather than by approximation:
+
+* scored adapters reproduce the scalar score formula with the same
+  floating-point operations (PROB's integer frequencies, LRU's last-use
+  times, HEEB's precomputed tables reused verbatim), and the engine
+  breaks ties by tuple uid exactly like
+  :class:`~repro.policies.base.ScoredPolicy`;
+* RAND keeps one ``numpy.random.Generator`` per trial, seeded like the
+  scalar policy, and issues the identical sequence of ``choice`` calls;
+* the window-oracle logic of Section 6.2 (dead tuples first) is
+  vectorized for :class:`~repro.policies.window_oracle.TrendWindowOracle`.
+
+Policies whose state cannot be expressed as per-slot arrays (FlowExpect,
+OPT-offline schedules, LRU-k, generic model-driven HEEB) raise
+:class:`UnbatchablePolicyError` from :func:`make_batch_policy`; the
+runner then falls back to the scalar loop, so mixing batchable and
+unbatchable policies in one experiment is seamless.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.heeb import heeb_join
+from ..core.precompute import H1Table, H2Surface
+from ..streams.ar1 import AR1Stream
+from ..streams.base import StreamModel
+from ..streams.linear_trend import LinearTrendStream
+from ..streams.random_walk import RandomWalkStream
+from ..streams.stationary import StationaryStream
+from .base import ReplacementPolicy, WindowOracle
+from .heeb_policy import (
+    AR1CacheHeeb,
+    AR1JoinHeeb,
+    GenericJoinHeeb,
+    HeebPolicy,
+    TrendJoinHeeb,
+    WalkCacheHeeb,
+    WalkJoinHeeb,
+)
+from .life import LifePolicy
+from .lru import LrukPolicy, LruPolicy
+from .prob import ProbPolicy, _DEAD_PENALTY
+from .rand import RandPolicy
+from .window_oracle import TrendWindowOracle
+
+__all__ = [
+    "NONE_VALUE",
+    "R_CODE",
+    "S_CODE",
+    "UnbatchablePolicyError",
+    "BatchPolicy",
+    "BatchRand",
+    "BatchLru",
+    "BatchProb",
+    "BatchLife",
+    "BatchTrendJoinHeeb",
+    "BatchWalkJoinHeeb",
+    "BatchWalkCacheHeeb",
+    "BatchStationaryJoinHeeb",
+    "BatchSurfaceHeeb",
+    "BatchTrendOracle",
+    "make_batch_policy",
+]
+
+#: Sentinel encoding the paper's "−" (``None``) value in integer arrays.
+NONE_VALUE = np.iinfo(np.int64).min
+
+#: Integer side codes used by the ``(B, slots)`` state arrays.
+R_CODE = 0
+S_CODE = 1
+
+
+class UnbatchablePolicyError(TypeError):
+    """The policy has no exact batch adapter; run it on the scalar path."""
+
+
+class BatchPolicy(abc.ABC):
+    """One replacement policy vectorized across ``B`` independent trials.
+
+    The engine drives the adapter through the same event sequence the
+    scalar simulators use (history observation, expiry, references,
+    admissions, victim selection), but each event covers all trials at
+    once.  Auxiliary per-slot state (recency stamps, frequency counts)
+    lives in ``(B, slots)`` arrays returned by :meth:`aux_arrays`; the
+    engine permutes them in lockstep with the tuple slots whenever the
+    cache is compacted, so adapters never track slot movement themselves.
+    """
+
+    name: str = "batch-policy"
+
+    #: Scored adapters return a ``(B, slots)`` score array and let the
+    #: engine pick the ``n_evict`` lowest (score, uid) slots per trial.
+    #: Non-scored adapters implement :meth:`select` directly.
+    scored: bool = True
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        """Allocate per-run state before a batch run starts."""
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        """Per-slot arrays the engine must permute on cache compaction."""
+        return ()
+
+    def begin_step(self, state, t: int, r_vals, s_vals) -> None:
+        """Observe this step's arrivals (all trials), before any probing.
+
+        ``r_vals`` / ``s_vals`` are ``(B,)`` int64 arrays using
+        :data:`NONE_VALUE` for "−"; ``s_vals`` is ``None`` for the
+        caching problem.
+        """
+
+    def on_reference(self, state, mask, t: int) -> None:
+        """Slots flagged in ``mask`` joined an arrival / produced a hit."""
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        """New tuples appeared at ``(rows, cols)`` (before selection)."""
+
+    def scores(self, state, t: int) -> np.ndarray:
+        """Keep-desirability per slot; garbage in dead slots is fine."""
+        raise NotImplementedError
+
+    def select(self, state, n_evict, t: int) -> np.ndarray:
+        """Boolean victim mask for non-scored adapters."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Window oracle
+# ----------------------------------------------------------------------
+class BatchTrendOracle:
+    """Vectorized :class:`TrendWindowOracle` over ``(B, slots)`` arrays.
+
+    Reproduces the scalar arithmetic (float division + floor) exactly so
+    the dead/alive split and LIFE's remaining lifetimes match the scalar
+    oracle element-for-element.
+    """
+
+    _FOREVER = float(2**62)
+
+    def __init__(self, oracle: TrendWindowOracle):
+        self._partner_of = {
+            R_CODE: oracle.partner_model("R"),
+            S_CODE: oracle.partner_model("S"),
+        }
+
+    def last_joinable(self, state) -> np.ndarray:
+        """Latest joinable time per slot, as float64 (huge = forever)."""
+        out = np.empty(state.val.shape, dtype=np.float64)
+        for code, partner in self._partner_of.items():
+            if partner.speed == 0:
+                lj = np.full(state.val.shape, self._FOREVER)
+            else:
+                lj = partner.lag + np.floor(
+                    (state.val - partner.noise.min_value - partner.intercept)
+                    / partner.speed
+                )
+            mask = state.side == code
+            out[mask] = lj[mask]
+        return out
+
+    def dead(self, state, t: int) -> np.ndarray:
+        return self.last_joinable(state) <= t
+
+    def remaining_life(self, state, t: int) -> np.ndarray:
+        return np.maximum(0.0, self.last_joinable(state) - t)
+
+
+def _batch_oracle(oracle: Optional[WindowOracle]) -> Optional[BatchTrendOracle]:
+    if oracle is None:
+        return None
+    if isinstance(oracle, TrendWindowOracle):
+        return BatchTrendOracle(oracle)
+    raise UnbatchablePolicyError(
+        f"no batch adapter for window oracle {type(oracle).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+class BatchRand(BatchPolicy):
+    """RAND with one generator per trial, replaying the scalar call trace.
+
+    The scalar policy evicts oracle-dead tuples first (in candidate
+    order) and fills the remainder with ``rng.choice`` over the live
+    candidates; both the candidate ordering (slot order equals cache
+    insertion order) and the per-trial RNG call pattern are preserved, so
+    trial ``b`` makes exactly the draws scalar run ``b`` makes.
+    """
+
+    name = "RAND"
+    scored = False
+
+    def __init__(self, seed: int, oracle: Optional[BatchTrendOracle] = None):
+        self._seed = seed
+        self._oracle = oracle
+        self._rngs: list[np.random.Generator] = []
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._rngs = [np.random.default_rng(self._seed) for _ in range(n_trials)]
+
+    def select(self, state, n_evict, t: int) -> np.ndarray:
+        victims = np.zeros(state.alive.shape, dtype=bool)
+        if self._oracle is not None:
+            dead = (self._oracle.dead(state, t) & state.alive).tolist()
+        else:
+            dead = None
+        # Alive slots occupy the row prefix, so candidate positions are
+        # simply range(alive count); plain-Python bookkeeping beats
+        # per-trial numpy calls at these sizes, and the per-trial
+        # ``choice`` call replays the scalar policy's RNG stream exactly.
+        counts = state.alive.sum(axis=1).tolist()
+        rngs = self._rngs
+        rows: list[int] = []
+        cols: list[int] = []
+        for b, ne in enumerate(n_evict.tolist()):
+            if ne <= 0:
+                continue
+            cnt = counts[b]
+            flags = dead[b] if dead is not None else None
+            if flags is not None and True in flags:
+                chosen = [i for i in range(cnt) if flags[i]][:ne]
+                live = [i for i in range(cnt) if not flags[i]]
+            else:
+                chosen = []
+                live = range(cnt)
+            remaining = ne - len(chosen)
+            if remaining > 0:
+                picks = rngs[b].choice(len(live), size=remaining, replace=False)
+                chosen.extend(live[i] for i in picks.tolist())
+            rows.extend([b] * len(chosen))
+            cols.extend(chosen)
+        victims[rows, cols] = True
+        return victims
+
+
+class BatchLru(BatchPolicy):
+    """LRU: per-slot last-use stamps; new arrivals count as just used."""
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        self._last_use = np.zeros((0, 0), dtype=np.int64)
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._last_use = np.zeros((n_trials, n_slots), dtype=np.int64)
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        return (self._last_use,)
+
+    def on_reference(self, state, mask, t: int) -> None:
+        self._last_use[mask] = t
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        self._last_use[rows, cols] = t
+
+    def scores(self, state, t: int) -> np.ndarray:
+        return self._last_use.astype(np.float64)
+
+
+class BatchProb(BatchPolicy):
+    """PROB / LFU: observed partner-value frequencies, kept incrementally.
+
+    Cached slots carry their frequency as per-slot state updated by array
+    comparisons against each step's arrivals; only the two dictionary
+    updates per trial per step (the global value counters, needed to
+    initialize newly admitted tuples) remain Python-level, so the scoring
+    path is entirely vectorized.
+    """
+
+    name = "PROB"
+
+    def __init__(self, kind: str, oracle: Optional[BatchTrendOracle] = None):
+        if kind not in ("join", "cache"):
+            raise ValueError(f"unknown kind {kind!r}")
+        self._kind = kind
+        self._oracle = oracle
+        self._freq = np.zeros((0, 0), dtype=np.int64)
+        self._r_counts: list[dict] = []
+        self._s_counts: list[dict] = []
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._freq = np.zeros((n_trials, n_slots), dtype=np.int64)
+        self._r_counts = [dict() for _ in range(n_trials)]
+        self._s_counts = [dict() for _ in range(n_trials)]
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        return (self._freq,)
+
+    def begin_step(self, state, t: int, r_vals, s_vals) -> None:
+        for counts, v in zip(self._r_counts, r_vals.tolist()):
+            if v != NONE_VALUE:
+                counts[v] = counts.get(v, 0) + 1
+        if s_vals is not None:
+            for counts, w in zip(self._s_counts, s_vals.tolist()):
+                if w != NONE_VALUE:
+                    counts[w] = counts.get(w, 0) + 1
+        # A slot's frequency counts its value in the stream it matches:
+        # R-side tuples match S arrivals and vice versa; in the caching
+        # problem every (database) tuple matches the reference stream R.
+        if self._kind == "cache":
+            hit_r = (
+                state.alive
+                & (r_vals[:, None] != NONE_VALUE)
+                & (state.val == np.where(r_vals == NONE_VALUE, 0, r_vals)[:, None])
+            )
+            self._freq += hit_r
+        else:
+            r_safe = np.where(r_vals == NONE_VALUE, 0, r_vals)
+            s_safe = np.where(s_vals == NONE_VALUE, 0, s_vals)
+            self._freq += (
+                state.alive
+                & (state.side == R_CODE)
+                & (s_vals[:, None] != NONE_VALUE)
+                & (state.val == s_safe[:, None])
+            )
+            self._freq += (
+                state.alive
+                & (state.side == S_CODE)
+                & (r_vals[:, None] != NONE_VALUE)
+                & (state.val == r_safe[:, None])
+            )
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        if self._kind == "cache" or side_code == S_CODE:
+            source = self._r_counts
+        else:
+            source = self._s_counts
+        self._freq[rows, cols] = [
+            source[b].get(v, 0) for b, v in zip(rows.tolist(), values.tolist())
+        ]
+
+    def scores(self, state, t: int) -> np.ndarray:
+        sc = self._freq.astype(np.float64)
+        if self._oracle is not None:
+            sc = np.where(self._oracle.dead(state, t), sc - _DEAD_PENALTY, sc)
+        return sc
+
+
+class BatchLife(BatchPolicy):
+    """LIFE: match-probability estimate × oracle remaining lifetime."""
+
+    name = "LIFE"
+
+    def __init__(self, kind: str, oracle: Optional[BatchTrendOracle]):
+        if oracle is None:
+            raise UnbatchablePolicyError(
+                "LIFE requires a window oracle to determine tuple lifetimes"
+            )
+        self._prob = BatchProb(kind)
+        self._oracle = oracle
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._prob.reset(n_trials, n_slots)
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        return self._prob.aux_arrays()
+
+    def begin_step(self, state, t: int, r_vals, s_vals) -> None:
+        self._prob.begin_step(state, t, r_vals, s_vals)
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        self._prob.on_admit(state, rows, cols, side_code, values, t)
+
+    def scores(self, state, t: int) -> np.ndarray:
+        life = self._oracle.remaining_life(state, t)
+        freq = self._prob._freq.astype(np.float64)
+        total = float(max(1, t + 1))
+        return (freq / total) * life
+
+
+# ----------------------------------------------------------------------
+# HEEB strategies
+# ----------------------------------------------------------------------
+def _dense_lookup(values: np.ndarray, lo: int, offsets: np.ndarray) -> np.ndarray:
+    """Index a dense offset-table, returning 0.0 outside its range."""
+    if values.size == 0:
+        return np.zeros(offsets.shape)
+    idx = offsets - lo
+    valid = (idx >= 0) & (idx < values.size)
+    return np.where(valid, values[np.clip(idx, 0, values.size - 1)], 0.0)
+
+
+class BatchTrendJoinHeeb(BatchPolicy):
+    """HEEB over unit-speed linear trends, via the Corollary-5 tables.
+
+    Reads the exact per-offset tables the scalar
+    :class:`~repro.policies.heeb_policy.TrendJoinHeeb` builds, densified
+    into arrays, so batch and scalar scores are bit-identical.
+    """
+
+    name = "HEEB"
+
+    def __init__(
+        self,
+        strategy: TrendJoinHeeb,
+        r_model: LinearTrendStream,
+        s_model: LinearTrendStream,
+    ):
+        self._r_model = r_model
+        self._s_model = s_model
+        # Keys mirror the scalar policy's cache: the table for side-X
+        # tuples is built from the partner stream of X.
+        self._lo_for_r, self._tab_for_r = strategy.table_array(
+            s_model, "partner-of-R"
+        )
+        self._lo_for_s, self._tab_for_s = strategy.table_array(
+            r_model, "partner-of-S"
+        )
+
+    def scores(self, state, t: int) -> np.ndarray:
+        d_r = state.val - self._s_model.trend(t)
+        d_s = state.val - self._r_model.trend(t)
+        sc_r = _dense_lookup(self._tab_for_r, self._lo_for_r, d_r)
+        sc_s = _dense_lookup(self._tab_for_s, self._lo_for_s, d_s)
+        return np.where(state.side == R_CODE, sc_r, sc_s)
+
+
+class BatchWalkJoinHeeb(BatchPolicy):
+    """HEEB over random walks: vectorized ``h1`` lookups (Theorem 5(2))."""
+
+    name = "HEEB"
+
+    def __init__(
+        self,
+        strategy: WalkJoinHeeb,
+        r_model: RandomWalkStream,
+        s_model: RandomWalkStream,
+    ):
+        self._tab_for_r: H1Table = strategy.table_for(s_model, "partner-of-R")
+        self._tab_for_s: H1Table = strategy.table_for(r_model, "partner-of-S")
+
+    def scores(self, state, t: int) -> np.ndarray:
+        no_s = state.last_s == NONE_VALUE
+        no_r = state.last_r == NONE_VALUE
+        anchor_s = np.where(no_s, 0, state.last_s)
+        anchor_r = np.where(no_r, 0, state.last_r)
+        sc_r = np.where(
+            no_s[:, None], 0.0, self._tab_for_r.lookup(state.val - anchor_s[:, None])
+        )
+        sc_s = np.where(
+            no_r[:, None], 0.0, self._tab_for_s.lookup(state.val - anchor_r[:, None])
+        )
+        return np.where(state.side == R_CODE, sc_r, sc_s)
+
+
+class BatchWalkCacheHeeb(BatchPolicy):
+    """Caching HEEB for random-walk references: one shared ``h1`` curve."""
+
+    name = "HEEB"
+
+    def __init__(self, strategy: WalkCacheHeeb):
+        self._table = strategy.table
+
+    def scores(self, state, t: int) -> np.ndarray:
+        no_r = state.last_r == NONE_VALUE
+        anchor = np.where(no_r, 0, state.last_r)
+        return np.where(
+            no_r[:, None], 0.0, self._table.lookup(state.val - anchor[:, None])
+        )
+
+
+class BatchStationaryJoinHeeb(BatchPolicy):
+    """Generic joining HEEB specialized to stationary partners.
+
+    For i.i.d. streams ``H`` depends on the candidate's value only, so
+    the scalar ``heeb_join`` is evaluated once per support value into a
+    dense table (identical floats for every query time) and scoring is a
+    pure array lookup.
+    """
+
+    name = "HEEB"
+
+    def __init__(
+        self,
+        strategy: GenericJoinHeeb,
+        r_model: StationaryStream,
+        s_model: StationaryStream,
+    ):
+        self._lo_for_r, self._tab_for_r = self._build(strategy, s_model)
+        self._lo_for_s, self._tab_for_s = self._build(strategy, r_model)
+
+    @staticmethod
+    def _build(
+        strategy: GenericJoinHeeb, partner: StationaryStream
+    ) -> tuple[int, np.ndarray]:
+        lo, hi = partner.dist.min_value, partner.dist.max_value
+        values = np.array(
+            [
+                heeb_join(partner, 0, v, strategy.estimator, strategy.horizon)
+                for v in range(lo, hi + 1)
+            ]
+        )
+        return lo, values
+
+    def scores(self, state, t: int) -> np.ndarray:
+        sc_r = _dense_lookup(self._tab_for_r, self._lo_for_r, state.val)
+        sc_s = _dense_lookup(self._tab_for_s, self._lo_for_s, state.val)
+        return np.where(state.side == R_CODE, sc_r, sc_s)
+
+
+class BatchSurfaceHeeb(BatchPolicy):
+    """AR(1) HEEB via the precomputed ``h2`` spline surface (Theorem 5(1)).
+
+    Uses pointwise spline evaluation
+    (:meth:`~repro.core.precompute.H2Surface.evaluate_many`); agrees with
+    the scalar strategies to floating-point evaluation order, which is
+    close but not guaranteed bit-identical — the one adapter outside the
+    bit-exactness guarantee.
+    """
+
+    name = "HEEB"
+
+    def __init__(self, surface: H2Surface, model: AR1Stream, kind: str):
+        self._surface = surface
+        self._model = model
+        self._kind = kind
+
+    def _latent(self, anchors: np.ndarray) -> np.ndarray:
+        return anchors * self._model.bucket
+
+    def scores(self, state, t: int) -> np.ndarray:
+        if self._kind == "cache":
+            no_anchor = state.last_r == NONE_VALUE
+            anchor = np.where(no_anchor, 0, state.last_r)
+            latent = self._latent(anchor)[:, None]
+            latent = np.broadcast_to(latent, state.val.shape)
+            sc = self._surface.evaluate_many(state.val.astype(np.float64), latent)
+            return np.where(no_anchor[:, None], 0.0, sc)
+        no_s = state.last_s == NONE_VALUE
+        no_r = state.last_r == NONE_VALUE
+        lat_s = self._latent(np.where(no_s, 0, state.last_s))[:, None]
+        lat_r = self._latent(np.where(no_r, 0, state.last_r))[:, None]
+        vals = state.val.astype(np.float64)
+        sc_r = self._surface.evaluate_many(
+            vals, np.broadcast_to(lat_s, vals.shape)
+        )
+        sc_s = self._surface.evaluate_many(
+            vals, np.broadcast_to(lat_r, vals.shape)
+        )
+        sc_r = np.where(no_s[:, None], 0.0, sc_r)
+        sc_s = np.where(no_r[:, None], 0.0, sc_s)
+        return np.where(state.side == R_CODE, sc_r, sc_s)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def _batch_heeb(
+    policy: HeebPolicy,
+    kind: str,
+    r_model: Optional[StreamModel],
+    s_model: Optional[StreamModel],
+    window: Optional[int],
+) -> BatchPolicy:
+    strategy = policy.strategy
+    if window is not None:
+        raise UnbatchablePolicyError(
+            "windowed HEEB clips L per tuple; no exact batch adapter yet"
+        )
+    if isinstance(strategy, TrendJoinHeeb):
+        if (
+            kind == "join"
+            and isinstance(r_model, LinearTrendStream)
+            and isinstance(s_model, LinearTrendStream)
+            and r_model.speed == 1.0
+            and s_model.speed == 1.0
+        ):
+            return BatchTrendJoinHeeb(strategy, r_model, s_model)
+    elif isinstance(strategy, WalkJoinHeeb):
+        if (
+            kind == "join"
+            and isinstance(r_model, RandomWalkStream)
+            and isinstance(s_model, RandomWalkStream)
+        ):
+            return BatchWalkJoinHeeb(strategy, r_model, s_model)
+    elif isinstance(strategy, WalkCacheHeeb):
+        if kind == "cache":
+            return BatchWalkCacheHeeb(strategy)
+    elif isinstance(strategy, AR1CacheHeeb):
+        if kind == "cache":
+            return BatchSurfaceHeeb(strategy.surface, strategy.model, "cache")
+    elif isinstance(strategy, AR1JoinHeeb):
+        if kind == "join":
+            return BatchSurfaceHeeb(strategy.surface, strategy.model, "join")
+    elif isinstance(strategy, GenericJoinHeeb):
+        if (
+            kind == "join"
+            and isinstance(r_model, StationaryStream)
+            and isinstance(s_model, StationaryStream)
+        ):
+            return BatchStationaryJoinHeeb(strategy, r_model, s_model)
+    raise UnbatchablePolicyError(
+        f"no batch adapter for HEEB strategy {type(strategy).__name__} "
+        f"on this configuration"
+    )
+
+
+def make_batch_policy(
+    policy: ReplacementPolicy,
+    kind: str = "join",
+    r_model: Optional[StreamModel] = None,
+    s_model: Optional[StreamModel] = None,
+    window: Optional[int] = None,
+    window_oracle: Optional[WindowOracle] = None,
+) -> BatchPolicy:
+    """Build the exact batch adapter for a scalar policy instance.
+
+    Raises :class:`UnbatchablePolicyError` when no exact adapter exists;
+    callers (the runner's ``batch=`` path) fall back to the scalar loop.
+    """
+    if kind not in ("join", "cache"):
+        raise ValueError(f"unknown kind {kind!r}")
+    if isinstance(policy, RandPolicy):
+        return BatchRand(policy.seed, _batch_oracle(window_oracle))
+    if isinstance(policy, LrukPolicy):
+        raise UnbatchablePolicyError("LRU-k keeps per-value histories")
+    if isinstance(policy, LruPolicy):
+        return BatchLru()
+    if isinstance(policy, LifePolicy):
+        return BatchLife(kind, _batch_oracle(window_oracle))
+    if isinstance(policy, ProbPolicy):
+        # LFU subclasses PROB (identical mechanics, different label).
+        adapter = BatchProb(kind, _batch_oracle(window_oracle))
+        adapter.name = policy.name
+        return adapter
+    if isinstance(policy, HeebPolicy):
+        return _batch_heeb(policy, kind, r_model, s_model, window)
+    raise UnbatchablePolicyError(
+        f"no batch adapter for policy {type(policy).__name__}"
+    )

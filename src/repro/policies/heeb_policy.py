@@ -34,6 +34,7 @@ __all__ = [
     "GenericCacheHeeb",
     "TrendJoinHeeb",
     "WalkJoinHeeb",
+    "WalkCacheHeeb",
     "AR1CacheHeeb",
     "AR1JoinHeeb",
     "BandJoinHeeb",
@@ -182,6 +183,20 @@ class TrendJoinHeeb(HeebStrategy):
         pmfs = noise.pmf_many(value - trend_vals)
         return float(np.dot(pmfs, np.exp(-dts / alpha)))
 
+    def table_array(
+        self, partner: LinearTrendStream, key: str
+    ) -> tuple[int, np.ndarray]:
+        """The lazily built offset table as ``(lowest_offset, values)``.
+
+        Offsets are contiguous, so the dict maps losslessly onto a dense
+        array; the batch engine scores whole candidate blocks by indexing
+        it (entries outside the array are 0, matching ``table.get(d,
+        0.0)``).  Returns the exact same floats the scalar path uses.
+        """
+        table = self._table_for(partner, key)
+        lo = partner.noise.min_value + 1
+        return lo, np.array([table[d] for d in range(lo, lo + len(table))])
+
     def h_value(self, tup: StreamTuple, ctx: PolicyContext) -> float:
         partner = ctx.partner_model(tup.side)
         if not isinstance(partner, LinearTrendStream):
@@ -226,6 +241,15 @@ class WalkJoinHeeb(HeebStrategy):
             self._tables[key] = table
         return table
 
+    def table_for(self, partner: RandomWalkStream, key: str) -> H1Table:
+        """Public access to the per-partner ``h1`` table (built lazily).
+
+        The batch engine reuses the exact same table via
+        :meth:`H1Table.lookup`, which keeps batch and scalar scores
+        bit-identical.
+        """
+        return self._table_for(partner, key)
+
     def h_value(self, tup: StreamTuple, ctx: PolicyContext) -> float:
         partner = ctx.partner_model(tup.side)
         if not isinstance(partner, RandomWalkStream):
@@ -235,6 +259,25 @@ class WalkJoinHeeb(HeebStrategy):
             return 0.0
         table = self._table_for(partner, f"partner-of-{tup.side}")
         return table(int(tup.value) - int(history.last_value))
+
+
+class WalkCacheHeeb(HeebStrategy):
+    """Precomputed ``h1`` for random-walk *caching* (Theorem 5(2)).
+
+    ``H = h1(v_x − x_{t0})`` with ``h1`` the L-weighted first-reference
+    curve of Figure 6 (see
+    :func:`repro.core.precompute.random_walk_h1_cache`).  The table is
+    built offline and passed in, mirroring the AR(1) surface workflow.
+    """
+
+    def __init__(self, table: H1Table):
+        self.table = table
+
+    def h_value(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        history = _latest_history(ctx.r_history, ctx.time)
+        if history is None:
+            return 0.0
+        return self.table(int(tup.value) - int(history.last_value))
 
 
 class AR1CacheHeeb(HeebStrategy):

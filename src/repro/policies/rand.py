@@ -25,6 +25,11 @@ class RandPolicy(ReplacementPolicy):
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def seed(self) -> int:
+        """The per-run reset seed (the batch adapter replays it per trial)."""
+        return self._seed
+
     def reset(self, ctx: PolicyContext) -> None:
         self._rng = np.random.default_rng(self._seed)
 

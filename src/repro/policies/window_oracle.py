@@ -25,6 +25,10 @@ class TrendWindowOracle:
     def _partner(self, side: str) -> LinearTrendStream:
         return self._models["S" if side == "R" else "R"]
 
+    def partner_model(self, side: str) -> LinearTrendStream:
+        """The stream a ``side`` tuple joins against (batch adapter hook)."""
+        return self._partner(side)
+
     def _last_joinable_time(self, tup: StreamTuple) -> int:
         """Latest time at which the partner window still covers the value.
 

@@ -1,5 +1,16 @@
 """Simulators: two-stream joining, classic caching, and run orchestration."""
 
+from .batch import (
+    BatchCacheRunResult,
+    BatchCacheSimulator,
+    BatchJoinRunResult,
+    BatchJoinSimulator,
+    BatchState,
+    generate_paths_arrays,
+    generate_reference_array,
+    paths_to_arrays,
+    values_to_array,
+)
 from .cache_sim import CacheRunResult, CacheSimulator
 from .join_sim import JoinRunResult, JoinSimulator
 from .multi_join import (
@@ -24,6 +35,15 @@ from .runner import (
 )
 
 __all__ = [
+    "BatchCacheRunResult",
+    "BatchCacheSimulator",
+    "BatchJoinRunResult",
+    "BatchJoinSimulator",
+    "BatchState",
+    "generate_paths_arrays",
+    "generate_reference_array",
+    "paths_to_arrays",
+    "values_to_array",
     "CacheExperimentResult",
     "CacheRunResult",
     "CacheSimulator",

@@ -1,0 +1,465 @@
+"""Vectorized batch Monte-Carlo engine: B independent trials at once.
+
+The scalar simulators (:class:`~repro.sim.join_sim.JoinSimulator`,
+:class:`~repro.sim.cache_sim.CacheSimulator`) drive one sample path at a
+time through Python-object caches; the paper's experiments average 50
+such runs per configuration, and sweeps repeat that per cache size and
+per policy.  This module runs all trials of one policy simultaneously
+over ``(B, slots)`` NumPy arrays, turning the per-step work into a
+handful of array operations.
+
+The batch engine is an *exact* reimplementation, not an approximation:
+for the same input paths and the same per-trial policy seeds it makes
+the same decisions as the scalar simulators, tuple for tuple.  The
+scalar path therefore remains the reference oracle — the equivalence
+suite (``tests/test_batch_equivalence.py``) pins every supported policy
+to it — and the batch path is a drop-in accelerator enabled by
+``batch=True`` on the runner entry points.
+
+Layout invariants the engine maintains:
+
+* alive tuples occupy a prefix of each row, in *candidate order* — the
+  scalar cache's dict insertion order followed by this step's new R then
+  new S arrival — so per-slot positions line up with the scalar
+  candidate lists;
+* compaction (window expiry, eviction) is a stable partition, applied in
+  lockstep to policy auxiliary arrays, so relative order is preserved
+  exactly as dict deletion preserves it;
+* ``None`` stream values ("−" in the paper) are encoded as
+  :data:`~repro.policies.batch.NONE_VALUE` and masked out of every
+  comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..policies.batch import (
+    NONE_VALUE,
+    R_CODE,
+    S_CODE,
+    BatchPolicy,
+)
+from ..streams.base import StreamModel, Value
+from .cache_sim import CacheRunResult
+from .join_sim import JoinRunResult
+
+__all__ = [
+    "BatchState",
+    "BatchJoinRunResult",
+    "BatchCacheRunResult",
+    "BatchJoinSimulator",
+    "BatchCacheSimulator",
+    "values_to_array",
+    "paths_to_arrays",
+    "generate_paths_arrays",
+    "generate_reference_array",
+]
+
+
+@dataclass
+class BatchState:
+    """Slot arrays for ``B`` trials × ``slots`` cache positions.
+
+    ``alive`` marks occupied slots; dead slots hold stale garbage and
+    must be masked in every read.  ``last_r`` / ``last_s`` carry the most
+    recent non-``None`` observation of each stream per trial (the
+    ``x_{t0}`` anchors of Theorem 5), :data:`NONE_VALUE` before the
+    first one.
+    """
+
+    val: np.ndarray
+    side: np.ndarray
+    arr: np.ndarray
+    uid: np.ndarray
+    alive: np.ndarray
+    last_r: np.ndarray
+    last_s: np.ndarray
+
+    @classmethod
+    def empty(cls, n_trials: int, n_slots: int) -> "BatchState":
+        return cls(
+            val=np.zeros((n_trials, n_slots), dtype=np.int64),
+            side=np.full((n_trials, n_slots), -1, dtype=np.int8),
+            arr=np.zeros((n_trials, n_slots), dtype=np.int64),
+            uid=np.zeros((n_trials, n_slots), dtype=np.int64),
+            alive=np.zeros((n_trials, n_slots), dtype=bool),
+            last_r=np.full(n_trials, NONE_VALUE, dtype=np.int64),
+            last_s=np.full(n_trials, NONE_VALUE, dtype=np.int64),
+        )
+
+    def compact(self, keep: np.ndarray, aux: tuple[np.ndarray, ...]) -> None:
+        """Stable-partition kept slots to the row front, in place.
+
+        ``keep`` must be a subset of ``alive``.  Policy auxiliary arrays
+        are permuted identically so per-slot bookkeeping follows its
+        tuple.
+        """
+        perm = np.argsort(~keep, axis=1, kind="stable")
+        for a in (self.val, self.side, self.arr, self.uid, *aux):
+            a[:] = np.take_along_axis(a, perm, axis=1)
+        self.alive[:] = np.take_along_axis(keep, perm, axis=1)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class BatchJoinRunResult:
+    """Per-trial outcomes of one batched joining run (arrays over B)."""
+
+    total_results: np.ndarray
+    results_after_warmup: np.ndarray
+    steps: int
+    warmup: int
+    cache_size: int
+    #: ``(B, steps)`` cached-R counts after each step's evictions.
+    r_occupancy: np.ndarray
+    #: ``(B, steps)`` total occupancy after each step's evictions.
+    occupancy: np.ndarray
+
+    def unbatch(self) -> list[JoinRunResult]:
+        """Split into scalar-compatible per-trial results."""
+        return [
+            JoinRunResult(
+                total_results=int(self.total_results[b]),
+                results_after_warmup=int(self.results_after_warmup[b]),
+                steps=self.steps,
+                warmup=self.warmup,
+                cache_size=self.cache_size,
+                r_occupancy=self.r_occupancy[b].copy(),
+                occupancy=self.occupancy[b].copy(),
+            )
+            for b in range(self.total_results.size)
+        ]
+
+
+@dataclass
+class BatchCacheRunResult:
+    """Per-trial outcomes of one batched caching run (arrays over B)."""
+
+    hits: np.ndarray
+    misses: np.ndarray
+    hits_after_warmup: np.ndarray
+    misses_after_warmup: np.ndarray
+    steps: int
+    warmup: int
+    cache_size: int
+
+    def unbatch(self) -> list[CacheRunResult]:
+        """Split into scalar-compatible per-trial results."""
+        return [
+            CacheRunResult(
+                hits=int(self.hits[b]),
+                misses=int(self.misses[b]),
+                hits_after_warmup=int(self.hits_after_warmup[b]),
+                misses_after_warmup=int(self.misses_after_warmup[b]),
+                steps=self.steps,
+                warmup=self.warmup,
+                cache_size=self.cache_size,
+            )
+            for b in range(self.hits.size)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Input conversion
+# ----------------------------------------------------------------------
+def values_to_array(paths: Sequence[Sequence[Value]]) -> np.ndarray:
+    """Stack value sequences into a ``(B, n)`` int64 array.
+
+    ``None`` ("−") becomes :data:`NONE_VALUE`; rows are truncated to the
+    shortest sequence, matching the scalar simulator's
+    ``min(len(r), len(s))`` convention.
+    """
+    if not paths:
+        return np.zeros((0, 0), dtype=np.int64)
+    n = min(len(p) for p in paths)
+    out = np.empty((len(paths), n), dtype=np.int64)
+    for b, path in enumerate(paths):
+        out[b] = [NONE_VALUE if v is None else int(v) for v in path[:n]]
+    return out
+
+
+def paths_to_arrays(
+    paths: Sequence[tuple[Sequence[Value], Sequence[Value]]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``(r, s)`` path pairs into two ``(B, n)`` arrays."""
+    r = values_to_array([p[0] for p in paths])
+    s = values_to_array([p[1] for p in paths])
+    n = min(r.shape[1], s.shape[1]) if paths else 0
+    return r[:, :n], s[:, :n]
+
+
+def generate_paths_arrays(
+    r_model: StreamModel,
+    s_model: StreamModel,
+    length: int,
+    n_runs: int,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`repro.sim.runner.generate_paths`.
+
+    Consumes the per-run generators identically (same ``seed + run``
+    seeding, R drawn before S from the same generator), so trial ``b``
+    sees exactly the path scalar run ``b`` sees.
+    """
+    from .runner import generate_paths
+
+    return paths_to_arrays(generate_paths(r_model, s_model, length, n_runs, seed))
+
+
+def generate_reference_array(
+    model: StreamModel,
+    length: int,
+    n_runs: int,
+    seed: int,
+) -> np.ndarray:
+    """Array form of :func:`repro.sim.runner.generate_reference_paths`."""
+    from .runner import generate_reference_paths
+
+    return values_to_array(generate_reference_paths(model, length, n_runs, seed))
+
+
+# ----------------------------------------------------------------------
+# Victim selection shared by both engines
+# ----------------------------------------------------------------------
+def _select_victims(
+    policy: BatchPolicy, state: BatchState, n_evict: np.ndarray, t: int
+) -> np.ndarray:
+    if not policy.scored:
+        victims = policy.select(state, n_evict, t)
+        return victims & state.alive
+    scores = policy.scores(state, t)
+    # Dead slots sort last (+inf beats every finite score); ties among
+    # candidates break by uid ascending, exactly like ScoredPolicy's
+    # sorted(key=(score, uid)).
+    masked = np.where(state.alive, scores, np.inf)
+    order = np.lexsort((state.uid, masked), axis=1)
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order, np.arange(order.shape[1], dtype=order.dtype)[None, :], axis=1
+    )
+    return (ranks < n_evict[:, None]) & state.alive
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+class BatchJoinSimulator:
+    """Vectorized counterpart of :class:`~repro.sim.join_sim.JoinSimulator`.
+
+    Takes a :class:`~repro.policies.batch.BatchPolicy` (built by
+    :func:`~repro.policies.batch.make_batch_policy`) and ``(B, n)`` value
+    arrays; every step performs the scalar simulator's phases — window
+    expiry, probing, arrival, eviction — as whole-array operations.
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: BatchPolicy,
+        warmup: int = 0,
+        window: int | None = None,
+        band: int = 0,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        if window is not None and window < 0:
+            raise ValueError("window must be nonnegative")
+        if band < 0:
+            raise ValueError("band must be nonnegative")
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+        self._window = window
+        self._band = band
+
+    def run(self, r_paths: np.ndarray, s_paths: np.ndarray) -> BatchJoinRunResult:
+        r_paths = np.asarray(r_paths, dtype=np.int64)
+        s_paths = np.asarray(s_paths, dtype=np.int64)
+        if r_paths.shape != s_paths.shape or r_paths.ndim != 2:
+            raise ValueError("r_paths and s_paths must be matching (B, n) arrays")
+        n_trials, n = r_paths.shape
+        k = self._cache_size
+        # ≤ k survivors from the previous step plus one arrival per side.
+        state = BatchState.empty(n_trials, k + 2)
+        self._policy.reset(n_trials, k + 2)
+        aux = self._policy.aux_arrays()
+
+        counts = np.zeros(n_trials, dtype=np.int64)
+        uid_next = np.zeros(n_trials, dtype=np.int64)
+        total = np.zeros(n_trials, dtype=np.int64)
+        after_warmup = np.zeros(n_trials, dtype=np.int64)
+        r_occupancy = np.zeros((n_trials, n), dtype=np.int64)
+        occupancy = np.zeros((n_trials, n), dtype=np.int64)
+
+        for t in range(n):
+            r_vals = r_paths[:, t]
+            s_vals = s_paths[:, t]
+            has_r = r_vals != NONE_VALUE
+            has_s = s_vals != NONE_VALUE
+            state.last_r[has_r] = r_vals[has_r]
+            state.last_s[has_s] = s_vals[has_s]
+            self._policy.begin_step(state, t, r_vals, s_vals)
+
+            # Sliding-window expiry: free removal of dead tuples.
+            if self._window is not None:
+                expired = state.alive & (state.arr < t - self._window)
+                if expired.any():
+                    state.compact(state.alive & ~expired, aux)
+                    counts = state.alive.sum(axis=1)
+
+            # New arrivals join cached partner tuples (same-step arrivals
+            # never join each other — they are appended only afterwards).
+            r_safe = np.where(has_r, r_vals, 0)
+            s_safe = np.where(has_s, s_vals, 0)
+            if self._band == 0:
+                near_r = state.val == r_safe[:, None]
+                near_s = state.val == s_safe[:, None]
+            else:
+                near_r = np.abs(state.val - r_safe[:, None]) <= self._band
+                near_s = np.abs(state.val - s_safe[:, None]) <= self._band
+            m_r = state.alive & (state.side == S_CODE) & has_r[:, None] & near_r
+            m_s = state.alive & (state.side == R_CODE) & has_s[:, None] & near_s
+            step_results = m_r.sum(axis=1) + m_s.sum(axis=1)
+            total += step_results
+            if t >= self._warmup:
+                after_warmup += step_results
+            referenced = m_r | m_s
+            if referenced.any():
+                self._policy.on_reference(state, referenced, t)
+
+            # Append arrivals in candidate order: new R, then new S.
+            for side_code, has, vals in (
+                (R_CODE, has_r, r_vals),
+                (S_CODE, has_s, s_vals),
+            ):
+                rows = np.flatnonzero(has)
+                if rows.size == 0:
+                    continue
+                cols = counts[rows]
+                state.val[rows, cols] = vals[rows]
+                state.side[rows, cols] = side_code
+                state.arr[rows, cols] = t
+                state.uid[rows, cols] = uid_next[rows]
+                state.alive[rows, cols] = True
+                uid_next[rows] += 1
+                counts[rows] += 1
+                self._policy.on_admit(state, rows, cols, side_code, vals[rows], t)
+
+            n_evict = np.maximum(counts - k, 0)
+            if n_evict.any():
+                victims = _select_victims(self._policy, state, n_evict, t)
+                if victims.any():
+                    state.compact(state.alive & ~victims, aux)
+                    counts = state.alive.sum(axis=1)
+
+            r_occupancy[:, t] = (state.alive & (state.side == R_CODE)).sum(axis=1)
+            occupancy[:, t] = counts
+
+        return BatchJoinRunResult(
+            total_results=total,
+            results_after_warmup=after_warmup,
+            steps=n,
+            warmup=self._warmup,
+            cache_size=k,
+            r_occupancy=r_occupancy,
+            occupancy=occupancy,
+        )
+
+
+class BatchCacheSimulator:
+    """Vectorized counterpart of :class:`~repro.sim.cache_sim.CacheSimulator`.
+
+    All slots hold side-"S" database tuples; a reference is a hit when a
+    slot carries its value (referential integrity guarantees at most one
+    does), otherwise the tuple is fetched, given the next per-trial uid,
+    and offered as an eviction candidate — exactly the scalar flow.
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: BatchPolicy,
+        warmup: int = 0,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+
+    def run(self, references: np.ndarray) -> BatchCacheRunResult:
+        references = np.asarray(references, dtype=np.int64)
+        if references.ndim != 2:
+            raise ValueError("references must be a (B, n) array")
+        n_trials, n = references.shape
+        k = self._cache_size
+        state = BatchState.empty(n_trials, k + 1)
+        self._policy.reset(n_trials, k + 1)
+        aux = self._policy.aux_arrays()
+
+        counts = np.zeros(n_trials, dtype=np.int64)
+        uid_next = np.zeros(n_trials, dtype=np.int64)
+        hits = np.zeros(n_trials, dtype=np.int64)
+        misses = np.zeros(n_trials, dtype=np.int64)
+        hits_w = np.zeros(n_trials, dtype=np.int64)
+        misses_w = np.zeros(n_trials, dtype=np.int64)
+
+        for t in range(n):
+            vals = references[:, t]
+            has = vals != NONE_VALUE
+            state.last_r[has] = vals[has]
+            self._policy.begin_step(state, t, vals, None)
+            if not has.any():
+                continue
+
+            safe = np.where(has, vals, 0)
+            hit_mask = state.alive & has[:, None] & (state.val == safe[:, None])
+            hit_rows = hit_mask.any(axis=1)
+            hits += hit_rows
+            miss_rows = has & ~hit_rows
+            misses += miss_rows
+            if t >= self._warmup:
+                hits_w += hit_rows
+                misses_w += miss_rows
+            if hit_rows.any():
+                self._policy.on_reference(state, hit_mask, t)
+
+            rows = np.flatnonzero(miss_rows)
+            if rows.size == 0:
+                continue
+            cols = counts[rows]
+            state.val[rows, cols] = vals[rows]
+            state.side[rows, cols] = S_CODE
+            state.arr[rows, cols] = t
+            state.uid[rows, cols] = uid_next[rows]
+            state.alive[rows, cols] = True
+            uid_next[rows] += 1
+            counts[rows] += 1
+            self._policy.on_admit(state, rows, cols, S_CODE, vals[rows], t)
+
+            n_evict = np.maximum(counts - k, 0)
+            if n_evict.any():
+                victims = _select_victims(self._policy, state, n_evict, t)
+                if victims.any():
+                    state.compact(state.alive & ~victims, aux)
+                    counts = state.alive.sum(axis=1)
+
+        return BatchCacheRunResult(
+            hits=hits,
+            misses=misses,
+            hits_after_warmup=hits_w,
+            misses_after_warmup=misses_w,
+            steps=n,
+            warmup=self._warmup,
+            cache_size=k,
+        )

@@ -75,12 +75,44 @@ def run_join_experiment(
     r_model: StreamModel | None = None,
     s_model: StreamModel | None = None,
     window_oracle: WindowOracle | None = None,
+    batch: bool = False,
 ) -> JoinExperimentResult:
     """Run one (fresh) policy instance per path and aggregate.
 
     ``policy_factory`` builds a new policy per run so that per-run state
     (frequency counters, RNG streams) never leaks across runs.
+
+    With ``batch=True`` all runs execute simultaneously on the
+    vectorized engine (:mod:`repro.sim.batch`), which is seed-for-seed
+    equivalent to the scalar loop for every policy it supports; policies
+    without an exact batch adapter silently fall back to the scalar
+    loop, so the flag is always safe to pass.
     """
+    if batch:
+        from ..policies.batch import UnbatchablePolicyError, make_batch_policy
+        from .batch import BatchJoinSimulator, paths_to_arrays
+
+        try:
+            policy = policy_factory()
+            adapter = make_batch_policy(
+                policy,
+                kind="join",
+                r_model=r_model,
+                s_model=s_model,
+                window=window,
+                window_oracle=window_oracle,
+            )
+        except UnbatchablePolicyError:
+            pass
+        else:
+            r_arr, s_arr = paths_to_arrays(paths)
+            sim = BatchJoinSimulator(
+                cache_size, adapter, warmup=warmup, window=window
+            )
+            return JoinExperimentResult(
+                policy_name=policy.name, per_run=sim.run(r_arr, s_arr).unbatch()
+            )
+
     results = []
     name = None
     for r_values, s_values in paths:
@@ -138,9 +170,32 @@ def run_cache_experiment(
     cache_size: int,
     warmup: int = 0,
     reference_model: StreamModel | None = None,
+    batch: bool = False,
 ) -> CacheExperimentResult:
-    """Caching counterpart of :func:`run_join_experiment`."""
+    """Caching counterpart of :func:`run_join_experiment`.
+
+    ``batch=True`` uses the vectorized engine when the policy has an
+    exact batch adapter, falling back to the scalar loop otherwise.
+    """
     from .cache_sim import CacheSimulator
+
+    if batch:
+        from ..policies.batch import UnbatchablePolicyError, make_batch_policy
+        from .batch import BatchCacheSimulator, values_to_array
+
+        try:
+            policy = policy_factory()
+            adapter = make_batch_policy(
+                policy, kind="cache", r_model=reference_model
+            )
+        except UnbatchablePolicyError:
+            pass
+        else:
+            sim = BatchCacheSimulator(cache_size, adapter, warmup=warmup)
+            result = sim.run(values_to_array(references))
+            return CacheExperimentResult(
+                policy_name=policy.name, per_run=result.unbatch()
+            )
 
     results = []
     name = None

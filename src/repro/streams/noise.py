@@ -158,8 +158,18 @@ class DiscreteDistribution:
     # Algebra
     # ------------------------------------------------------------------
     def shift(self, offset: int) -> "DiscreteDistribution":
-        """Distribution of ``X + offset``."""
-        return DiscreteDistribution(self._values + int(offset), self._probs)
+        """Distribution of ``X + offset``.
+
+        Probabilities are carried over bit-exactly (no renormalization):
+        shifted conditional distributions must agree with direct pmf
+        lookups on the unshifted noise, which the batch engine's
+        equivalence guarantee relies on.
+        """
+        out = DiscreteDistribution.__new__(DiscreteDistribution)
+        out._values = self._values + int(offset)
+        out._probs = self._probs
+        out._index = {int(v): i for i, v in enumerate(out._values)}
+        return out
 
     def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
         """Distribution of ``X + Y`` for independent ``X`` (self) and ``Y``.

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for ECB algebra and dominance.
+
+Increments are drawn as small integers scaled by 1/8, so every value is
+an exactly-representable dyadic rational and the cumulative sums carry
+no floating-point error.  That keeps the dominance checks away from the
+``_ATOL`` boundary, where tolerance slop would make transitivity
+genuinely false.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import (
+    comparable,
+    dominance_matrix,
+    dominates,
+    strongly_dominates,
+)
+from repro.core.ecb import ECB, ecb_join, ecb_join_batch
+from repro.streams import StationaryStream, from_mapping
+
+# Exact dyadic increments: k/8 for k in 0..10.
+increments_arrays = st.lists(
+    st.integers(min_value=0, max_value=10), min_size=1, max_size=30
+).map(lambda ks: np.array(ks, dtype=np.float64) / 8.0)
+
+ecbs = increments_arrays.map(ECB.from_increments)
+
+# Random stationary pmfs over a small integer support.
+pmfs = st.lists(
+    st.integers(min_value=1, max_value=20), min_size=1, max_size=6
+).map(
+    lambda ws: {v: w / sum(ws) for v, w in enumerate(ws, start=1)}
+)
+
+
+class TestEcbShape:
+    @given(incs=increments_arrays)
+    @settings(deadline=None)
+    def test_nondecreasing_and_nonnegative(self, incs):
+        ecb = ECB.from_increments(incs)
+        cum = ecb.cumulative
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[0] >= 0.0
+        # Round-trip: increments() recovers the generating sequence.
+        np.testing.assert_allclose(ecb.increments(), incs, atol=1e-12)
+
+    @given(incs=increments_arrays, dt=st.integers(min_value=1, max_value=100))
+    @settings(deadline=None)
+    def test_clamped_beyond_horizon(self, incs, dt):
+        ecb = ECB.from_increments(incs)
+        assert ecb(dt) == ecb.cumulative[min(dt, ecb.horizon) - 1]
+
+    @given(pmf=pmfs, horizon=st.integers(min_value=1, max_value=40))
+    @settings(deadline=None)
+    def test_ecb_join_is_valid_ecb(self, pmf, horizon):
+        """Lemma 1 on a stationary partner always yields a proper ECB
+        whose per-step increments are probabilities."""
+        partner = StationaryStream(from_mapping(pmf))
+        value = next(iter(pmf))
+        ecb = ecb_join(partner, 0, value, horizon)
+        assert ecb.horizon == horizon
+        incs = ecb.increments()
+        assert np.all(incs >= -1e-12)
+        assert np.all(incs <= 1.0 + 1e-12)
+
+    @given(pmf=pmfs, horizon=st.integers(min_value=1, max_value=25))
+    @settings(deadline=None)
+    def test_ecb_join_batch_matches_scalar(self, pmf, horizon):
+        partner = StationaryStream(from_mapping(pmf))
+        values = list(pmf) + [max(pmf) + 1, None]  # in-support, miss, "−"
+        rows = ecb_join_batch(partner, 0, values, horizon)
+        assert rows.shape == (len(values), horizon)
+        for row, v in zip(rows, values):
+            np.testing.assert_array_equal(
+                row, ecb_join(partner, 0, v, horizon).cumulative
+            )
+
+
+class TestDominance:
+    @given(ecb=ecbs)
+    @settings(deadline=None)
+    def test_reflexive(self, ecb):
+        assert dominates(ecb, ecb)
+        assert comparable(ecb, ecb)
+        assert not strongly_dominates(ecb, ecb)
+
+    @given(a=ecbs, b=ecbs)
+    @settings(deadline=None)
+    def test_strong_dominance_implies_dominance(self, a, b):
+        if strongly_dominates(a, b):
+            assert dominates(a, b)
+            assert not dominates(b, a)
+
+    @given(ecb=ecbs)
+    @settings(deadline=None)
+    def test_constructed_strong_dominance(self, ecb):
+        """B + 1 strongly dominates B/2 (nonnegativity makes the gap at
+        least 1 everywhere), and strong dominance implies dominance."""
+        upper = ECB(ecb.cumulative + 1.0)
+        lower = ECB(ecb.cumulative * 0.5)
+        assert strongly_dominates(upper, lower)
+        assert dominates(upper, lower)
+
+    @given(a=ecbs, b=ecbs, c=ecbs)
+    @settings(deadline=None)
+    def test_transitive(self, a, b, c):
+        trio = [a, b, c]
+        m = dominance_matrix(trio)
+        # The matrix keeps its diagonal False, so only distinct-index
+        # triples exercise transitivity.
+        for i in range(3):
+            for j in range(3):
+                for k in range(3):
+                    if i == j or j == k or i == k:
+                        continue
+                    if m[i, j] and m[j, k]:
+                        assert m[i, k], (i, j, k)
+
+    @given(a=ecbs, b=ecbs)
+    @settings(deadline=None)
+    def test_matrix_agrees_with_predicate(self, a, b):
+        m = dominance_matrix([a, b])
+        assert m[0, 1] == dominates(a, b)
+        assert m[1, 0] == dominates(b, a)
+        assert bool(m[0, 1] or m[1, 0]) == comparable(a, b)
+
+
+class TestEcbValidation:
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            ECB(np.array([1.0, 0.5]))
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ECB(np.array([-0.5, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ECB(np.array([]))

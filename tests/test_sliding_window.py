@@ -10,6 +10,7 @@ from repro.core.heeb import heeb_from_ecb
 from repro.core.lifetime import LExp, WindowedLExp
 from repro.core.tuples import StreamTuple
 from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
+from repro.policies.lru import LruPolicy
 from repro.policies.prob import ProbPolicy
 from repro.sim.join_sim import JoinSimulator
 from repro.streams import StationaryStream, from_mapping
@@ -92,6 +93,82 @@ class TestWindowedSimulation:
 
         assert run(2) <= run(50)
 
+class TestWindowEdgeCases:
+    """Boundary semantics: a tuple arriving at ``t_x`` participates
+    through ``t_x + window`` inclusive and expires at ``t_x + window + 1``
+    (the cache drops ``arrival < t - window`` *before* probing)."""
+
+    def _run(self, r, s, window, warmup=0, cache_size=8):
+        sim = JoinSimulator(
+            cache_size, LruPolicy(), warmup=warmup, window=window
+        )
+        return sim.run(r, s)
+
+    def test_join_exactly_at_expiry_boundary(self):
+        window = 4
+        r = [5, None, None, None, None, None]
+        s = [None, None, None, None, 5, None]  # S probes at t = t_x + window
+        assert self._run(r, s, window).total_results == 1
+
+    def test_no_join_one_step_past_window(self):
+        window = 4
+        r = [5, None, None, None, None, None]
+        s = [None, None, None, None, None, 5]  # t = t_x + window + 1
+        assert self._run(r, s, window).total_results == 0
+
+    def test_window_zero_yields_no_joins(self):
+        """window=0 keeps a tuple probe-able only on its arrival step,
+        but same-step arrivals are admitted after probing -- so nothing
+        ever joins, even on identical streams."""
+        values = [1, 2, 3, 1, 2, 3, 1, 2]
+        result = self._run(list(values), list(values), window=0)
+        assert result.total_results == 0
+
+    def test_window_one_joins_adjacent_steps_only(self):
+        r = [7, None, None, 7, None]
+        s = [None, 7, None, None, 7]  # t=1 joins r@0; t=4 joins r@3
+        assert self._run(r, s, window=1).total_results == 2
+
+    def test_window_shorter_than_warmup(self):
+        """A window smaller than the warmup period is legal: warmup only
+        gates *counting*, not expiry, so pre-warmup joins still age out
+        and post-warmup joins are the only ones reported."""
+        n = 40
+        r = [1 if t % 2 == 0 else None for t in range(n)]
+        s = [1 if t % 2 == 1 else None for t in range(n)]
+        result = self._run(r, s, window=2, warmup=20)
+        assert result.total_results > result.results_after_warmup > 0
+
+    def test_batch_engine_matches_on_edge_paths(self):
+        from repro.policies.batch import make_batch_policy
+        from repro.sim.batch import BatchJoinSimulator, paths_to_arrays
+
+        # paths_to_arrays truncates to the shortest path, so keep all
+        # trials the same length.
+        paths = [
+            ([5, None, None, None, None, None, None, None],
+             [None, None, None, None, 5, None, None, None]),
+            ([5, None, None, None, None, None, None, None],
+             [None, None, None, None, None, 5, None, None]),
+            ([1, 2, 3, 1, 2, 3, 1, 2], [1, 2, 3, 1, 2, 3, 1, 2]),
+        ]
+        for window in (0, 1, 4):
+            scalar = [
+                JoinSimulator(8, LruPolicy(), window=window).run(r, s)
+                for r, s in paths
+            ]
+            r_arr, s_arr = paths_to_arrays(paths)
+            batch = BatchJoinSimulator(
+                8, make_batch_policy(LruPolicy()), window=window
+            ).run(r_arr, s_arr)
+            for i, run in enumerate(batch.unbatch()):
+                assert run.total_results == scalar[i].total_results, (
+                    window,
+                    i,
+                )
+
+
+class TestWindowedHeebVsProb:
     def test_windowed_heeb_beats_prob_on_example_like_setup(self):
         """A stationary workload where window-awareness matters: a value
         with slightly lower probability but much more remaining life
