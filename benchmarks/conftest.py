@@ -15,20 +15,22 @@ import pytest
 def pytest_addoption(parser):
     parser.addoption(
         "--engine",
-        choices=("batch", "scalar"),
+        choices=("batch", "scalar", "parallel"),
         default="batch",
         help=(
             "Monte-Carlo engine for the figure sweeps: 'batch' (default) "
             "runs all trials vectorized, 'scalar' uses the original "
-            "per-trial loop.  Results are seed-for-seed identical."
+            "per-trial loop, 'parallel' fans trials across worker "
+            "processes.  Results are seed-for-seed identical; policies an "
+            "engine cannot run fall back to scalar."
         ),
     )
 
 
 @pytest.fixture
-def batch_engine(request) -> bool:
-    """True when the sweeps should use the vectorized batch engine."""
-    return request.config.getoption("--engine") == "batch"
+def sim_engine(request) -> str:
+    """Engine name the sweeps should prefer ('scalar'/'batch'/'parallel')."""
+    return request.config.getoption("--engine")
 
 
 @pytest.fixture

@@ -1,26 +1,29 @@
-"""Perf-regression harness: batch engine vs scalar loop on fig08.
+"""Perf-regression harness: scalar vs batch vs parallel engines on fig08.
 
 Times every batchable policy of the Figure-8 comparison workload (all
-four synthetic configurations) on both engines and records trials/sec
-plus the batch-over-scalar speedup in ``BENCH_batch.json`` at the repo
-root.  The numbers seed the performance trajectory: future engine work
-should move ``aggregate.speedup`` up, and a regression below the
-recorded baseline is a red flag.
+four synthetic configurations) on the three execution tiers and records
+trials/sec plus the per-engine speedup over scalar in
+``BENCH_batch.json`` at the repo root.  The numbers seed the performance
+trajectory: future engine work should move the ``aggregate`` speedups
+up, and a regression below the recorded baseline is a red flag.
 
-Both engines consume the *same* pre-generated paths and produce
-identical per-trial results (asserted here run by run), so the timing
-comparison is apples to apples.
+All engines consume the *same* pre-generated paths and produce identical
+per-trial results (asserted here run by run), so the timing comparison
+is apples to apples.  The parallel tier fans trials across worker
+processes; on a single-core machine its speedup is expectedly < 1 (pure
+fork/IPC overhead) — the recorded ``cpu_count`` makes that legible.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
-        [--length 600] [--out BENCH_batch.json]
+        [--length 600] [--workers N] [--out BENCH_batch.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -28,9 +31,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments.configs import SYNTHETIC_CONFIGS
-from repro.policies.life import LifePolicy
-from repro.policies.prob import ProbPolicy
-from repro.policies.rand import RandPolicy
+from repro.policies import make_policy
+from repro.sim.engine import ParallelEngine
 from repro.sim.runner import generate_paths, run_join_experiment
 
 CACHE_SIZE = 10
@@ -38,20 +40,34 @@ CACHE_SIZE = 10
 
 def _policy_factories(config):
     factories = {
-        "RAND": lambda: RandPolicy(seed=1),
-        "PROB": lambda: ProbPolicy(),
+        "RAND": lambda: make_policy("rand", seed=1),
+        "PROB": lambda: make_policy("prob"),
     }
     if config.has_life:
-        factories["LIFE"] = lambda: LifePolicy()
+        factories["LIFE"] = lambda: make_policy("life")
     factories["HEEB"] = lambda: config.make_heeb(CACHE_SIZE)
     return factories
 
 
-def run_harness(n_trials: int, length: int) -> dict:
-    """Time the fig08 workload on both engines; return the report dict."""
+def _assert_equal(config_name, policy_name, engine_name, baseline, other):
+    mismatches = sum(
+        a.total_results != b.total_results
+        or not np.array_equal(a.occupancy, b.occupancy)
+        for a, b in zip(baseline.per_run, other.per_run)
+    )
+    if mismatches:
+        raise AssertionError(
+            f"{config_name}/{policy_name}: {engine_name} diverged from "
+            f"scalar on {mismatches} trials"
+        )
+
+
+def run_harness(n_trials: int, length: int, workers: int | None) -> dict:
+    """Time the fig08 workload on all three engines; return the report."""
     warmup = 4 * CACHE_SIZE
+    parallel_engine = ParallelEngine(max_workers=workers)
     entries = []
-    total_scalar = total_batch = 0.0
+    totals = {"scalar": 0.0, "batch": 0.0, "parallel": 0.0}
     total_trials = 0
 
     for config_name, config in SYNTHETIC_CONFIGS().items():
@@ -66,47 +82,67 @@ def run_harness(n_trials: int, length: int) -> dict:
             window_oracle=config.window_oracle,
         )
         for policy_name, factory in _policy_factories(config).items():
-            t0 = time.perf_counter()
-            scalar = run_join_experiment(factory, paths, **kwargs)
-            t_scalar = time.perf_counter() - t0
+            seconds = {}
+            results = {}
+            for engine_name, engine in (
+                ("scalar", None),
+                ("batch", "batch"),
+                ("parallel", parallel_engine),
+            ):
+                t0 = time.perf_counter()
+                results[engine_name] = run_join_experiment(
+                    factory, paths, engine=engine, **kwargs
+                )
+                seconds[engine_name] = time.perf_counter() - t0
 
-            t0 = time.perf_counter()
-            batch = run_join_experiment(factory, paths, batch=True, **kwargs)
-            t_batch = time.perf_counter() - t0
-
-            mismatches = sum(
-                a.total_results != b.total_results
-                or not np.array_equal(a.occupancy, b.occupancy)
-                for a, b in zip(scalar.per_run, batch.per_run)
-            )
-            if mismatches:
-                raise AssertionError(
-                    f"{config_name}/{policy_name}: batch diverged from "
-                    f"scalar on {mismatches} trials"
+            for engine_name in ("batch", "parallel"):
+                _assert_equal(
+                    config_name,
+                    policy_name,
+                    engine_name,
+                    results["scalar"],
+                    results[engine_name],
                 )
 
-            entries.append(
-                {
-                    "config": config_name,
-                    "policy": policy_name,
-                    "trials": n_trials,
-                    "scalar_seconds": round(t_scalar, 4),
-                    "batch_seconds": round(t_batch, 4),
-                    "scalar_trials_per_sec": round(n_trials / t_scalar, 2),
-                    "batch_trials_per_sec": round(n_trials / t_batch, 2),
-                    "speedup": round(t_scalar / t_batch, 2),
-                }
+            entry = {"config": config_name, "policy": policy_name,
+                     "trials": n_trials}
+            for engine_name, t in seconds.items():
+                entry[f"{engine_name}_seconds"] = round(t, 4)
+                entry[f"{engine_name}_trials_per_sec"] = round(
+                    n_trials / t, 2
+                )
+                totals[engine_name] += t
+            entry["batch_speedup"] = round(
+                seconds["scalar"] / seconds["batch"], 2
             )
-            total_scalar += t_scalar
-            total_batch += t_batch
+            entry["parallel_speedup"] = round(
+                seconds["scalar"] / seconds["parallel"], 2
+            )
+            entries.append(entry)
             total_trials += n_trials
             print(
                 f"{config_name:6s} {policy_name:5s} "
-                f"scalar {t_scalar:7.3f}s  batch {t_batch:7.3f}s  "
-                f"speedup {t_scalar / t_batch:5.1f}x"
+                f"scalar {seconds['scalar']:7.3f}s  "
+                f"batch {seconds['batch']:7.3f}s "
+                f"({entry['batch_speedup']:5.1f}x)  "
+                f"parallel {seconds['parallel']:7.3f}s "
+                f"({entry['parallel_speedup']:5.1f}x)"
             )
 
-    report = {
+    aggregate = {"trials": total_trials}
+    for engine_name, t in totals.items():
+        aggregate[f"{engine_name}_seconds"] = round(t, 4)
+        aggregate[f"{engine_name}_trials_per_sec"] = round(
+            total_trials / t, 2
+        )
+    aggregate["batch_speedup"] = round(
+        totals["scalar"] / totals["batch"], 2
+    )
+    aggregate["parallel_speedup"] = round(
+        totals["scalar"] / totals["parallel"], 2
+    )
+
+    return {
         "workload": {
             "figure": "fig08 comparison (synthetic configs)",
             "length": length,
@@ -118,18 +154,12 @@ def run_harness(n_trials: int, length: int) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "parallel_workers": parallel_engine.max_workers,
         },
         "entries": entries,
-        "aggregate": {
-            "trials": total_trials,
-            "scalar_seconds": round(total_scalar, 4),
-            "batch_seconds": round(total_batch, 4),
-            "scalar_trials_per_sec": round(total_trials / total_scalar, 2),
-            "batch_trials_per_sec": round(total_trials / total_batch, 2),
-            "speedup": round(total_scalar / total_batch, 2),
-        },
+        "aggregate": aggregate,
     }
-    return report
 
 
 def main() -> None:
@@ -137,19 +167,27 @@ def main() -> None:
     parser.add_argument("--trials", type=int, default=256)
     parser.add_argument("--length", type=int, default=600)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel-engine worker count (default: cpu_count)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_batch.json",
     )
     args = parser.parse_args()
 
-    report = run_harness(args.trials, args.length)
+    report = run_harness(args.trials, args.length, args.workers)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     agg = report["aggregate"]
     print(
-        f"\naggregate: {agg['scalar_trials_per_sec']} -> "
-        f"{agg['batch_trials_per_sec']} trials/sec "
-        f"({agg['speedup']}x), written to {args.out}"
+        f"\naggregate: scalar {agg['scalar_trials_per_sec']} -> "
+        f"batch {agg['batch_trials_per_sec']} "
+        f"({agg['batch_speedup']}x), parallel "
+        f"{agg['parallel_trials_per_sec']} trials/sec "
+        f"({agg['parallel_speedup']}x), written to {args.out}"
     )
 
 

@@ -17,7 +17,7 @@ LENGTH = 600
 N_RUNS = 3
 
 
-def test_fig08_comparison(benchmark, emit, batch_engine):
+def test_fig08_comparison(benchmark, emit, sim_engine):
     results = benchmark.pedantic(
         lambda: figure8(
             length=LENGTH,
@@ -26,7 +26,7 @@ def test_fig08_comparison(benchmark, emit, batch_engine):
             include_flowexpect=True,
             lookahead=5,
             seed=0,
-            batch=batch_engine,
+            engine=sim_engine,
         ),
         rounds=1,
         iterations=1,

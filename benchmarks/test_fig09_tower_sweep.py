@@ -4,7 +4,7 @@ heuristics)."""
 
 from __future__ import annotations
 
-from repro.experiments.configs import tower_config
+from repro.experiments.configs import make_config
 from repro.experiments.figures import figure9_12
 from repro.experiments.report import format_series_table
 
@@ -13,14 +13,14 @@ LENGTH = 1200
 N_RUNS = 3
 
 
-def test_fig09_tower_sweep(benchmark, emit, batch_engine):
+def test_fig09_tower_sweep(benchmark, emit, sim_engine):
     out = benchmark.pedantic(
         lambda: figure9_12(
-            tower_config(),
+            make_config("tower"),
             cache_sizes=SIZES,
             length=LENGTH,
             n_runs=N_RUNS,
-            batch=batch_engine,
+            engine=sim_engine,
         ),
         rounds=1,
         iterations=1,

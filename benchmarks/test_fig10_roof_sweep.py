@@ -3,7 +3,7 @@ but the gap to the baselines narrows relative to TOWER)."""
 
 from __future__ import annotations
 
-from repro.experiments.configs import roof_config
+from repro.experiments.configs import make_config
 from repro.experiments.figures import figure9_12
 from repro.experiments.report import format_series_table
 
@@ -12,14 +12,14 @@ LENGTH = 1200
 N_RUNS = 3
 
 
-def test_fig10_roof_sweep(benchmark, emit, batch_engine):
+def test_fig10_roof_sweep(benchmark, emit, sim_engine):
     out = benchmark.pedantic(
         lambda: figure9_12(
-            roof_config(),
+            make_config("roof"),
             cache_sizes=SIZES,
             length=LENGTH,
             n_runs=N_RUNS,
-            batch=batch_engine,
+            engine=sim_engine,
         ),
         rounds=1,
         iterations=1,

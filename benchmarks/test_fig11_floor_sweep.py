@@ -4,7 +4,7 @@ predictable, so HEEB's edge over the window-aware baselines is smallest
 
 from __future__ import annotations
 
-from repro.experiments.configs import floor_config
+from repro.experiments.configs import make_config
 from repro.experiments.figures import figure9_12
 from repro.experiments.report import format_series_table
 
@@ -13,14 +13,14 @@ LENGTH = 1200
 N_RUNS = 3
 
 
-def test_fig11_floor_sweep(benchmark, emit, batch_engine):
+def test_fig11_floor_sweep(benchmark, emit, sim_engine):
     out = benchmark.pedantic(
         lambda: figure9_12(
-            floor_config(),
+            make_config("floor"),
             cache_sizes=SIZES,
             length=LENGTH,
             n_runs=N_RUNS,
-            batch=batch_engine,
+            engine=sim_engine,
         ),
         rounds=1,
         iterations=1,

@@ -7,7 +7,7 @@ close to OPT-offline even with more memory.  LIFE is omitted (no window).
 
 from __future__ import annotations
 
-from repro.experiments.configs import walk_config
+from repro.experiments.configs import make_config
 from repro.experiments.figures import figure9_12
 from repro.experiments.report import format_series_table
 
@@ -16,14 +16,14 @@ LENGTH = 1200
 N_RUNS = 3
 
 
-def test_fig12_walk_sweep(benchmark, emit, batch_engine):
+def test_fig12_walk_sweep(benchmark, emit, sim_engine):
     out = benchmark.pedantic(
         lambda: figure9_12(
-            walk_config(),
+            make_config("walk"),
             cache_sizes=SIZES,
             length=LENGTH,
             n_runs=N_RUNS,
-            batch=batch_engine,
+            engine=sim_engine,
         ),
         rounds=1,
         iterations=1,

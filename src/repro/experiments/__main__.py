@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from .configs import floor_config, roof_config, tower_config, walk_config
+from .configs import make_config
 from .figures import (
     figure6,
     figure7,
@@ -32,7 +32,7 @@ from .figures import (
     figure17_18,
     figure19,
 )
-from .report import format_series_table, format_table
+from .report import format_metadata, format_series_table, format_table
 
 
 def _print(title: str, body: str) -> None:
@@ -68,43 +68,49 @@ def cmd_fig8(args: argparse.Namespace) -> None:
         include_flowexpect=not args.no_flowexpect,
         lookahead=args.lookahead,
         seed=args.seed,
+        engine=args.engine,
     )
-    _print(
-        f"Figure 8: average join counts (cache={args.cache}, "
-        f"length={args.length}, runs={args.runs})",
-        format_table(results),
+    meta = format_metadata(
+        cache=args.cache,
+        length=args.length,
+        runs=args.runs,
+        engine=args.engine or "scalar",
     )
+    _print(f"Figure 8: average join counts ({meta})", format_table(results))
 
 
-def _sweep(config, args: argparse.Namespace, label: str) -> None:
+def _sweep(config_name: str, args: argparse.Namespace, label: str) -> None:
     out = figure9_12(
-        config,
+        make_config(config_name),
         cache_sizes=tuple(args.sizes),
         length=args.length,
         n_runs=args.runs,
         seed=args.seed,
+        engine=args.engine,
+    )
+    meta = format_metadata(
+        length=args.length, runs=args.runs, engine=args.engine or "scalar"
     )
     _print(
-        f"{label}: results vs cache size (length={args.length}, "
-        f"runs={args.runs})",
+        f"{label}: results vs cache size ({meta})",
         format_series_table("cache", args.sizes, out),
     )
 
 
 def cmd_fig9(args):
-    _sweep(tower_config(), args, "Figure 9 (TOWER)")
+    _sweep("TOWER", args, "Figure 9 (TOWER)")
 
 
 def cmd_fig10(args):
-    _sweep(roof_config(), args, "Figure 10 (ROOF)")
+    _sweep("ROOF", args, "Figure 10 (ROOF)")
 
 
 def cmd_fig11(args):
-    _sweep(floor_config(), args, "Figure 11 (FLOOR)")
+    _sweep("FLOOR", args, "Figure 11 (FLOOR)")
 
 
 def cmd_fig12(args):
-    _sweep(walk_config(), args, "Figure 12 (WALK)")
+    _sweep("WALK", args, "Figure 12 (WALK)")
 
 
 def cmd_fig13(args: argparse.Namespace) -> None:
@@ -207,6 +213,15 @@ def _add_common(p: argparse.ArgumentParser, length: int, runs: int, cache: int):
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        choices=("scalar", "batch", "parallel"),
+        default=None,
+        help="simulation engine (default: scalar; falls back per policy)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -225,6 +240,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(p, length=600, runs=3, cache=10)
     p.add_argument("--lookahead", type=int, default=5)
     p.add_argument("--no-flowexpect", action="store_true")
+    _add_engine(p)
 
     for name in ("fig9", "fig10", "fig11", "fig12"):
         p = sub.add_parser(name, help=f"cache-size sweep ({name})")
@@ -232,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--sizes", type=int, nargs="+", default=[1, 5, 10, 20, 30, 50]
         )
+        _add_engine(p)
 
     p = sub.add_parser("fig13", help="REAL caching")
     p.add_argument(

@@ -44,6 +44,9 @@ __all__ = [
     "roof_config",
     "floor_config",
     "walk_config",
+    "CONFIG_REGISTRY",
+    "make_config",
+    "available_configs",
     "SYNTHETIC_CONFIGS",
     "PAPER_LENGTH",
     "PAPER_RUNS",
@@ -169,11 +172,32 @@ def walk_config(step_sigma: float = 1.0, drift: int = 0) -> JoinConfig:
     )
 
 
+#: String-keyed configuration registry: experiment harnesses and the CLI
+#: build scenarios by name instead of importing factory functions.
+CONFIG_REGISTRY: dict[str, Callable[..., JoinConfig]] = {
+    "TOWER": tower_config,
+    "ROOF": roof_config,
+    "FLOOR": floor_config,
+    "WALK": walk_config,
+}
+
+
+def make_config(name: str, **kwargs) -> JoinConfig:
+    """Build a synthetic configuration by registry name."""
+    try:
+        factory = CONFIG_REGISTRY[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown config {name!r}; available: {available_configs()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_configs() -> tuple[str, ...]:
+    """Registered configuration names, in paper order."""
+    return tuple(CONFIG_REGISTRY)
+
+
 def SYNTHETIC_CONFIGS() -> dict[str, JoinConfig]:
     """Fresh instances of all four synthetic configurations."""
-    return {
-        "TOWER": tower_config(),
-        "ROOF": roof_config(),
-        "FLOOR": floor_config(),
-        "WALK": walk_config(),
-    }
+    return {name: make_config(name) for name in CONFIG_REGISTRY}

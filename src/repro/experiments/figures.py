@@ -24,15 +24,9 @@ from ..core.precompute import (
     random_walk_h1_cache,
 )
 from ..flow.opt_offline import solve_opt_offline
+from ..policies import make_policy
 from ..policies.base import ReplacementPolicy
-from ..policies.flowexpect_policy import FlowExpectPolicy
-from ..policies.heeb_policy import AR1CacheHeeb, HeebPolicy
-from ..policies.lfd import LfdPolicy
-from ..policies.lfu import LfuPolicy
-from ..policies.life import LifePolicy
-from ..policies.lru import LruPolicy
-from ..policies.prob import ProbPolicy
-from ..policies.rand import RandPolicy
+from ..policies.heeb_policy import AR1CacheHeeb
 from ..policies.scheduled import ScheduledPolicy
 from ..sim.cache_sim import CacheSimulator
 from ..sim.join_sim import JoinSimulator
@@ -88,16 +82,24 @@ def _join_policies(
     include_flowexpect: bool,
     lookahead: int,
 ) -> dict[str, Callable[[], ReplacementPolicy]]:
-    """Policy factories for one configuration (everything but OPT)."""
+    """Policy factories for one configuration (everything but OPT).
+
+    Baselines are built through the string-keyed policy registry
+    (:func:`repro.policies.make_policy`); only the scenario-calibrated
+    HEEB strategy comes from the configuration itself.
+    """
     factories: dict[str, Callable[[], ReplacementPolicy]] = {}
     if include_flowexpect:
-        factories["FLOWEXPECT"] = lambda: FlowExpectPolicy(
-            lookahead, config.r_model, config.s_model
+        factories["FLOWEXPECT"] = lambda: make_policy(
+            "flowexpect",
+            lookahead=lookahead,
+            r_model=config.r_model,
+            s_model=config.s_model,
         )
-    factories["RAND"] = lambda: RandPolicy(seed=1)
-    factories["PROB"] = lambda: ProbPolicy()
+    factories["RAND"] = lambda: make_policy("rand", seed=1)
+    factories["PROB"] = lambda: make_policy("prob")
     if config.has_life:
-        factories["LIFE"] = lambda: LifePolicy()
+        factories["LIFE"] = lambda: make_policy("life")
     factories["HEEB"] = lambda: config.make_heeb(cache_size)
     return factories
 
@@ -113,13 +115,18 @@ def _run_config(
     include_flowexpect: bool = False,
     lookahead: int = 5,
     batch: bool = False,
+    engine: str | None = None,
 ) -> dict[str, float]:
     """Mean results for every algorithm on one configuration.
 
-    ``batch=True`` runs each policy's trials on the vectorized engine
-    where an exact adapter exists (OPT and FlowExpect always use the
-    scalar loop).
+    ``engine`` prefers an execution tier (``"batch"``, ``"parallel"``)
+    for each policy's trials; capability negotiation falls back to the
+    scalar loop where no exact adapter exists (OPT and FlowExpect always
+    negotiate down to scalar).  ``batch=True`` is the legacy alias for
+    ``engine="batch"``.
     """
+    if engine is None and batch:
+        engine = "batch"
     paths = generate_paths(config.r_model, config.s_model, length, n_runs, seed)
     out: dict[str, float] = {}
     if include_opt:
@@ -134,7 +141,7 @@ def _run_config(
             r_model=config.r_model,
             s_model=config.s_model,
             window_oracle=config.window_oracle,
-            batch=batch,
+            engine=engine,
         )
         out[name] = result.mean_results
     return out
@@ -188,6 +195,7 @@ def figure8(
     lookahead: int = 5,
     configs: dict[str, JoinConfig] | None = None,
     batch: bool = False,
+    engine: str | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 8: average join counts per algorithm per configuration.
 
@@ -211,6 +219,7 @@ def figure8(
             include_flowexpect=include_flowexpect,
             lookahead=lookahead,
             batch=batch,
+            engine=engine,
         )
     return out
 
@@ -226,6 +235,7 @@ def figure9_12(
     warmup_factor: int = 4,
     seed: int = 0,
     batch: bool = False,
+    engine: str | None = None,
 ) -> dict[str, list[float]]:
     """One cache-size sweep (Figure 9=TOWER, 10=ROOF, 11=FLOOR, 12=WALK).
 
@@ -245,6 +255,7 @@ def figure9_12(
             include_opt=True,
             include_flowexpect=False,
             batch=batch,
+            engine=engine,
         )
         for name, value in row.items():
             out.setdefault(name, []).append(value)
@@ -295,11 +306,11 @@ def figure13(
             model, estimator, v_grid, x_grid, exact_steps=exact_steps
         )
         policies: dict[str, ReplacementPolicy] = {
-            "LFD": LfdPolicy(reference),
-            "RAND": RandPolicy(seed=1),
-            "LRU": LruPolicy(),
-            "PROB(LFU)": LfuPolicy(),
-            "HEEB": HeebPolicy(AR1CacheHeeb(model, surface)),
+            "LFD": make_policy("lfd", reference=reference),
+            "RAND": make_policy("rand", seed=1),
+            "LRU": make_policy("lru"),
+            "PROB(LFU)": make_policy("lfu"),
+            "HEEB": make_policy("heeb", strategy=AR1CacheHeeb(model, surface)),
         }
         for name, policy in policies.items():
             sim = CacheSimulator(m, policy, reference_model=model)
@@ -511,7 +522,12 @@ def figure19(
     out: dict[str, list[float]] = {"FLOWEXPECT": []}
     for dt in delta_ts:
         result = run_join_experiment(
-            lambda dt=dt: FlowExpectPolicy(dt, config.r_model, config.s_model),
+            lambda dt=dt: make_policy(
+                "flowexpect",
+                lookahead=dt,
+                r_model=config.r_model,
+                s_model=config.s_model,
+            ),
             paths,
             cache_size,
             warmup=warmup,
@@ -522,9 +538,9 @@ def figure19(
         out["FLOWEXPECT"].append(result.mean_results)
 
     for name, factory in (
-        ("RAND", lambda: RandPolicy(seed=1)),
-        ("PROB", lambda: ProbPolicy()),
-        ("LIFE", lambda: LifePolicy()),
+        ("RAND", lambda: make_policy("rand", seed=1)),
+        ("PROB", lambda: make_policy("prob")),
+        ("LIFE", lambda: make_policy("life")),
     ):
         result = run_join_experiment(
             factory,

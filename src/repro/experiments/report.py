@@ -6,7 +6,23 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series_table", "format_curve"]
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_curve",
+    "format_metadata",
+]
+
+
+def format_metadata(**fields) -> str:
+    """Render run metadata as ``key=value`` pairs, skipping ``None``.
+
+    Used by the CLI to annotate figure titles with the experiment
+    parameters and the simulation engine that produced them.
+    """
+    return ", ".join(
+        f"{key}={value}" for key, value in fields.items() if value is not None
+    )
 
 
 def format_table(

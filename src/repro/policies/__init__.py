@@ -1,4 +1,15 @@
-"""Cache replacement policies: baselines, classics, HEEB, and FlowExpect."""
+"""Cache replacement policies: baselines, classics, HEEB, and FlowExpect.
+
+Policies are additionally exposed through a string-keyed registry so
+experiment configurations, figure harnesses, and the CLI can build them
+by name (``make_policy("prob")``) instead of importing factories:
+
+>>> from repro.policies import make_policy
+>>> make_policy("rand", seed=1).name
+'RAND'
+"""
+
+from typing import Callable
 
 from .adaptive_alpha import AdaptiveAlphaHeebPolicy
 from .base import PolicyContext, ReplacementPolicy, ScoredPolicy, WindowOracle
@@ -38,7 +49,50 @@ from .reduction_adapter import ReducedJoiningPolicy
 from .scheduled import ScheduledPolicy
 from .window_oracle import TrendWindowOracle
 
+# ----------------------------------------------------------------------
+# String-keyed registry
+# ----------------------------------------------------------------------
+POLICY_REGISTRY: dict[str, Callable[..., ReplacementPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., ReplacementPolicy]) -> None:
+    """Register a policy constructor under a (case-insensitive) name."""
+    POLICY_REGISTRY[name.lower()] = factory
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Build a policy by registry name, forwarding constructor kwargs."""
+    try:
+        factory = POLICY_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(POLICY_REGISTRY))
+
+
+register_policy("rand", RandPolicy)
+register_policy("lru", LruPolicy)
+register_policy("lru-k", LrukPolicy)
+register_policy("lfu", LfuPolicy)
+register_policy("prob", ProbPolicy)
+register_policy("life", LifePolicy)
+register_policy("lfd", LfdPolicy)
+register_policy("heeb", HeebPolicy)
+register_policy("flowexpect", FlowExpectPolicy)
+register_policy("adaptive-alpha-heeb", AdaptiveAlphaHeebPolicy)
+register_policy("model-driven-heeb", ModelDrivenHeebPolicy)
+
 __all__ = [
+    "POLICY_REGISTRY",
+    "available_policies",
+    "make_policy",
+    "register_policy",
     "AR1CacheHeeb",
     "AR1JoinHeeb",
     "AdaptiveAlphaHeebPolicy",

@@ -25,7 +25,37 @@ __all__ = [
     "WindowOracle",
     "ReplacementPolicy",
     "ScoredPolicy",
+    "validate_victims",
 ]
+
+
+def validate_victims(
+    policy_name: str,
+    candidates: Sequence[StreamTuple],
+    victims: Sequence[StreamTuple],
+    n_evict: int,
+) -> list[StreamTuple]:
+    """Check a policy's victim selection against the eviction contract.
+
+    Victims must be distinct, drawn from the candidate set, and number at
+    least ``n_evict`` (returning more is allowed — evicting worthless
+    tuples is never harmful).  Returns the victims as a list; raises
+    :class:`ValueError` naming the offending policy otherwise.  Shared by
+    every engine so all simulators reject malformed selections with the
+    same diagnostics.
+    """
+    victims = list(victims)
+    uids = {v.uid for v in victims}
+    if len(uids) != len(victims):
+        raise ValueError(f"{policy_name}: duplicate victims")
+    if not uids <= {c.uid for c in candidates}:
+        raise ValueError(f"{policy_name}: victim not a candidate")
+    if len(victims) < n_evict:
+        raise ValueError(
+            f"{policy_name}: returned {len(victims)} victims, "
+            f"needed {n_evict}"
+        )
+    return victims
 
 
 class WindowOracle(Protocol):

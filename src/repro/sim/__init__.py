@@ -1,5 +1,24 @@
-"""Simulators: two-stream joining, classic caching, and run orchestration."""
+"""Simulators: two-stream joining, classic caching, and run orchestration.
 
+Execution is layered (:mod:`repro.sim.engine`): experiment entry points
+describe the problem with an :class:`ExperimentSpec` and a
+capability-negotiated resolver picks the tier — ``scalar`` (reference
+loop), ``batch`` (vectorized), or ``parallel`` (process fan-out).
+"""
+
+from .engine import (
+    BatchEngine,
+    Engine,
+    EngineRun,
+    ExperimentSpec,
+    ParallelEngine,
+    RunResult,
+    ScalarEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    select_engine,
+)
 from .batch import (
     BatchCacheRunResult,
     BatchCacheSimulator,
@@ -27,14 +46,33 @@ from .multi_join import (
 )
 from .runner import (
     CacheExperimentResult,
+    ExperimentResult,
     JoinExperimentResult,
+    MultiJoinExperimentResult,
     generate_paths,
     generate_reference_paths,
     run_cache_experiment,
+    run_experiment,
     run_join_experiment,
+    run_multi_join_experiment,
 )
 
 __all__ = [
+    "BatchEngine",
+    "Engine",
+    "EngineRun",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MultiJoinExperimentResult",
+    "ParallelEngine",
+    "RunResult",
+    "ScalarEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "run_experiment",
+    "run_multi_join_experiment",
+    "select_engine",
     "BatchCacheRunResult",
     "BatchCacheSimulator",
     "BatchJoinRunResult",

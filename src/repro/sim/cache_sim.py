@@ -17,14 +17,15 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from ..core.tuples import CacheState, TupleFactory
-from ..policies.base import PolicyContext, ReplacementPolicy
+from ..policies.base import PolicyContext, ReplacementPolicy, validate_victims
 from ..streams.base import StreamModel
+from .engine import RunResult
 
 __all__ = ["CacheRunResult", "CacheSimulator"]
 
 
 @dataclass
-class CacheRunResult:
+class CacheRunResult(RunResult):
     """Outcome of one simulated caching run."""
 
     hits: int
@@ -39,6 +40,10 @@ class CacheRunResult:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def primary_metric(self) -> float:
+        return float(self.hits_after_warmup)
 
 
 class CacheSimulator:
@@ -94,18 +99,13 @@ class CacheSimulator:
             fetched = factory.make("S", value, t)
             candidates = cache.tuples() + [fetched]
             n_evict = max(0, len(candidates) - self._cache_size)
-            victims = list(
-                self._policy.select_victims(candidates, n_evict, ctx)
+            victims = validate_victims(
+                self._policy.name,
+                candidates,
+                self._policy.select_victims(candidates, n_evict, ctx),
+                n_evict,
             )
             victim_uids = {v.uid for v in victims}
-            candidate_uids = {c.uid for c in candidates}
-            if len(victim_uids) != len(victims) or not victim_uids <= candidate_uids:
-                raise ValueError(f"{self._policy.name}: invalid victims")
-            if len(victims) < n_evict:
-                raise ValueError(
-                    f"{self._policy.name}: returned {len(victims)} victims, "
-                    f"needed {n_evict}"
-                )
             for tup in victims:
                 if tup in cache:
                     cache.remove(tup)

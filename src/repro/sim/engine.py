@@ -1,0 +1,474 @@
+"""Layered simulation-engine architecture with capability negotiation.
+
+The repository grew three hand-rolled step loops (two-stream joining,
+classic caching, multi-way joining) plus a vectorized batch engine that
+callers selected through scattered ``try/except`` blocks.  This module
+dissolves that coupling into an explicit operator/engine split:
+
+* :class:`ExperimentSpec` — a typed description of *what* to simulate
+  (problem kind, cache size, warmup, window, band, stream models, window
+  oracle, multi-join queries), independent of *how* it runs;
+* :class:`RunResult` — the common base of every per-trial outcome
+  (:class:`~repro.sim.join_sim.JoinRunResult`,
+  :class:`~repro.sim.cache_sim.CacheRunResult`,
+  :class:`~repro.sim.multi_join.MultiJoinRunResult`);
+* :class:`Engine` — the execution-tier interface.  Three tiers ship:
+
+  ============  =====================================================
+  ``scalar``    the reference per-trial Python loop (supports all)
+  ``batch``     the vectorized NumPy engine (:mod:`repro.sim.batch`)
+  ``parallel``  fans independent trials across a
+                :class:`~concurrent.futures.ProcessPoolExecutor`
+  ============  =====================================================
+
+* **capability negotiation** — every engine answers
+  :meth:`Engine.supports` with ``None`` (supported) or a human-readable
+  reason, and :func:`select_engine` resolves a preference to the best
+  supported tier, logging a one-time warning whenever it has to fall
+  back.  No caller ever catches
+  :class:`~repro.policies.batch.UnbatchablePolicyError` again.
+
+Both accelerated tiers are *exact*: for the same input paths and seeds
+they reproduce the scalar loop's decisions tuple for tuple, which the
+equivalence suites (``tests/test_batch_equivalence.py``,
+``tests/test_parallel_engine.py``) pin.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Mapping, NamedTuple, Optional, Sequence, Union
+
+from ..policies.base import WindowOracle
+from ..streams.base import StreamModel
+
+__all__ = [
+    "RunResult",
+    "ExperimentSpec",
+    "EngineRun",
+    "Engine",
+    "ScalarEngine",
+    "BatchEngine",
+    "ParallelEngine",
+    "register_engine",
+    "available_engines",
+    "get_engine",
+    "select_engine",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Kinds an :class:`ExperimentSpec` may describe.
+KINDS = ("join", "cache", "multi_join")
+
+
+class RunResult:
+    """Base class of every per-trial simulation outcome.
+
+    Subclasses are dataclasses carrying the metric(s) of their problem;
+    all expose the bookkeeping triple below plus :attr:`primary_metric`,
+    the quantity the paper's figures aggregate (join results after
+    warmup, cache hits after warmup).
+    """
+
+    steps: int
+    warmup: int
+    cache_size: int
+
+    @property
+    def primary_metric(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class ExperimentSpec:
+    """Typed description of one simulation problem.
+
+    The spec captures everything an engine needs besides the sampled
+    input data and the policy: it is the negotiation currency of
+    :func:`select_engine` and deliberately contains no execution detail
+    (no trial counts, no worker counts, no engine names).
+
+    Attributes
+    ----------
+    kind:
+        ``"join"`` (two-stream equijoin), ``"cache"`` (reference stream
+        against a database), or ``"multi_join"`` (several streams under
+        binary join queries).
+    cache_size / warmup / window / band:
+        The simulator parameters of Sections 2, 6.2, and 7.  ``window``
+        and ``band`` apply to the joining problems only.
+    r_model / s_model:
+        Stream models for model-aware policies.  For ``"cache"``,
+        ``r_model`` is the reference-stream model and ``s_model`` unused.
+    window_oracle:
+        Value-window knowledge for the window-aware baselines.
+    queries / models:
+        Multi-join only: the binary query pairs and the per-stream model
+        mapping handed to :class:`~repro.sim.multi_join.MultiJoinSimulator`.
+    seed:
+        Bookkeeping: the base seed the input paths were drawn with, when
+        known.  Engines never consume it (paths are pre-sampled).
+    """
+
+    kind: str
+    cache_size: int
+    warmup: int = 0
+    window: Optional[int] = None
+    band: int = 0
+    r_model: Optional[StreamModel] = None
+    s_model: Optional[StreamModel] = None
+    window_oracle: Optional[WindowOracle] = None
+    queries: Optional[Sequence[tuple[str, str]]] = None
+    models: Optional[Mapping[str, StreamModel]] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        if self.window is not None and self.window < 0:
+            raise ValueError("window must be nonnegative")
+        if self.band < 0:
+            raise ValueError("band must be nonnegative")
+        if self.kind == "multi_join" and not self.queries:
+            raise ValueError("multi_join specs need at least one query")
+
+
+#: A zero-argument callable producing a fresh policy instance per trial.
+PolicyFactory = Callable[[], object]
+
+
+class EngineRun(NamedTuple):
+    """What an engine hands back: the policy's name and per-trial results."""
+
+    policy_name: str
+    per_run: list
+
+
+class Engine(abc.ABC):
+    """One execution tier for Monte-Carlo simulation experiments.
+
+    Engines are stateless between runs; configuration (worker counts)
+    lives in constructor arguments.  ``supports`` is the capability side
+    of the negotiation: it must be cheap, must not run a simulation, and
+    returns ``None`` when the (spec, policy) combination is supported or
+    a reason string when it is not.
+    """
+
+    #: Registry key and the value recorded as ``engine_used`` on results.
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def supports(
+        self, spec: ExperimentSpec, policy_factory: PolicyFactory
+    ) -> Optional[str]:
+        """``None`` when this engine can run the spec, else the reason."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        spec: ExperimentSpec,
+        policy_factory: PolicyFactory,
+        data: Sequence,
+    ) -> EngineRun:
+        """Execute one trial per ``data`` item and return ordered results.
+
+        ``data`` items depend on ``spec.kind``: ``(r_values, s_values)``
+        pairs for ``"join"``, reference sequences for ``"cache"``, and
+        ``{stream_name: values}`` mappings for ``"multi_join"``.
+        """
+
+
+# ----------------------------------------------------------------------
+# Scalar tier
+# ----------------------------------------------------------------------
+def _run_one_scalar(spec: ExperimentSpec, policy, item) -> RunResult:
+    """Run one trial through the reference simulator for ``spec.kind``."""
+    if spec.kind == "join":
+        from .join_sim import JoinSimulator
+
+        r_values, s_values = item
+        sim = JoinSimulator(
+            spec.cache_size,
+            policy,
+            warmup=spec.warmup,
+            window=spec.window,
+            band=spec.band,
+            r_model=spec.r_model,
+            s_model=spec.s_model,
+            window_oracle=spec.window_oracle,
+        )
+        return sim.run(r_values, s_values)
+    if spec.kind == "cache":
+        from .cache_sim import CacheSimulator
+
+        sim = CacheSimulator(
+            spec.cache_size,
+            policy,
+            warmup=spec.warmup,
+            reference_model=spec.r_model,
+        )
+        return sim.run(item)
+    from .multi_join import MultiJoinSimulator
+
+    sim = MultiJoinSimulator(
+        spec.cache_size,
+        policy,
+        spec.queries,
+        warmup=spec.warmup,
+        models=spec.models,
+    )
+    return sim.run(item)
+
+
+class ScalarEngine(Engine):
+    """The reference tier: one fresh policy instance per trial, the
+    original Python step loops.  Supports every (spec, policy)
+    combination; every other tier is pinned against it."""
+
+    name = "scalar"
+
+    def supports(self, spec, policy_factory):
+        return None
+
+    def run(self, spec, policy_factory, data):
+        results = []
+        name = None
+        for item in data:
+            policy = policy_factory()
+            name = getattr(policy, "name", None) or "policy"
+            results.append(_run_one_scalar(spec, policy, item))
+        return EngineRun(policy_name=name or "policy", per_run=results)
+
+
+# ----------------------------------------------------------------------
+# Batch (vectorized) tier
+# ----------------------------------------------------------------------
+class BatchEngine(Engine):
+    """The vectorized tier: all trials advance in lockstep over
+    ``(B, slots)`` NumPy arrays (:mod:`repro.sim.batch`).
+
+    Capability: joining and caching specs whose policy has an exact
+    batch adapter (:func:`~repro.policies.batch.make_batch_policy`);
+    multi-join has no vectorized implementation yet.
+    """
+
+    name = "batch"
+
+    def _adapter(self, spec: ExperimentSpec, policy):
+        from ..policies.batch import make_batch_policy
+
+        if spec.kind == "cache":
+            return make_batch_policy(policy, kind="cache", r_model=spec.r_model)
+        return make_batch_policy(
+            policy,
+            kind="join",
+            r_model=spec.r_model,
+            s_model=spec.s_model,
+            window=spec.window,
+            window_oracle=spec.window_oracle,
+        )
+
+    def supports(self, spec, policy_factory):
+        from ..policies.batch import UnbatchablePolicyError
+
+        if spec.kind == "multi_join":
+            return "the batch engine has no multi-join implementation"
+        try:
+            self._adapter(spec, policy_factory())
+        except UnbatchablePolicyError as exc:
+            return str(exc)
+        return None
+
+    def run(self, spec, policy_factory, data):
+        from .batch import (
+            BatchCacheSimulator,
+            BatchJoinSimulator,
+            paths_to_arrays,
+            values_to_array,
+        )
+
+        policy = policy_factory()
+        adapter = self._adapter(spec, policy)
+        if spec.kind == "cache":
+            sim = BatchCacheSimulator(spec.cache_size, adapter, warmup=spec.warmup)
+            batched = sim.run(values_to_array(data))
+        else:
+            r_arr, s_arr = paths_to_arrays(data)
+            sim = BatchJoinSimulator(
+                spec.cache_size,
+                adapter,
+                warmup=spec.warmup,
+                window=spec.window,
+                band=spec.band,
+            )
+            batched = sim.run(r_arr, s_arr)
+        return EngineRun(policy_name=policy.name, per_run=batched.unbatch())
+
+
+# ----------------------------------------------------------------------
+# Parallel tier
+# ----------------------------------------------------------------------
+#: Payload handed to forked workers.  Set immediately before the pool is
+#: created (workers inherit it through fork) so policy factories —
+#: routinely closures or lambdas — never need to be pickled.
+_FORK_PAYLOAD: Optional[tuple[ExperimentSpec, PolicyFactory, tuple]] = None
+
+
+def _parallel_worker(indices: list[int]) -> tuple[str, list]:
+    """Run one contiguous chunk of trials inside a forked worker."""
+    assert _FORK_PAYLOAD is not None, "worker started without a fork payload"
+    spec, policy_factory, data = _FORK_PAYLOAD
+    results = []
+    name = "policy"
+    for i in indices:
+        policy = policy_factory()
+        name = getattr(policy, "name", None) or "policy"
+        results.append(_run_one_scalar(spec, policy, data[i]))
+    return name, results
+
+
+class ParallelEngine(Engine):
+    """Fans independent Monte-Carlo trials across worker processes.
+
+    Each trial runs the *scalar* simulator with its own fresh policy
+    instance, exactly as :class:`ScalarEngine` would, so results are
+    seed-for-seed identical to the scalar tier for every policy and every
+    worker count — parallelism only changes which process executes a
+    trial, never the trial itself.  Trials are split into one contiguous
+    chunk per worker and results are reassembled in trial order.
+
+    Requires the ``fork`` start method (Linux; the default there): the
+    spec, policy factory, and input data reach workers by process
+    inheritance, so unpicklable closures work unchanged.  A worker
+    exception propagates to the caller out of the first failing chunk.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers or os.cpu_count() or 1
+
+    def supports(self, spec, policy_factory):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return "the parallel engine requires the 'fork' start method"
+        return None
+
+    def run(self, spec, policy_factory, data):
+        global _FORK_PAYLOAD
+        data = list(data)
+        if not data:
+            name = getattr(policy_factory(), "name", None) or "policy"
+            return EngineRun(policy_name=name, per_run=[])
+        n_workers = min(self.max_workers, len(data))
+        bounds = [
+            (len(data) * w // n_workers, len(data) * (w + 1) // n_workers)
+            for w in range(n_workers)
+        ]
+        chunks = [list(range(lo, hi)) for lo, hi in bounds if hi > lo]
+
+        _FORK_PAYLOAD = (spec, policy_factory, tuple(data))
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=ctx
+            ) as pool:
+                futures = [pool.submit(_parallel_worker, chunk) for chunk in chunks]
+                name = "policy"
+                results: list = []
+                for future in futures:
+                    chunk_name, chunk_results = future.result()
+                    name = chunk_name
+                    results.extend(chunk_results)
+        finally:
+            _FORK_PAYLOAD = None
+        return EngineRun(policy_name=name, per_run=results)
+
+
+# ----------------------------------------------------------------------
+# Registry and negotiation
+# ----------------------------------------------------------------------
+_ENGINE_FACTORIES: dict[str, Callable[[], Engine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], Engine]) -> None:
+    """Register an execution tier under a string key."""
+    _ENGINE_FACTORIES[name] = factory
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, scalar (the reference tier) first."""
+    names = sorted(_ENGINE_FACTORIES)
+    if "scalar" in names:
+        names.remove("scalar")
+        names.insert(0, "scalar")
+    return tuple(names)
+
+
+def get_engine(engine: Union[str, Engine]) -> Engine:
+    """Resolve a registry key (or pass an instance through)."""
+    if isinstance(engine, Engine):
+        return engine
+    try:
+        return _ENGINE_FACTORIES[engine]()
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {available_engines()}"
+        ) from None
+
+
+register_engine("scalar", ScalarEngine)
+register_engine("batch", BatchEngine)
+register_engine("parallel", ParallelEngine)
+
+
+#: (preferred engine, reason) pairs already warned about, so a sweep that
+#: hits the same unsupported combination hundreds of times logs once.
+_FALLBACK_WARNED: set[tuple[str, str]] = set()
+
+
+def select_engine(
+    spec: ExperimentSpec,
+    policy_factory: PolicyFactory,
+    prefer: Union[str, Engine, None] = None,
+) -> Engine:
+    """Resolve the engine to run ``spec`` with, negotiating capabilities.
+
+    With no preference the reference ``scalar`` tier is chosen.  With a
+    preference (a registry name or an :class:`Engine` instance), that
+    engine is used when it supports the combination; otherwise the
+    resolver falls back to ``scalar`` and emits a one-time
+    :mod:`logging` warning naming the reason — the structural replacement
+    for the old silent ``try/except UnbatchablePolicyError`` dispatch.
+    """
+    if prefer is None:
+        return get_engine("scalar")
+    preferred = get_engine(prefer)
+    reason = preferred.supports(spec, policy_factory)
+    if reason is None:
+        return preferred
+    key = (preferred.name, reason)
+    if key not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(key)
+        logger.warning(
+            "engine %r cannot run this experiment (%s); falling back to "
+            "the scalar engine",
+            preferred.name,
+            reason,
+        )
+    return get_engine("scalar")

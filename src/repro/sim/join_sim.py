@@ -30,14 +30,20 @@ from typing import Sequence
 import numpy as np
 
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
-from ..policies.base import PolicyContext, ReplacementPolicy, WindowOracle
+from ..policies.base import (
+    PolicyContext,
+    ReplacementPolicy,
+    WindowOracle,
+    validate_victims,
+)
 from ..streams.base import StreamModel, Value
+from .engine import RunResult
 
 __all__ = ["JoinRunResult", "JoinSimulator"]
 
 
 @dataclass
-class JoinRunResult:
+class JoinRunResult(RunResult):
     """Outcome of one simulated run."""
 
     total_results: int
@@ -54,6 +60,10 @@ class JoinRunResult:
     def r_fraction(self) -> np.ndarray:
         """Fraction of the cache capacity held by R tuples at each step."""
         return self.r_occupancy / max(self.cache_size, 1)
+
+    @property
+    def primary_metric(self) -> float:
+        return float(self.results_after_warmup)
 
 
 class JoinSimulator:
@@ -196,16 +206,5 @@ class JoinSimulator:
         n_evict: int,
         ctx: PolicyContext,
     ) -> list[StreamTuple]:
-        victims = list(self._policy.select_victims(candidates, n_evict, ctx))
-        uids = {v.uid for v in victims}
-        if len(uids) != len(victims):
-            raise ValueError(f"{self._policy.name}: duplicate victims")
-        candidate_uids = {c.uid for c in candidates}
-        if not uids <= candidate_uids:
-            raise ValueError(f"{self._policy.name}: victim not a candidate")
-        if len(victims) < n_evict:
-            raise ValueError(
-                f"{self._policy.name}: returned {len(victims)} victims, "
-                f"needed {n_evict}"
-            )
-        return victims
+        victims = self._policy.select_victims(candidates, n_evict, ctx)
+        return validate_victims(self._policy.name, candidates, victims, n_evict)

@@ -34,7 +34,9 @@ from ..core.heeb import default_horizon
 from ..core.lifetime import LifetimeEstimator
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
 from ..flow.opt_offline import OfflineSolution
+from ..policies.base import validate_victims
 from ..streams.base import History, StreamModel, Value
+from .engine import RunResult
 
 __all__ = [
     "MultiPolicyContext",
@@ -224,15 +226,20 @@ class MultiScheduledPolicy(MultiJoinPolicy):
 # Simulator
 # ----------------------------------------------------------------------
 @dataclass
-class MultiJoinRunResult:
+class MultiJoinRunResult(RunResult):
     total_results: int
     results_after_warmup: int
     steps: int
+    warmup: int
     cache_size: int
     #: results attributed to each query (unordered stream-name pair).
     per_query: dict[frozenset, int]
     #: per-step cache occupancy per stream.
     occupancy_by_stream: dict[str, np.ndarray]
+
+    @property
+    def primary_metric(self) -> float:
+        return float(self.results_after_warmup)
 
 
 class MultiJoinSimulator:
@@ -337,19 +344,13 @@ class MultiJoinSimulator:
             ]
             candidates = cache.tuples() + new_tuples
             n_evict = max(0, len(candidates) - self._cache_size)
-            victims = list(
-                self._policy.select_victims(candidates, n_evict, ctx)
+            victims = validate_victims(
+                self._policy.name,
+                candidates,
+                self._policy.select_victims(candidates, n_evict, ctx),
+                n_evict,
             )
             victim_uids = {v.uid for v in victims}
-            if len(victim_uids) != len(victims) or not victim_uids <= {
-                c.uid for c in candidates
-            }:
-                raise ValueError(f"{self._policy.name}: invalid victims")
-            if len(victims) < n_evict:
-                raise ValueError(
-                    f"{self._policy.name}: returned {len(victims)}, "
-                    f"needed {n_evict}"
-                )
             for tup in victims:
                 if tup in cache:
                     cache.remove(tup)
@@ -364,6 +365,7 @@ class MultiJoinSimulator:
             total_results=total,
             results_after_warmup=after_warmup,
             steps=n,
+            warmup=self._warmup,
             cache_size=self._cache_size,
             per_query=per_query,
             occupancy_by_stream=occupancy,

@@ -1,38 +1,71 @@
 """Multi-run experiment execution with seeded stream generation.
 
 The paper's synthetic experiments average 50 runs of 5000-tuple streams
-(Section 6.2); this module provides the run loop: draw sample paths from
-the configured models with per-run seeds, drive each policy over the same
-paths, and aggregate.
+(Section 6.2).  This module provides path generation (per-run seeds) and
+the experiment entry points, all built on the engine layer of
+:mod:`repro.sim.engine`: callers describe the problem with an
+:class:`~repro.sim.engine.ExperimentSpec` (or use the thin
+``run_join_experiment`` / ``run_cache_experiment`` shims, kept for one
+release) and the capability-negotiated resolver picks the execution tier
+— scalar, vectorized batch, or process-parallel — recording the engine
+actually used on the result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
 from ..policies.base import ReplacementPolicy, WindowOracle
 from ..streams.base import StreamModel, Value
-from .join_sim import JoinRunResult, JoinSimulator
+from .cache_sim import CacheRunResult
+from .engine import Engine, ExperimentSpec, RunResult, select_engine
+from .join_sim import JoinRunResult
+from .multi_join import MultiJoinRunResult
 
 __all__ = [
+    "ExperimentResult",
     "JoinExperimentResult",
     "CacheExperimentResult",
+    "MultiJoinExperimentResult",
+    "run_experiment",
     "run_join_experiment",
     "run_cache_experiment",
+    "run_multi_join_experiment",
     "generate_paths",
     "generate_reference_paths",
 ]
 
 
+# ----------------------------------------------------------------------
+# Aggregated results
+# ----------------------------------------------------------------------
 @dataclass
-class JoinExperimentResult:
-    """Aggregated results of one policy across runs."""
+class ExperimentResult:
+    """Aggregated outcome of one policy across independent trials.
+
+    ``engine_used`` names the execution tier that actually ran the
+    trials (``"scalar"``, ``"batch"``, ``"parallel"``, ...), which the
+    old silent-fallback dispatch never exposed.
+    """
 
     policy_name: str
-    per_run: list[JoinRunResult]
+    per_run: list[RunResult] = field(default_factory=list)
+    engine_used: str = "scalar"
+
+    @property
+    def mean_metric(self) -> float:
+        """Mean of the per-trial primary metric (results / hits)."""
+        return float(np.mean([r.primary_metric for r in self.per_run]))
+
+
+@dataclass
+class JoinExperimentResult(ExperimentResult):
+    """Aggregated joining results of one policy across runs."""
+
+    per_run: list[JoinRunResult] = field(default_factory=list)
 
     @property
     def mean_results(self) -> float:
@@ -49,6 +82,52 @@ class JoinExperimentResult:
         return np.mean([r.r_fraction for r in self.per_run], axis=0)
 
 
+@dataclass
+class CacheExperimentResult(ExperimentResult):
+    """Aggregated caching results of one policy across runs."""
+
+    per_run: list[CacheRunResult] = field(default_factory=list)
+
+    @property
+    def mean_hits(self) -> float:
+        return float(np.mean([r.hits_after_warmup for r in self.per_run]))
+
+    @property
+    def std_hits(self) -> float:
+        return float(np.std([r.hits_after_warmup for r in self.per_run]))
+
+    @property
+    def mean_misses(self) -> float:
+        return float(np.mean([r.misses_after_warmup for r in self.per_run]))
+
+    @property
+    def mean_hit_rate(self) -> float:
+        return float(np.mean([r.hit_rate for r in self.per_run]))
+
+
+@dataclass
+class MultiJoinExperimentResult(ExperimentResult):
+    """Aggregated multi-join results of one policy across runs."""
+
+    per_run: list[MultiJoinRunResult] = field(default_factory=list)
+
+    @property
+    def mean_results(self) -> float:
+        return float(
+            np.mean([r.results_after_warmup for r in self.per_run])
+        )
+
+
+_RESULT_TYPES: dict[str, type[ExperimentResult]] = {
+    "join": JoinExperimentResult,
+    "cache": CacheExperimentResult,
+    "multi_join": MultiJoinExperimentResult,
+}
+
+
+# ----------------------------------------------------------------------
+# Path generation
+# ----------------------------------------------------------------------
 def generate_paths(
     r_model: StreamModel,
     s_model: StreamModel,
@@ -66,91 +145,6 @@ def generate_paths(
     return paths
 
 
-def run_join_experiment(
-    policy_factory: Callable[[], ReplacementPolicy],
-    paths: Sequence[tuple[list[Value], list[Value]]],
-    cache_size: int,
-    warmup: int = 0,
-    window: int | None = None,
-    r_model: StreamModel | None = None,
-    s_model: StreamModel | None = None,
-    window_oracle: WindowOracle | None = None,
-    batch: bool = False,
-) -> JoinExperimentResult:
-    """Run one (fresh) policy instance per path and aggregate.
-
-    ``policy_factory`` builds a new policy per run so that per-run state
-    (frequency counters, RNG streams) never leaks across runs.
-
-    With ``batch=True`` all runs execute simultaneously on the
-    vectorized engine (:mod:`repro.sim.batch`), which is seed-for-seed
-    equivalent to the scalar loop for every policy it supports; policies
-    without an exact batch adapter silently fall back to the scalar
-    loop, so the flag is always safe to pass.
-    """
-    if batch:
-        from ..policies.batch import UnbatchablePolicyError, make_batch_policy
-        from .batch import BatchJoinSimulator, paths_to_arrays
-
-        try:
-            policy = policy_factory()
-            adapter = make_batch_policy(
-                policy,
-                kind="join",
-                r_model=r_model,
-                s_model=s_model,
-                window=window,
-                window_oracle=window_oracle,
-            )
-        except UnbatchablePolicyError:
-            pass
-        else:
-            r_arr, s_arr = paths_to_arrays(paths)
-            sim = BatchJoinSimulator(
-                cache_size, adapter, warmup=warmup, window=window
-            )
-            return JoinExperimentResult(
-                policy_name=policy.name, per_run=sim.run(r_arr, s_arr).unbatch()
-            )
-
-    results = []
-    name = None
-    for r_values, s_values in paths:
-        policy = policy_factory()
-        name = policy.name
-        sim = JoinSimulator(
-            cache_size,
-            policy,
-            warmup=warmup,
-            window=window,
-            r_model=r_model,
-            s_model=s_model,
-            window_oracle=window_oracle,
-        )
-        results.append(sim.run(r_values, s_values))
-    return JoinExperimentResult(policy_name=name or "policy", per_run=results)
-
-
-@dataclass
-class CacheExperimentResult:
-    """Aggregated caching results of one policy across runs."""
-
-    policy_name: str
-    per_run: list
-
-    @property
-    def mean_hits(self) -> float:
-        return float(np.mean([r.hits_after_warmup for r in self.per_run]))
-
-    @property
-    def mean_misses(self) -> float:
-        return float(np.mean([r.misses_after_warmup for r in self.per_run]))
-
-    @property
-    def mean_hit_rate(self) -> float:
-        return float(np.mean([r.hit_rate for r in self.per_run]))
-
-
 def generate_reference_paths(
     model: StreamModel,
     length: int,
@@ -164,6 +158,74 @@ def generate_reference_paths(
     ]
 
 
+# ----------------------------------------------------------------------
+# The canonical entry point
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec,
+    policy_factory: Callable[[], ReplacementPolicy],
+    data: Sequence,
+    engine: Union[str, Engine, None] = None,
+) -> ExperimentResult:
+    """Run one policy over pre-sampled trial data on the best engine.
+
+    ``policy_factory`` builds a fresh policy instance per trial so that
+    per-run state (frequency counters, RNG streams) never leaks across
+    runs.  ``engine`` is a preference, not a command: capability
+    negotiation (:func:`~repro.sim.engine.select_engine`) falls back to
+    the scalar reference tier — with a one-time logged warning — when the
+    preferred engine does not support the (spec, policy) combination.
+    The tier that actually ran is recorded as ``engine_used``.
+    """
+    chosen = select_engine(spec, policy_factory, prefer=engine)
+    outcome = chosen.run(spec, policy_factory, data)
+    result_type = _RESULT_TYPES[spec.kind]
+    return result_type(
+        policy_name=outcome.policy_name,
+        per_run=outcome.per_run,
+        engine_used=chosen.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Thin shims (deprecation path: prefer run_experiment + ExperimentSpec)
+# ----------------------------------------------------------------------
+def run_join_experiment(
+    policy_factory: Callable[[], ReplacementPolicy],
+    paths: Sequence[tuple[list[Value], list[Value]]],
+    cache_size: int,
+    warmup: int = 0,
+    window: int | None = None,
+    r_model: StreamModel | None = None,
+    s_model: StreamModel | None = None,
+    window_oracle: WindowOracle | None = None,
+    batch: bool = False,
+    engine: Union[str, Engine, None] = None,
+) -> JoinExperimentResult:
+    """Shim over :func:`run_experiment` for the joining problem.
+
+    ``engine`` selects the execution tier by name (``"scalar"``,
+    ``"batch"``, ``"parallel"``); the legacy ``batch=True`` flag is kept
+    as an alias for ``engine="batch"`` for one release.  Either way the
+    request is a preference: unsupported combinations negotiate down to
+    the scalar loop and record ``engine_used`` accordingly.
+    """
+    spec = ExperimentSpec(
+        kind="join",
+        cache_size=cache_size,
+        warmup=warmup,
+        window=window,
+        r_model=r_model,
+        s_model=s_model,
+        window_oracle=window_oracle,
+    )
+    if engine is None and batch:
+        engine = "batch"
+    result = run_experiment(spec, policy_factory, paths, engine=engine)
+    assert isinstance(result, JoinExperimentResult)
+    return result
+
+
 def run_cache_experiment(
     policy_factory: Callable[[], ReplacementPolicy],
     references: Sequence[Sequence[Value]],
@@ -171,42 +233,39 @@ def run_cache_experiment(
     warmup: int = 0,
     reference_model: StreamModel | None = None,
     batch: bool = False,
+    engine: Union[str, Engine, None] = None,
 ) -> CacheExperimentResult:
-    """Caching counterpart of :func:`run_join_experiment`.
+    """Shim over :func:`run_experiment` for the caching problem."""
+    spec = ExperimentSpec(
+        kind="cache",
+        cache_size=cache_size,
+        warmup=warmup,
+        r_model=reference_model,
+    )
+    if engine is None and batch:
+        engine = "batch"
+    result = run_experiment(spec, policy_factory, references, engine=engine)
+    assert isinstance(result, CacheExperimentResult)
+    return result
 
-    ``batch=True`` uses the vectorized engine when the policy has an
-    exact batch adapter, falling back to the scalar loop otherwise.
-    """
-    from .cache_sim import CacheSimulator
 
-    if batch:
-        from ..policies.batch import UnbatchablePolicyError, make_batch_policy
-        from .batch import BatchCacheSimulator, values_to_array
-
-        try:
-            policy = policy_factory()
-            adapter = make_batch_policy(
-                policy, kind="cache", r_model=reference_model
-            )
-        except UnbatchablePolicyError:
-            pass
-        else:
-            sim = BatchCacheSimulator(cache_size, adapter, warmup=warmup)
-            result = sim.run(values_to_array(references))
-            return CacheExperimentResult(
-                policy_name=policy.name, per_run=result.unbatch()
-            )
-
-    results = []
-    name = None
-    for reference in references:
-        policy = policy_factory()
-        name = policy.name
-        sim = CacheSimulator(
-            cache_size,
-            policy,
-            warmup=warmup,
-            reference_model=reference_model,
-        )
-        results.append(sim.run(reference))
-    return CacheExperimentResult(policy_name=name or "policy", per_run=results)
+def run_multi_join_experiment(
+    policy_factory: Callable[[], "object"],
+    trials: Sequence,
+    cache_size: int,
+    queries: Sequence[tuple[str, str]],
+    warmup: int = 0,
+    models=None,
+    engine: Union[str, Engine, None] = None,
+) -> MultiJoinExperimentResult:
+    """Run a multi-join policy over per-trial ``{stream: values}`` maps."""
+    spec = ExperimentSpec(
+        kind="multi_join",
+        cache_size=cache_size,
+        warmup=warmup,
+        queries=tuple(tuple(q) for q in queries),
+        models=models,
+    )
+    result = run_experiment(spec, policy_factory, trials, engine=engine)
+    assert isinstance(result, MultiJoinExperimentResult)
+    return result

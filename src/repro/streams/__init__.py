@@ -15,7 +15,13 @@ studies and experiments (Sections 5-6):
 together with the caching→joining reduction of Section 2
 (:mod:`~repro.streams.reduction`) and a synthetic substitute for the
 Melbourne data set (:mod:`~repro.streams.melbourne`).
+
+Models are additionally exposed through a string-keyed registry so
+experiment configurations and the CLI can build them by name
+(``make_stream("random-walk", step=...)``) instead of importing classes.
 """
+
+from typing import Callable
 
 from .ar1 import AR1Stream
 from .base import History, StreamModel, Value, as_history
@@ -35,7 +41,45 @@ from .reduction import PairedValue, occurrence_index, reduce_reference_stream
 from .stationary import StationaryStream
 from .tabular import TabularStream
 
+# ----------------------------------------------------------------------
+# String-keyed registry
+# ----------------------------------------------------------------------
+STREAM_REGISTRY: dict[str, Callable[..., StreamModel]] = {}
+
+
+def register_stream(name: str, factory: Callable[..., StreamModel]) -> None:
+    """Register a stream-model constructor under a (case-insensitive) name."""
+    STREAM_REGISTRY[name.lower()] = factory
+
+
+def make_stream(name: str, **kwargs) -> StreamModel:
+    """Build a stream model by registry name, forwarding kwargs."""
+    try:
+        factory = STREAM_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown stream model {name!r}; available: {available_streams()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_streams() -> tuple[str, ...]:
+    """Registered stream-model names, sorted."""
+    return tuple(sorted(STREAM_REGISTRY))
+
+
+register_stream("stationary", StationaryStream)
+register_stream("linear-trend", LinearTrendStream)
+register_stream("random-walk", RandomWalkStream)
+register_stream("ar1", AR1Stream)
+register_stream("offline", OfflineStream)
+register_stream("tabular", TabularStream)
+
 __all__ = [
+    "STREAM_REGISTRY",
+    "available_streams",
+    "make_stream",
+    "register_stream",
     "AR1Stream",
     "DiscreteDistribution",
     "History",

@@ -183,9 +183,14 @@ class TestDeterminism:
 
 
 class TestScalarFallback:
-    def test_unbatchable_policy_falls_back_silently(self):
+    def test_unbatchable_policy_falls_back_with_warning(self, caplog):
         """Windowed generic HEEB has no batch adapter; ``batch=True``
-        must transparently produce the scalar result."""
+        must produce the scalar result, record the engine actually used,
+        and log a one-time warning instead of failing silently."""
+        import logging
+
+        import repro.sim.engine as engine_mod
+
         model = StationaryStream(from_mapping({1: 0.5, 2: 0.3, 3: 0.2}))
         paths = [
             (
@@ -198,5 +203,27 @@ class TestScalarFallback:
             cache_size=4, warmup=10, window=8, r_model=model, s_model=model
         )
         scalar = run_join_experiment(factory, paths, **kwargs)
-        batch = run_join_experiment(factory, paths, batch=True, **kwargs)
+        engine_mod._FALLBACK_WARNED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.engine"):
+            batch = run_join_experiment(factory, paths, batch=True, **kwargs)
         _assert_join_equal(scalar, batch)
+        assert scalar.engine_used == "scalar"
+        assert batch.engine_used == "scalar"
+        fallback_records = [
+            r
+            for r in caplog.records
+            if "falling back to the scalar engine" in r.getMessage()
+        ]
+        assert len(fallback_records) == 1
+        assert "batch" in fallback_records[0].getMessage()
+
+        # The warning is deduplicated: an identical second request stays
+        # quiet.
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.engine"):
+            run_join_experiment(factory, paths, batch=True, **kwargs)
+        assert not [
+            r
+            for r in caplog.records
+            if "falling back to the scalar engine" in r.getMessage()
+        ]

@@ -1,0 +1,163 @@
+"""Capability negotiation: select_engine, ExperimentSpec, and registries.
+
+These are the unit tests of the dispatch layer itself — which engine a
+preference resolves to, what the spec validator rejects, and how the
+string-keyed registries (engines, policies, streams, configs) report
+unknown names.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.lifetime import LExp
+from repro.experiments.configs import available_configs, make_config
+from repro.policies import available_policies, make_policy
+from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
+from repro.sim.engine import (
+    BatchEngine,
+    Engine,
+    EngineRun,
+    ExperimentSpec,
+    ParallelEngine,
+    ScalarEngine,
+    _FALLBACK_WARNED,
+    available_engines,
+    get_engine,
+    register_engine,
+    select_engine,
+)
+from repro.streams import available_streams, make_stream
+from repro.streams.noise import from_mapping
+
+
+def _join_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(kind="join", cache_size=4)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def _rand_factory():
+    return make_policy("rand", seed=0)
+
+
+class TestExperimentSpec:
+    def test_defaults(self):
+        spec = _join_spec()
+        assert spec.warmup == 0
+        assert spec.window is None
+        assert spec.band == 0
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            (dict(kind="nope"), "unknown kind"),
+            (dict(cache_size=0), "cache_size"),
+            (dict(warmup=-1), "warmup"),
+            (dict(window=-2), "window"),
+            (dict(band=-1), "band"),
+        ],
+    )
+    def test_validation(self, overrides, message):
+        with pytest.raises(ValueError, match=message):
+            _join_spec(**overrides)
+
+    def test_multi_join_needs_queries(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            ExperimentSpec(kind="multi_join", cache_size=4)
+
+
+class TestSelectEngine:
+    def test_no_preference_is_scalar(self):
+        chosen = select_engine(_join_spec(), _rand_factory)
+        assert isinstance(chosen, ScalarEngine)
+
+    def test_supported_preference_is_honoured(self):
+        chosen = select_engine(_join_spec(), _rand_factory, prefer="batch")
+        assert isinstance(chosen, BatchEngine)
+
+    def test_engine_instance_preference(self):
+        eng = ParallelEngine(max_workers=1)
+        assert select_engine(_join_spec(), _rand_factory, prefer=eng) is eng
+
+    def test_unsupported_preference_falls_back_and_warns_once(self, caplog):
+        """Batch cannot run windowed generic HEEB; the resolver must pick
+        scalar and say so exactly once per (engine, reason) pair."""
+        factory = lambda: HeebPolicy(GenericJoinHeeb(LExp(5.0), horizon=40))
+        spec = _join_spec(window=8)
+        _FALLBACK_WARNED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.engine"):
+            first = select_engine(spec, factory, prefer="batch")
+            second = select_engine(spec, factory, prefer="batch")
+        assert isinstance(first, ScalarEngine)
+        assert isinstance(second, ScalarEngine)
+        warnings = [
+            r
+            for r in caplog.records
+            if "falling back to the scalar engine" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_batch_rejects_multi_join(self):
+        spec = ExperimentSpec(
+            kind="multi_join", cache_size=4, queries=[("A", "B")]
+        )
+        assert BatchEngine().supports(spec, _rand_factory) is not None
+        _FALLBACK_WARNED.clear()
+        chosen = select_engine(spec, _rand_factory, prefer="batch")
+        assert isinstance(chosen, ScalarEngine)
+
+
+class TestEngineRegistry:
+    def test_builtins_present_scalar_first(self):
+        names = available_engines()
+        assert names[0] == "scalar"
+        assert {"scalar", "batch", "parallel"} <= set(names)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("warp-drive")
+
+    def test_custom_engine_registration(self):
+        class NullEngine(Engine):
+            name = "null"
+
+            def supports(self, spec, policy_factory):
+                return None
+
+            def run(self, spec, policy_factory, data):
+                return EngineRun(policy_name="null", per_run=[])
+
+        register_engine("null", NullEngine)
+        try:
+            assert "null" in available_engines()
+            assert isinstance(get_engine("null"), NullEngine)
+        finally:
+            from repro.sim.engine import _ENGINE_FACTORIES
+
+            _ENGINE_FACTORIES.pop("null", None)
+
+
+class TestNameRegistries:
+    def test_policy_registry(self):
+        assert "heeb" in available_policies()
+        assert make_policy("RAND", seed=3).name == "RAND"
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("clairvoyant")
+
+    def test_stream_registry(self):
+        assert "ar1" in available_streams()
+        model = make_stream(
+            "Stationary", dist=from_mapping({1: 0.5, 2: 0.5})
+        )
+        assert model.sample_path(3, __import__("numpy").random.default_rng(0))
+        with pytest.raises(ValueError, match="unknown stream"):
+            make_stream("brownian-bridge")
+
+    def test_config_registry(self):
+        assert available_configs() == ("TOWER", "ROOF", "FLOOR", "WALK")
+        assert make_config("tower").name == "TOWER"
+        with pytest.raises(ValueError, match="unknown config"):
+            make_config("cliff")

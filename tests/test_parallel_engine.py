@@ -1,0 +1,245 @@
+"""Parallel engine: seed-for-seed scalar equivalence and worker semantics.
+
+The parallel tier runs the *scalar* simulator per trial in worker
+processes, so every result — join counts, hit counts, per-step sequences
+— must be bit-identical to the scalar engine for every stream family and
+every worker count.  A crash inside a worker must surface to the caller
+as the original exception, not hang or vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import LExp
+from repro.policies import make_policy
+from repro.policies.base import PolicyContext, ReplacementPolicy
+from repro.policies.heeb_policy import HeebPolicy, WalkJoinHeeb
+from repro.sim.engine import (
+    ExperimentSpec,
+    ParallelEngine,
+    ScalarEngine,
+    available_engines,
+    get_engine,
+)
+from repro.sim.runner import (
+    generate_paths,
+    generate_reference_paths,
+    run_cache_experiment,
+    run_experiment,
+    run_join_experiment,
+)
+from repro.streams import make_stream
+from repro.streams.noise import (
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
+
+LENGTH = 130
+N_RUNS = 5
+CACHE = 4
+
+
+def _join_models(family: str):
+    """One (r_model, s_model) pair per stream family in the paper."""
+    if family == "trend-normal":
+        r = make_stream("linear-trend", noise=bounded_normal(10, 1.0), lag=1)
+        s = make_stream("linear-trend", noise=bounded_normal(15, 2.0), lag=0)
+    elif family == "trend-uniform":
+        r = make_stream("linear-trend", noise=bounded_uniform(10), lag=1)
+        s = make_stream("linear-trend", noise=bounded_uniform(15), lag=0)
+    elif family == "random-walk":
+        step = discretized_normal(1.0)
+        r = make_stream("random-walk", step=step)
+        s = make_stream("random-walk", step=step)
+    elif family == "stationary":
+        pmf = from_mapping({1: 0.4, 2: 0.3, 3: 0.2, 4: 0.1})
+        r = make_stream("stationary", dist=pmf)
+        s = make_stream("stationary", dist=pmf)
+    else:  # pragma: no cover - guard against typos in parametrization
+        raise ValueError(family)
+    return r, s
+
+
+def _assert_join_equal(a, b):
+    assert a.policy_name == b.policy_name
+    assert len(a.per_run) == len(b.per_run)
+    for x, y in zip(a.per_run, b.per_run):
+        assert x.total_results == y.total_results
+        assert x.results_after_warmup == y.results_after_warmup
+        np.testing.assert_array_equal(x.r_occupancy, y.r_occupancy)
+        np.testing.assert_array_equal(x.occupancy, y.occupancy)
+
+
+class TestJoinEquivalence:
+    @pytest.mark.parametrize(
+        "family",
+        ["trend-normal", "trend-uniform", "random-walk", "stationary"],
+    )
+    def test_parallel_matches_scalar(self, family):
+        r_model, s_model = _join_models(family)
+        paths = generate_paths(r_model, s_model, LENGTH, N_RUNS, seed=3)
+        factory = lambda: make_policy("rand", seed=7)
+        kwargs = dict(
+            cache_size=CACHE, warmup=10, r_model=r_model, s_model=s_model
+        )
+        scalar = run_join_experiment(factory, paths, **kwargs)
+        par = run_join_experiment(factory, paths, engine="parallel", **kwargs)
+        assert scalar.engine_used == "scalar"
+        assert par.engine_used == "parallel"
+        _assert_join_equal(scalar, par)
+
+    def test_model_aware_policy_with_closure_factory(self):
+        """HEEB factories are closures over strategy objects — they must
+        reach forked workers without pickling."""
+        r_model, s_model = _join_models("random-walk")
+        paths = generate_paths(r_model, s_model, LENGTH, N_RUNS, seed=11)
+
+        def factory():
+            return HeebPolicy(WalkJoinHeeb(LExp(4.0), horizon=40))
+
+        kwargs = dict(
+            cache_size=CACHE, warmup=0, r_model=r_model, s_model=s_model
+        )
+        scalar = run_join_experiment(factory, paths, **kwargs)
+        par = run_join_experiment(factory, paths, engine="parallel", **kwargs)
+        _assert_join_equal(scalar, par)
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("policy_name", ["lru", "lfu", "rand"])
+    def test_parallel_matches_scalar(self, policy_name):
+        model = make_stream(
+            "stationary", dist=from_mapping({i: 1 / 6 for i in range(6)})
+        )
+        refs = generate_reference_paths(model, LENGTH, N_RUNS, seed=5)
+        factory = lambda: make_policy(policy_name, **(
+            {"seed": 2} if policy_name == "rand" else {}
+        ))
+        scalar = run_cache_experiment(factory, refs, cache_size=3, warmup=8)
+        par = run_cache_experiment(
+            factory, refs, cache_size=3, warmup=8, engine="parallel"
+        )
+        assert par.engine_used == "parallel"
+        assert len(scalar.per_run) == len(par.per_run)
+        for x, y in zip(scalar.per_run, par.per_run):
+            assert x.hits == y.hits
+            assert x.misses == y.misses
+            assert x.hits_after_warmup == y.hits_after_warmup
+        assert scalar.mean_hits == par.mean_hits
+        assert scalar.std_hits == par.std_hits
+
+
+class TestWorkerCounts:
+    def test_identical_across_worker_counts(self):
+        """Chunking is an implementation detail: 1, 2, and cpu_count
+        workers must reassemble the exact same per-trial sequence."""
+        r_model, s_model = _join_models("trend-normal")
+        paths = generate_paths(r_model, s_model, LENGTH, N_RUNS, seed=1)
+        spec = ExperimentSpec(
+            kind="join",
+            cache_size=CACHE,
+            warmup=5,
+            r_model=r_model,
+            s_model=s_model,
+        )
+        factory = lambda: make_policy("prob")
+        baseline = run_experiment(spec, factory, paths, engine=ScalarEngine())
+        import os
+
+        counts = sorted({1, 2, os.cpu_count() or 1})
+        for workers in counts:
+            res = run_experiment(
+                spec, factory, paths, engine=ParallelEngine(max_workers=workers)
+            )
+            assert res.engine_used == "parallel"
+            assert [r.total_results for r in res.per_run] == [
+                r.total_results for r in baseline.per_run
+            ]
+            for got, want in zip(res.per_run, baseline.per_run):
+                np.testing.assert_array_equal(got.occupancy, want.occupancy)
+
+    def test_more_workers_than_trials(self):
+        r_model, s_model = _join_models("stationary")
+        paths = generate_paths(r_model, s_model, 60, 2, seed=9)
+        spec = ExperimentSpec(kind="join", cache_size=2)
+        factory = lambda: make_policy("lru")
+        scalar = run_experiment(spec, factory, paths, engine=ScalarEngine())
+        par = run_experiment(
+            spec, factory, paths, engine=ParallelEngine(max_workers=8)
+        )
+        _assert_join_equal(scalar, par)
+
+    def test_empty_data(self):
+        spec = ExperimentSpec(kind="join", cache_size=2)
+        res = run_experiment(
+            spec,
+            lambda: make_policy("lru"),
+            [],
+            engine=ParallelEngine(max_workers=2),
+        )
+        assert res.per_run == []
+        assert res.engine_used == "parallel"
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(max_workers=0)
+
+
+class _CrashOnTrial(ReplacementPolicy):
+    """Evicts fine until a chosen trial, then raises inside the worker."""
+
+    name = "CRASH"
+
+    #: Class-level countdown shared through fork: each forked worker gets
+    #: a copy-on-write snapshot, so the crash fires in-worker.
+    instances = 0
+
+    def __init__(self, crash_on_instance: int):
+        type(self).instances += 1
+        self._crash = type(self).instances == crash_on_instance
+
+    def select_victims(
+        self,
+        candidates: Sequence,
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list:
+        if self._crash:
+            raise RuntimeError("policy exploded inside a worker")
+        return sorted(candidates, key=lambda c: c.uid)[:n_evict]
+
+
+class TestWorkerCrash:
+    def test_crash_in_worker_surfaces_as_exception(self):
+        r_model, s_model = _join_models("stationary")
+        paths = generate_paths(r_model, s_model, 60, 4, seed=2)
+        spec = ExperimentSpec(kind="join", cache_size=2)
+        _CrashOnTrial.instances = 0
+        with pytest.raises(RuntimeError, match="exploded inside a worker"):
+            run_experiment(
+                spec,
+                lambda: _CrashOnTrial(crash_on_instance=2),
+                paths,
+                engine=ParallelEngine(max_workers=2),
+            )
+
+    def test_fork_payload_cleared_after_crash(self):
+        import repro.sim.engine as engine_mod
+
+        assert engine_mod._FORK_PAYLOAD is None
+
+
+class TestRegistry:
+    def test_parallel_is_registered(self):
+        assert "parallel" in available_engines()
+        assert get_engine("parallel").name == "parallel"
+
+    def test_engine_instance_passthrough(self):
+        eng = ParallelEngine(max_workers=2)
+        assert get_engine(eng) is eng
