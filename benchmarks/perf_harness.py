@@ -1,4 +1,4 @@
-"""Perf-regression harness: scalar vs batch vs parallel engines on fig08.
+"""Perf-regression harness: engine tiers on fig08, FlowExpect fast path.
 
 Times every batchable policy of the Figure-8 comparison workload (all
 four synthetic configurations) on the three execution tiers and records
@@ -13,10 +13,19 @@ is apples to apples.  The parallel tier fans trials across worker
 processes; on a single-core machine its speedup is expectedly < 1 (pure
 fork/IPC overhead) — the recorded ``cpu_count`` makes that legible.
 
+The ``flowexpect`` section times one FLOOR-config join run under
+:class:`~repro.policies.flowexpect_policy.FlowExpectPolicy` on the fast
+(template + ProbTable + direct solver) and reference (networkx +
+``network_simplex``) paths, asserts they make *identical* per-step
+kept/victim decisions, and records per-step milliseconds plus the
+speedup.  ``--min-fe-speedup`` turns the speedup into a hard floor for
+CI smoke runs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
-        [--length 600] [--workers N] [--out BENCH_batch.json]
+        [--length 600] [--workers N] [--fe-length 300]
+        [--fe-lookahead 8] [--min-fe-speedup X] [--out BENCH_batch.json]
 """
 
 from __future__ import annotations
@@ -30,9 +39,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.configs import SYNTHETIC_CONFIGS
+from repro.experiments.configs import SYNTHETIC_CONFIGS, make_config
 from repro.policies import make_policy
+from repro.policies.flowexpect_policy import FlowExpectPolicy
 from repro.sim.engine import ParallelEngine
+from repro.sim.join_sim import JoinSimulator
 from repro.sim.runner import generate_paths, run_join_experiment
 
 CACHE_SIZE = 10
@@ -106,6 +117,10 @@ def run_harness(n_trials: int, length: int, workers: int | None) -> dict:
 
             entry = {"config": config_name, "policy": policy_name,
                      "trials": n_trials}
+            # Negotiation may have demoted the parallel preference (e.g.
+            # a single effective worker): record what actually ran so a
+            # ~1x "parallel" number is legible.
+            entry["parallel_engine_used"] = results["parallel"].engine_used
             for engine_name, t in seconds.items():
                 entry[f"{engine_name}_seconds"] = round(t, 4)
                 entry[f"{engine_name}_trials_per_sec"] = round(
@@ -162,6 +177,87 @@ def run_harness(n_trials: int, length: int, workers: int | None) -> dict:
     }
 
 
+class _RecordingFlowExpect(FlowExpectPolicy):
+    """FlowExpect that logs every (time, victim-uid) decision it makes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.decisions: list[tuple] = []
+
+    def select_victims(self, candidates, n_evict, ctx):
+        victims = super().select_victims(candidates, n_evict, ctx)
+        self.decisions.append(
+            (ctx.time, tuple(sorted(v.uid for v in victims)))
+        )
+        return victims
+
+
+def run_flowexpect_bench(
+    length: int, lookahead: int, cache_size: int = CACHE_SIZE
+) -> dict:
+    """Time FlowExpect fast vs reference on one FLOOR join run.
+
+    Both paths replay the identical stream realization; their per-step
+    victim decisions are asserted equal before any timing is reported.
+    """
+    config = make_config("floor")
+    r = config.r_model.sample_path(length, np.random.default_rng(42))
+    s = config.s_model.sample_path(length, np.random.default_rng(43))
+
+    seconds = {}
+    decisions = {}
+    totals = {}
+    for label, fast in (("fast", True), ("reference", False)):
+        policy = _RecordingFlowExpect(
+            lookahead, config.r_model, config.s_model, fast=fast
+        )
+        sim = JoinSimulator(cache_size, policy)
+        t0 = time.perf_counter()
+        result = sim.run(r, s)
+        seconds[label] = time.perf_counter() - t0
+        decisions[label] = policy.decisions
+        totals[label] = result.total_results
+
+    if decisions["fast"] != decisions["reference"]:
+        diverged = sum(
+            a != b
+            for a, b in zip(decisions["fast"], decisions["reference"])
+        )
+        raise AssertionError(
+            f"FlowExpect fast path diverged from reference on {diverged} "
+            f"of {len(decisions['reference'])} per-step decisions"
+        )
+    if totals["fast"] != totals["reference"]:
+        raise AssertionError(
+            "FlowExpect fast path total results diverged: "
+            f"{totals['fast']} vs {totals['reference']}"
+        )
+
+    speedup = seconds["reference"] / seconds["fast"]
+    entry = {
+        "config": "FLOOR",
+        "length": length,
+        "lookahead": lookahead,
+        "cache_size": cache_size,
+        "decisions": len(decisions["fast"]),
+        "total_results": totals["fast"],
+        "fast_seconds": round(seconds["fast"], 4),
+        "reference_seconds": round(seconds["reference"], 4),
+        "fast_ms_per_step": round(1000 * seconds["fast"] / length, 4),
+        "reference_ms_per_step": round(
+            1000 * seconds["reference"] / length, 4
+        ),
+        "fast_speedup": round(speedup, 2),
+    }
+    print(
+        f"flowexpect la={lookahead:2d} len={length} "
+        f"reference {entry['reference_ms_per_step']:7.3f} ms/step  "
+        f"fast {entry['fast_ms_per_step']:7.3f} ms/step "
+        f"({entry['fast_speedup']:5.1f}x), identical decisions"
+    )
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=256)
@@ -173,13 +269,50 @@ def main() -> None:
         help="parallel-engine worker count (default: cpu_count)",
     )
     parser.add_argument(
+        "--fe-length",
+        type=int,
+        default=300,
+        help="stream length for the FlowExpect fast-path benchmark",
+    )
+    parser.add_argument(
+        "--fe-lookahead",
+        type=int,
+        default=8,
+        help="FlowExpect lookahead for the fast-path benchmark",
+    )
+    parser.add_argument(
+        "--min-fe-speedup",
+        type=float,
+        default=None,
+        help="fail unless the FlowExpect fast path is at least this "
+        "many times faster than the reference (CI smoke floor)",
+    )
+    parser.add_argument(
+        "--skip-engines",
+        action="store_true",
+        help="skip the engine-tier benchmark (FlowExpect section only)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_batch.json",
     )
     args = parser.parse_args()
 
+    fe_entry = run_flowexpect_bench(args.fe_length, args.fe_lookahead)
+    if (
+        args.min_fe_speedup is not None
+        and fe_entry["fast_speedup"] < args.min_fe_speedup
+    ):
+        raise SystemExit(
+            f"FlowExpect fast-path speedup {fe_entry['fast_speedup']}x is "
+            f"below the required floor {args.min_fe_speedup}x"
+        )
+    if args.skip_engines:
+        return
+
     report = run_harness(args.trials, args.length, args.workers)
+    report["flowexpect"] = fe_entry
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     agg = report["aggregate"]
     print(
@@ -187,7 +320,8 @@ def main() -> None:
         f"batch {agg['batch_trials_per_sec']} "
         f"({agg['batch_speedup']}x), parallel "
         f"{agg['parallel_trials_per_sec']} trials/sec "
-        f"({agg['parallel_speedup']}x), written to {args.out}"
+        f"({agg['parallel_speedup']}x), flowexpect fast path "
+        f"{fe_entry['fast_speedup']}x, written to {args.out}"
     )
 
 

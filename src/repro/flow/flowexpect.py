@@ -68,6 +68,7 @@ def flowexpect_decide(
         ("src",),
         ("sink",),
         lookahead_graph.flow_size,
+        tie_break_arcs=lookahead_graph.tie_break_arcs(),
     )
     kept_uids = lookahead_graph.kept_uids(flow_dict)
     kept = [c for c in candidates if c.uid in kept_uids]

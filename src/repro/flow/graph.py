@@ -69,12 +69,31 @@ class LookaheadGraph:
     lookahead: int
 
     def kept_uids(self, flow_dict: dict) -> set[int]:
-        """Uids of candidates that carry flow out of the source."""
+        """Uids of candidates that carry flow out of the source.
+
+        Iterates candidates in uid order; which uids carry flow is made
+        deterministic by the solver's tie-break perturbation (see
+        :meth:`tie_break_arcs`), not by this read-back.
+        """
         kept = set()
-        for uid, node in self.first_slice.items():
-            if flow_dict.get(SOURCE, {}).get(node, 0) > 0:
+        source_flow = flow_dict.get(SOURCE, {})
+        for uid in sorted(self.first_slice):
+            if source_flow.get(self.first_slice[uid], 0) > 0:
                 kept.add(uid)
         return kept
+
+    def tie_break_arcs(self) -> list[tuple]:
+        """Source arcs in stable candidate-uid order.
+
+        Handing these to :func:`~repro.flow.solver.solve_min_cost_flow`
+        makes the optimal kept-set unique — among equal-cost optima the
+        solver prefers keeping lower-uid candidates — so decisions no
+        longer depend on platform-sensitive rounding ties.
+        """
+        return [
+            (SOURCE, self.first_slice[uid])
+            for uid in sorted(self.first_slice)
+        ]
 
 
 def build_lookahead_graph(

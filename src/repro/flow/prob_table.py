@@ -1,0 +1,135 @@
+"""Memoized probability lookups for the FlowExpect hot path.
+
+Building one look-ahead graph queries ``StreamModel.prob`` and
+``StreamModel.support`` for the same ``(time, value)`` pairs many times
+over: every candidate sharing a join value repeats the same partner-side
+``prob`` call on every slice, and every undetermined arrival repeats the
+same support-weighted convolution.  Successive FlowExpect steps then
+repeat most of those queries again, shifted by one step — the stream-join
+caching insight (CACHEJOIN-style operators win by keeping intermediate
+lookup structures alive across arrivals, not recomputing them per tuple).
+
+:class:`ProbTable` memoizes the three primitives behind the graph's arc
+costs, keyed by ``(side, time, value)`` / ``(side, t_produce,
+t_consume)`` *under the currently bound history anchors*.  The anchors
+(the :class:`~repro.streams.base.History` objects conditioning each
+side's predictions) are part of every cached entry's effective key:
+rebinding to a different anchor invalidates the affected entries.  For
+independent models the anchor is always ``None``, so the table persists
+across the whole run and each probability is paid once per ``(t, v)``
+pair; for Markov models the anchor advances every step and the table
+still collapses the per-arc duplication within one decision.
+
+All cached values are produced by the *same calls* the reference graph
+builder makes (``model.prob``, ``model.support``, and the summation
+order of :func:`~repro.flow.graph.expected_match_prob`), so memoized
+costs are bit-identical to freshly computed ones — a prerequisite for
+the fast path's decisions matching the reference path exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.tuples import partner
+from ..streams.base import History, StreamModel, Value
+
+__all__ = ["ProbTable"]
+
+#: Safety valve: a table growing past this many memoized probabilities is
+#: cleared wholesale.  Reached only by very long runs of time-dependent
+#: models; correctness never depends on retention.
+MAX_ENTRIES = 1 << 20
+
+
+class ProbTable:
+    """Per-model-pair memo of ``prob`` / ``support`` / expected-match."""
+
+    def __init__(self, r_model: StreamModel, s_model: StreamModel):
+        self._models = {"R": r_model, "S": s_model}
+        self._anchors: dict[str, Optional[History]] = {"R": None, "S": None}
+        #: (side, t, value) -> Pr{X^side_t = value | anchor[side]}
+        self._prob: dict[tuple, float] = {}
+        #: (side, t) -> side's joinable support at t (list of (v, p))
+        self._support: dict[tuple, list[tuple[int, float]]] = {}
+        #: (producer side, t_produce, t_consume) -> expected match prob
+        self._emp: dict[tuple, float] = {}
+
+    def rebind(
+        self,
+        r_history: Optional[History],
+        s_history: Optional[History],
+    ) -> None:
+        """Bind the history anchors all subsequent lookups condition on.
+
+        Entries cached under a different anchor for a side are dropped
+        (they can never be queried again: FlowExpect only conditions on
+        the latest observation).  Binding the same anchors is free, which
+        is what keeps the table warm across steps of independent models.
+        """
+        for side, history in (("R", r_history), ("S", s_history)):
+            if self._anchors[side] != history:
+                self._anchors[side] = history
+                self._drop_side(side)
+
+    def _drop_side(self, side: str) -> None:
+        self._prob = {k: v for k, v in self._prob.items() if k[0] != side}
+        self._support = {
+            k: v for k, v in self._support.items() if k[0] != side
+        }
+        # Expected-match entries condition on both sides' anchors: the
+        # producer's support and the consumer's prob.  Either side
+        # changing invalidates every pair involving it — which is both
+        # directions, so drop them all.
+        self._emp.clear()
+
+    def _room(self) -> None:
+        if (
+            len(self._prob) + len(self._support) + len(self._emp)
+            > MAX_ENTRIES
+        ):
+            self._prob.clear()
+            self._support.clear()
+            self._emp.clear()
+
+    def prob(self, side: str, t: int, value: Value) -> float:
+        """``Pr{X^side_t = value}`` under ``side``'s bound anchor."""
+        key = (side, t, value)
+        hit = self._prob.get(key)
+        if hit is None:
+            self._room()
+            hit = self._models[side].prob(t, value, self._anchors[side])
+            self._prob[key] = hit
+        return hit
+
+    def support(self, side: str, t: int) -> list[tuple[int, float]]:
+        """``side``'s joinable values at ``t`` under its bound anchor."""
+        key = (side, t)
+        hit = self._support.get(key)
+        if hit is None:
+            self._room()
+            hit = self._models[side].support(t, self._anchors[side])
+            self._support[key] = hit
+        return hit
+
+    def expected_match(
+        self, producer_side: str, t_produce: int, t_consume: int
+    ) -> float:
+        """Expected benefit of an undetermined ``producer_side`` arrival.
+
+        Matches :func:`repro.flow.graph.expected_match_prob` term for
+        term (same support order, same accumulation order), so the result
+        is bit-identical to the reference computation.
+        """
+        key = (producer_side, t_produce, t_consume)
+        hit = self._emp.get(key)
+        if hit is None:
+            self._room()
+            consumer = partner(producer_side)
+            total = 0.0
+            for v, p in self.support(producer_side, t_produce):
+                if p:
+                    total += p * self.prob(consumer, t_consume, v)
+            self._emp[key] = total
+            hit = total
+        return hit

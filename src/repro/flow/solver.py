@@ -6,9 +6,27 @@ requires integer arc weights for exact arithmetic, while FlowExpect's arc
 costs are negated probabilities, so costs are scaled by a fixed factor
 and rounded; the returned objective is recomputed from the original float
 weights.
+
+Rounding float weights to integers independently per arc can create
+*ties*: distinct flows whose true costs differ below the rounding
+granularity (or genuinely equal-cost optima) leave the simplex free to
+return either one, and which one it picks is an implementation detail
+that has flipped across platforms.  ``tie_break_arcs`` makes the optimum
+unique: the scaled integer costs are left-shifted by the number of listed
+arcs and arc ``i`` of the list gains a ``2^i`` perturbation.  Every unit
+of flow crosses at most one listed arc, so the perturbation total stays
+below one un-shifted cost unit — the perturbed optimum is still an
+optimum of the rounded problem — and because subset sums of distinct
+powers of two are distinct, exactly one optimal flow pattern over the
+listed arcs survives.  FlowExpect lists its source arcs in candidate-uid
+order, which both makes its kept-set deterministic (prefer keeping
+lower-uid candidates among ties) and lets the direct fast-path solver
+(:mod:`repro.flow.fastpath`) reproduce the reference decision exactly.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence
 
 import networkx as nx
 
@@ -26,6 +44,7 @@ def solve_min_cost_flow(
     sink,
     amount: int,
     cost_scale: int = COST_SCALE,
+    tie_break_arcs: Optional[Sequence[tuple]] = None,
 ) -> tuple[dict, float]:
     """Push ``amount`` units from ``source`` to ``sink`` at minimum cost.
 
@@ -33,12 +52,18 @@ def solve_min_cost_flow(
     Returns ``(flow_dict, cost)`` where ``flow_dict[u][v]`` is the integer
     flow on arc ``(u, v)`` and ``cost`` is the total cost under the
     original float weights.
+
+    ``tie_break_arcs`` optionally lists ``(u, v)`` arcs, most preferred
+    first, whose flow pattern breaks ties between equal-cost optima (see
+    the module docstring); listed arcs must each lie on at most one unit
+    of any source-sink flow.  The reported cost ignores the perturbation.
     """
     if amount < 0:
         raise ValueError("flow amount must be nonnegative")
     if amount == 0:
         return {u: {v: 0 for v in graph.successors(u)} for u in graph}, 0.0
 
+    shift = len(tie_break_arcs) if tie_break_arcs else 0
     scaled = nx.DiGraph()
     scaled.add_nodes_from(graph.nodes)
     for u, v, data in graph.edges(data=True):
@@ -46,8 +71,12 @@ def solve_min_cost_flow(
             u,
             v,
             capacity=int(data.get("capacity", 1)),
-            weight=int(round(float(data.get("weight", 0.0)) * cost_scale)),
+            weight=int(round(float(data.get("weight", 0.0)) * cost_scale))
+            << shift,
         )
+    if tie_break_arcs:
+        for i, (u, v) in enumerate(tie_break_arcs):
+            scaled[u][v]["weight"] += 1 << i
     scaled.nodes[source]["demand"] = -amount
     scaled.nodes[sink]["demand"] = amount
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
 from ..core.tuples import StreamTuple
-from ..streams.base import StreamModel, Value
+from ..streams.base import History, StreamModel, Value
 
 __all__ = [
     "PolicyContext",
@@ -112,6 +112,51 @@ class PolicyContext:
     s_model: Optional[StreamModel] = None
     window: Optional[int] = None
     window_oracle: Optional[WindowOracle] = None
+    #: ``(t, value)`` of each side's most recent non-"−" observation,
+    #: maintained by :meth:`record_arrival`.  Markov-model anchoring
+    #: (FlowExpect) reads these in O(1) instead of rescanning the
+    #: history on every eviction.
+    r_last_obs: Optional[tuple[int, int]] = None
+    s_last_obs: Optional[tuple[int, int]] = None
+
+    def record_arrival(self, side: str, value: Value) -> None:
+        """Append this step's arrival and update the last-observed anchor.
+
+        Simulators must call this (with :attr:`time` already set to the
+        current step) instead of appending to the history lists directly;
+        it is what keeps :meth:`latest_history` incremental.  ``None``
+        (the paper's "−") is recorded in the history but never becomes an
+        anchor — a "−" tuple is an observation that carries no value to
+        condition on.
+        """
+        if side == "R":
+            self.r_history.append(value)
+            if value is not None:
+                self.r_last_obs = (self.time, value)
+        else:
+            self.s_history.append(value)
+            if value is not None:
+                self.s_last_obs = (self.time, value)
+
+    def latest_history(self, side: str) -> Optional[History]:
+        """Anchor for ``side``'s Markov model: its latest non-"−" value.
+
+        O(1) via the counters :meth:`record_arrival` maintains.  Falls
+        back to one backward scan for hand-built contexts whose histories
+        were populated directly (the scan can only run while no arrival
+        has ever been recorded, so it cannot reintroduce the per-eviction
+        rescans this replaces).
+        """
+        obs = self.r_last_obs if side == "R" else self.s_last_obs
+        if obs is None:
+            values = self.history_for(side)
+            for t in range(min(self.time, len(values) - 1), -1, -1):
+                if values[t] is not None:
+                    obs = (t, values[t])
+                    break
+            if obs is None:
+                return None
+        return History(now=obs[0], last_value=obs[1])
 
     def history_for(self, side: str) -> list[Value]:
         return self.r_history if side == "R" else self.s_history

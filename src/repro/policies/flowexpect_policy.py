@@ -5,19 +5,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.tuples import StreamTuple
-from ..flow.flowexpect import flowexpect_decide
-from ..streams.base import History, StreamModel, Value
-from .base import PolicyContext, ReplacementPolicy
+from ..flow.fastpath import FlowExpectFastPath
+from ..flow.flowexpect import FlowExpectDecision, flowexpect_decide
+from ..policies.base import PolicyContext, ReplacementPolicy
+from ..streams.base import StreamModel
 
 __all__ = ["FlowExpectPolicy"]
-
-
-def _latest_history(values: Sequence[Value], now: int) -> History | None:
-    """Anchor a Markov model on the most recent observed (non-"−") value."""
-    for t in range(now, -1, -1):
-        if t < len(values) and values[t] is not None:
-            return History(now=t, last_value=values[t])
-    return None
 
 
 class FlowExpectPolicy(ReplacementPolicy):
@@ -30,6 +23,13 @@ class FlowExpectPolicy(ReplacementPolicy):
     r_model / s_model:
         Stream models; if omitted, they are taken from the simulator
         context.
+    fast:
+        Use the template-reusing direct solver of
+        :mod:`repro.flow.fastpath` (the default).  ``fast=False`` is the
+        reference escape hatch: the per-step networkx graph plus
+        ``network_simplex`` pipeline.  Both paths share one uid-rank
+        tie-break, so their kept/victim decisions are identical — the
+        flag trades speed only.
     """
 
     name = "FLOWEXPECT"
@@ -39,12 +39,23 @@ class FlowExpectPolicy(ReplacementPolicy):
         lookahead: int,
         r_model: StreamModel | None = None,
         s_model: StreamModel | None = None,
+        fast: bool = True,
     ):
         if lookahead < 1:
             raise ValueError("lookahead must be >= 1")
         self.lookahead = int(lookahead)
         self._r_model = r_model
         self._s_model = s_model
+        self._fast = bool(fast)
+        #: Per-run fast-path state: prob tables and graph templates are
+        #: only reusable against one model pair, so it is rebuilt on
+        #: reset and whenever the context supplies different models.
+        self._fastpath: FlowExpectFastPath | None = None
+        self._fastpath_models: tuple[StreamModel, StreamModel] | None = None
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._fastpath = None
+        self._fastpath_models = None
 
     def select_victims(
         self,
@@ -54,6 +65,12 @@ class FlowExpectPolicy(ReplacementPolicy):
     ) -> list[StreamTuple]:
         if n_evict <= 0:
             return []
+        return self.decide(candidates, ctx).victims
+
+    def decide(
+        self, candidates: Sequence[StreamTuple], ctx: PolicyContext
+    ) -> FlowExpectDecision:
+        """Solve one FlowExpect step for the current context."""
         r_model = self._r_model or ctx.r_model
         s_model = self._s_model or ctx.s_model
         if r_model is None or s_model is None:
@@ -61,10 +78,23 @@ class FlowExpectPolicy(ReplacementPolicy):
         r_history = None
         s_history = None
         if not r_model.is_independent:
-            r_history = _latest_history(ctx.r_history, ctx.time)
+            r_history = ctx.latest_history("R")
         if not s_model.is_independent:
-            s_history = _latest_history(ctx.s_history, ctx.time)
-        decision = flowexpect_decide(
+            s_history = ctx.latest_history("S")
+        if self._fast:
+            if self._fastpath_models != (r_model, s_model):
+                self._fastpath = FlowExpectFastPath(r_model, s_model)
+                self._fastpath_models = (r_model, s_model)
+            assert self._fastpath is not None
+            return self._fastpath.decide(
+                candidates,
+                ctx.time,
+                self.lookahead,
+                ctx.cache_size,
+                r_history,
+                s_history,
+            )
+        return flowexpect_decide(
             candidates,
             ctx.time,
             self.lookahead,
@@ -74,4 +104,3 @@ class FlowExpectPolicy(ReplacementPolicy):
             r_history,
             s_history,
         )
-        return decision.victims

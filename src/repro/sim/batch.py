@@ -139,15 +139,22 @@ class BatchJoinRunResult:
 
 @dataclass
 class BatchCacheRunResult:
-    """Per-trial outcomes of one batched caching run (arrays over B)."""
+    """Per-trial outcomes of one batched caching run (arrays over B).
+
+    ``steps`` holds per-trial *observed* reference counts (missing
+    ``None`` entries excluded), matching the scalar simulator's
+    ``steps == hits + misses`` invariant; ``skipped`` holds the per-trial
+    missing-entry counts.
+    """
 
     hits: np.ndarray
     misses: np.ndarray
     hits_after_warmup: np.ndarray
     misses_after_warmup: np.ndarray
-    steps: int
+    steps: np.ndarray
     warmup: int
     cache_size: int
+    skipped: np.ndarray
 
     def unbatch(self) -> list[CacheRunResult]:
         """Split into scalar-compatible per-trial results."""
@@ -157,9 +164,10 @@ class BatchCacheRunResult:
                 misses=int(self.misses[b]),
                 hits_after_warmup=int(self.hits_after_warmup[b]),
                 misses_after_warmup=int(self.misses_after_warmup[b]),
-                steps=self.steps,
+                steps=int(self.steps[b]),
                 warmup=self.warmup,
                 cache_size=self.cache_size,
+                skipped=int(self.skipped[b]),
             )
             for b in range(self.hits.size)
         ]
@@ -454,12 +462,14 @@ class BatchCacheSimulator:
                     state.compact(state.alive & ~victims, aux)
                     counts = state.alive.sum(axis=1)
 
+        observed = (references != NONE_VALUE).sum(axis=1)
         return BatchCacheRunResult(
             hits=hits,
             misses=misses,
             hits_after_warmup=hits_w,
             misses_after_warmup=misses_w,
-            steps=n,
+            steps=observed,
             warmup=self._warmup,
             cache_size=k,
+            skipped=n - observed,
         )

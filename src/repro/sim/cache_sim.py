@@ -26,7 +26,13 @@ __all__ = ["CacheRunResult", "CacheSimulator"]
 
 @dataclass
 class CacheRunResult(RunResult):
-    """Outcome of one simulated caching run."""
+    """Outcome of one simulated caching run.
+
+    ``steps`` counts the references the run actually observed, so
+    ``steps == hits + misses`` always holds; ``None`` ("−") entries in
+    the input sequence — which the simulator skips without consulting
+    the cache — are reported separately as ``skipped``.
+    """
 
     hits: int
     misses: int
@@ -35,6 +41,8 @@ class CacheRunResult(RunResult):
     steps: int
     warmup: int
     cache_size: int
+    #: Input entries skipped as missing values (``None``).
+    skipped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -78,11 +86,13 @@ class CacheSimulator:
 
         hits = misses = 0
         hits_w = misses_w = 0
+        skipped = 0
 
         for t, value in enumerate(reference):
             ctx.time = t
-            ctx.r_history.append(value)
+            ctx.record_arrival("R", value)
             if value is None:
+                skipped += 1
                 continue
 
             cached = cache.matching("S", value)
@@ -119,7 +129,8 @@ class CacheSimulator:
             misses=misses,
             hits_after_warmup=hits_w,
             misses_after_warmup=misses_w,
-            steps=len(reference),
+            steps=hits + misses,
             warmup=self._warmup,
             cache_size=self._cache_size,
+            skipped=skipped,
         )

@@ -15,10 +15,14 @@ dissolves that coupling into an explicit operator/engine split:
 * :class:`Engine` — the execution-tier interface.  Three tiers ship:
 
   ============  =====================================================
-  ``scalar``    the reference per-trial Python loop (supports all)
-  ``batch``     the vectorized NumPy engine (:mod:`repro.sim.batch`)
+  ``scalar``    the reference per-trial Python loop (supports all
+                kinds and all policies, including FlowExpect's
+                fast/reference paths)
+  ``batch``     the vectorized NumPy engine (:mod:`repro.sim.batch`);
+                joining/caching with an exact batch policy adapter
   ``parallel``  fans independent trials across a
-                :class:`~concurrent.futures.ProcessPoolExecutor`
+                :class:`~concurrent.futures.ProcessPoolExecutor`;
+                needs ``fork`` and an effective worker count > 1
   ============  =====================================================
 
 * **capability negotiation** — every engine answers
@@ -351,6 +355,13 @@ class ParallelEngine(Engine):
     spec, policy factory, and input data reach workers by process
     inheritance, so unpicklable closures work unchanged.  A worker
     exception propagates to the caller out of the first failing chunk.
+
+    Capability: besides the start method, the tier declares itself
+    unsupported when its effective worker count is 1 (explicitly, or
+    because the machine has a single CPU) — one worker buys pure
+    fork/IPC overhead over the scalar loop, so the negotiation falls
+    back to scalar with the usual one-time warning instead of silently
+    recording a sub-1x "parallel" run.
     """
 
     name = "parallel"
@@ -367,6 +378,12 @@ class ParallelEngine(Engine):
     def supports(self, spec, policy_factory):
         if "fork" not in multiprocessing.get_all_start_methods():
             return "the parallel engine requires the 'fork' start method"
+        if self.max_workers <= 1:
+            return (
+                "the parallel engine has an effective worker count of 1 "
+                "(single-CPU machine or max_workers=1), which only adds "
+                "fork overhead"
+            )
         return None
 
     def run(self, spec, policy_factory, data):

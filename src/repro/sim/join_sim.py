@@ -146,8 +146,8 @@ class JoinSimulator:
             ctx.time = t
             r_val = r_values[t]
             s_val = s_values[t]
-            ctx.r_history.append(r_val)
-            ctx.s_history.append(s_val)
+            ctx.record_arrival("R", r_val)
+            ctx.record_arrival("S", s_val)
 
             # Sliding-window expiry: free removal of dead tuples.
             if self._window is not None:

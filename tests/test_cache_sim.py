@@ -57,6 +57,52 @@ class TestBasics:
             CacheSimulator(1, KeepOldest(), warmup=-1)
 
 
+class TestSkippedAccounting:
+    """``steps`` counts observed references, never the skipped Nones.
+
+    Regression: the loop ``continue``s past ``None`` ("−") entries
+    without touching the cache, but ``steps`` used to be set to
+    ``len(reference)`` — inflating it past ``hits + misses`` and making
+    per-step rates wrong whenever a trace had missing values.
+    """
+
+    def test_steps_exclude_skipped_nones(self):
+        sim = CacheSimulator(2, KeepOldest())
+        result = sim.run([None, 1, None, 1, 2, None])
+        assert result.hits == 1
+        assert result.misses == 2
+        assert result.steps == result.hits + result.misses == 3
+        assert result.skipped == 3
+
+    def test_all_nones(self):
+        result = CacheSimulator(2, KeepOldest()).run([None] * 4)
+        assert result.steps == 0
+        assert result.skipped == 4
+        assert result.hit_rate == 0.0
+
+    def test_no_nones_means_no_skips(self):
+        result = CacheSimulator(2, KeepOldest()).run([1, 2, 1])
+        assert result.steps == 3
+        assert result.skipped == 0
+
+    def test_batch_engine_matches_scalar_accounting(self):
+        from repro.policies import make_policy
+        from repro.sim.runner import run_cache_experiment
+
+        refs = [
+            [1, None, 2, 1, None, 3, 2, 1],
+            [None, None, 4, 4, 1, 2, None, 4],
+        ]
+        factory = lambda: make_policy("lru")
+        scalar = run_cache_experiment(factory, refs, cache_size=2)
+        batch = run_cache_experiment(factory, refs, cache_size=2,
+                                     engine="batch")
+        for x, y in zip(scalar.per_run, batch.per_run):
+            assert x.hits == y.hits and x.misses == y.misses
+            assert x.steps == y.steps == x.hits + x.misses
+            assert x.skipped == y.skipped
+
+
 class TestLruBehaviour:
     def test_classic_lru_trace(self):
         # Capacity 2, trace 1 2 1 3 2: LRU evicts 2 when 3 arrives

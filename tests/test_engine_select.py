@@ -79,8 +79,26 @@ class TestSelectEngine:
         assert isinstance(chosen, BatchEngine)
 
     def test_engine_instance_preference(self):
-        eng = ParallelEngine(max_workers=1)
+        eng = ParallelEngine(max_workers=2)
         assert select_engine(_join_spec(), _rand_factory, prefer=eng) is eng
+
+    def test_single_worker_parallel_negotiates_to_scalar(self, caplog):
+        """A parallel engine whose effective worker count is 1 only adds
+        fork overhead; the resolver must drop to scalar and warn once."""
+        eng = ParallelEngine(max_workers=1)
+        assert eng.supports(_join_spec(), _rand_factory) is not None
+        _FALLBACK_WARNED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.engine"):
+            first = select_engine(_join_spec(), _rand_factory, prefer=eng)
+            second = select_engine(_join_spec(), _rand_factory, prefer=eng)
+        assert isinstance(first, ScalarEngine)
+        assert isinstance(second, ScalarEngine)
+        warnings = [
+            r
+            for r in caplog.records
+            if "falling back to the scalar engine" in r.getMessage()
+        ]
+        assert len(warnings) == 1
 
     def test_unsupported_preference_falls_back_and_warns_once(self, caplog):
         """Batch cannot run windowed generic HEEB; the resolver must pick

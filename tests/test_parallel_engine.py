@@ -89,7 +89,11 @@ class TestJoinEquivalence:
             cache_size=CACHE, warmup=10, r_model=r_model, s_model=s_model
         )
         scalar = run_join_experiment(factory, paths, **kwargs)
-        par = run_join_experiment(factory, paths, engine="parallel", **kwargs)
+        # An explicit worker count keeps the tier parallel even on a
+        # single-CPU machine, where the default would negotiate down.
+        par = run_join_experiment(
+            factory, paths, engine=ParallelEngine(max_workers=2), **kwargs
+        )
         assert scalar.engine_used == "scalar"
         assert par.engine_used == "parallel"
         _assert_join_equal(scalar, par)
@@ -107,7 +111,9 @@ class TestJoinEquivalence:
             cache_size=CACHE, warmup=0, r_model=r_model, s_model=s_model
         )
         scalar = run_join_experiment(factory, paths, **kwargs)
-        par = run_join_experiment(factory, paths, engine="parallel", **kwargs)
+        par = run_join_experiment(
+            factory, paths, engine=ParallelEngine(max_workers=2), **kwargs
+        )
         _assert_join_equal(scalar, par)
 
 
@@ -123,7 +129,11 @@ class TestCacheEquivalence:
         ))
         scalar = run_cache_experiment(factory, refs, cache_size=3, warmup=8)
         par = run_cache_experiment(
-            factory, refs, cache_size=3, warmup=8, engine="parallel"
+            factory,
+            refs,
+            cache_size=3,
+            warmup=8,
+            engine=ParallelEngine(max_workers=2),
         )
         assert par.engine_used == "parallel"
         assert len(scalar.per_run) == len(par.per_run)
@@ -137,8 +147,10 @@ class TestCacheEquivalence:
 
 class TestWorkerCounts:
     def test_identical_across_worker_counts(self):
-        """Chunking is an implementation detail: 1, 2, and cpu_count
-        workers must reassemble the exact same per-trial sequence."""
+        """Chunking is an implementation detail: 2, 4, and cpu_count
+        workers must reassemble the exact same per-trial sequence, and a
+        single effective worker negotiates down to the scalar engine
+        with — again — the exact same results."""
         r_model, s_model = _join_models("trend-normal")
         paths = generate_paths(r_model, s_model, LENGTH, N_RUNS, seed=1)
         spec = ExperimentSpec(
@@ -152,12 +164,13 @@ class TestWorkerCounts:
         baseline = run_experiment(spec, factory, paths, engine=ScalarEngine())
         import os
 
-        counts = sorted({1, 2, os.cpu_count() or 1})
+        counts = sorted({1, 2, 4, os.cpu_count() or 1})
         for workers in counts:
             res = run_experiment(
                 spec, factory, paths, engine=ParallelEngine(max_workers=workers)
             )
-            assert res.engine_used == "parallel"
+            expected = "scalar" if workers <= 1 else "parallel"
+            assert res.engine_used == expected
             assert [r.total_results for r in res.per_run] == [
                 r.total_results for r in baseline.per_run
             ]
