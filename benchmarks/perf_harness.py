@@ -21,11 +21,18 @@ kept/victim decisions, and records per-step milliseconds plus the
 speedup.  ``--min-fe-speedup`` turns the speedup into a hard floor for
 CI smoke runs.
 
+The FlowExpect section also enforces the :mod:`repro.obs` zero-overhead
+contract — an explicit ``NullRecorder`` run must stay within
+``--max-null-overhead`` percent (default 2%) of the default run — and
+records a ``CounterRecorder`` run's solver-iteration count and ProbTable
+hit rate alongside the timings.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
         [--length 600] [--workers N] [--fe-length 300]
-        [--fe-lookahead 8] [--min-fe-speedup X] [--out BENCH_batch.json]
+        [--fe-lookahead 8] [--min-fe-speedup X] [--max-null-overhead P]
+        [--out BENCH_batch.json]
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments.configs import SYNTHETIC_CONFIGS, make_config
+from repro.obs import NULL_RECORDER, CounterRecorder, NullRecorder
 from repro.policies import make_policy
 from repro.policies.flowexpect_policy import FlowExpectPolicy
 from repro.sim.engine import ParallelEngine
@@ -193,12 +201,22 @@ class _RecordingFlowExpect(FlowExpectPolicy):
 
 
 def run_flowexpect_bench(
-    length: int, lookahead: int, cache_size: int = CACHE_SIZE
+    length: int,
+    lookahead: int,
+    cache_size: int = CACHE_SIZE,
+    max_null_overhead: float = 2.0,
 ) -> dict:
     """Time FlowExpect fast vs reference on one FLOOR join run.
 
     Both paths replay the identical stream realization; their per-step
     victim decisions are asserted equal before any timing is reported.
+
+    Two observability checks ride along: a best-of-3 comparison asserts
+    an explicit :class:`~repro.obs.NullRecorder` costs at most
+    ``max_null_overhead`` percent over the default uninstrumented run
+    (the zero-overhead contract of :mod:`repro.obs`), and a
+    :class:`~repro.obs.CounterRecorder` run records the flow-solver
+    iteration count and the ProbTable memo hit rate into the entry.
     """
     config = make_config("floor")
     r = config.r_model.sample_path(length, np.random.default_rng(42))
@@ -233,6 +251,51 @@ def run_flowexpect_bench(
             f"{totals['fast']} vs {totals['reference']}"
         )
 
+    # Zero-overhead contract: an explicit NullRecorder run must cost no
+    # more than max_null_overhead percent over the default run.  Both
+    # variants run the same code, so any measured gap is either noise or
+    # a real regression; the check takes the *minimum* per-round ratio of
+    # interleaved pairs — noise only inflates a round's ratio, so the
+    # best round is the least-noise estimate, while genuine overhead
+    # (e.g. an unguarded counting call) shows up in every round.
+    def _one_fast_run(recorder) -> float:
+        policy = FlowExpectPolicy(
+            lookahead, config.r_model, config.s_model, fast=True
+        )
+        sim = JoinSimulator(cache_size, policy, recorder=recorder)
+        t0 = time.perf_counter()
+        sim.run(r, s)
+        return time.perf_counter() - t0
+
+    base_seconds = float("inf")
+    null_ratio = float("inf")
+    for _ in range(5):
+        round_base = _one_fast_run(NULL_RECORDER)
+        round_null = _one_fast_run(NullRecorder())
+        base_seconds = min(base_seconds, round_base)
+        null_ratio = min(null_ratio, round_null / round_base)
+    null_overhead_pct = 100.0 * (null_ratio - 1.0)
+    if null_overhead_pct > max_null_overhead:
+        raise AssertionError(
+            f"NullRecorder overhead {null_overhead_pct:.2f}% exceeds the "
+            f"{max_null_overhead}% budget (base {base_seconds:.4f}s, "
+            f"null {null_seconds:.4f}s)"
+        )
+
+    # CounterRecorder run: solver work and memo effectiveness.
+    counter_recorder = CounterRecorder()
+    policy = FlowExpectPolicy(
+        lookahead, config.r_model, config.s_model, fast=True
+    )
+    sim = JoinSimulator(cache_size, policy, recorder=counter_recorder)
+    t0 = time.perf_counter()
+    sim.run(r, s)
+    counted_seconds = time.perf_counter() - t0
+    counters = counter_recorder.counters
+    table_hits = counters.get("prob_table.hits", 0)
+    table_misses = counters.get("prob_table.misses", 0)
+    table_lookups = table_hits + table_misses
+
     speedup = seconds["reference"] / seconds["fast"]
     entry = {
         "config": "FLOOR",
@@ -248,12 +311,30 @@ def run_flowexpect_bench(
             1000 * seconds["reference"] / length, 4
         ),
         "fast_speedup": round(speedup, 2),
+        "null_overhead_pct": round(null_overhead_pct, 2),
+        "counter_overhead_pct": round(
+            100.0 * (counted_seconds / base_seconds - 1.0), 2
+        ),
+        "flow_solves": counters.get("flow.solves", 0),
+        "solver_iterations": counters.get("flow.solver_iterations", 0),
+        "prob_table_lookups": table_lookups,
+        "prob_table_hit_rate": (
+            round(table_hits / table_lookups, 4) if table_lookups else None
+        ),
     }
     print(
         f"flowexpect la={lookahead:2d} len={length} "
         f"reference {entry['reference_ms_per_step']:7.3f} ms/step  "
         f"fast {entry['fast_ms_per_step']:7.3f} ms/step "
         f"({entry['fast_speedup']:5.1f}x), identical decisions"
+    )
+    print(
+        f"observability: NullRecorder {entry['null_overhead_pct']:+.2f}% "
+        f"(budget {max_null_overhead}%), counters "
+        f"{entry['counter_overhead_pct']:+.2f}%, "
+        f"{entry['solver_iterations']} solver iterations over "
+        f"{entry['flow_solves']} solves, prob-table hit rate "
+        f"{entry['prob_table_hit_rate']}"
     )
     return entry
 
@@ -288,6 +369,13 @@ def main() -> None:
         "many times faster than the reference (CI smoke floor)",
     )
     parser.add_argument(
+        "--max-null-overhead",
+        type=float,
+        default=2.0,
+        help="fail when an explicit NullRecorder costs more than this "
+        "percentage over the default uninstrumented run",
+    )
+    parser.add_argument(
         "--skip-engines",
         action="store_true",
         help="skip the engine-tier benchmark (FlowExpect section only)",
@@ -299,7 +387,11 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    fe_entry = run_flowexpect_bench(args.fe_length, args.fe_lookahead)
+    fe_entry = run_flowexpect_bench(
+        args.fe_length,
+        args.fe_lookahead,
+        max_null_overhead=args.max_null_overhead,
+    )
     if (
         args.min_fe_speedup is not None
         and fe_entry["fast_speedup"] < args.min_fe_speedup

@@ -20,6 +20,8 @@ import time
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, CounterRecorder, TraceRecorder, format_metrics
+from ..obs.recorder import Recorder
 from .configs import make_config
 from .figures import (
     figure6,
@@ -38,6 +40,31 @@ from .report import format_metadata, format_series_table, format_table
 def _print(title: str, body: str) -> None:
     print(f"\n=== {title} ===")
     print(body)
+
+
+def _make_recorder(args: argparse.Namespace) -> Recorder:
+    """Build the observability sink the flags ask for.
+
+    ``--trace PATH`` streams JSONL events to ``PATH`` (and implies
+    counters); ``--metrics`` collects counters only; neither flag keeps
+    the default no-op recorder, so uninstrumented runs stay free.
+    """
+    if getattr(args, "trace", None):
+        return TraceRecorder(path=args.trace)
+    if getattr(args, "metrics", False):
+        return CounterRecorder()
+    return NULL_RECORDER
+
+
+def _finish_recorder(recorder: Recorder, args: argparse.Namespace) -> None:
+    """Flush and report whatever the recorder collected."""
+    if not recorder.enabled:
+        return
+    if recorder.trace:
+        recorder.close()
+        print(f"\n[trace written to {args.trace}; summarize it with "
+              f"`python -m repro.obs {args.trace}`]")
+    _print("Observability counters", format_metrics(recorder.snapshot()))
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
@@ -61,6 +88,7 @@ def cmd_fig7(args: argparse.Namespace) -> None:
 
 
 def cmd_fig8(args: argparse.Namespace) -> None:
+    recorder = _make_recorder(args)
     results = figure8(
         length=args.length,
         cache_size=args.cache,
@@ -69,6 +97,7 @@ def cmd_fig8(args: argparse.Namespace) -> None:
         lookahead=args.lookahead,
         seed=args.seed,
         engine=args.engine,
+        recorder=recorder,
     )
     meta = format_metadata(
         cache=args.cache,
@@ -77,9 +106,11 @@ def cmd_fig8(args: argparse.Namespace) -> None:
         engine=args.engine or "scalar",
     )
     _print(f"Figure 8: average join counts ({meta})", format_table(results))
+    _finish_recorder(recorder, args)
 
 
 def _sweep(config_name: str, args: argparse.Namespace, label: str) -> None:
+    recorder = _make_recorder(args)
     out = figure9_12(
         make_config(config_name),
         cache_sizes=tuple(args.sizes),
@@ -87,6 +118,7 @@ def _sweep(config_name: str, args: argparse.Namespace, label: str) -> None:
         n_runs=args.runs,
         seed=args.seed,
         engine=args.engine,
+        recorder=recorder,
     )
     meta = format_metadata(
         length=args.length, runs=args.runs, engine=args.engine or "scalar"
@@ -95,6 +127,7 @@ def _sweep(config_name: str, args: argparse.Namespace, label: str) -> None:
         f"{label}: results vs cache size ({meta})",
         format_series_table("cache", args.sizes, out),
     )
+    _finish_recorder(recorder, args)
 
 
 def cmd_fig9(args):
@@ -165,17 +198,20 @@ def cmd_fig17(args: argparse.Namespace) -> None:
 
 
 def cmd_fig19(args: argparse.Namespace) -> None:
+    recorder = _make_recorder(args)
     out = figure19(
         delta_ts=tuple(args.deltas),
         length=args.length,
         cache_size=args.cache,
         n_runs=args.runs,
+        recorder=recorder,
     )
     _print(
         f"Figure 19: FlowExpect look-ahead (length={args.length}, "
         f"cache={args.cache})",
         format_series_table("deltaT", args.deltas, out),
     )
+    _finish_recorder(recorder, args)
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -222,6 +258,21 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect repro.obs counters and print them after the tables",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace to PATH (implies --metrics); "
+        "summarize with `python -m repro.obs PATH`",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -241,6 +292,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lookahead", type=int, default=5)
     p.add_argument("--no-flowexpect", action="store_true")
     _add_engine(p)
+    _add_obs(p)
 
     for name in ("fig9", "fig10", "fig11", "fig12"):
         p = sub.add_parser(name, help=f"cache-size sweep ({name})")
@@ -249,6 +301,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "--sizes", type=int, nargs="+", default=[1, 5, 10, 20, 30, 50]
         )
         _add_engine(p)
+        _add_obs(p)
 
     p = sub.add_parser("fig13", help="REAL caching")
     p.add_argument(
@@ -269,6 +322,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig19", help="FlowExpect look-ahead sweep")
     _add_common(p, length=400, runs=2, cache=10)
     p.add_argument("--deltas", type=int, nargs="+", default=[1, 2, 3, 5, 7, 10])
+    _add_obs(p)
 
     p = sub.add_parser("all", help="run everything at bench scale")
     p.add_argument("--seed", type=int, default=0)

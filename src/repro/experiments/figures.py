@@ -24,6 +24,7 @@ from ..core.precompute import (
     random_walk_h1_cache,
 )
 from ..flow.opt_offline import solve_opt_offline
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies import make_policy
 from ..policies.base import ReplacementPolicy
 from ..policies.heeb_policy import AR1CacheHeeb
@@ -116,6 +117,7 @@ def _run_config(
     lookahead: int = 5,
     batch: bool = False,
     engine: str | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[str, float]:
     """Mean results for every algorithm on one configuration.
 
@@ -123,7 +125,8 @@ def _run_config(
     for each policy's trials; capability negotiation falls back to the
     scalar loop where no exact adapter exists (OPT and FlowExpect always
     negotiate down to scalar).  ``batch=True`` is the legacy alias for
-    ``engine="batch"``.
+    ``engine="batch"``.  ``recorder`` is the observability sink shared
+    by every policy's trials (:mod:`repro.obs`).
     """
     if engine is None and batch:
         engine = "batch"
@@ -142,6 +145,7 @@ def _run_config(
             s_model=config.s_model,
             window_oracle=config.window_oracle,
             engine=engine,
+            recorder=recorder,
         )
         out[name] = result.mean_results
     return out
@@ -196,6 +200,7 @@ def figure8(
     configs: dict[str, JoinConfig] | None = None,
     batch: bool = False,
     engine: str | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[str, dict[str, float]]:
     """Figure 8: average join counts per algorithm per configuration.
 
@@ -220,6 +225,7 @@ def figure8(
             lookahead=lookahead,
             batch=batch,
             engine=engine,
+            recorder=recorder,
         )
     return out
 
@@ -236,6 +242,7 @@ def figure9_12(
     seed: int = 0,
     batch: bool = False,
     engine: str | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[str, list[float]]:
     """One cache-size sweep (Figure 9=TOWER, 10=ROOF, 11=FLOOR, 12=WALK).
 
@@ -256,6 +263,7 @@ def figure9_12(
             include_flowexpect=False,
             batch=batch,
             engine=engine,
+            recorder=recorder,
         )
         for name, value in row.items():
             out.setdefault(name, []).append(value)
@@ -506,6 +514,7 @@ def figure19(
     n_runs: int = 2,
     warmup: int | None = None,
     seed: int = 0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[str, list[float]]:
     """Figure 19: FlowExpect performance vs look-ahead distance ΔT.
 
@@ -534,6 +543,7 @@ def figure19(
             r_model=config.r_model,
             s_model=config.s_model,
             window_oracle=config.window_oracle,
+            recorder=recorder,
         )
         out["FLOWEXPECT"].append(result.mean_results)
 
@@ -550,6 +560,7 @@ def figure19(
             r_model=config.r_model,
             s_model=config.s_model,
             window_oracle=config.window_oracle,
+            recorder=recorder,
         )
         out[name] = [result.mean_results] * len(delta_ts)
     return out

@@ -35,6 +35,7 @@ from heapq import heappop, heappush
 from typing import Optional, Sequence
 
 from ..core.tuples import StreamTuple, partner
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..streams.base import History, StreamModel
 from .flowexpect import FlowExpectDecision
 from .prob_table import ProbTable
@@ -83,6 +84,7 @@ class LookaheadTemplate:
     )
 
     def __init__(self, n_candidates: int, lookahead: int):
+        """Precompute the graph skeleton for this problem shape."""
         if lookahead < 1:
             raise ValueError("lookahead must be >= 1")
         if n_candidates < 1:
@@ -238,11 +240,28 @@ class FlowExpectFastPath:
     Holds the :class:`~repro.flow.prob_table.ProbTable` and the template
     cache that successive decisions share; one instance per simulation
     run (a fresh policy instance per trial keeps trials independent).
+
+    An enabled ``recorder`` (:mod:`repro.obs`) collects per-decision
+    solver work (``flow.solves``, ``flow.solver_iterations``, the
+    ``flow.solve`` timer) and the probability-memo effectiveness
+    (``prob_table.hits`` / ``prob_table.misses``); the default no-op
+    recorder leaves the hot path untouched.
     """
 
-    def __init__(self, r_model: StreamModel, s_model: StreamModel):
+    def __init__(
+        self,
+        r_model: StreamModel,
+        s_model: StreamModel,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        """Bind the model pair and (optionally) an observability sink."""
         self._table = ProbTable(r_model, s_model)
         self._templates: dict[tuple[int, int], LookaheadTemplate] = {}
+        self._recorder = recorder
+        self._hits_flushed = 0
+        self._misses_flushed = 0
+        if recorder.enabled:
+            self._table.enable_counting()
 
     def decide(
         self,
@@ -292,7 +311,25 @@ class FlowExpectFastPath:
         for rank, p in enumerate(by_uid):
             cost_int[template.src_arcs[p]] += 1 << rank
 
-        used = _solve_unit_flow(template, cost_int, min(cache_size, n))
+        amount = min(cache_size, n)
+        rec = self._recorder
+        if rec.enabled:
+            with rec.timer("flow.solve"):
+                used = _solve_unit_flow(template, cost_int, amount)
+            rec.count("flow.solves")
+            rec.count("flow.solver_iterations", amount)
+            # Flush the memo tallies accumulated since the last decision.
+            table_hits, table_misses = table.hits, table.misses
+            if table_hits > self._hits_flushed:
+                rec.count("prob_table.hits", table_hits - self._hits_flushed)
+                self._hits_flushed = table_hits
+            if table_misses > self._misses_flushed:
+                rec.count(
+                    "prob_table.misses", table_misses - self._misses_flushed
+                )
+                self._misses_flushed = table_misses
+        else:
+            used = _solve_unit_flow(template, cost_int, amount)
 
         kept_mask = [used[template.src_arcs[p]] for p in range(n)]
         benefit = -sum(

@@ -59,6 +59,7 @@ class OfflineSolution:
     cached: set[tuple[str, int]] = field(default_factory=set)
 
     def scheduled_eviction(self, side: str, arrival: int) -> int:
+        """When the optimizer evicts the given tuple (arrival if never cached)."""
         return self.eviction_time.get((side, arrival), arrival)
 
 

@@ -46,6 +46,7 @@ class ProbTable:
     """Per-model-pair memo of ``prob`` / ``support`` / expected-match."""
 
     def __init__(self, r_model: StreamModel, s_model: StreamModel):
+        """Empty memo over the ``R``/``S`` model pair."""
         self._models = {"R": r_model, "S": s_model}
         self._anchors: dict[str, Optional[History]] = {"R": None, "S": None}
         #: (side, t, value) -> Pr{X^side_t = value | anchor[side]}
@@ -54,6 +55,21 @@ class ProbTable:
         self._support: dict[tuple, list[tuple[int, float]]] = {}
         #: (producer side, t_produce, t_consume) -> expected match prob
         self._emp: dict[tuple, float] = {}
+        #: Memo hit/miss tallies, maintained only after
+        #: :meth:`enable_counting` (one predictable branch per lookup
+        #: otherwise — the zero-overhead contract of :mod:`repro.obs`).
+        self.hits = 0
+        self.misses = 0
+        self._counting = False
+
+    def enable_counting(self) -> None:
+        """Start tallying memo hits/misses in :attr:`hits`/:attr:`misses`.
+
+        Called by instrumented consumers
+        (:class:`~repro.flow.fastpath.FlowExpectFastPath` under an
+        enabled recorder); uninstrumented lookups skip the bookkeeping.
+        """
+        self._counting = True
 
     def rebind(
         self,
@@ -100,6 +116,10 @@ class ProbTable:
             self._room()
             hit = self._models[side].prob(t, value, self._anchors[side])
             self._prob[key] = hit
+            if self._counting:
+                self.misses += 1
+        elif self._counting:
+            self.hits += 1
         return hit
 
     def support(self, side: str, t: int) -> list[tuple[int, float]]:
@@ -110,6 +130,10 @@ class ProbTable:
             self._room()
             hit = self._models[side].support(t, self._anchors[side])
             self._support[key] = hit
+            if self._counting:
+                self.misses += 1
+        elif self._counting:
+            self.hits += 1
         return hit
 
     def expected_match(
@@ -132,4 +156,8 @@ class ProbTable:
                     total += p * self.prob(consumer, t_consume, v)
             self._emp[key] = total
             hit = total
+            if self._counting:
+                self.misses += 1
+        elif self._counting:
+            self.hits += 1
         return hit

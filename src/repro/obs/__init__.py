@@ -1,0 +1,59 @@
+"""Run-level observability: recorders, trace streams, and summaries.
+
+When a policy underperforms a paper figure or the FlowExpect fast path
+regresses, final hit counts are not enough — diagnosing *why* needs
+per-step visibility into evictions, ECB values, flow solves, and cache
+occupancy.  This package provides that visibility as an opt-in layer
+with zero overhead when disabled:
+
+* :class:`Recorder` — the protocol every instrumentation sink follows
+  (counters, monotonic timers, structured events, snapshot/merge/fork);
+* :class:`NullRecorder` / :data:`NULL_RECORDER` — the default no-op
+  sink; every instrumented hot path guards on :attr:`Recorder.enabled`
+  so a disabled run pays only an attribute check;
+* :class:`CounterRecorder` — named counters plus wall-clock timers
+  (evictions by policy, flow-solver iterations, ProbTable hits/misses,
+  engine dispatch/fallback);
+* :class:`TraceRecorder` — a bounded per-step JSONL event stream
+  (arrivals, victim sets, per-candidate score/arc-cost snapshots,
+  occupancy) with a versioned schema;
+* :mod:`repro.obs.report` — turns a trace file or a counter snapshot
+  into a human-readable table (also ``python -m repro.obs.report``).
+
+Recorders enter the system through ``recorder=`` keywords on the
+simulators and experiment entry points and travel to policies via
+:attr:`repro.policies.base.PolicyContext.recorder`.  See
+``docs/OBSERVABILITY.md`` for the full guide and the event schema.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    CounterRecorder,
+    NullRecorder,
+    Recorder,
+)
+from .report import (
+    format_metrics,
+    format_trace_summary,
+    summarize_trace,
+    summarize_trace_file,
+)
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    read_trace,
+)
+
+__all__ = [
+    "CounterRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "format_metrics",
+    "format_trace_summary",
+    "read_trace",
+    "summarize_trace",
+    "summarize_trace_file",
+]

@@ -1,0 +1,23 @@
+"""CLI entry: ``python -m repro.obs <trace.jsonl>`` summarizes a trace.
+
+Delegates to :func:`repro.obs.report.main`; this wrapper exists so the
+package can be invoked directly without the runpy re-import warning that
+``python -m repro.obs.report`` triggers (the package ``__init__`` already
+imports the report module).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal CLI usage, not
+        # an error.  Detach stdout so interpreter shutdown doesn't warn.
+        sys.stdout = None  # type: ignore[assignment]
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,248 @@
+"""Summarize traces and counter snapshots into human-readable tables.
+
+Two consumers share this module: the experiment CLI (``--metrics``
+prints :func:`format_metrics`; ``--trace`` names a file this module can
+summarize afterwards) and the standalone reader::
+
+    python -m repro.obs.report run.jsonl            # summary table
+    python -m repro.obs.report run.jsonl --steps 40 42   # zoom a window
+
+The summary is computed from the event stream alone — no simulator
+state — so it works on any schema-1 trace regardless of which run
+produced it, and unknown event kinds are counted but otherwise ignored
+(the forward-compatibility rule of :mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from .trace import read_trace
+
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "summarize_trace_file",
+    "format_trace_summary",
+    "format_metrics",
+    "main",
+]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one event stream."""
+
+    #: Events seen per kind (including kinds this version doesn't know).
+    event_counts: Counter = field(default_factory=Counter)
+    #: Evictions per policy name (sliding-window expiries excluded).
+    evictions_by_policy: Counter = field(default_factory=Counter)
+    #: Sliding-window expiries (no policy involved).
+    expired: int = 0
+    #: Arrivals per stream side ("R"/"S"), "−" arrivals excluded.
+    arrivals: Counter = field(default_factory=Counter)
+    #: "−" (missing-value) arrivals.
+    null_arrivals: int = 0
+    #: Cache-run reference outcomes.
+    hits: int = 0
+    misses: int = 0
+    #: Join results summed over ``step`` events.
+    join_results: int = 0
+    #: FlowExpect solver iterations summed over ``flow`` events.
+    flow_units: int = 0
+    #: Closed [first, last] step range seen, or None for an empty trace.
+    step_range: Optional[tuple[int, int]] = None
+    #: Occupancy min/mean/max over ``occupancy`` events.
+    occupancy_min: Optional[int] = None
+    occupancy_max: Optional[int] = None
+    occupancy_mean: Optional[float] = None
+    #: Most frequently evicted (side, value) pairs.
+    top_victims: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        """Total number of events in the stream."""
+        return sum(self.event_counts.values())
+
+
+def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    occ_total = 0
+    occ_n = 0
+    lo = hi = None
+    victims: Counter = Counter()
+    for ev in events:
+        kind = ev.get("kind", "?")
+        summary.event_counts[kind] += 1
+        t = ev.get("t")
+        if isinstance(t, int):
+            lo = t if lo is None else min(lo, t)
+            hi = t if hi is None else max(hi, t)
+        if kind == "arrival":
+            if ev.get("value") is None:
+                summary.null_arrivals += 1
+            else:
+                summary.arrivals[ev.get("side", "?")] += 1
+            if "hit" in ev:
+                if ev["hit"]:
+                    summary.hits += 1
+                else:
+                    summary.misses += 1
+        elif kind == "evict":
+            n = len(ev.get("victims", ()))
+            if ev.get("expired"):
+                summary.expired += n
+            else:
+                summary.evictions_by_policy[ev.get("policy", "?")] += n
+            for victim in ev.get("victims", ()):
+                victims[f"{victim.get('side', '?')}={victim.get('value')}"] += 1
+        elif kind == "step":
+            summary.join_results += ev.get("results", 0) or 0
+        elif kind == "flow":
+            summary.flow_units += ev.get("units", 0) or 0
+        elif kind == "occupancy":
+            total = ev.get("total")
+            if isinstance(total, int):
+                occ_total += total
+                occ_n += 1
+                if summary.occupancy_min is None:
+                    summary.occupancy_min = summary.occupancy_max = total
+                else:
+                    summary.occupancy_min = min(summary.occupancy_min, total)
+                    summary.occupancy_max = max(
+                        summary.occupancy_max or total, total
+                    )
+    if lo is not None and hi is not None:
+        summary.step_range = (lo, hi)
+    if occ_n:
+        summary.occupancy_mean = occ_total / occ_n
+    summary.top_victims = victims.most_common(5)
+    return summary
+
+
+def summarize_trace_file(path: Union[str, Path]) -> TraceSummary:
+    """Read a JSONL trace file and summarize it."""
+    return summarize_trace(read_trace(path))
+
+
+def _rows(summary: TraceSummary) -> list[tuple[str, str]]:
+    """(label, value) rows of the summary table."""
+    rows: list[tuple[str, str]] = [
+        ("events", str(summary.total_events)),
+    ]
+    if summary.step_range is not None:
+        rows.append(
+            ("steps", f"{summary.step_range[0]}..{summary.step_range[1]}")
+        )
+    for kind in sorted(summary.event_counts):
+        rows.append((f"events[{kind}]", str(summary.event_counts[kind])))
+    for side in sorted(summary.arrivals):
+        rows.append((f"arrivals[{side}]", str(summary.arrivals[side])))
+    if summary.null_arrivals:
+        rows.append(("arrivals[−]", str(summary.null_arrivals)))
+    for policy in sorted(summary.evictions_by_policy):
+        rows.append(
+            (f"evictions[{policy}]", str(summary.evictions_by_policy[policy]))
+        )
+    if summary.expired:
+        rows.append(("evictions[window-expired]", str(summary.expired)))
+    if summary.hits or summary.misses:
+        total = summary.hits + summary.misses
+        rate = summary.hits / total if total else 0.0
+        rows.append(("cache hits", str(summary.hits)))
+        rows.append(("cache misses", str(summary.misses)))
+        rows.append(("hit rate", f"{rate:.3f}"))
+    if summary.join_results:
+        rows.append(("join results", str(summary.join_results)))
+    if summary.flow_units:
+        rows.append(("flow solver iterations", str(summary.flow_units)))
+    if summary.occupancy_mean is not None:
+        rows.append(
+            (
+                "occupancy min/mean/max",
+                f"{summary.occupancy_min}/"
+                f"{summary.occupancy_mean:.2f}/{summary.occupancy_max}",
+            )
+        )
+    for label, n in summary.top_victims:
+        rows.append((f"most evicted {label}", f"{n}×"))
+    return rows
+
+
+def format_trace_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as an aligned two-column table."""
+    rows = _rows(summary)
+    width = max((len(label) for label, _ in rows), default=0)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def format_metrics(snapshot: Mapping) -> str:
+    """Render a recorder snapshot (counters + timers) as a table.
+
+    Accepts the dict produced by
+    :meth:`repro.obs.recorder.CounterRecorder.snapshot`; unknown keys
+    are ignored so the format survives schema growth.
+    """
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    rows = [(name, str(counters[name])) for name in sorted(counters)]
+    for name in sorted(timers):
+        entry = timers[name]
+        rows.append(
+            (
+                f"{name} (timer)",
+                f"{entry['seconds']:.4f}s / {entry['calls']} calls",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def _format_event(ev: Mapping) -> str:
+    """One-line rendering of a raw event for ``--steps`` zooming."""
+    kind = ev.get("kind", "?")
+    t = ev.get("t", "?")
+    rest = {k: v for k, v in ev.items() if k not in ("kind", "t")}
+    return f"t={t:<6} {kind:<10} {rest}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: summarize a trace file, optionally zooming a step window."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro.obs JSONL trace file.",
+    )
+    parser.add_argument("trace", type=Path, help="trace file (JSONL)")
+    parser.add_argument(
+        "--steps",
+        type=int,
+        nargs=2,
+        metavar=("FIRST", "LAST"),
+        default=None,
+        help="also print the raw events of steps FIRST..LAST inclusive",
+    )
+    args = parser.parse_args(argv)
+
+    events = read_trace(args.trace)
+    print(f"trace: {args.trace} ({len(events)} events)")
+    print(format_trace_summary(summarize_trace(events)))
+    if args.steps is not None:
+        first, last = args.steps
+        print(f"\nevents for steps {first}..{last}:")
+        for ev in events:
+            t = ev.get("t")
+            if isinstance(t, int) and first <= t <= last:
+                print(_format_event(ev))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

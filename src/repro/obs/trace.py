@@ -1,0 +1,182 @@
+"""Bounded JSONL trace streams with a versioned event schema.
+
+A trace is a sequence of JSON objects, one per line.  The first line is
+always a header record::
+
+    {"kind": "header", "schema": 1, "source": "repro.obs"}
+
+Every following line is an event with at least ``kind`` (event type) and
+``t`` (simulation step); remaining fields depend on the kind.  Schema
+version 1 defines the kinds emitted by the instrumented simulators and
+policies:
+
+==============  ======================================================
+``arrival``     one stream arrival: ``side``, ``value`` (``null`` for
+                the paper's "−"), plus ``hit`` for cache references
+``evict``       one eviction decision: ``policy``, ``victims`` (list of
+                ``{uid, side, value, arrived}``), ``expired`` flag for
+                sliding-window expiry
+``scores``      per-candidate score snapshot from a scored policy
+                (HEEB/PROB/LIFE/…): ``policy``, ``candidates`` (list of
+                ``{uid, side, value, score}``)
+``flow``        one FlowExpect solve: ``policy``, ``lookahead``,
+                ``units`` (solver iterations), ``expected_benefit``,
+                ``candidates`` (list of ``{uid, side, value, kept,
+                benefit}`` — ``benefit`` is the next-step arc benefit)
+``occupancy``   end-of-step cache state: ``total``, ``r`` (join runs)
+``step``        per-step roll-up: ``results`` (join) or ``hit`` (cache)
+==============  ======================================================
+
+Consumers must ignore unknown kinds and unknown fields — that is what
+lets the schema grow without a version bump; the version changes only
+when the meaning of an existing field changes.
+
+Traces are **bounded**: after ``max_events`` events the recorder stops
+storing them and counts the overflow under ``trace.dropped``, so a
+runaway sweep cannot fill a disk.  Counters and timers (inherited from
+:class:`~repro.obs.recorder.CounterRecorder`) are never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional, Union
+
+from .recorder import CounterRecorder
+
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceRecorder", "read_trace"]
+
+#: Version stamped into every trace header this package writes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Default event bound: ~40 MB of JSONL at typical event sizes.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class TraceRecorder(CounterRecorder):
+    """Counter recorder that additionally streams events as JSONL.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  ``None`` keeps events in memory on
+        :attr:`events` (handy in tests); a path opens the file lazily on
+        the first event and writes the header line first.
+    max_events:
+        Hard bound on stored/written events; the excess is counted
+        under the ``trace.dropped`` counter instead.
+
+    Use as a context manager (or call :meth:`close`) so file-backed
+    traces are flushed::
+
+        with TraceRecorder("run.jsonl") as rec:
+            JoinSimulator(10, policy, recorder=rec).run(r, s)
+    """
+
+    trace = True
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        """Stream events to ``path`` (JSONL) or buffer in memory, keeping
+        at most ``max_events`` and counting the overflow in
+        ``trace.dropped``."""
+        super().__init__()
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.max_events = max_events
+        #: In-memory events when ``path is None``.
+        self.events: list[dict] = []
+        self.n_events = 0
+        self._file: Optional[IO[str]] = None
+
+    def _sink(self, record: dict) -> None:
+        """Write one record to the file or the in-memory list."""
+        if self.path is None:
+            self.events.append(record)
+            return
+        if self._file is None:
+            self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "schema": TRACE_SCHEMA_VERSION,
+                        "source": "repro.obs",
+                    }
+                )
+                + "\n"
+            )
+        self._file.write(json.dumps(record) + "\n")
+
+    def event(self, kind: str, t: int, /, **fields: Any) -> None:
+        """Store one event (JSON line), bounded by :attr:`max_events`."""
+        self.count(f"events.{kind}")
+        if self.n_events >= self.max_events:
+            self.count("trace.dropped")
+            return
+        self.n_events += 1
+        record = {"kind": kind, "t": t}
+        record.update(fields)
+        self._sink(record)
+
+    def close(self) -> None:
+        """Flush and close the backing file, if any."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def fork(self) -> CounterRecorder:
+        """Counters-only child: events do not cross the fork boundary.
+
+        The parallel engine merges worker snapshots back, so counters
+        from worker trials are preserved; per-step events from worker
+        processes are not (documented in ``docs/OBSERVABILITY.md`` —
+        trace with the scalar engine when you need every event).
+        """
+        return CounterRecorder()
+
+
+def read_trace(path: Union[str, Path]) -> list[dict]:
+    """Load a JSONL trace file, validating its header.
+
+    Returns the event records (header excluded).  Raises
+    :class:`ValueError` on a missing/foreign header or an unsupported
+    schema version, so callers fail loudly on stale files rather than
+    silently misreading them.
+    """
+    records = list(_iter_lines(Path(path)))
+    if not records or records[0].get("kind") != "header":
+        raise ValueError(f"{path}: not a repro.obs trace (missing header)")
+    schema = records[0].get("schema")
+    if schema != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace schema {schema!r} "
+            f"(this reader understands {TRACE_SCHEMA_VERSION})"
+        )
+    return records[1:]
+
+
+def _iter_lines(path: Path) -> Iterator[dict]:
+    """Yield one parsed JSON object per non-empty line of ``path``."""
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                ) from None

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
 from ..core.tuples import StreamTuple
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..streams.base import History, StreamModel, Value
 
 __all__ = [
@@ -101,6 +102,11 @@ class PolicyContext:
         Sliding-window length under Section-7 semantics, else ``None``.
     window_oracle:
         Value-window knowledge for the window-aware baselines.
+    recorder:
+        Observability sink (:mod:`repro.obs`).  Defaults to the shared
+        no-op recorder; policies emitting counters or trace events must
+        guard on ``recorder.enabled`` / ``recorder.trace`` so disabled
+        runs stay free.
     """
 
     kind: str
@@ -118,6 +124,7 @@ class PolicyContext:
     #: history on every eviction.
     r_last_obs: Optional[tuple[int, int]] = None
     s_last_obs: Optional[tuple[int, int]] = None
+    recorder: Recorder = NULL_RECORDER
 
     def record_arrival(self, side: str, value: Value) -> None:
         """Append this step's arrival and update the last-observed anchor.
@@ -223,6 +230,26 @@ class ScoredPolicy(ReplacementPolicy):
     ) -> list[StreamTuple]:
         if n_evict <= 0:
             return []
+        if ctx.recorder.trace:
+            # Snapshot every candidate's score (the per-candidate
+            # ECB/HEEB values for the model-aware policies) before
+            # ranking, so a trace can answer "why was X evicted at t?".
+            scored = [(self.score(tup, ctx), tup.uid, tup) for tup in candidates]
+            ctx.recorder.event(
+                "scores",
+                ctx.time,
+                policy=self.name,
+                candidates=[
+                    {
+                        "uid": tup.uid,
+                        "side": tup.side,
+                        "value": tup.value,
+                        "score": score,
+                    }
+                    for score, _, tup in scored
+                ],
+            )
+            return [tup for _, _, tup in sorted(scored)[:n_evict]]
         ranked = sorted(
             candidates, key=lambda tup: (self.score(tup, ctx), tup.uid)
         )

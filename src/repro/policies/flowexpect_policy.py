@@ -81,12 +81,15 @@ class FlowExpectPolicy(ReplacementPolicy):
             r_history = ctx.latest_history("R")
         if not s_model.is_independent:
             s_history = ctx.latest_history("S")
+        rec = ctx.recorder
         if self._fast:
             if self._fastpath_models != (r_model, s_model):
-                self._fastpath = FlowExpectFastPath(r_model, s_model)
+                self._fastpath = FlowExpectFastPath(
+                    r_model, s_model, recorder=rec
+                )
                 self._fastpath_models = (r_model, s_model)
             assert self._fastpath is not None
-            return self._fastpath.decide(
+            decision = self._fastpath.decide(
                 candidates,
                 ctx.time,
                 self.lookahead,
@@ -94,13 +97,47 @@ class FlowExpectPolicy(ReplacementPolicy):
                 r_history,
                 s_history,
             )
-        return flowexpect_decide(
-            candidates,
-            ctx.time,
-            self.lookahead,
-            ctx.cache_size,
-            r_model,
-            s_model,
-            r_history,
-            s_history,
-        )
+        else:
+            decision = flowexpect_decide(
+                candidates,
+                ctx.time,
+                self.lookahead,
+                ctx.cache_size,
+                r_model,
+                s_model,
+                r_history,
+                s_history,
+            )
+            # The reference pipeline has no recorder of its own; count
+            # the solve here so both paths report ``flow.solves``.
+            if rec.enabled:
+                rec.count("flow.solves")
+        if rec.trace:
+            kept_uids = {c.uid for c in decision.kept}
+            records = []
+            for c in candidates:
+                p_model = s_model if c.side == "R" else r_model
+                p_history = s_history if c.side == "R" else r_history
+                records.append(
+                    {
+                        "uid": c.uid,
+                        "side": c.side,
+                        "value": c.value,
+                        "kept": c.uid in kept_uids,
+                        # First-slice expected benefit: the probability
+                        # the partner stream produces this value next
+                        # step — the cost of the candidate's first
+                        # horizontal arc, negated.
+                        "benefit": p_model.prob(ctx.time + 1, c.value, p_history),
+                    }
+                )
+            rec.event(
+                "flow",
+                ctx.time,
+                policy=self.name,
+                lookahead=self.lookahead,
+                units=min(ctx.cache_size, len(candidates)),
+                expected_benefit=decision.expected_benefit,
+                candidates=records,
+            )
+        return decision

@@ -13,8 +13,9 @@ for the same input paths and the same per-trial policy seeds it makes
 the same decisions as the scalar simulators, tuple for tuple.  The
 scalar path therefore remains the reference oracle — the equivalence
 suite (``tests/test_batch_equivalence.py``) pins every supported policy
-to it — and the batch path is a drop-in accelerator enabled by
-``batch=True`` on the runner entry points.
+to it — and the batch path is a drop-in accelerator selected with
+``engine="batch"`` on the runner entry points (the legacy ``batch=True``
+flag survives as a deprecated alias).
 
 Layout invariants the engine maintains:
 
@@ -37,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.batch import (
     NONE_VALUE,
     R_CODE,
@@ -81,6 +83,7 @@ class BatchState:
 
     @classmethod
     def empty(cls, n_trials: int, n_slots: int) -> "BatchState":
+        """All-empty state for ``n_trials`` caches of ``n_slots`` slots."""
         return cls(
             val=np.zeros((n_trials, n_slots), dtype=np.int64),
             side=np.full((n_trials, n_slots), -1, dtype=np.int8),
@@ -264,6 +267,13 @@ class BatchJoinSimulator:
     :func:`~repro.policies.batch.make_batch_policy`) and ``(B, n)`` value
     arrays; every step performs the scalar simulator's phases — window
     expiry, probing, arrival, eviction — as whole-array operations.
+
+    An enabled ``recorder`` receives counters aggregated over the whole
+    batch (``sim.steps``, ``arrivals.*``, ``join.results``,
+    ``evict.<policy_name>``, ``evict.window_expired``) that equal the
+    sum a scalar recorder would collect over the same trials.  Per-step
+    trace events are not emitted — trace with the scalar engine for
+    per-tuple visibility.
     """
 
     def __init__(
@@ -273,7 +283,10 @@ class BatchJoinSimulator:
         warmup: int = 0,
         window: int | None = None,
         band: int = 0,
+        recorder: Recorder = NULL_RECORDER,
+        policy_name: str = "policy",
     ):
+        """Validate and bind the join parameters shared by every trial."""
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
@@ -287,8 +300,11 @@ class BatchJoinSimulator:
         self._warmup = warmup
         self._window = window
         self._band = band
+        self._recorder = recorder
+        self._policy_name = policy_name
 
     def run(self, r_paths: np.ndarray, s_paths: np.ndarray) -> BatchJoinRunResult:
+        """Simulate every trial in lock-step over ``(B, n)`` value paths."""
         r_paths = np.asarray(r_paths, dtype=np.int64)
         s_paths = np.asarray(s_paths, dtype=np.int64)
         if r_paths.shape != s_paths.shape or r_paths.ndim != 2:
@@ -307,6 +323,11 @@ class BatchJoinSimulator:
         r_occupancy = np.zeros((n_trials, n), dtype=np.int64)
         occupancy = np.zeros((n_trials, n), dtype=np.int64)
 
+        rec = self._recorder
+        rec_on = rec.enabled
+        expired_total = 0
+        evicted_total = 0
+
         for t in range(n):
             r_vals = r_paths[:, t]
             s_vals = s_paths[:, t]
@@ -320,6 +341,8 @@ class BatchJoinSimulator:
             if self._window is not None:
                 expired = state.alive & (state.arr < t - self._window)
                 if expired.any():
+                    if rec_on:
+                        expired_total += int(expired.sum())
                     state.compact(state.alive & ~expired, aux)
                     counts = state.alive.sum(axis=1)
 
@@ -365,12 +388,18 @@ class BatchJoinSimulator:
             if n_evict.any():
                 victims = _select_victims(self._policy, state, n_evict, t)
                 if victims.any():
+                    if rec_on:
+                        evicted_total += int(victims.sum())
                     state.compact(state.alive & ~victims, aux)
                     counts = state.alive.sum(axis=1)
 
             r_occupancy[:, t] = (state.alive & (state.side == R_CODE)).sum(axis=1)
             occupancy[:, t] = counts
 
+        if rec_on:
+            self._record_counters(
+                r_paths, s_paths, total, expired_total, evicted_total
+            )
         return BatchJoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,
@@ -381,6 +410,38 @@ class BatchJoinSimulator:
             occupancy=occupancy,
         )
 
+    def _record_counters(
+        self,
+        r_paths: np.ndarray,
+        s_paths: np.ndarray,
+        total: np.ndarray,
+        expired_total: int,
+        evicted_total: int,
+    ) -> None:
+        """Flush batch-aggregated counters, mirroring the scalar keys.
+
+        Counters with a zero total are skipped so the resulting
+        dictionary has exactly the keys a scalar recorder would have
+        created over the same trials.
+        """
+        rec = self._recorder
+        n_steps = int(r_paths.size)
+        arrivals_r = int((r_paths != NONE_VALUE).sum())
+        arrivals_s = int((s_paths != NONE_VALUE).sum())
+        arrivals_null = 2 * n_steps - arrivals_r - arrivals_s
+        results = int(total.sum())
+        for name, count in (
+            ("sim.steps", n_steps),
+            ("arrivals.R", arrivals_r),
+            ("arrivals.S", arrivals_s),
+            ("arrivals.null", arrivals_null),
+            ("evict.window_expired", expired_total),
+            (f"evict.{self._policy_name}", evicted_total),
+            ("join.results", results),
+        ):
+            if count:
+                rec.count(name, count)
+
 
 class BatchCacheSimulator:
     """Vectorized counterpart of :class:`~repro.sim.cache_sim.CacheSimulator`.
@@ -389,6 +450,11 @@ class BatchCacheSimulator:
     slot carries its value (referential integrity guarantees at most one
     does), otherwise the tuple is fetched, given the next per-trial uid,
     and offered as an eviction candidate — exactly the scalar flow.
+
+    An enabled ``recorder`` receives counters aggregated over the whole
+    batch (``sim.steps``, ``arrivals.*``, ``cache.hits``,
+    ``cache.misses``, ``evict.<policy_name>``) that equal the sum a
+    scalar recorder would collect over the same trials.
     """
 
     def __init__(
@@ -396,7 +462,10 @@ class BatchCacheSimulator:
         cache_size: int,
         policy: BatchPolicy,
         warmup: int = 0,
+        recorder: Recorder = NULL_RECORDER,
+        policy_name: str = "policy",
     ):
+        """Validate and bind the caching parameters shared by every trial."""
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
@@ -404,8 +473,11 @@ class BatchCacheSimulator:
         self._cache_size = cache_size
         self._policy = policy
         self._warmup = warmup
+        self._recorder = recorder
+        self._policy_name = policy_name
 
     def run(self, references: np.ndarray) -> BatchCacheRunResult:
+        """Simulate every trial in lock-step over ``(B, n)`` references."""
         references = np.asarray(references, dtype=np.int64)
         if references.ndim != 2:
             raise ValueError("references must be a (B, n) array")
@@ -421,6 +493,10 @@ class BatchCacheSimulator:
         misses = np.zeros(n_trials, dtype=np.int64)
         hits_w = np.zeros(n_trials, dtype=np.int64)
         misses_w = np.zeros(n_trials, dtype=np.int64)
+
+        rec = self._recorder
+        rec_on = rec.enabled
+        evicted_total = 0
 
         for t in range(n):
             vals = references[:, t]
@@ -459,10 +535,25 @@ class BatchCacheSimulator:
             if n_evict.any():
                 victims = _select_victims(self._policy, state, n_evict, t)
                 if victims.any():
+                    if rec_on:
+                        evicted_total += int(victims.sum())
                     state.compact(state.alive & ~victims, aux)
                     counts = state.alive.sum(axis=1)
 
         observed = (references != NONE_VALUE).sum(axis=1)
+        if rec_on:
+            n_steps = int(references.size)
+            n_observed = int(observed.sum())
+            for name, count in (
+                ("sim.steps", n_steps),
+                ("arrivals.R", n_observed),
+                ("arrivals.null", n_steps - n_observed),
+                ("cache.hits", int(hits.sum())),
+                ("cache.misses", int(misses.sum())),
+                (f"evict.{self._policy_name}", evicted_total),
+            ):
+                if count:
+                    rec.count(name, count)
         return BatchCacheRunResult(
             hits=hits,
             misses=misses,

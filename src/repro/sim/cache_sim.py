@@ -17,9 +17,11 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from ..core.tuples import CacheState, TupleFactory
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import PolicyContext, ReplacementPolicy, validate_victims
 from ..streams.base import StreamModel
 from .engine import RunResult
+from .join_sim import _victim_records
 
 __all__ = ["CacheRunResult", "CacheSimulator"]
 
@@ -46,11 +48,13 @@ class CacheRunResult(RunResult):
 
     @property
     def hit_rate(self) -> float:
+        """Hits over total lookups, 0.0 when nothing was observed."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     @property
     def primary_metric(self) -> float:
+        """Cache hits scored after the warm-up window."""
         return float(self.hits_after_warmup)
 
 
@@ -63,7 +67,9 @@ class CacheSimulator:
         policy: ReplacementPolicy,
         warmup: int = 0,
         reference_model: StreamModel | None = None,
+        recorder: Recorder = NULL_RECORDER,
     ):
+        """Validate and bind the caching-run parameters."""
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
@@ -72,15 +78,22 @@ class CacheSimulator:
         self._policy = policy
         self._warmup = warmup
         self._reference_model = reference_model
+        self._recorder = recorder
 
     def run(self, reference: Sequence[Hashable]) -> CacheRunResult:
+        """Drive the policy over ``reference`` and tally hits/misses."""
         cache = CacheState()
         factory = TupleFactory()
+        rec = self._recorder
+        rec_on = rec.enabled
+        rec_trace = rec.trace
+        policy_name = self._policy.name
         ctx = PolicyContext(
             kind="cache",
             time=-1,
             cache_size=self._cache_size,
             r_model=self._reference_model,
+            recorder=rec,
         )
         self._policy.reset(ctx)
 
@@ -91,11 +104,24 @@ class CacheSimulator:
         for t, value in enumerate(reference):
             ctx.time = t
             ctx.record_arrival("R", value)
+            if rec_on:
+                rec.count("sim.steps")
             if value is None:
                 skipped += 1
+                if rec_on:
+                    rec.count("arrivals.null")
+                    if rec_trace:
+                        rec.event("arrival", t, side="R", value=None)
                 continue
 
             cached = cache.matching("S", value)
+            if rec_on:
+                rec.count("arrivals.R")
+                rec.count("cache.hits" if cached else "cache.misses")
+                if rec_trace:
+                    rec.event(
+                        "arrival", t, side="R", value=value, hit=bool(cached)
+                    )
             if cached:
                 hits += 1
                 if t >= self._warmup:
@@ -115,6 +141,15 @@ class CacheSimulator:
                 self._policy.select_victims(candidates, n_evict, ctx),
                 n_evict,
             )
+            if victims and rec_on:
+                rec.count(f"evict.{policy_name}", len(victims))
+                if rec_trace:
+                    rec.event(
+                        "evict",
+                        t,
+                        policy=policy_name,
+                        victims=_victim_records(victims),
+                    )
             victim_uids = {v.uid for v in victims}
             for tup in victims:
                 if tup in cache:
@@ -123,8 +158,10 @@ class CacheSimulator:
             if fetched.uid not in victim_uids:
                 cache.add(fetched)
                 self._policy.on_admit(fetched, t)
+            if rec_trace:
+                rec.event("occupancy", t, total=len(cache))
 
-        return CacheRunResult(
+        result = CacheRunResult(
             hits=hits,
             misses=misses,
             hits_after_warmup=hits_w,
@@ -134,3 +171,6 @@ class CacheSimulator:
             cache_size=self._cache_size,
             skipped=skipped,
         )
+        if rec_on:
+            result.metrics = rec.snapshot()
+        return result

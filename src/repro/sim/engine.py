@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, NamedTuple, Optional, Sequence, Union
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import WindowOracle
 from ..streams.base import StreamModel
 
@@ -78,14 +79,23 @@ class RunResult:
     all expose the bookkeeping triple below plus :attr:`primary_metric`,
     the quantity the paper's figures aggregate (join results after
     warmup, cache hits after warmup).
+
+    ``metrics`` carries the observability snapshot of the run — the
+    counters/timers dict of the :mod:`repro.obs` recorder that
+    instrumented it — and stays ``None`` on uninstrumented runs.  It is
+    deliberately a plain class attribute, not a dataclass field, so
+    existing positional constructions of every subclass keep working.
     """
 
     steps: int
     warmup: int
     cache_size: int
+    #: Recorder snapshot (``repro.obs``) of the run, or ``None``.
+    metrics: Optional[dict] = None
 
     @property
     def primary_metric(self) -> float:
+        """The quantity the paper's figures aggregate for this run."""
         raise NotImplementedError
 
 
@@ -183,19 +193,31 @@ class Engine(abc.ABC):
         spec: ExperimentSpec,
         policy_factory: PolicyFactory,
         data: Sequence,
+        recorder: Recorder = NULL_RECORDER,
     ) -> EngineRun:
         """Execute one trial per ``data`` item and return ordered results.
 
         ``data`` items depend on ``spec.kind``: ``(r_values, s_values)``
         pairs for ``"join"``, reference sequences for ``"cache"``, and
         ``{stream_name: values}`` mappings for ``"multi_join"``.
+
+        ``recorder`` is the observability sink (:mod:`repro.obs`)
+        shared by every trial of the run; the default no-op recorder
+        keeps instrumentation free.  Tiers that execute trials in other
+        processes must fold worker-side counters back into it
+        (:meth:`~repro.obs.recorder.Recorder.merge`).
         """
 
 
 # ----------------------------------------------------------------------
 # Scalar tier
 # ----------------------------------------------------------------------
-def _run_one_scalar(spec: ExperimentSpec, policy, item) -> RunResult:
+def _run_one_scalar(
+    spec: ExperimentSpec,
+    policy,
+    item,
+    recorder: Recorder = NULL_RECORDER,
+) -> RunResult:
     """Run one trial through the reference simulator for ``spec.kind``."""
     if spec.kind == "join":
         from .join_sim import JoinSimulator
@@ -210,6 +232,7 @@ def _run_one_scalar(spec: ExperimentSpec, policy, item) -> RunResult:
             r_model=spec.r_model,
             s_model=spec.s_model,
             window_oracle=spec.window_oracle,
+            recorder=recorder,
         )
         return sim.run(r_values, s_values)
     if spec.kind == "cache":
@@ -220,6 +243,7 @@ def _run_one_scalar(spec: ExperimentSpec, policy, item) -> RunResult:
             policy,
             warmup=spec.warmup,
             reference_model=spec.r_model,
+            recorder=recorder,
         )
         return sim.run(item)
     from .multi_join import MultiJoinSimulator
@@ -230,6 +254,7 @@ def _run_one_scalar(spec: ExperimentSpec, policy, item) -> RunResult:
         spec.queries,
         warmup=spec.warmup,
         models=spec.models,
+        recorder=recorder,
     )
     return sim.run(item)
 
@@ -242,15 +267,17 @@ class ScalarEngine(Engine):
     name = "scalar"
 
     def supports(self, spec, policy_factory):
+        """Always ``None``: the scalar tier runs everything."""
         return None
 
-    def run(self, spec, policy_factory, data):
+    def run(self, spec, policy_factory, data, recorder=NULL_RECORDER):
+        """One fresh policy + one reference simulator per trial."""
         results = []
         name = None
         for item in data:
             policy = policy_factory()
             name = getattr(policy, "name", None) or "policy"
-            results.append(_run_one_scalar(spec, policy, item))
+            results.append(_run_one_scalar(spec, policy, item, recorder))
         return EngineRun(policy_name=name or "policy", per_run=results)
 
 
@@ -283,6 +310,7 @@ class BatchEngine(Engine):
         )
 
     def supports(self, spec, policy_factory):
+        """``None`` for join/cache specs whose policy has a batch adapter."""
         from ..policies.batch import UnbatchablePolicyError
 
         if spec.kind == "multi_join":
@@ -293,7 +321,15 @@ class BatchEngine(Engine):
             return str(exc)
         return None
 
-    def run(self, spec, policy_factory, data):
+    def run(self, spec, policy_factory, data, recorder=NULL_RECORDER):
+        """Run all trials in lockstep on the vectorized simulators.
+
+        Counters are aggregated across trials (arrivals, results,
+        evictions sum over the whole batch, matching what the scalar
+        tier would record over the same trials); per-step trace events
+        are not emitted — trace with the scalar engine for per-tuple
+        visibility.
+        """
         from .batch import (
             BatchCacheSimulator,
             BatchJoinSimulator,
@@ -304,7 +340,13 @@ class BatchEngine(Engine):
         policy = policy_factory()
         adapter = self._adapter(spec, policy)
         if spec.kind == "cache":
-            sim = BatchCacheSimulator(spec.cache_size, adapter, warmup=spec.warmup)
+            sim = BatchCacheSimulator(
+                spec.cache_size,
+                adapter,
+                warmup=spec.warmup,
+                recorder=recorder,
+                policy_name=policy.name,
+            )
             batched = sim.run(values_to_array(data))
         else:
             r_arr, s_arr = paths_to_arrays(data)
@@ -314,6 +356,8 @@ class BatchEngine(Engine):
                 warmup=spec.warmup,
                 window=spec.window,
                 band=spec.band,
+                recorder=recorder,
+                policy_name=policy.name,
             )
             batched = sim.run(r_arr, s_arr)
         return EngineRun(policy_name=policy.name, per_run=batched.unbatch())
@@ -325,20 +369,30 @@ class BatchEngine(Engine):
 #: Payload handed to forked workers.  Set immediately before the pool is
 #: created (workers inherit it through fork) so policy factories —
 #: routinely closures or lambdas — never need to be pickled.
-_FORK_PAYLOAD: Optional[tuple[ExperimentSpec, PolicyFactory, tuple]] = None
+_FORK_PAYLOAD: Optional[
+    tuple[ExperimentSpec, PolicyFactory, tuple, Recorder]
+] = None
 
 
-def _parallel_worker(indices: list[int]) -> tuple[str, list]:
-    """Run one contiguous chunk of trials inside a forked worker."""
+def _parallel_worker(indices: list[int]) -> tuple[str, list, Optional[dict]]:
+    """Run one contiguous chunk of trials inside a forked worker.
+
+    Each worker instruments its trials with a fresh child of the
+    parent's recorder (:meth:`~repro.obs.recorder.Recorder.fork`) and
+    ships the child's snapshot back with the results, so counters cross
+    the fork boundary even though the worker's memory does not.
+    """
     assert _FORK_PAYLOAD is not None, "worker started without a fork payload"
-    spec, policy_factory, data = _FORK_PAYLOAD
+    spec, policy_factory, data, recorder = _FORK_PAYLOAD
+    child = recorder.fork() if recorder.enabled else NULL_RECORDER
     results = []
     name = "policy"
     for i in indices:
         policy = policy_factory()
         name = getattr(policy, "name", None) or "policy"
-        results.append(_run_one_scalar(spec, policy, data[i]))
-    return name, results
+        results.append(_run_one_scalar(spec, policy, data[i], child))
+    snapshot = child.snapshot() if child.enabled else None
+    return name, results, snapshot
 
 
 class ParallelEngine(Engine):
@@ -367,15 +421,18 @@ class ParallelEngine(Engine):
     name = "parallel"
 
     def __init__(self, max_workers: Optional[int] = None):
+        """Cap the worker pool; ``None`` means one worker per CPU."""
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
 
     @property
     def max_workers(self) -> int:
+        """Effective worker count after the CPU-count default."""
         return self._max_workers or os.cpu_count() or 1
 
     def supports(self, spec, policy_factory):
+        """Reject platforms/configurations where forking cannot win."""
         if "fork" not in multiprocessing.get_all_start_methods():
             return "the parallel engine requires the 'fork' start method"
         if self.max_workers <= 1:
@@ -386,7 +443,16 @@ class ParallelEngine(Engine):
             )
         return None
 
-    def run(self, spec, policy_factory, data):
+    def run(self, spec, policy_factory, data, recorder=NULL_RECORDER):
+        """Fan trials over forked workers; reassemble in trial order.
+
+        Worker-side counter snapshots are merged back into ``recorder``
+        chunk by chunk, so after the run a
+        :class:`~repro.obs.recorder.CounterRecorder`'s counters equal a
+        scalar run's over the same trials (timers measure per-process
+        wall clock and are merged additively; per-step trace events do
+        not cross the fork boundary).
+        """
         global _FORK_PAYLOAD
         data = list(data)
         if not data:
@@ -399,7 +465,7 @@ class ParallelEngine(Engine):
         ]
         chunks = [list(range(lo, hi)) for lo, hi in bounds if hi > lo]
 
-        _FORK_PAYLOAD = (spec, policy_factory, tuple(data))
+        _FORK_PAYLOAD = (spec, policy_factory, tuple(data), recorder)
         try:
             ctx = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(
@@ -409,9 +475,11 @@ class ParallelEngine(Engine):
                 name = "policy"
                 results: list = []
                 for future in futures:
-                    chunk_name, chunk_results = future.result()
+                    chunk_name, chunk_results, chunk_metrics = future.result()
                     name = chunk_name
                     results.extend(chunk_results)
+                    if chunk_metrics is not None:
+                        recorder.merge(chunk_metrics)
         finally:
             _FORK_PAYLOAD = None
         return EngineRun(policy_name=name, per_run=results)
@@ -463,6 +531,7 @@ def select_engine(
     spec: ExperimentSpec,
     policy_factory: PolicyFactory,
     prefer: Union[str, Engine, None] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Engine:
     """Resolve the engine to run ``spec`` with, negotiating capabilities.
 
@@ -472,13 +541,25 @@ def select_engine(
     resolver falls back to ``scalar`` and emits a one-time
     :mod:`logging` warning naming the reason — the structural replacement
     for the old silent ``try/except UnbatchablePolicyError`` dispatch.
+
+    An enabled ``recorder`` counts every resolution
+    (``engine.dispatch.<tier>``) and every demotion
+    (``engine.fallback.<preferred>``), so a sweep's metrics make silent
+    negotiation visible.
     """
     if prefer is None:
+        if recorder.enabled:
+            recorder.count("engine.dispatch.scalar")
         return get_engine("scalar")
     preferred = get_engine(prefer)
     reason = preferred.supports(spec, policy_factory)
     if reason is None:
+        if recorder.enabled:
+            recorder.count(f"engine.dispatch.{preferred.name}")
         return preferred
+    if recorder.enabled:
+        recorder.count(f"engine.fallback.{preferred.name}")
+        recorder.count("engine.dispatch.scalar")
     key = (preferred.name, reason)
     if key not in _FALLBACK_WARNED:
         _FALLBACK_WARNED.add(key)

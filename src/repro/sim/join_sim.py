@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import (
     PolicyContext,
     ReplacementPolicy,
@@ -38,6 +39,14 @@ from ..policies.base import (
 )
 from ..streams.base import StreamModel, Value
 from .engine import RunResult
+
+
+def _victim_records(victims: Sequence[StreamTuple]) -> list[dict]:
+    """JSON-ready ``{uid, side, value, arrived}`` records for a trace."""
+    return [
+        {"uid": v.uid, "side": v.side, "value": v.value, "arrived": v.arrival}
+        for v in victims
+    ]
 
 __all__ = ["JoinRunResult", "JoinSimulator"]
 
@@ -63,6 +72,7 @@ class JoinRunResult(RunResult):
 
     @property
     def primary_metric(self) -> float:
+        """Join results produced after the warm-up window."""
         return float(self.results_after_warmup)
 
 
@@ -89,6 +99,14 @@ class JoinSimulator:
         Stream models passed through to model-aware policies.
     window_oracle:
         Value-window knowledge passed through to window-aware baselines.
+    recorder:
+        Observability sink (:mod:`repro.obs`).  The default no-op
+        recorder keeps the loop exactly as fast as an uninstrumented
+        one; a :class:`~repro.obs.recorder.CounterRecorder` collects
+        eviction/arrival/result counters, a
+        :class:`~repro.obs.trace.TraceRecorder` additionally streams
+        per-step events.  When the recorder is enabled the run's
+        counter snapshot is attached to the result's ``metrics``.
     """
 
     def __init__(
@@ -101,7 +119,9 @@ class JoinSimulator:
         r_model: StreamModel | None = None,
         s_model: StreamModel | None = None,
         window_oracle: WindowOracle | None = None,
+        recorder: Recorder = NULL_RECORDER,
     ):
+        """Validate and bind the join-run parameters (see class docs)."""
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
@@ -118,6 +138,7 @@ class JoinSimulator:
         self._r_model = r_model
         self._s_model = s_model
         self._window_oracle = window_oracle
+        self._recorder = recorder
 
     def run(
         self, r_values: Sequence[Value], s_values: Sequence[Value]
@@ -126,6 +147,12 @@ class JoinSimulator:
         n = min(len(r_values), len(s_values))
         cache = CacheState()
         factory = TupleFactory()
+        # Hoist the recorder flags: disabled runs pay one bool check per
+        # guarded block, nothing else (the zero-overhead contract).
+        rec = self._recorder
+        rec_on = rec.enabled
+        rec_trace = rec.trace
+        policy_name = self._policy.name
         ctx = PolicyContext(
             kind="join",
             time=-1,
@@ -134,6 +161,7 @@ class JoinSimulator:
             s_model=self._s_model,
             window=self._window,
             window_oracle=self._window_oracle,
+            recorder=rec,
         )
         self._policy.reset(ctx)
 
@@ -148,10 +176,29 @@ class JoinSimulator:
             s_val = s_values[t]
             ctx.record_arrival("R", r_val)
             ctx.record_arrival("S", s_val)
+            if rec_on:
+                rec.count("sim.steps")
+                for side, val in (("R", r_val), ("S", s_val)):
+                    rec.count(
+                        "arrivals.null" if val is None else f"arrivals.{side}"
+                    )
+                    if rec_trace:
+                        rec.event("arrival", t, side=side, value=val)
 
             # Sliding-window expiry: free removal of dead tuples.
             if self._window is not None:
-                for dead in cache.expired(t - self._window):
+                expired = cache.expired(t - self._window)
+                if expired and rec_on:
+                    rec.count("evict.window_expired", len(expired))
+                    if rec_trace:
+                        rec.event(
+                            "evict",
+                            t,
+                            policy=policy_name,
+                            victims=_victim_records(expired),
+                            expired=True,
+                        )
+                for dead in expired:
                     cache.remove(dead)
                     self._policy.on_evict(dead, t)
 
@@ -176,6 +223,15 @@ class JoinSimulator:
 
             n_evict = max(0, len(candidates) - self._cache_size)
             victims = self._select_victims(candidates, n_evict, ctx)
+            if victims and rec_on:
+                rec.count(f"evict.{policy_name}", len(victims))
+                if rec_trace:
+                    rec.event(
+                        "evict",
+                        t,
+                        policy=policy_name,
+                        victims=_victim_records(victims),
+                    )
 
             victim_uids = {v.uid for v in victims}
             for tup in victims:
@@ -189,8 +245,19 @@ class JoinSimulator:
 
             r_occupancy[t] = cache.count_side("R")
             occupancy[t] = len(cache)
+            if rec_on:
+                if step_results:
+                    rec.count("join.results", step_results)
+                if rec_trace:
+                    rec.event("step", t, results=step_results)
+                    rec.event(
+                        "occupancy",
+                        t,
+                        total=int(occupancy[t]),
+                        r=int(r_occupancy[t]),
+                    )
 
-        return JoinRunResult(
+        result = JoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,
             steps=n,
@@ -199,6 +266,9 @@ class JoinSimulator:
             r_occupancy=r_occupancy,
             occupancy=occupancy,
         )
+        if rec_on:
+            result.metrics = rec.snapshot()
+        return result
 
     def _select_victims(
         self,

@@ -34,9 +34,11 @@ from ..core.heeb import default_horizon
 from ..core.lifetime import LifetimeEstimator
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
 from ..flow.opt_offline import OfflineSolution
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import validate_victims
 from ..streams.base import History, StreamModel, Value
 from .engine import RunResult
+from .join_sim import _victim_records
 
 __all__ = [
     "MultiPolicyContext",
@@ -64,6 +66,7 @@ class MultiPolicyContext:
     models: Optional[Mapping[str, StreamModel]] = None
 
     def latest_history(self, name: str) -> History | None:
+        """Most recent non-null observation of stream ``name``, if any."""
         values = self.histories.get(name, [])
         for t in range(len(values) - 1, -1, -1):
             if values[t] is not None:
@@ -85,6 +88,7 @@ class MultiJoinPolicy:
         n_evict: int,
         ctx: MultiPolicyContext,
     ) -> list[StreamTuple]:
+        """Choose ``n_evict`` tuples to evict from ``candidates``."""
         raise NotImplementedError
 
 
@@ -97,6 +101,7 @@ class MultiHeebPolicy(MultiJoinPolicy):
     name = "HEEB"
 
     def __init__(self, estimator: LifetimeEstimator, horizon: int | None = None):
+        """HEEB over ``estimator``'s lifetime weights, optionally capped at ``horizon``."""
         self.estimator = estimator
         self.horizon = horizon
 
@@ -125,6 +130,7 @@ class MultiHeebPolicy(MultiJoinPolicy):
         return total
 
     def select_victims(self, candidates, n_evict, ctx):
+        """Evict the tuples with the lowest summed expected benefit."""
         if n_evict <= 0:
             return []
         ranked = sorted(
@@ -140,10 +146,12 @@ class MultiProbPolicy(MultiJoinPolicy):
     name = "PROB"
 
     def __init__(self) -> None:
+        """Start with empty per-stream value-frequency tables."""
         self._counts: dict[str, Counter] = {}
         self._consumed: dict[str, int] = {}
 
     def reset(self, ctx: MultiPolicyContext) -> None:
+        """Forget all observed frequencies before a new run."""
         self._counts = {}
         self._consumed = {}
 
@@ -158,6 +166,7 @@ class MultiProbPolicy(MultiJoinPolicy):
             self._consumed[name] = len(history)
 
     def select_victims(self, candidates, n_evict, ctx):
+        """Evict the tuples whose values are rarest across partner streams."""
         if n_evict <= 0:
             return []
         self._sync(ctx)
@@ -180,13 +189,16 @@ class MultiRandPolicy(MultiJoinPolicy):
     name = "RAND"
 
     def __init__(self, seed: int = 0):
+        """Seeded uniform-random victim selection."""
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     def reset(self, ctx: MultiPolicyContext) -> None:
+        """Re-seed so every run draws the same victim sequence."""
         self._rng = np.random.default_rng(self._seed)
 
     def select_victims(self, candidates, n_evict, ctx):
+        """Evict ``n_evict`` uniformly random candidates."""
         if n_evict <= 0:
             return []
         order = sorted(candidates, key=lambda t: t.uid)
@@ -200,13 +212,16 @@ class MultiScheduledPolicy(MultiJoinPolicy):
     name = "OPT-OFFLINE"
 
     def __init__(self, solution: OfflineSolution):
+        """Replay the eviction schedule carried by ``solution``."""
         self._solution = solution
         self.mismatches = 0
 
     def reset(self, ctx: MultiPolicyContext) -> None:
+        """Zero the schedule-mismatch counter."""
         self.mismatches = 0
 
     def select_victims(self, candidates, n_evict, ctx):
+        """Evict tuples whose scheduled departure time has passed."""
         due = [
             c
             for c in candidates
@@ -227,6 +242,8 @@ class MultiScheduledPolicy(MultiJoinPolicy):
 # ----------------------------------------------------------------------
 @dataclass
 class MultiJoinRunResult(RunResult):
+    """Outcome of one multi-join run (result counts and occupancy)."""
+
     total_results: int
     results_after_warmup: int
     steps: int
@@ -239,6 +256,7 @@ class MultiJoinRunResult(RunResult):
 
     @property
     def primary_metric(self) -> float:
+        """Join results produced after the warm-up window."""
         return float(self.results_after_warmup)
 
 
@@ -256,6 +274,9 @@ class MultiJoinSimulator:
         once; self-joins are rejected.
     models:
         Optional per-stream models handed to model-aware policies.
+    recorder:
+        Observability sink (:mod:`repro.obs`); the default no-op sink
+        keeps the loop uninstrumented.
     """
 
     def __init__(
@@ -265,7 +286,9 @@ class MultiJoinSimulator:
         queries: Sequence[tuple[str, str]],
         warmup: int = 0,
         models: Mapping[str, StreamModel] | None = None,
+        recorder: Recorder = NULL_RECORDER,
     ):
+        """Validate the query set and bind the shared-cache parameters."""
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
@@ -291,10 +314,12 @@ class MultiJoinSimulator:
         self._policy = policy
         self._warmup = warmup
         self._models = models
+        self._recorder = recorder
 
     def run(
         self, streams: Mapping[str, Sequence[Value]]
     ) -> MultiJoinRunResult:
+        """Drive the policy over per-stream value sequences."""
         names = list(streams.keys())
         missing = set(self._partner_names) - set(names)
         if missing:
@@ -317,11 +342,25 @@ class MultiJoinSimulator:
         }
         occupancy = {name: np.zeros(n, dtype=np.int64) for name in names}
 
+        rec = self._recorder
+        rec_on = rec.enabled
+        rec_trace = rec.trace
+        policy_name = self._policy.name
+
         for t in range(n):
             ctx.time = t
             arrivals = {name: streams[name][t] for name in names}
             for name in names:
                 ctx.histories[name].append(arrivals[name])
+            if rec_on:
+                rec.count("sim.steps")
+                for name in names:
+                    val = arrivals[name]
+                    rec.count(
+                        "arrivals.null" if val is None else f"arrivals.{name}"
+                    )
+                    if rec_trace:
+                        rec.event("arrival", t, side=name, value=val)
 
             step_results = 0
             for name in names:
@@ -350,6 +389,15 @@ class MultiJoinSimulator:
                 self._policy.select_victims(candidates, n_evict, ctx),
                 n_evict,
             )
+            if victims and rec_on:
+                rec.count(f"evict.{policy_name}", len(victims))
+                if rec_trace:
+                    rec.event(
+                        "evict",
+                        t,
+                        policy=policy_name,
+                        victims=_victim_records(victims),
+                    )
             victim_uids = {v.uid for v in victims}
             for tup in victims:
                 if tup in cache:
@@ -360,8 +408,14 @@ class MultiJoinSimulator:
 
             for name in names:
                 occupancy[name][t] = cache.count_side(name)
+            if rec_on:
+                if step_results:
+                    rec.count("join.results", step_results)
+                if rec_trace:
+                    rec.event("step", t, results=step_results)
+                    rec.event("occupancy", t, total=len(cache))
 
-        return MultiJoinRunResult(
+        result = MultiJoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,
             steps=n,
@@ -370,6 +424,9 @@ class MultiJoinSimulator:
             per_query=per_query,
             occupancy_by_stream=occupancy,
         )
+        if rec_on:
+            result.metrics = rec.snapshot()
+        return result
 
 
 # ----------------------------------------------------------------------

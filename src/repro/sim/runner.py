@@ -18,6 +18,7 @@ from typing import Callable, Sequence, Union
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import ReplacementPolicy, WindowOracle
 from ..streams.base import StreamModel, Value
 from .cache_sim import CacheRunResult
@@ -48,12 +49,15 @@ class ExperimentResult:
 
     ``engine_used`` names the execution tier that actually ran the
     trials (``"scalar"``, ``"batch"``, ``"parallel"``, ...), which the
-    old silent-fallback dispatch never exposed.
+    old silent-fallback dispatch never exposed.  ``metrics`` is the
+    :mod:`repro.obs` counter/timer snapshot aggregated over all trials
+    when the experiment ran with an enabled recorder, else ``None``.
     """
 
     policy_name: str
     per_run: list[RunResult] = field(default_factory=list)
     engine_used: str = "scalar"
+    metrics: dict | None = None
 
     @property
     def mean_metric(self) -> float:
@@ -69,12 +73,14 @@ class JoinExperimentResult(ExperimentResult):
 
     @property
     def mean_results(self) -> float:
+        """Mean post-warmup join results across trials."""
         return float(
             np.mean([r.results_after_warmup for r in self.per_run])
         )
 
     @property
     def std_results(self) -> float:
+        """Standard deviation of post-warmup join results across trials."""
         return float(np.std([r.results_after_warmup for r in self.per_run]))
 
     def mean_r_fraction(self) -> np.ndarray:
@@ -90,18 +96,22 @@ class CacheExperimentResult(ExperimentResult):
 
     @property
     def mean_hits(self) -> float:
+        """Mean post-warmup cache hits across trials."""
         return float(np.mean([r.hits_after_warmup for r in self.per_run]))
 
     @property
     def std_hits(self) -> float:
+        """Standard deviation of post-warmup cache hits across trials."""
         return float(np.std([r.hits_after_warmup for r in self.per_run]))
 
     @property
     def mean_misses(self) -> float:
+        """Mean post-warmup cache misses across trials."""
         return float(np.mean([r.misses_after_warmup for r in self.per_run]))
 
     @property
     def mean_hit_rate(self) -> float:
+        """Mean per-trial hit rate (hits / observations)."""
         return float(np.mean([r.hit_rate for r in self.per_run]))
 
 
@@ -113,6 +123,7 @@ class MultiJoinExperimentResult(ExperimentResult):
 
     @property
     def mean_results(self) -> float:
+        """Mean post-warmup multi-join results across trials."""
         return float(
             np.mean([r.results_after_warmup for r in self.per_run])
         )
@@ -166,6 +177,7 @@ def run_experiment(
     policy_factory: Callable[[], ReplacementPolicy],
     data: Sequence,
     engine: Union[str, Engine, None] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ExperimentResult:
     """Run one policy over pre-sampled trial data on the best engine.
 
@@ -176,14 +188,19 @@ def run_experiment(
     the scalar reference tier — with a one-time logged warning — when the
     preferred engine does not support the (spec, policy) combination.
     The tier that actually ran is recorded as ``engine_used``.
+
+    ``recorder`` is the observability sink (:mod:`repro.obs`) shared by
+    every trial; when it is enabled, its counter snapshot after the run
+    is attached to the result's ``metrics``.
     """
-    chosen = select_engine(spec, policy_factory, prefer=engine)
-    outcome = chosen.run(spec, policy_factory, data)
+    chosen = select_engine(spec, policy_factory, prefer=engine, recorder=recorder)
+    outcome = chosen.run(spec, policy_factory, data, recorder=recorder)
     result_type = _RESULT_TYPES[spec.kind]
     return result_type(
         policy_name=outcome.policy_name,
         per_run=outcome.per_run,
         engine_used=chosen.name,
+        metrics=recorder.snapshot() if recorder.enabled else None,
     )
 
 
@@ -201,6 +218,7 @@ def run_join_experiment(
     window_oracle: WindowOracle | None = None,
     batch: bool = False,
     engine: Union[str, Engine, None] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> JoinExperimentResult:
     """Shim over :func:`run_experiment` for the joining problem.
 
@@ -221,7 +239,9 @@ def run_join_experiment(
     )
     if engine is None and batch:
         engine = "batch"
-    result = run_experiment(spec, policy_factory, paths, engine=engine)
+    result = run_experiment(
+        spec, policy_factory, paths, engine=engine, recorder=recorder
+    )
     assert isinstance(result, JoinExperimentResult)
     return result
 
@@ -234,6 +254,7 @@ def run_cache_experiment(
     reference_model: StreamModel | None = None,
     batch: bool = False,
     engine: Union[str, Engine, None] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> CacheExperimentResult:
     """Shim over :func:`run_experiment` for the caching problem."""
     spec = ExperimentSpec(
@@ -244,7 +265,9 @@ def run_cache_experiment(
     )
     if engine is None and batch:
         engine = "batch"
-    result = run_experiment(spec, policy_factory, references, engine=engine)
+    result = run_experiment(
+        spec, policy_factory, references, engine=engine, recorder=recorder
+    )
     assert isinstance(result, CacheExperimentResult)
     return result
 
@@ -257,6 +280,7 @@ def run_multi_join_experiment(
     warmup: int = 0,
     models=None,
     engine: Union[str, Engine, None] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> MultiJoinExperimentResult:
     """Run a multi-join policy over per-trial ``{stream: values}`` maps."""
     spec = ExperimentSpec(
@@ -266,6 +290,8 @@ def run_multi_join_experiment(
         queries=tuple(tuple(q) for q in queries),
         models=models,
     )
-    result = run_experiment(spec, policy_factory, trials, engine=engine)
+    result = run_experiment(
+        spec, policy_factory, trials, engine=engine, recorder=recorder
+    )
     assert isinstance(result, MultiJoinExperimentResult)
     return result

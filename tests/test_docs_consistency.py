@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.policies",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

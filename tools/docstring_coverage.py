@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Docstring-coverage floor for the public surface, stdlib-only.
+
+Walks the given files/directories with :mod:`ast` and measures the
+fraction of documentable definitions that carry a docstring:
+
+* modules;
+* public classes (name not starting with ``_``);
+* public functions and methods (name not starting with ``_``), where
+  dunder methods other than ``__init__`` are skipped — their contracts
+  are the language's, not ours.
+
+Nested (closure) functions are not counted: they are implementation
+detail, not API surface.  The tool exists so CI can enforce a floor
+without installing a third-party coverage package; usage::
+
+    python tools/docstring_coverage.py --fail-under 80 src/repro/sim ...
+
+Exit status is 1 when overall coverage is below the floor, and the
+report lists every undocumented definition so the gap is actionable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["measure_file", "main"]
+
+
+def _documentable(node: ast.AST) -> bool:
+    """Whether a class/function definition counts toward coverage."""
+    name = node.name  # type: ignore[attr-defined]
+    if isinstance(node, ast.ClassDef):
+        return not name.startswith("_")
+    if name == "__init__":
+        return True
+    return not name.startswith("_")
+
+
+def measure_file(path: Path) -> tuple[int, int, list[str]]:
+    """Return ``(documented, total, missing)`` for one Python file.
+
+    ``missing`` holds ``name:line`` labels of undocumented definitions,
+    with ``<module>`` for a missing module docstring.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    total = 1
+    documented = int(ast.get_docstring(tree) is not None)
+    missing = [] if documented else ["<module>:1"]
+
+    # Walk module and class bodies only: functions nested inside
+    # functions are closures, not API surface.
+    stack: list[tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        scope, prefix = stack.pop()
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                label = f"{prefix}{node.name}"
+                if _documentable(node):
+                    total += 1
+                    if ast.get_docstring(node) is not None:
+                        documented += 1
+                    else:
+                        missing.append(f"{label}:{node.lineno}")
+                stack.append((node, label + "."))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _documentable(node):
+                    continue
+                total += 1
+                if ast.get_docstring(node) is not None:
+                    documented += 1
+                else:
+                    missing.append(f"{prefix}{node.name}:{node.lineno}")
+    return documented, total, missing
+
+
+def _iter_files(targets: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        else:
+            files.append(target)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+", type=Path)
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=80.0,
+        help="minimum overall coverage percentage (default 80)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every undocumented definition, not just the summary",
+    )
+    args = parser.parse_args(argv)
+
+    grand_documented = grand_total = 0
+    gaps: list[tuple[Path, list[str]]] = []
+    for path in _iter_files(args.targets):
+        documented, total, missing = measure_file(path)
+        grand_documented += documented
+        grand_total += total
+        if missing:
+            gaps.append((path, missing))
+
+    coverage = 100.0 * grand_documented / grand_total if grand_total else 100.0
+    if args.verbose or coverage < args.fail_under:
+        for path, missing in gaps:
+            for label in missing:
+                print(f"{path}: undocumented {label}")
+    print(
+        f"docstring coverage: {grand_documented}/{grand_total} "
+        f"({coverage:.1f}%), floor {args.fail_under:.1f}%"
+    )
+    if coverage < args.fail_under:
+        print("FAILED: coverage below the floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
