@@ -27,17 +27,25 @@ contract — an explicit ``NullRecorder`` run must stay within
 records a ``CounterRecorder`` run's solver-iteration count and ProbTable
 hit rate alongside the timings.
 
+Each full run is also appended to ``BENCH_history.jsonl`` (timestamp,
+git SHA, environment fingerprint, headline metrics) via
+``tools/bench_history.py``, whose ``--check`` mode gates CI against the
+rolling median of prior same-environment runs.  ``--no-history`` skips
+the append; ``--skip-engines`` partial runs never append.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
         [--length 600] [--workers N] [--fe-length 300]
         [--fe-lookahead 8] [--min-fe-speedup X] [--max-null-overhead P]
-        [--out BENCH_batch.json]
+        [--out BENCH_batch.json] [--history BENCH_history.jsonl]
+        [--no-history]
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import os
 import platform
@@ -55,6 +63,18 @@ from repro.sim.join_sim import JoinSimulator
 from repro.sim.runner import generate_paths, run_join_experiment
 
 CACHE_SIZE = 10
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_history():
+    """Import ``tools/bench_history.py`` by path (tools/ is not a package)."""
+    path = _REPO_ROOT / "tools" / "bench_history.py"
+    spec = importlib.util.spec_from_file_location("bench_history", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def _policy_factories(config):
@@ -268,11 +288,13 @@ def run_flowexpect_bench(
         return time.perf_counter() - t0
 
     base_seconds = float("inf")
+    null_seconds = float("inf")
     null_ratio = float("inf")
     for _ in range(5):
         round_base = _one_fast_run(NULL_RECORDER)
         round_null = _one_fast_run(NullRecorder())
         base_seconds = min(base_seconds, round_base)
+        null_seconds = min(null_seconds, round_null)
         null_ratio = min(null_ratio, round_null / round_base)
     null_overhead_pct = 100.0 * (null_ratio - 1.0)
     if null_overhead_pct > max_null_overhead:
@@ -383,7 +405,19 @@ def main() -> None:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_batch.json",
+        default=_REPO_ROOT / "BENCH_batch.json",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_history.jsonl",
+        help="append this run to the benchmark history file "
+        "(see tools/bench_history.py)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the benchmark history",
     )
     args = parser.parse_args()
 
@@ -406,6 +440,13 @@ def main() -> None:
     report = run_harness(args.trials, args.length, args.workers)
     report["flowexpect"] = fe_entry
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        bench_history = _load_bench_history()
+        entry = bench_history.entry_from_report(report)
+        bench_history.append_entry(args.history, entry)
+        print(
+            f"history: appended run {entry['git_sha']} to {args.history}"
+        )
     agg = report["aggregate"]
     print(
         f"\naggregate: scalar {agg['scalar_trials_per_sec']} -> "

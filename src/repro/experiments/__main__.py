@@ -20,7 +20,13 @@ import time
 
 import numpy as np
 
-from ..obs import NULL_RECORDER, CounterRecorder, TraceRecorder, format_metrics
+from ..obs import (
+    NULL_RECORDER,
+    CounterRecorder,
+    ProgressRecorder,
+    TraceRecorder,
+    format_metrics,
+)
 from ..obs.recorder import Recorder
 from .configs import make_config
 from .figures import (
@@ -42,29 +48,78 @@ def _print(title: str, body: str) -> None:
     print(body)
 
 
+#: Sweep command -> configuration registry key, for progress totals.
+_SWEEP_CONFIGS = {
+    "fig9": "TOWER",
+    "fig10": "ROOF",
+    "fig11": "FLOOR",
+    "fig12": "WALK",
+}
+
+
+def _progress_total(args: argparse.Namespace) -> int | None:
+    """Best-effort expected trial count for the ``--progress`` ETA.
+
+    Counts one trial per (policy, run) pair the command will execute
+    through the engines; OPT-OFFLINE solves bypass the engine layer and
+    are excluded.  Returns ``None`` (count-only display, no ETA) for
+    commands whose totals are not modeled.
+    """
+    cmd = args.command
+    if cmd == "fig8":
+        from .configs import SYNTHETIC_CONFIGS
+
+        total = 0
+        for config in SYNTHETIC_CONFIGS().values():
+            n_policies = 3 + int(config.has_life)
+            n_policies += int(not args.no_flowexpect)
+            total += n_policies * args.runs
+        return total
+    if cmd in _SWEEP_CONFIGS:
+        config = make_config(_SWEEP_CONFIGS[cmd])
+        n_policies = 3 + int(config.has_life)
+        return len(args.sizes) * n_policies * args.runs
+    if cmd == "fig19":
+        return (len(args.deltas) + 3) * args.runs
+    return None
+
+
 def _make_recorder(args: argparse.Namespace) -> Recorder:
     """Build the observability sink the flags ask for.
 
     ``--trace PATH`` streams JSONL events to ``PATH`` (and implies
-    counters); ``--metrics`` collects counters only; neither flag keeps
-    the default no-op recorder, so uninstrumented runs stay free.
+    counters); ``--metrics`` collects counters only; ``--progress``
+    wraps the sink in a stderr progress line (and implies counters when
+    used alone); no flag keeps the default no-op recorder, so
+    uninstrumented runs stay free.
     """
+    recorder: Recorder = NULL_RECORDER
     if getattr(args, "trace", None):
-        return TraceRecorder(path=args.trace)
-    if getattr(args, "metrics", False):
-        return CounterRecorder()
-    return NULL_RECORDER
+        recorder = TraceRecorder(path=args.trace)
+    elif getattr(args, "metrics", False):
+        recorder = CounterRecorder()
+    if getattr(args, "progress", False):
+        if recorder is NULL_RECORDER:
+            # Progress is driven by recorder counters, so it needs a
+            # live sink; the counters are collected but only printed
+            # when --metrics/--trace asked for them.
+            recorder = CounterRecorder()
+        return ProgressRecorder(recorder, total=_progress_total(args))
+    return recorder
 
 
 def _finish_recorder(recorder: Recorder, args: argparse.Namespace) -> None:
     """Flush and report whatever the recorder collected."""
+    if isinstance(recorder, ProgressRecorder):
+        recorder.finish()
     if not recorder.enabled:
         return
     if recorder.trace:
-        recorder.close()
+        recorder.close()  # type: ignore[attr-defined]
         print(f"\n[trace written to {args.trace}; summarize it with "
               f"`python -m repro.obs {args.trace}`]")
-    _print("Observability counters", format_metrics(recorder.snapshot()))
+    if getattr(args, "metrics", False) or getattr(args, "trace", None):
+        _print("Observability counters", format_metrics(recorder.snapshot()))
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
@@ -270,6 +325,12 @@ def _add_obs(p: argparse.ArgumentParser) -> None:
         default=None,
         help="write a JSONL event trace to PATH (implies --metrics); "
         "summarize with `python -m repro.obs PATH`",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a trials-done/ETA progress line on stderr "
+        "(driven by the recorder; off by default)",
     )
 
 

@@ -31,6 +31,7 @@ kept/victim split, which the equivalence suite pins seed for seed.
 
 from __future__ import annotations
 
+import time
 from heapq import heappop, heappush
 from typing import Optional, Sequence
 
@@ -243,9 +244,11 @@ class FlowExpectFastPath:
 
     An enabled ``recorder`` (:mod:`repro.obs`) collects per-decision
     solver work (``flow.solves``, ``flow.solver_iterations``, the
-    ``flow.solve`` timer) and the probability-memo effectiveness
-    (``prob_table.hits`` / ``prob_table.misses``); the default no-op
-    recorder leaves the hot path untouched.
+    ``flow.solve`` timer, the ``flow.solve_ms`` per-solve series) and
+    the probability-memo effectiveness (``prob_table.hits`` /
+    ``prob_table.misses`` counters plus the per-decision
+    ``prob_table.hit_rate`` series); the default no-op recorder leaves
+    the hot path untouched.
     """
 
     def __init__(
@@ -314,20 +317,28 @@ class FlowExpectFastPath:
         amount = min(cache_size, n)
         rec = self._recorder
         if rec.enabled:
+            solve_start = time.perf_counter()
             with rec.timer("flow.solve"):
                 used = _solve_unit_flow(template, cost_int, amount)
+            solve_ms = (time.perf_counter() - solve_start) * 1e3
             rec.count("flow.solves")
             rec.count("flow.solver_iterations", amount)
+            rec.series("flow.solve_ms", t0, solve_ms)
             # Flush the memo tallies accumulated since the last decision.
             table_hits, table_misses = table.hits, table.misses
-            if table_hits > self._hits_flushed:
-                rec.count("prob_table.hits", table_hits - self._hits_flushed)
+            d_hits = table_hits - self._hits_flushed
+            d_misses = table_misses - self._misses_flushed
+            if d_hits > 0:
+                rec.count("prob_table.hits", d_hits)
                 self._hits_flushed = table_hits
-            if table_misses > self._misses_flushed:
-                rec.count(
-                    "prob_table.misses", table_misses - self._misses_flushed
-                )
+            if d_misses > 0:
+                rec.count("prob_table.misses", d_misses)
                 self._misses_flushed = table_misses
+            # Per-decision memo effectiveness (fraction of this step's
+            # probability lookups answered from the memo).
+            lookups = d_hits + d_misses
+            if lookups > 0:
+                rec.series("prob_table.hit_rate", t0, d_hits / lookups)
         else:
             used = _solve_unit_flow(template, cost_int, amount)
 

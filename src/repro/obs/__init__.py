@@ -1,4 +1,4 @@
-"""Run-level observability: recorders, trace streams, and summaries.
+"""Run-level observability: recorders, series, traces, and audits.
 
 When a policy underperforms a paper figure or the FlowExpect fast path
 regresses, final hit counts are not enough — diagnosing *why* needs
@@ -7,18 +7,29 @@ occupancy.  This package provides that visibility as an opt-in layer
 with zero overhead when disabled:
 
 * :class:`Recorder` — the protocol every instrumentation sink follows
-  (counters, monotonic timers, structured events, snapshot/merge/fork);
+  (counters, monotonic timers, structured events, per-step series,
+  snapshot/merge/fork);
 * :class:`NullRecorder` / :data:`NULL_RECORDER` — the default no-op
   sink; every instrumented hot path guards on :attr:`Recorder.enabled`
   so a disabled run pays only an attribute check;
 * :class:`CounterRecorder` — named counters plus wall-clock timers
   (evictions by policy, flow-solver iterations, ProbTable hits/misses,
-  engine dispatch/fallback);
+  engine dispatch/fallback) plus bounded-memory
+  :class:`~repro.obs.timeseries.TimeSeries` gauges (occupancy,
+  cumulative hits/results, per-solve latency);
 * :class:`TraceRecorder` — a bounded per-step JSONL event stream
   (arrivals, victim sets, per-candidate score/arc-cost snapshots,
-  occupancy) with a versioned schema;
+  occupancy, series points) with a versioned schema;
+* :mod:`repro.obs.timeseries` — the bounded-memory aggregation
+  primitives (downsampling buffer, P²-style quantile sketches,
+  sparklines);
 * :mod:`repro.obs.report` — turns a trace file or a counter snapshot
-  into a human-readable table (also ``python -m repro.obs.report``).
+  into human-readable tables, including ``--series`` sparklines
+  (``python -m repro.obs report``);
+* :mod:`repro.obs.audit` — step-aligned diffing of two traces
+  (``python -m repro.obs diff``);
+* :class:`ProgressRecorder` — a delegating wrapper rendering a stderr
+  trials-done/ETA line (the experiment CLI's ``--progress``).
 
 Recorders enter the system through ``recorder=`` keywords on the
 simulators and experiment entry points and travel to policies via
@@ -26,6 +37,13 @@ simulators and experiment entry points and travel to policies via
 ``docs/OBSERVABILITY.md`` for the full guide and the event schema.
 """
 
+from .audit import (
+    TraceDiff,
+    diff_trace_files,
+    diff_traces,
+    format_diff,
+)
+from .progress import ProgressRecorder
 from .recorder import (
     NULL_RECORDER,
     CounterRecorder,
@@ -33,10 +51,19 @@ from .recorder import (
     Recorder,
 )
 from .report import (
+    collect_series,
     format_metrics,
+    format_series_table,
     format_trace_summary,
+    save_series_png,
     summarize_trace,
     summarize_trace_file,
+)
+from .timeseries import (
+    P2Quantile,
+    SeriesBuffer,
+    TimeSeries,
+    sparkline,
 )
 from .trace import (
     TRACE_SCHEMA_VERSION,
@@ -48,12 +75,24 @@ __all__ = [
     "CounterRecorder",
     "NULL_RECORDER",
     "NullRecorder",
+    "P2Quantile",
+    "ProgressRecorder",
     "Recorder",
+    "SeriesBuffer",
     "TRACE_SCHEMA_VERSION",
+    "TimeSeries",
+    "TraceDiff",
     "TraceRecorder",
+    "collect_series",
+    "diff_trace_files",
+    "diff_traces",
+    "format_diff",
     "format_metrics",
+    "format_series_table",
     "format_trace_summary",
     "read_trace",
+    "save_series_png",
+    "sparkline",
     "summarize_trace",
     "summarize_trace_file",
 ]

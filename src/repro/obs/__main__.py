@@ -1,16 +1,36 @@
-"""CLI entry: ``python -m repro.obs <trace.jsonl>`` summarizes a trace.
+"""CLI entry: ``python -m repro.obs`` — trace reports and trace diffs.
 
-Delegates to :func:`repro.obs.report.main`; this wrapper exists so the
-package can be invoked directly without the runpy re-import warning that
-``python -m repro.obs.report`` triggers (the package ``__init__`` already
-imports the report module).
+Two subcommands::
+
+    python -m repro.obs report run.jsonl [--series] [--png out.png]
+    python -m repro.obs diff fast.jsonl reference.jsonl [--tol 1e-9]
+
+For backward compatibility the original form ``python -m repro.obs
+run.jsonl`` (no subcommand) still summarizes a trace — anything that is
+not a recognized subcommand is handed to the report CLI unchanged.
+
+This wrapper exists so the package can be invoked directly without the
+runpy re-import warning that ``python -m repro.obs.report`` triggers
+(the package ``__init__`` already imports the report module).
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Optional, Sequence
 
-from .report import main
+from . import audit, report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to the report or diff CLI."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "diff":
+        return audit.main(args[1:])
+    if args and args[0] == "report":
+        return report.main(args[1:])
+    return report.main(args)
+
 
 if __name__ == "__main__":
     try:

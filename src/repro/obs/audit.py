@@ -1,0 +1,337 @@
+"""Step-aligned diffing of two schema-1 traces.
+
+Two instrumented runs that *should* agree — FlowExpect's fast path vs
+its reference path, a batch replay vs the scalar original, the same
+seed before and after a refactor — used to be compared by eyeballing
+JSONL or writing a throwaway script.  This module turns that into one
+command::
+
+    python -m repro.obs diff fast.jsonl reference.jsonl
+
+Events are grouped by simulation step ``t`` and compared kind by kind
+in canonical form: eviction victim sets (by uid/side/value), scored
+policies' per-uid scores (within a float tolerance), FlowExpect
+kept-sets and per-candidate benefits, arrivals, step roll-ups, and
+occupancy.  The report names the **first divergence** (step, kind, and
+a human-readable detail) plus a per-step divergence count series — so
+"at which step do HEEB and FlowExpect first disagree?" is answered by
+the sparkline, not by scrolling.
+
+Two event categories are deliberately excluded from comparison:
+
+* unknown kinds — consumers of schema 1 must ignore what they do not
+  understand (the forward-compatibility rule), and
+* ``series`` events — they carry derived aggregates and wall-clock
+  timings (``flow.solve_ms``) that legitimately differ between two
+  otherwise-identical runs.
+
+Like the report CLI, traces are read tolerantly (truncated trailing
+lines are reported and skipped).  The CLI exits 0 only when the traces
+are step-aligned identical, so it can gate equivalence in scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from .timeseries import sparkline
+from .trace import read_trace
+
+__all__ = [
+    "Divergence",
+    "TraceDiff",
+    "diff_traces",
+    "diff_trace_files",
+    "format_diff",
+    "main",
+]
+
+#: Event kinds compared by default (deterministic simulation events).
+COMPARED_KINDS = ("arrival", "evict", "scores", "flow", "step", "occupancy")
+
+#: Default absolute/relative tolerance for float fields (scores,
+#: expected benefits) — tight enough to catch real divergence, loose
+#: enough for summation-order noise.
+DEFAULT_TOL = 1e-9
+
+#: At most this many divergences carry a rendered detail string.
+MAX_DETAILED = 50
+
+
+@dataclass
+class Divergence:
+    """One step-aligned disagreement between the two traces."""
+
+    t: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of diffing two traces step by step."""
+
+    #: Detailed divergences in step order (capped at :data:`MAX_DETAILED`).
+    divergences: list[Divergence] = field(default_factory=list)
+    #: Step -> number of divergent kind-comparisons at that step.
+    per_step: dict[int, int] = field(default_factory=dict)
+    #: Number of distinct steps present in either trace.
+    steps_compared: int = 0
+    #: Event counts of each input (compared kinds only).
+    events_a: int = 0
+    events_b: int = 0
+
+    @property
+    def first(self) -> Optional[Divergence]:
+        """The earliest divergence, or ``None`` when traces agree."""
+        return self.divergences[0] if self.divergences else None
+
+    @property
+    def total(self) -> int:
+        """Total divergent kind-comparisons across all steps."""
+        return sum(self.per_step.values())
+
+    @property
+    def identical(self) -> bool:
+        """True when no compared event diverged."""
+        return not self.per_step
+
+    def divergence_series(self) -> list[tuple[int, int]]:
+        """Per-step divergence counts as a ``(t, count)`` series.
+
+        Covers every compared step (zeros included) so the sparkline
+        shows *where* in the run the traces disagree.
+        """
+        if not self.per_step:
+            return []
+        lo = min(self.per_step)
+        hi = max(self.per_step)
+        return [(t, self.per_step.get(t, 0)) for t in range(lo, hi + 1)]
+
+
+def _close(a: Any, b: Any, tol: float) -> bool:
+    """Structural equality with float tolerance at the leaves."""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if isinstance(a, bool) != isinstance(b, bool):
+            return False
+        return math.isclose(float(a), float(b), rel_tol=tol, abs_tol=tol)
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        return a.keys() == b.keys() and all(
+            _close(a[k], b[k], tol) for k in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _close(x, y, tol) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def _victim_key(victim: Mapping) -> tuple:
+    return (
+        victim.get("uid", -1) if isinstance(victim.get("uid"), int) else -1,
+        str(victim.get("side")),
+        str(victim.get("value")),
+    )
+
+
+def _canonical(ev: Mapping) -> Any:
+    """Order-independent comparable form of one event's payload.
+
+    Lists whose order is an implementation detail (eviction victims,
+    flow/score candidates) are sorted by uid so two traces that evict
+    the same *set* of tuples compare equal even if their emitters
+    enumerated them differently.
+    """
+    kind = ev.get("kind")
+    payload = {k: v for k, v in ev.items() if k not in ("kind", "t")}
+    if kind == "evict":
+        victims = payload.get("victims")
+        if isinstance(victims, list):
+            payload["victims"] = sorted(
+                (dict(v) for v in victims if isinstance(v, Mapping)),
+                key=_victim_key,
+            )
+    elif kind in ("scores", "flow"):
+        candidates = payload.get("candidates")
+        if isinstance(candidates, list):
+            payload["candidates"] = sorted(
+                (dict(c) for c in candidates if isinstance(c, Mapping)),
+                key=_victim_key,
+            )
+    return payload
+
+
+def _describe(kind: str, a: Any, b: Any) -> str:
+    """Short human-readable description of one payload mismatch."""
+    if kind == "evict" and isinstance(a, Mapping) and isinstance(b, Mapping):
+        va = {_victim_key(v) for v in a.get("victims", ())}
+        vb = {_victim_key(v) for v in b.get("victims", ())}
+        only_a = sorted(va - vb)
+        only_b = sorted(vb - va)
+        if only_a or only_b:
+            return (
+                f"victims differ: only in A={only_a or '∅'}, "
+                f"only in B={only_b or '∅'}"
+            )
+    if kind == "flow" and isinstance(a, Mapping) and isinstance(b, Mapping):
+        ka = {
+            c.get("uid")
+            for c in a.get("candidates", ())
+            if isinstance(c, Mapping) and c.get("kept")
+        }
+        kb = {
+            c.get("uid")
+            for c in b.get("candidates", ())
+            if isinstance(c, Mapping) and c.get("kept")
+        }
+        if ka != kb:
+            return (
+                f"kept-sets differ: only in A={sorted(ka - kb) or '∅'}, "
+                f"only in B={sorted(kb - ka) or '∅'}"
+            )
+    return f"A={_shorten(a)} vs B={_shorten(b)}"
+
+
+def _shorten(payload: Any, limit: int = 160) -> str:
+    text = repr(payload)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def diff_traces(
+    events_a: Iterable[Mapping],
+    events_b: Iterable[Mapping],
+    tol: float = DEFAULT_TOL,
+    kinds: Sequence[str] = COMPARED_KINDS,
+) -> TraceDiff:
+    """Compare two event streams step by step.
+
+    Returns a :class:`TraceDiff`; ``diff.identical`` is ``True`` iff
+    every compared event kind agrees at every step (within ``tol`` on
+    float fields).  Unknown kinds and ``series`` events are ignored —
+    see the module docstring for why.
+    """
+    compared = set(kinds)
+    by_step_a: dict[int, dict[str, list]] = defaultdict(lambda: defaultdict(list))
+    by_step_b: dict[int, dict[str, list]] = defaultdict(lambda: defaultdict(list))
+    counts = [0, 0]
+    for i, (events, by_step) in enumerate(
+        ((events_a, by_step_a), (events_b, by_step_b))
+    ):
+        for ev in events:
+            kind = ev.get("kind")
+            t = ev.get("t")
+            if kind not in compared or not isinstance(t, int):
+                continue
+            counts[i] += 1
+            by_step[t][kind].append(_canonical(ev))
+
+    diff = TraceDiff(events_a=counts[0], events_b=counts[1])
+    steps = sorted(set(by_step_a) | set(by_step_b))
+    diff.steps_compared = len(steps)
+    for t in steps:
+        kinds_at_t = set(by_step_a.get(t, ())) | set(by_step_b.get(t, ()))
+        for kind in sorted(kinds_at_t):
+            seq_a = by_step_a.get(t, {}).get(kind, [])
+            seq_b = by_step_b.get(t, {}).get(kind, [])
+            detail = None
+            if len(seq_a) != len(seq_b):
+                detail = (
+                    f"{len(seq_a)} event(s) in A vs {len(seq_b)} in B"
+                )
+            else:
+                for a, b in zip(seq_a, seq_b):
+                    if not _close(a, b, tol):
+                        detail = _describe(kind, a, b)
+                        break
+            if detail is not None:
+                diff.per_step[t] = diff.per_step.get(t, 0) + 1
+                if len(diff.divergences) < MAX_DETAILED:
+                    diff.divergences.append(Divergence(t, kind, detail))
+    return diff
+
+
+def diff_trace_files(
+    path_a: Path,
+    path_b: Path,
+    tol: float = DEFAULT_TOL,
+    warn: Optional[Any] = None,
+) -> TraceDiff:
+    """Read and diff two trace files tolerantly.
+
+    ``warn`` is an optional writable stream receiving one line per
+    skipped (truncated/corrupt) input line.
+    """
+    streams = []
+    for path in (path_a, path_b):
+        bad: list[str] = []
+        streams.append(read_trace(path, strict=False, bad_lines=bad))
+        if warn is not None:
+            for entry in bad:
+                print(f"warning: {path}:{entry} (line skipped)", file=warn)
+    return diff_traces(streams[0], streams[1], tol=tol)
+
+
+def format_diff(diff: TraceDiff, width: int = 60) -> str:
+    """Render a :class:`TraceDiff` as the CLI report."""
+    lines = [
+        f"compared {diff.steps_compared} step(s) "
+        f"({diff.events_a} vs {diff.events_b} comparable events)"
+    ]
+    if diff.identical:
+        lines.append("traces are step-aligned identical — zero divergences")
+        return "\n".join(lines)
+    first = diff.first
+    assert first is not None
+    lines.append(
+        f"FIRST DIVERGENCE at t={first.t} [{first.kind}]: {first.detail}"
+    )
+    lines.append(
+        f"divergent steps: {len(diff.per_step)} "
+        f"({diff.total} kind-comparison(s) differ)"
+    )
+    series = diff.divergence_series()
+    if series:
+        lo, hi = series[0][0], series[-1][0]
+        lines.append(
+            f"divergence series (steps {lo}..{hi}): "
+            f"{sparkline([v for _, v in series], width=width)}"
+        )
+    shown = diff.divergences[1:6]
+    for d in shown:
+        lines.append(f"  t={d.t} [{d.kind}]: {d.detail}")
+    remaining = diff.total - 1 - len(shown)
+    if remaining > 0:
+        lines.append(f"  … and {remaining} more")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: diff two traces; exit 0 iff they are identical."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs diff",
+        description="Step-aligned diff of two repro.obs JSONL traces.",
+    )
+    parser.add_argument("trace_a", type=Path, help="first trace (JSONL)")
+    parser.add_argument("trace_b", type=Path, help="second trace (JSONL)")
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=DEFAULT_TOL,
+        help="float tolerance for scores/benefits (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    diff = diff_trace_files(
+        args.trace_a, args.trace_b, tol=args.tol, warn=sys.stderr
+    )
+    print(format_diff(diff))
+    return 0 if diff.identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

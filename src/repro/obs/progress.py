@@ -1,0 +1,181 @@
+"""Stderr progress line driven by the recorder's ``trials.done`` counter.
+
+The engines (scalar, batch, parallel) bump a ``trials.done`` counter on
+every completed trial when a recorder is enabled.  Wrapping that
+recorder in a :class:`ProgressRecorder` turns those bumps into a
+carriage-return progress line on stderr::
+
+    [progress] 12/48 trials · 9.3 trials/s · ETA 3.9s
+
+The wrapper delegates every Recorder-protocol call to its inner
+recorder, so it composes with :class:`~repro.obs.recorder.CounterRecorder`
+and :class:`~repro.obs.trace.TraceRecorder` unchanged (``--progress
+--trace run.jsonl`` works).  Under a :class:`~repro.obs.NullRecorder`
+inner, :attr:`enabled` stays ``False``, engines never bump the counter,
+and the wrapper prints nothing — the satellite's "no-op under
+NullRecorder" contract.
+
+Rendering is rate-limited (default four redraws per second) and the ETA
+only appears when a total trial count was supplied; the experiment CLI
+computes totals best-effort per figure command and passes ``None`` when
+it cannot.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Any, Mapping, Optional
+
+from .recorder import NULL_RECORDER, CounterRecorder, Recorder
+
+__all__ = ["ProgressRecorder"]
+
+#: Counter name the engines bump once per completed trial.
+TRIALS_COUNTER = "trials.done"
+
+
+class ProgressRecorder:
+    """Delegating recorder that renders trial progress on stderr.
+
+    Parameters
+    ----------
+    inner:
+        The recorder doing the actual collection (defaults to a fresh
+        :class:`CounterRecorder`).  All protocol calls are forwarded to
+        it; only ``trials.done`` bumps are additionally observed.
+    total:
+        Expected number of trials, for the ``done/total`` fraction and
+        the ETA.  ``None`` renders count and rate only.
+    stream:
+        Output stream (defaults to ``sys.stderr``).
+    min_interval:
+        Minimum seconds between redraws.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[Recorder] = None,
+        total: Optional[int] = None,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.25,
+    ) -> None:
+        """Wrap ``inner`` (or a fresh counter recorder) with a display."""
+        self._inner: Recorder = inner if inner is not None else CounterRecorder()
+        self.total = total
+        self.done = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._started = time.perf_counter()
+        self._last_render = 0.0
+        self._rendered = False
+        self._finished = False
+
+    # -- Recorder protocol: everything delegates to the inner recorder.
+
+    @property
+    def enabled(self) -> bool:
+        """Mirror the inner recorder (False under NullRecorder)."""
+        return self._inner.enabled
+
+    @property
+    def trace(self) -> bool:
+        """Mirror the inner recorder."""
+        return self._inner.trace
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Forward, observing ``trials.done`` bumps for the display."""
+        self._inner.count(name, n)
+        if name == TRIALS_COUNTER:
+            self.done += n
+            self._render()
+
+    def timer(self, name: str) -> Any:
+        """Forward to the inner recorder."""
+        return self._inner.timer(name)
+
+    def event(self, kind: str, t: int, /, **fields: Any) -> None:
+        """Forward to the inner recorder."""
+        self._inner.event(kind, t, **fields)
+
+    def series(self, name: str, t: int, value: float) -> None:
+        """Forward to the inner recorder."""
+        self._inner.series(name, t, value)
+
+    def snapshot(self) -> dict:
+        """Forward to the inner recorder."""
+        return self._inner.snapshot()
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Forward, harvesting trial counts merged back from workers.
+
+        The parallel engine's worker chunks report their trials through
+        merged snapshots rather than live ``count`` calls, so the bump
+        is read out of the snapshot here.
+        """
+        self._inner.merge(snapshot)
+        n = snapshot.get("counters", {}).get(TRIALS_COUNTER, 0)
+        if n:
+            self.done += int(n)
+            self._render()
+
+    def fork(self) -> Recorder:
+        """Fork the inner recorder; the display stays in the parent."""
+        return self._inner.fork()
+
+    def close(self) -> None:
+        """Finish the display and close the inner recorder if closable."""
+        self.finish()
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+    # -- Display.
+
+    def _line(self) -> str:
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        rate = self.done / elapsed
+        if self.total:
+            parts = [f"[progress] {self.done}/{self.total} trials"]
+        else:
+            parts = [f"[progress] {self.done} trials"]
+        parts.append(f"{rate:.1f} trials/s")
+        if self.total and 0 < self.done <= self.total:
+            remaining = (self.total - self.done) / rate if rate > 0 else 0.0
+            parts.append(f"ETA {remaining:.1f}s")
+        else:
+            parts.append(f"elapsed {elapsed:.1f}s")
+        return " · ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        if self._inner is NULL_RECORDER or not self._inner.enabled:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        try:
+            self._stream.write("\r" + self._line().ljust(60))
+            self._stream.flush()
+        except (ValueError, OSError):  # pragma: no cover - closed stream
+            pass
+        self._rendered = True
+
+    def finish(self) -> None:
+        """Draw the final state and terminate the line with a newline.
+
+        Idempotent: the CLI may reach it via both its own teardown and
+        :meth:`close`.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self.done:
+            self._render(force=True)
+        if self._rendered:
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (ValueError, OSError):  # pragma: no cover - closed stream
+                pass
+            self._rendered = False

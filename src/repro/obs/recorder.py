@@ -12,8 +12,10 @@ benchmark by ``benchmarks/perf_harness.py``).
 Counters are plain integer accumulators keyed by dotted names
 (``evict.LRU``, ``flow.solver_iterations``, ``prob_table.hits``); timers
 accumulate monotonic wall-clock seconds plus a call count under one
-name.  Snapshots are plain dicts — JSON-serializable, mergeable, and
-safe to ship across a process boundary, which is how the parallel
+name; series (:meth:`Recorder.series`) fold per-step gauges like cache
+occupancy into the bounded-memory :class:`~repro.obs.timeseries.TimeSeries`
+aggregates.  Snapshots are plain dicts — JSON-serializable, mergeable,
+and safe to ship across a process boundary, which is how the parallel
 engine folds worker-side counters back into the parent recorder.
 """
 
@@ -22,6 +24,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Mapping, Protocol, runtime_checkable
+
+from .timeseries import TimeSeries
 
 __all__ = [
     "Recorder",
@@ -62,8 +66,14 @@ class Recorder(Protocol):
         """Record one structured event at step ``t``."""
         ...
 
-    def snapshot(self) -> dict:
-        """Plain-dict view of everything recorded so far."""
+    def series(self, name: str, t: int, value: float) -> None:
+        """Fold the per-step gauge point ``(t, value)`` into ``name``.
+
+        Backed by bounded-memory aggregation (fixed-budget downsampling
+        buffer + streaming quantile sketches), so emitting one point per
+        step is safe for arbitrarily long runs.  Call sites guard on
+        :attr:`enabled` like every other instrumentation block.
+        """
         ...
 
     def merge(self, snapshot: Mapping) -> None:
@@ -110,6 +120,9 @@ class NullRecorder:
     def event(self, kind: str, t: int, /, **fields: Any) -> None:
         """No-op."""
 
+    def series(self, name: str, t: int, value: float) -> None:
+        """No-op."""
+
     def snapshot(self) -> dict:
         """An empty snapshot."""
         return {}
@@ -151,10 +164,12 @@ class CounterRecorder:
     trace = False
 
     def __init__(self) -> None:
-        """Start with empty counter and timer tables."""
+        """Start with empty counter, timer, and series tables."""
         self.counters: dict[str, int] = {}
         #: name -> [accumulated seconds, calls]
         self.timers: dict[str, list[float]] = {}
+        #: name -> bounded-memory per-step aggregate
+        self.series_data: dict[str, TimeSeries] = {}
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the counter ``name`` (created at 0)."""
@@ -179,24 +194,51 @@ class CounterRecorder:
         """Counters-only sink: events are counted, not stored."""
         self.count(f"events.{kind}")
 
+    def series(self, name: str, t: int, value: float) -> None:
+        """Fold ``(t, value)`` into the bounded series aggregate ``name``."""
+        ts = self.series_data.get(name)
+        if ts is None:
+            ts = self.series_data[name] = TimeSeries(name)
+        ts.add(t, value)
+
     def snapshot(self) -> dict:
-        """``{"counters": {...}, "timers": {name: {"seconds", "calls"}}}``."""
-        return {
+        """``{"counters": ..., "timers": ..., "series": ...}``.
+
+        The ``series`` key is present only when at least one series was
+        recorded, so counters-only snapshots keep their PR-4 shape.
+        """
+        snap: dict = {
             "counters": dict(self.counters),
             "timers": {
                 name: {"seconds": secs, "calls": int(calls)}
                 for name, (secs, calls) in self.timers.items()
             },
         }
+        if self.series_data:
+            snap["series"] = {
+                name: ts.snapshot() for name, ts in self.series_data.items()
+            }
+        return snap
 
     def merge(self, snapshot: Mapping) -> None:
-        """Add a :meth:`snapshot`'s counters and timers into this one."""
+        """Add a :meth:`snapshot`'s counters/timers/series into this one.
+
+        Series aggregates merge exactly except for quantile sketches and
+        downsampling buffers, which merge approximately (see
+        :meth:`repro.obs.timeseries.TimeSeries.merge`).
+        """
         for name, n in snapshot.get("counters", {}).items():
             self.count(name, n)
         for name, entry in snapshot.get("timers", {}).items():
             slot = self.timers.setdefault(name, [0.0, 0])
             slot[0] += entry["seconds"]
             slot[1] += entry["calls"]
+        for name, state in snapshot.get("series", {}).items():
+            ts = self.series_data.get(name)
+            if ts is None:
+                self.series_data[name] = TimeSeries.from_state(name, state)
+            else:
+                ts.merge(state)
 
     def fork(self) -> "CounterRecorder":
         """A fresh, empty counter recorder for a worker process."""

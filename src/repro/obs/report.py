@@ -11,6 +11,15 @@ The summary is computed from the event stream alone — no simulator
 state — so it works on any schema-1 trace regardless of which run
 produced it, and unknown event kinds are counted but otherwise ignored
 (the forward-compatibility rule of :mod:`repro.obs.trace`).
+
+``--series`` renders the trace's per-step gauges (``series`` events) as
+ASCII sparkline tables; ``--png`` additionally plots them, when
+matplotlib is installed (it is an optional dependency — without it the
+flag fails with a clear message, nothing else degrades).
+
+Both CLIs read traces tolerantly (``read_trace(strict=False)``): a
+final line truncated by a crash mid-write is reported on stderr and
+skipped instead of aborting the report.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
+from .timeseries import sparkline
 from .trace import read_trace
 
 __all__ = [
@@ -30,6 +40,9 @@ __all__ = [
     "summarize_trace_file",
     "format_trace_summary",
     "format_metrics",
+    "collect_series",
+    "format_series_table",
+    "save_series_png",
     "main",
 ]
 
@@ -183,7 +196,7 @@ def format_trace_summary(summary: TraceSummary) -> str:
 
 
 def format_metrics(snapshot: Mapping) -> str:
-    """Render a recorder snapshot (counters + timers) as a table.
+    """Render a recorder snapshot (counters/timers/series) as a table.
 
     Accepts the dict produced by
     :meth:`repro.obs.recorder.CounterRecorder.snapshot`; unknown keys
@@ -191,6 +204,7 @@ def format_metrics(snapshot: Mapping) -> str:
     """
     counters = snapshot.get("counters", {})
     timers = snapshot.get("timers", {})
+    series = snapshot.get("series", {})
     rows = [(name, str(counters[name])) for name in sorted(counters)]
     for name in sorted(timers):
         entry = timers[name]
@@ -200,10 +214,140 @@ def format_metrics(snapshot: Mapping) -> str:
                 f"{entry['seconds']:.4f}s / {entry['calls']} calls",
             )
         )
+    for name in sorted(series):
+        entry = series[name]
+        count = entry.get("count", 0)
+        mean = entry.get("sum", 0.0) / count if count else 0.0
+        rows.append(
+            (
+                f"{name} (series)",
+                f"n={count} min={_fmt(entry.get('min'))} "
+                f"mean={_fmt(mean)} max={_fmt(entry.get('max'))}",
+            )
+        )
     if not rows:
         return "(no metrics recorded)"
     width = max(len(label) for label, _ in rows)
     return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def _fmt(value: Optional[float]) -> str:
+    """Compact numeric rendering: integral floats drop the fraction."""
+    if value is None:
+        return "-"
+    if float(value) == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def collect_series(events: Iterable[Mapping]) -> dict[str, list[tuple[int, float]]]:
+    """Group a trace's ``series`` events into per-name point lists.
+
+    Points keep trace order (which is time order within one run);
+    malformed series events — missing name or non-numeric value — are
+    skipped per the forward-compatibility rule.
+    """
+    out: dict[str, list[tuple[int, float]]] = {}
+    for ev in events:
+        if ev.get("kind") != "series":
+            continue
+        name = ev.get("name")
+        value = ev.get("value")
+        t = ev.get("t")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            continue
+        out.setdefault(name, []).append(
+            (t if isinstance(t, int) else 0, float(value))
+        )
+    return out
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted, non-empty value list."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def format_series_table(
+    series_map: Mapping[str, Sequence[tuple[int, float]]],
+    width: int = 48,
+) -> str:
+    """Render collected series as aligned rows with sparklines.
+
+    One row per series: point count, min/mean/p50/max (exact — computed
+    from the trace's raw points, unlike the streaming estimates in
+    recorder snapshots), the final value, and a ``width``-cell
+    :func:`~repro.obs.timeseries.sparkline` of the values in time order.
+    """
+    if not series_map:
+        return "(no series events in trace)"
+    rows = []
+    for name in sorted(series_map):
+        points = series_map[name]
+        values = [v for _, v in points]
+        if not values:
+            continue
+        mean = sum(values) / len(values)
+        rows.append(
+            (
+                name,
+                f"n={len(values)}",
+                f"min={_fmt(min(values))}",
+                f"mean={_fmt(mean)}",
+                f"p50={_fmt(_percentile(values, 0.5))}",
+                f"max={_fmt(max(values))}",
+                f"last={_fmt(values[-1])}",
+                sparkline(values, width=width),
+            )
+        )
+    if not rows:
+        return "(no series events in trace)"
+    widths = [max(len(row[i]) for row in rows) for i in range(7)]
+    return "\n".join(
+        "  ".join(
+            [*(cell.ljust(widths[i]) for i, cell in enumerate(row[:7])), row[7]]
+        )
+        for row in rows
+    )
+
+
+def save_series_png(
+    series_map: Mapping[str, Sequence[tuple[int, float]]],
+    path: Union[str, Path],
+) -> None:
+    """Plot collected series to ``path`` as stacked PNG panels.
+
+    matplotlib is an *optional* dependency of this one function; when it
+    is not installed a :class:`RuntimeError` with installation guidance
+    is raised and nothing is written.
+    """
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise RuntimeError(
+            "PNG export requires matplotlib, which is not installed; "
+            "install it (pip install matplotlib) or use the ASCII "
+            "--series table instead"
+        ) from exc
+    names = [n for n in sorted(series_map) if series_map[n]]
+    if not names:
+        raise RuntimeError("no series events to plot")
+    fig, axes = plt.subplots(
+        len(names), 1, figsize=(8, 2.2 * len(names)), squeeze=False
+    )
+    for ax, name in zip(axes[:, 0], names):
+        points = series_map[name]
+        ax.plot([t for t, _ in points], [v for _, v in points], linewidth=0.9)
+        ax.set_title(name, fontsize=9)
+        ax.grid(True, alpha=0.3)
+    axes[-1, 0].set_xlabel("step")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
 
 
 def _format_event(ev: Mapping) -> str:
@@ -229,11 +373,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="also print the raw events of steps FIRST..LAST inclusive",
     )
+    parser.add_argument(
+        "--series",
+        action="store_true",
+        help="render the trace's per-step series as sparkline tables",
+    )
+    parser.add_argument(
+        "--png",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --series: also plot the series to a PNG "
+        "(requires matplotlib)",
+    )
     args = parser.parse_args(argv)
 
-    events = read_trace(args.trace)
+    bad_lines: list[str] = []
+    events = read_trace(args.trace, strict=False, bad_lines=bad_lines)
+    for bad in bad_lines:
+        print(f"warning: {args.trace}:{bad} (line skipped)", file=sys.stderr)
     print(f"trace: {args.trace} ({len(events)} events)")
     print(format_trace_summary(summarize_trace(events)))
+    if args.series or args.png is not None:
+        series_map = collect_series(events)
+        print(f"\nseries:\n{format_series_table(series_map)}")
+        if args.png is not None:
+            try:
+                save_series_png(series_map, args.png)
+            except RuntimeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"wrote {args.png}")
     if args.steps is not None:
         first, last = args.steps
         print(f"\nevents for steps {first}..{last}:")

@@ -1,0 +1,465 @@
+"""Bounded-memory per-step time series: buffers, sketches, sparklines.
+
+PR 4's counters answer "how many evictions happened?"; the questions the
+paper's figures actually pose — *when* does HEEB's hit rate converge to
+FlowExpect's, *how* does occupancy settle after warm-up, *is* the
+per-solve FlowExpect latency drifting — need values over time.  Storing
+every ``(t, value)`` point is not an option for million-step streams, so
+this module provides the standard streaming-telemetry shape (cf. the
+sketch-based monitoring literature): every series is folded into a
+fixed-size state no matter how many points it receives.
+
+Three pieces compose into :class:`TimeSeries`, the per-series state held
+by :class:`~repro.obs.recorder.CounterRecorder`:
+
+* exact scalar aggregates — count, sum, min, max, last — which merge
+  losslessly across engines and worker processes;
+* :class:`SeriesBuffer`, a fixed-budget downsampling buffer: it keeps
+  every ``stride``-th point and doubles the stride (thinning in place)
+  whenever the budget fills, so the retained shape always spans the full
+  run at uniform resolution;
+* :class:`P2Quantile`, a P²-style streaming quantile estimator (Jain &
+  Chlamtac): five markers per tracked quantile, adjusted per
+  observation, with a weighted-update extension used to merge one
+  sketch's markers into another (the parallel engine's
+  ``fork``/``merge`` path).
+
+Memory per series is therefore bounded by ``2 × buffer budget + O(1)``
+floats regardless of stream length.  The scalar aggregates and the
+buffer are *deterministic* in the order points arrive, which is what
+lets the batch engine reproduce a scalar run's series bit for bit (it
+replays its arrays in the same trial-major order); quantile estimates
+are deterministic too, but merged sketches are approximate — the
+parallel-engine tests pin them to a tolerance, not to equality.
+
+:func:`sparkline` renders any value sequence as a fixed-width Unicode
+strip for the ``python -m repro.obs report --series`` tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_BUFFER_BUDGET",
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "SeriesBuffer",
+    "TimeSeries",
+    "sparkline",
+]
+
+#: Default point budget of a :class:`SeriesBuffer` (~8 KB per series).
+DEFAULT_BUFFER_BUDGET = 512
+
+#: Quantiles every :class:`TimeSeries` tracks by default.
+DEFAULT_QUANTILES = (0.5, 0.9)
+
+#: Unicode blocks used by :func:`sparkline`, lowest to highest.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² marker algorithm.
+
+    Five markers track the running minimum, the target quantile ``q``,
+    the midpoints ``q/2`` and ``(1+q)/2``, and the running maximum; each
+    observation nudges the middle markers toward their desired positions
+    with a piecewise-parabolic height update.  Until five observations
+    arrive the estimate is exact (computed from the sorted buffer).
+
+    The non-standard extension here is *weighted* updates
+    (``add(x, weight=w)``), equivalent in marker-position arithmetic to
+    ``w`` repeated observations of ``x`` but O(1).  They exist for
+    :meth:`merge`: folding another sketch in feeds its five marker
+    heights, each carrying a fifth of its observation count — an
+    approximation (the donor's distribution is summarized by five
+    points) that keeps merged estimates within a few percent on smooth
+    distributions, which the parallel-engine tests pin.
+    """
+
+    __slots__ = ("q", "count", "_initial", "_heights", "_positions", "_desired")
+
+    def __init__(self, q: float):
+        """Track the ``q``-quantile, ``0 < q < 1``."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be strictly between 0 and 1")
+        self.q = q
+        self.count = 0.0
+        #: Exact buffer used until 5 observations initialize the markers.
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+
+    def _init_markers(self) -> None:
+        values = sorted(self._initial)
+        self._heights = list(values[:5])
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        q = self.q
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._initial = []
+
+    def add(self, x: float, weight: float = 1.0) -> None:
+        """Fold in ``x`` with multiplicity ``weight`` (default one)."""
+        if weight <= 0:
+            return
+        x = float(x)
+        self.count += weight
+        if not self._heights:
+            # Initial phase: collect exact values one at a time so the
+            # five seed markers are real observations.
+            self._initial.append(x)
+            weight -= 1.0
+            if len(self._initial) == 5:
+                self._init_markers()
+            if weight <= 0 or not self._heights:
+                # Still initializing, or the single unit was consumed;
+                # residual fractional weight in the initial phase is
+                # absorbed as one more copy (rare: merge of tiny sketches).
+                for _ in range(int(weight)):
+                    if not self._heights:
+                        self._initial.append(x)
+                        if len(self._initial) == 5:
+                            self._init_markers()
+                    else:
+                        self._update(x, 1.0)
+                return
+        self._update(x, weight)
+
+    def _update(self, x: float, weight: float) -> None:
+        h, n, d = self._heights, self._positions, self._desired
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        q = self.q
+        inc = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        for i in range(k + 1, 5):
+            n[i] += weight
+        for i in range(5):
+            d[i] += weight * inc[i]
+        # A unit observation needs one adjustment pass; a weighted one
+        # may leave a marker several positions from its target, so
+        # passes repeat (bounded) until the markers stop moving.
+        for _ in range(max(1, min(int(weight) + 1, 16))):
+            if not self._adjust_pass():
+                break
+
+    def _adjust_pass(self) -> bool:
+        h, n, d = self._heights, self._positions, self._desired
+        moved = False
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, step)
+                h[i] = candidate
+                n[i] += step
+                moved = True
+        return moved
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        """Current estimate, ``None`` before any observation.
+
+        Exact while fewer than five observations have arrived.
+        """
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return None
+        values = sorted(self._initial)
+        # Nearest-rank on the exact buffer.
+        rank = min(len(values) - 1, max(0, round(self.q * (len(values) - 1))))
+        return values[rank]
+
+    def state(self) -> dict:
+        """JSON-serializable state for snapshots and merging."""
+        return {
+            "q": self.q,
+            "count": self.count,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "P2Quantile":
+        """Rebuild a sketch from :meth:`state` output."""
+        sketch = cls(float(state["q"]))
+        sketch.count = float(state["count"])
+        sketch._initial = [float(v) for v in state.get("initial", ())]
+        sketch._heights = [float(v) for v in state.get("heights", ())]
+        sketch._positions = [float(v) for v in state.get("positions", ())]
+        sketch._desired = [float(v) for v in state.get("desired", ())]
+        return sketch
+
+    def merge(self, state: Mapping) -> None:
+        """Fold another sketch's :meth:`state` into this one.
+
+        Exact when the donor is still in its initial phase (its raw
+        values are replayed); otherwise its five markers are fed as
+        weighted observations — an approximation the tests bound.
+        """
+        donor_count = float(state.get("count", 0.0))
+        if donor_count <= 0:
+            return
+        initial = state.get("initial") or ()
+        heights = state.get("heights") or ()
+        if initial and not heights:
+            for v in initial:
+                self.add(float(v))
+            return
+        weight = donor_count / 5.0
+        for v in heights:
+            self.add(float(v), weight=weight)
+
+
+class SeriesBuffer:
+    """Fixed-budget downsampling buffer of ``(t, value)`` points.
+
+    Keeps every ``stride``-th offered point; when the retained list hits
+    the budget it is thinned in place (every other point) and the stride
+    doubles.  Retained points therefore always include the first point
+    and span the run at uniform resolution, and the sequence of retained
+    points is a deterministic function of the offered sequence — the
+    property behind exact scalar/batch series parity.
+    """
+
+    __slots__ = ("budget", "stride", "offered", "points")
+
+    def __init__(self, budget: int = DEFAULT_BUFFER_BUDGET):
+        """Retain at most ``budget`` points (``budget >= 4``)."""
+        if budget < 4:
+            raise ValueError("budget must be >= 4")
+        self.budget = budget
+        self.stride = 1
+        self.offered = 0
+        self.points: list[tuple[int, float]] = []
+
+    def add(self, t: int, value: float) -> None:
+        """Offer one point; retained iff it falls on the current stride."""
+        if self.offered % self.stride == 0:
+            self.points.append((t, value))
+            if len(self.points) >= self.budget:
+                # Kept points sit at offered indices 0, s, 2s, ...;
+                # dropping every other one leaves multiples of 2s, so
+                # the doubled stride continues the pattern seamlessly.
+                self.points = self.points[::2]
+                self.stride *= 2
+        self.offered += 1
+
+    def state(self) -> dict:
+        """JSON-serializable state for snapshots and merging."""
+        return {
+            "budget": self.budget,
+            "stride": self.stride,
+            "offered": self.offered,
+            "points": [[t, v] for t, v in self.points],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "SeriesBuffer":
+        """Rebuild a buffer from :meth:`state` output."""
+        buf = cls(int(state.get("budget", DEFAULT_BUFFER_BUDGET)))
+        buf.stride = int(state.get("stride", 1))
+        buf.offered = int(state.get("offered", 0))
+        buf.points = [(int(t), float(v)) for t, v in state.get("points", ())]
+        return buf
+
+    def merge(self, state: Mapping) -> None:
+        """Fold another buffer's :meth:`state` into this one.
+
+        Points are interleaved by time and re-thinned to the budget.
+        After a merge the buffer is a representative sample of both
+        inputs (worker trials overlap in ``t``), not an exact replay —
+        the exact aggregates live on :class:`TimeSeries` itself.
+        """
+        other_points = [(int(t), float(v)) for t, v in state.get("points", ())]
+        if not other_points:
+            self.offered += int(state.get("offered", 0))
+            return
+        combined = sorted(self.points + other_points, key=lambda p: p[0])
+        stride = max(self.stride, int(state.get("stride", 1)))
+        while len(combined) >= self.budget:
+            combined = combined[::2]
+            stride *= 2
+        self.points = combined
+        self.stride = stride
+        self.offered += int(state.get("offered", 0))
+
+
+class TimeSeries:
+    """Bounded-memory aggregate of one named per-step gauge.
+
+    Combines exact scalar aggregates (count/sum/min/max/last — these
+    merge losslessly), a :class:`SeriesBuffer` for shape, and one
+    :class:`P2Quantile` sketch per tracked quantile.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "vmin",
+        "vmax",
+        "last_t",
+        "last",
+        "buffer",
+        "sketches",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        budget: int = DEFAULT_BUFFER_BUDGET,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Empty series ``name`` with the given buffer/sketch shape."""
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self.last_t: Optional[int] = None
+        self.last: Optional[float] = None
+        self.buffer = SeriesBuffer(budget)
+        self.sketches = {q: P2Quantile(q) for q in quantiles}
+
+    def add(self, t: int, value: float) -> None:
+        """Fold in the point ``(t, value)``."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        self.last_t = t
+        self.last = value
+        self.buffer.add(t, value)
+        for sketch in self.sketches.values():
+            sketch.add(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of all points, ``None`` when empty."""
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate of quantile ``q`` (must be a tracked quantile)."""
+        return self.sketches[q].value()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: aggregates, buffer state, sketch states."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "last_t": self.last_t,
+            "last": self.last,
+            "buffer": self.buffer.state(),
+            "quantiles": {str(q): s.state() for q, s in self.sketches.items()},
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: Mapping) -> "TimeSeries":
+        """Rebuild a series from :meth:`snapshot` output."""
+        buffer_state = state.get("buffer", {})
+        quantile_states = state.get("quantiles", {})
+        series = cls(
+            name,
+            budget=int(buffer_state.get("budget", DEFAULT_BUFFER_BUDGET)),
+            quantiles=tuple(float(q) for q in quantile_states),
+        )
+        series.count = int(state.get("count", 0))
+        series.total = float(state.get("sum", 0.0))
+        series.vmin = state.get("min")
+        series.vmax = state.get("max")
+        series.last_t = state.get("last_t")
+        series.last = state.get("last")
+        series.buffer = SeriesBuffer.from_state(buffer_state)
+        series.sketches = {
+            float(q): P2Quantile.from_state(s) for q, s in quantile_states.items()
+        }
+        return series
+
+    def merge(self, state: Mapping) -> None:
+        """Fold another series' :meth:`snapshot` into this one.
+
+        Scalar aggregates merge exactly; the buffer interleaves; sketch
+        merging is the weighted-marker approximation of
+        :meth:`P2Quantile.merge`.  The merged ``last`` is the point with
+        the larger ``t`` (ties keep ours), which makes the merge of
+        same-shaped worker series deterministic.
+        """
+        self.count += int(state.get("count", 0))
+        self.total += float(state.get("sum", 0.0))
+        other_min = state.get("min")
+        if other_min is not None and (self.vmin is None or other_min < self.vmin):
+            self.vmin = float(other_min)
+        other_max = state.get("max")
+        if other_max is not None and (self.vmax is None or other_max > self.vmax):
+            self.vmax = float(other_max)
+        other_t = state.get("last_t")
+        if other_t is not None and (self.last_t is None or other_t > self.last_t):
+            self.last_t = int(other_t)
+            last = state.get("last")
+            self.last = float(last) if last is not None else None
+        self.buffer.merge(state.get("buffer", {}))
+        for q, sketch_state in state.get("quantiles", {}).items():
+            key = float(q)
+            if key not in self.sketches:
+                self.sketches[key] = P2Quantile.from_state(sketch_state)
+            else:
+                self.sketches[key].merge(sketch_state)
+
+
+def sparkline(values: Iterable[float], width: int = 48) -> str:
+    """Render values as a fixed-width Unicode block strip.
+
+    Longer sequences are bucket-averaged down to ``width`` cells;
+    shorter ones use one cell per value.  A constant (or empty) series
+    renders as a flat mid-height strip so tables stay aligned.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(data) // width
+            hi = max(lo + 1, (i + 1) * len(data) // width)
+            chunk = data[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        data = bucketed
+    vmin = min(data)
+    vmax = max(data)
+    if vmax - vmin <= 0:
+        return _BLOCKS[3] * len(data)
+    scale = (len(_BLOCKS) - 1) / (vmax - vmin)
+    return "".join(_BLOCKS[int((v - vmin) * scale + 0.5)] for v in data)

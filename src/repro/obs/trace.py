@@ -25,11 +25,14 @@ policies:
                 benefit}`` — ``benefit`` is the next-step arc benefit)
 ``occupancy``   end-of-step cache state: ``total``, ``r`` (join runs)
 ``step``        per-step roll-up: ``results`` (join) or ``hit`` (cache)
+``series``      one time-series point: ``name``, ``value`` (mirrors
+                :meth:`~repro.obs.recorder.Recorder.series` calls)
 ==============  ======================================================
 
 Consumers must ignore unknown kinds and unknown fields — that is what
-lets the schema grow without a version bump; the version changes only
-when the meaning of an existing field changes.
+lets the schema grow without a version bump (the ``series`` kind was
+added exactly this way); the version changes only when the meaning of
+an existing field changes.
 
 Traces are **bounded**: after ``max_events`` events the recorder stops
 storing them and counts the overflow under ``trace.dropped``, so a
@@ -124,6 +127,11 @@ class TraceRecorder(CounterRecorder):
         record.update(fields)
         self._sink(record)
 
+    def series(self, name: str, t: int, value: float) -> None:
+        """Aggregate the point and also stream it as a ``series`` event."""
+        super().series(name, t, value)
+        self.event("series", t, name=name, value=float(value))
+
     def close(self) -> None:
         """Flush and close the backing file, if any."""
         if self._file is not None:
@@ -147,15 +155,27 @@ class TraceRecorder(CounterRecorder):
         return CounterRecorder()
 
 
-def read_trace(path: Union[str, Path]) -> list[dict]:
+def read_trace(
+    path: Union[str, Path],
+    strict: bool = True,
+    bad_lines: Optional[list[str]] = None,
+) -> list[dict]:
     """Load a JSONL trace file, validating its header.
 
     Returns the event records (header excluded).  Raises
     :class:`ValueError` on a missing/foreign header or an unsupported
     schema version, so callers fail loudly on stale files rather than
     silently misreading them.
+
+    In strict mode (the default) any undecodable line — typically a
+    final line truncated by a crash mid-write — also raises.  With
+    ``strict=False`` undecodable lines are skipped instead and, when a
+    ``bad_lines`` list is supplied, reported into it as
+    ``"lineno: message"`` strings; the report/diff CLIs use this so a
+    truncated trace is still inspectable.  The header line must be
+    intact in either mode.
     """
-    records = list(_iter_lines(Path(path)))
+    records = list(_iter_lines(Path(path), strict=strict, bad_lines=bad_lines))
     if not records or records[0].get("kind") != "header":
         raise ValueError(f"{path}: not a repro.obs trace (missing header)")
     schema = records[0].get("schema")
@@ -167,7 +187,11 @@ def read_trace(path: Union[str, Path]) -> list[dict]:
     return records[1:]
 
 
-def _iter_lines(path: Path) -> Iterator[dict]:
+def _iter_lines(
+    path: Path,
+    strict: bool = True,
+    bad_lines: Optional[list[str]] = None,
+) -> Iterator[dict]:
     """Yield one parsed JSON object per non-empty line of ``path``."""
     with path.open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -177,6 +201,9 @@ def _iter_lines(path: Path) -> Iterator[dict]:
             try:
                 yield json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
-                ) from None
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                    ) from None
+                if bad_lines is not None:
+                    bad_lines.append(f"{lineno}: {exc}")

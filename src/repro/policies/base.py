@@ -230,26 +230,33 @@ class ScoredPolicy(ReplacementPolicy):
     ) -> list[StreamTuple]:
         if n_evict <= 0:
             return []
-        if ctx.recorder.trace:
-            # Snapshot every candidate's score (the per-candidate
-            # ECB/HEEB values for the model-aware policies) before
-            # ranking, so a trace can answer "why was X evicted at t?".
+        rec = ctx.recorder
+        if rec.enabled:
             scored = [(self.score(tup, ctx), tup.uid, tup) for tup in candidates]
-            ctx.recorder.event(
-                "scores",
-                ctx.time,
-                policy=self.name,
-                candidates=[
-                    {
-                        "uid": tup.uid,
-                        "side": tup.side,
-                        "value": tup.value,
-                        "score": score,
-                    }
-                    for score, _, tup in scored
-                ],
-            )
-            return [tup for _, _, tup in sorted(scored)[:n_evict]]
+            if rec.trace:
+                # Snapshot every candidate's score (the per-candidate
+                # ECB/HEEB values for the model-aware policies) before
+                # ranking, so a trace can answer "why was X evicted at t?".
+                rec.event(
+                    "scores",
+                    ctx.time,
+                    policy=self.name,
+                    candidates=[
+                        {
+                            "uid": tup.uid,
+                            "side": tup.side,
+                            "value": tup.value,
+                            "score": score,
+                        }
+                        for score, _, tup in scored
+                    ],
+                )
+            ranked = sorted(scored)
+            # Eviction threshold over time: the best score that still got
+            # evicted.  Scalar-tier only, like trace events (the batch
+            # adapters rank scores without materializing them per step).
+            rec.series("scores.cutoff", ctx.time, ranked[n_evict - 1][0])
+            return [tup for _, _, tup in ranked[:n_evict]]
         ranked = sorted(
             candidates, key=lambda tup: (self.score(tup, ctx), tup.uid)
         )

@@ -327,6 +327,8 @@ class BatchJoinSimulator:
         rec_on = rec.enabled
         expired_total = 0
         evicted_total = 0
+        # Per-step results, kept only to replay the scalar series exactly.
+        results_log = np.zeros((n_trials, n), dtype=np.int64) if rec_on else None
 
         for t in range(n):
             r_vals = r_paths[:, t]
@@ -360,6 +362,8 @@ class BatchJoinSimulator:
             m_s = state.alive & (state.side == R_CODE) & has_s[:, None] & near_s
             step_results = m_r.sum(axis=1) + m_s.sum(axis=1)
             total += step_results
+            if results_log is not None:
+                results_log[:, t] = step_results
             if t >= self._warmup:
                 after_warmup += step_results
             referenced = m_r | m_s
@@ -400,6 +404,7 @@ class BatchJoinSimulator:
             self._record_counters(
                 r_paths, s_paths, total, expired_total, evicted_total
             )
+            self._emit_series(occupancy, results_log)
         return BatchJoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,
@@ -441,6 +446,26 @@ class BatchJoinSimulator:
         ):
             if count:
                 rec.count(name, count)
+
+    def _emit_series(
+        self, occupancy: np.ndarray, results_log: np.ndarray | None
+    ) -> None:
+        """Replay the scalar per-step series from the batch arrays.
+
+        Points are fed trial-major (all of trial 0's steps, then trial
+        1's, …) — the exact order the scalar engine produces over the
+        same trials — so the recorder's series aggregates, including the
+        order-dependent downsampling buffers and quantile sketches, come
+        out bit-identical to a scalar run.
+        """
+        assert results_log is not None
+        rec = self._recorder
+        occ_rows = occupancy.tolist()
+        cum_rows = np.cumsum(results_log, axis=1).tolist()
+        for occ_row, cum_row in zip(occ_rows, cum_rows):
+            for t, (occ, cum) in enumerate(zip(occ_row, cum_row)):
+                rec.series("cache.occupancy", t, occ)
+                rec.series("join.results.cum", t, cum)
 
 
 class BatchCacheSimulator:
@@ -497,6 +522,12 @@ class BatchCacheSimulator:
         rec = self._recorder
         rec_on = rec.enabled
         evicted_total = 0
+        # Per-step hit/occupancy logs, kept only to replay scalar series.
+        if rec_on:
+            hit_log = np.zeros((n_trials, n), dtype=np.int64)
+            occ_log = np.zeros((n_trials, n), dtype=np.int64)
+        else:
+            hit_log = occ_log = None
 
         for t in range(n):
             vals = references[:, t]
@@ -504,6 +535,8 @@ class BatchCacheSimulator:
             state.last_r[has] = vals[has]
             self._policy.begin_step(state, t, vals, None)
             if not has.any():
+                if occ_log is not None:
+                    occ_log[:, t] = counts
                 continue
 
             safe = np.where(has, vals, 0)
@@ -512,6 +545,8 @@ class BatchCacheSimulator:
             hits += hit_rows
             miss_rows = has & ~hit_rows
             misses += miss_rows
+            if hit_log is not None:
+                hit_log[:, t] = hit_rows
             if t >= self._warmup:
                 hits_w += hit_rows
                 misses_w += miss_rows
@@ -520,6 +555,8 @@ class BatchCacheSimulator:
 
             rows = np.flatnonzero(miss_rows)
             if rows.size == 0:
+                if occ_log is not None:
+                    occ_log[:, t] = counts
                 continue
             cols = counts[rows]
             state.val[rows, cols] = vals[rows]
@@ -539,6 +576,8 @@ class BatchCacheSimulator:
                         evicted_total += int(victims.sum())
                     state.compact(state.alive & ~victims, aux)
                     counts = state.alive.sum(axis=1)
+            if occ_log is not None:
+                occ_log[:, t] = counts
 
         observed = (references != NONE_VALUE).sum(axis=1)
         if rec_on:
@@ -554,6 +593,7 @@ class BatchCacheSimulator:
             ):
                 if count:
                     rec.count(name, count)
+            self._emit_series(references, occ_log, hit_log)
         return BatchCacheRunResult(
             hits=hits,
             misses=misses,
@@ -564,3 +604,37 @@ class BatchCacheSimulator:
             cache_size=k,
             skipped=n - observed,
         )
+
+    def _emit_series(
+        self,
+        references: np.ndarray,
+        occ_log: np.ndarray | None,
+        hit_log: np.ndarray | None,
+    ) -> None:
+        """Replay the scalar per-step series from the batch arrays.
+
+        Trial-major like :meth:`BatchJoinSimulator._emit_series`; points
+        exist only at observed (non-``None``) reference steps, matching
+        the scalar simulator, and the cumulative hit rate is computed
+        with the same integer division operands.
+        """
+        assert occ_log is not None and hit_log is not None
+        rec = self._recorder
+        observed_rows = (references != NONE_VALUE).tolist()
+        occ_rows = occ_log.tolist()
+        hit_cum = np.cumsum(hit_log, axis=1)
+        miss_cum = np.cumsum(
+            (references != NONE_VALUE) & (hit_log == 0), axis=1
+        )
+        hit_rows_cum = hit_cum.tolist()
+        miss_rows_cum = miss_cum.tolist()
+        for obs_row, occ_row, h_row, m_row in zip(
+            observed_rows, occ_rows, hit_rows_cum, miss_rows_cum
+        ):
+            for t, seen in enumerate(obs_row):
+                if not seen:
+                    continue
+                h = h_row[t]
+                rec.series("cache.occupancy", t, occ_row[t])
+                rec.series("cache.hits.cum", t, h)
+                rec.series("cache.hit_rate", t, h / (h + m_row[t]))

@@ -127,6 +127,10 @@ class CacheSimulator:
                 if t >= self._warmup:
                     hits_w += 1
                 self._policy.on_reference(cached[0], t)
+                if rec_on:
+                    rec.series("cache.occupancy", t, len(cache))
+                    rec.series("cache.hits.cum", t, hits)
+                    rec.series("cache.hit_rate", t, hits / (hits + misses))
                 continue
 
             misses += 1
@@ -158,8 +162,12 @@ class CacheSimulator:
             if fetched.uid not in victim_uids:
                 cache.add(fetched)
                 self._policy.on_admit(fetched, t)
-            if rec_trace:
-                rec.event("occupancy", t, total=len(cache))
+            if rec_on:
+                rec.series("cache.occupancy", t, len(cache))
+                rec.series("cache.hits.cum", t, hits)
+                rec.series("cache.hit_rate", t, hits / (hits + misses))
+                if rec_trace:
+                    rec.event("occupancy", t, total=len(cache))
 
         result = CacheRunResult(
             hits=hits,

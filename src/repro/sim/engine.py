@@ -274,10 +274,13 @@ class ScalarEngine(Engine):
         """One fresh policy + one reference simulator per trial."""
         results = []
         name = None
+        rec_on = recorder.enabled
         for item in data:
             policy = policy_factory()
             name = getattr(policy, "name", None) or "policy"
             results.append(_run_one_scalar(spec, policy, item, recorder))
+            if rec_on:
+                recorder.count("trials.done")
         return EngineRun(policy_name=name or "policy", per_run=results)
 
 
@@ -360,7 +363,10 @@ class BatchEngine(Engine):
                 policy_name=policy.name,
             )
             batched = sim.run(r_arr, s_arr)
-        return EngineRun(policy_name=policy.name, per_run=batched.unbatch())
+        per_run = batched.unbatch()
+        if recorder.enabled:
+            recorder.count("trials.done", len(per_run))
+        return EngineRun(policy_name=policy.name, per_run=per_run)
 
 
 # ----------------------------------------------------------------------
@@ -387,10 +393,13 @@ def _parallel_worker(indices: list[int]) -> tuple[str, list, Optional[dict]]:
     child = recorder.fork() if recorder.enabled else NULL_RECORDER
     results = []
     name = "policy"
+    child_on = child.enabled
     for i in indices:
         policy = policy_factory()
         name = getattr(policy, "name", None) or "policy"
         results.append(_run_one_scalar(spec, policy, data[i], child))
+        if child_on:
+            child.count("trials.done")
     snapshot = child.snapshot() if child.enabled else None
     return name, results, snapshot
 

@@ -248,6 +248,8 @@ class JoinSimulator:
             if rec_on:
                 if step_results:
                     rec.count("join.results", step_results)
+                rec.series("cache.occupancy", t, int(occupancy[t]))
+                rec.series("join.results.cum", t, total)
                 if rec_trace:
                     rec.event("step", t, results=step_results)
                     rec.event(

@@ -411,6 +411,8 @@ class MultiJoinSimulator:
             if rec_on:
                 if step_results:
                     rec.count("join.results", step_results)
+                rec.series("cache.occupancy", t, len(cache))
+                rec.series("join.results.cum", t, total)
                 if rec_trace:
                     rec.event("step", t, results=step_results)
                     rec.event("occupancy", t, total=len(cache))

@@ -1,0 +1,185 @@
+"""Trace diffing: step alignment, first divergence, fast-vs-reference.
+
+Pins the audit contracts:
+
+* two traces of the *same* run are step-aligned identical (exit 0);
+* a perturbed eviction is localized to its step and kind, with a
+  victim-set detail naming the disagreeing tuples;
+* the acceptance check of the PR: FlowExpect fast-path and
+  reference-path traces of a pinned seed diff to **zero divergences**;
+* series events and unknown kinds are excluded from comparison
+  (forward compatibility + wall-clock fields);
+* truncated inputs are read tolerantly by the file-level API and CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import TraceRecorder, diff_trace_files, diff_traces, format_diff
+from repro.obs.audit import main as diff_main
+from repro.policies import LruPolicy
+from repro.policies.flowexpect_policy import FlowExpectPolicy
+from repro.sim.join_sim import JoinSimulator
+from repro.streams import RandomWalkStream
+from repro.streams.noise import bounded_uniform
+
+
+def _lru_trace(path):
+    model = RandomWalkStream(step=bounded_uniform(2))
+    r = model.sample_path(50, np.random.default_rng(5))
+    s = model.sample_path(50, np.random.default_rng(6))
+    with TraceRecorder(path) as rec:
+        JoinSimulator(3, LruPolicy(), recorder=rec).run(r, s)
+
+
+def _flowexpect_trace(path, fast):
+    model = RandomWalkStream(step=bounded_uniform(3))
+    r = model.sample_path(60, np.random.default_rng(42))
+    s = model.sample_path(60, np.random.default_rng(43))
+    policy = FlowExpectPolicy(4, model, model, fast=fast)
+    with TraceRecorder(path) as rec:
+        JoinSimulator(4, policy, recorder=rec).run(r, s)
+
+
+class TestDiffTraces:
+    """In-memory event-stream comparison."""
+
+    def test_identical_streams(self):
+        events = [
+            {"kind": "arrival", "t": 0, "side": "R", "value": 1},
+            {"kind": "step", "t": 0, "results": 0},
+            {"kind": "occupancy", "t": 0, "total": 1},
+        ]
+        diff = diff_traces(events, [dict(e) for e in events])
+        assert diff.identical
+        assert diff.first is None
+        assert diff.steps_compared == 1
+        assert "zero divergences" in format_diff(diff)
+
+    def test_victim_order_is_canonicalized(self):
+        a = [
+            {
+                "kind": "evict",
+                "t": 3,
+                "policy": "LRU",
+                "victims": [
+                    {"uid": 1, "side": "R", "value": 2},
+                    {"uid": 4, "side": "S", "value": 0},
+                ],
+            }
+        ]
+        b = [dict(a[0], victims=list(reversed(a[0]["victims"])))]
+        assert diff_traces(a, b).identical
+
+    def test_perturbed_victim_is_localized(self):
+        base = [
+            {"kind": "step", "t": 0, "results": 1},
+            {
+                "kind": "evict",
+                "t": 1,
+                "policy": "LRU",
+                "victims": [{"uid": 7, "side": "R", "value": 3}],
+            },
+            {"kind": "step", "t": 2, "results": 0},
+        ]
+        other = json.loads(json.dumps(base))
+        other[1]["victims"][0]["uid"] = 9
+        diff = diff_traces(base, other)
+        assert not diff.identical
+        first = diff.first
+        assert (first.t, first.kind) == (1, "evict")
+        assert "victims differ" in first.detail
+        assert diff.per_step == {1: 1}
+        assert "FIRST DIVERGENCE at t=1 [evict]" in format_diff(diff)
+
+    def test_float_tolerance(self):
+        a = [{"kind": "scores", "t": 0, "candidates": [{"uid": 1, "score": 0.5}]}]
+        b = [
+            {
+                "kind": "scores",
+                "t": 0,
+                "candidates": [{"uid": 1, "score": 0.5 + 1e-12}],
+            }
+        ]
+        assert diff_traces(a, b).identical
+        assert not diff_traces(a, b, tol=1e-15).identical
+
+    def test_missing_event_is_a_count_mismatch(self):
+        a = [{"kind": "step", "t": 0, "results": 1}]
+        diff = diff_traces(a, [])
+        assert not diff.identical
+        assert "1 event(s) in A vs 0 in B" in diff.first.detail
+
+    def test_unknown_kinds_and_series_are_ignored(self):
+        a = [
+            {"kind": "step", "t": 0, "results": 1},
+            {"kind": "series", "t": 0, "name": "flow.solve_ms", "value": 1.0},
+            {"kind": "from_the_future", "t": 0, "zap": True},
+        ]
+        b = [
+            {"kind": "step", "t": 0, "results": 1},
+            {"kind": "series", "t": 0, "name": "flow.solve_ms", "value": 99.0},
+        ]
+        diff = diff_traces(a, b)
+        assert diff.identical
+        assert diff.events_a == diff.events_b == 1
+
+    def test_divergence_series_covers_gap_steps(self):
+        a = [
+            {"kind": "step", "t": 0, "results": 1},
+            {"kind": "step", "t": 1, "results": 1},
+            {"kind": "step", "t": 2, "results": 1},
+        ]
+        b = json.loads(json.dumps(a))
+        b[0]["results"] = 9
+        b[2]["results"] = 9
+        series = diff_traces(a, b).divergence_series()
+        assert series == [(0, 1), (1, 0), (2, 1)]
+
+
+class TestDiffFiles:
+    """File-level API and CLI."""
+
+    def test_same_run_twice_is_identical(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _lru_trace(a)
+        _lru_trace(b)
+        diff = diff_trace_files(a, b)
+        assert diff.identical
+        assert diff.steps_compared > 0
+        assert diff_main([str(a), str(b)]) == 0
+
+    def test_flowexpect_fast_matches_reference(self, tmp_path):
+        """The PR's acceptance criterion: zero fast-vs-reference drift."""
+        fast, ref = tmp_path / "fast.jsonl", tmp_path / "ref.jsonl"
+        _flowexpect_trace(fast, fast=True)
+        _flowexpect_trace(ref, fast=False)
+        diff = diff_trace_files(fast, ref)
+        assert diff.identical, format_diff(diff)
+        assert diff_main([str(fast), str(ref)]) == 0
+
+    def test_different_seeds_diverge_with_exit_1(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _lru_trace(a)
+        model = RandomWalkStream(step=bounded_uniform(2))
+        r = model.sample_path(50, np.random.default_rng(50))
+        s = model.sample_path(50, np.random.default_rng(60))
+        with TraceRecorder(b) as rec:
+            JoinSimulator(3, LruPolicy(), recorder=rec).run(r, s)
+        assert diff_main([str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "FIRST DIVERGENCE" in out
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _lru_trace(a)
+        _lru_trace(b)
+        with b.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "step", "t": 999, "resul')  # killed mid-write
+        diff = diff_trace_files(a, b)
+        assert diff.identical  # the torn line never reaches comparison
+        assert diff_main([str(a), str(b)]) == 0
+        assert "line skipped" in capsys.readouterr().err

@@ -65,6 +65,40 @@ class TestCli:
         out = capsys.readouterr().out
         assert "FLOWEXPECT" in out
 
+    def test_progress_renders_on_stderr(self, capsys):
+        assert (
+            main(
+                [
+                    "fig19",
+                    "--length",
+                    "40",
+                    "--runs",
+                    "1",
+                    "--cache",
+                    "3",
+                    "--deltas",
+                    "1",
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "FLOWEXPECT" in captured.out
+        assert "[progress]" in captured.err
+        assert "trials" in captured.err
+        # --progress alone implies a counter recorder for the display,
+        # but the metrics table stays opt-in.
+        assert "evict." not in captured.out
+
+    def test_no_progress_is_silent_on_stderr(self, capsys):
+        assert (
+            main(["fig19", "--length", "40", "--runs", "1", "--cache", "3",
+                  "--deltas", "1"])
+            == 0
+        )
+        assert "[progress]" not in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-figure"])

@@ -1,0 +1,198 @@
+"""Bounded-memory time-series primitives: sketches, buffers, merging.
+
+Pins the contracts ``docs/OBSERVABILITY.md`` states for
+:mod:`repro.obs.timeseries`:
+
+* :class:`P2Quantile` is *exact* below five observations and accurate
+  (within a few percent of the true quantile) on larger streams;
+* :class:`SeriesBuffer` never exceeds its budget regardless of stream
+  length, keeps an evenly-strided sample, and is deterministic in the
+  order points are offered;
+* :class:`TimeSeries` snapshots round-trip through ``from_state`` and
+  ``merge`` preserves the exact aggregates (count/sum/min/max);
+* :func:`sparkline` renders any numeric list without blowing up on
+  constant or empty input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import P2Quantile, SeriesBuffer, TimeSeries, sparkline
+
+
+class TestP2Quantile:
+    """Streaming quantile sketch accuracy and mergeability."""
+
+    def test_exact_below_five_observations(self):
+        for values in ([3.0], [5.0, 1.0], [2.0, 9.0, 4.0], [7.0, 1.0, 3.0, 5.0]):
+            sketch = P2Quantile(0.5)
+            for v in values:
+                sketch.add(v)
+            ranked = sorted(values)
+            # Nearest-rank median on the tiny sorted sample.
+            k = max(0, min(len(ranked) - 1, round(0.5 * (len(ranked) - 1))))
+            assert sketch.value() == ranked[k]
+
+    @pytest.mark.parametrize("q", [0.5, 0.9])
+    def test_accuracy_on_large_stream(self, q):
+        rng = np.random.default_rng(7)
+        values = rng.normal(10.0, 3.0, size=5000)
+        sketch = P2Quantile(q)
+        for v in values:
+            sketch.add(float(v))
+        exact = float(np.quantile(values, q))
+        spread = float(values.max() - values.min())
+        assert abs(sketch.value() - exact) < 0.02 * spread
+
+    def test_state_round_trip(self):
+        sketch = P2Quantile(0.9)
+        for v in range(100):
+            sketch.add(float(v))
+        clone = P2Quantile.from_state(sketch.state())
+        assert clone.value() == sketch.value()
+        assert clone.state() == sketch.state()
+
+    def test_merge_approximates_union(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 100.0, size=4000)
+        full = P2Quantile(0.5)
+        left, right = P2Quantile(0.5), P2Quantile(0.5)
+        for i, v in enumerate(values):
+            full.add(float(v))
+            (left if i % 2 == 0 else right).add(float(v))
+        left.merge(right.state())
+        assert left.value() == pytest.approx(full.value(), rel=0.1)
+
+    def test_merge_of_tiny_donor_is_exact_replay(self):
+        base = P2Quantile(0.5)
+        donor = P2Quantile(0.5)
+        for v in (1.0, 2.0):
+            base.add(v)
+        for v in (3.0, 4.0):
+            donor.add(v)
+        base.merge(donor.state())
+        reference = P2Quantile(0.5)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reference.add(v)
+        assert base.value() == reference.value()
+
+
+class TestSeriesBuffer:
+    """Fixed-budget downsampling buffer."""
+
+    def test_never_exceeds_budget(self):
+        buf = SeriesBuffer(budget=16)
+        for t in range(10_000):
+            buf.add(t, float(t))
+        state = buf.state()
+        assert len(state["points"]) <= 16
+        assert state["offered"] == 10_000
+
+    def test_keeps_evenly_strided_sample(self):
+        buf = SeriesBuffer(budget=8)
+        for t in range(100):
+            buf.add(t, float(t))
+        ts = [t for t, _ in buf.state()["points"]]
+        strides = {b - a for a, b in zip(ts, ts[1:])}
+        assert len(strides) == 1  # uniform spacing
+        assert ts[0] == 0
+
+    def test_exact_below_budget(self):
+        buf = SeriesBuffer(budget=64)
+        points = [[t, t * 0.5] for t in range(20)]
+        for t, v in points:
+            buf.add(t, v)
+        assert buf.state()["points"] == points
+
+    def test_deterministic_in_offer_order(self):
+        a, b = SeriesBuffer(budget=8), SeriesBuffer(budget=8)
+        for t in range(500):
+            a.add(t, float(t % 7))
+            b.add(t, float(t % 7))
+        assert a.state() == b.state()
+
+    def test_merge_respects_budget(self):
+        a, b = SeriesBuffer(budget=8), SeriesBuffer(budget=8)
+        for t in range(100):
+            a.add(t, float(t))
+            b.add(100 + t, float(t))
+        a.merge(b.state())
+        state = a.state()
+        assert len(state["points"]) <= 8
+        assert state["offered"] == 200
+        ts = [t for t, _ in state["points"]]
+        assert ts == sorted(ts)
+
+
+class TestTimeSeries:
+    """Combined aggregates + buffer + sketches."""
+
+    def test_exact_aggregates(self):
+        ts = TimeSeries("gauge")
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        for t, v in enumerate(values):
+            ts.add(t, v)
+        snap = ts.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == sum(values)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+        assert snap["last"] == 5.0
+        assert snap["last_t"] == 4
+
+    def test_snapshot_round_trip(self):
+        ts = TimeSeries("gauge", budget=16)
+        for t in range(200):
+            ts.add(t, float(t % 13))
+        clone = TimeSeries.from_state("gauge", ts.snapshot())
+        assert clone.snapshot() == ts.snapshot()
+
+    def test_merge_exact_on_scalar_aggregates(self):
+        full = TimeSeries("g")
+        left, right = TimeSeries("g"), TimeSeries("g")
+        rng = np.random.default_rng(11)
+        for t, v in enumerate(rng.uniform(0, 10, size=600)):
+            full.add(t, float(v))
+            (left if t < 300 else right).add(t, float(v))
+        left.merge(right.snapshot())
+        a, b = left.snapshot(), full.snapshot()
+        for key in ("count", "min", "max", "last", "last_t"):
+            assert a[key] == b[key]
+        # Sum is exact up to float summation order.
+        assert a["sum"] == pytest.approx(b["sum"], rel=1e-12)
+        # Quantiles are sketch-merged: approximate, not exact.  Bound
+        # the error relative to the data range (the honest metric for a
+        # five-marker sketch), not the value.
+        assert abs(left.quantile(0.5) - full.quantile(0.5)) < 0.1 * (
+            b["max"] - b["min"]
+        )
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        ts = TimeSeries("g")
+        for t in range(50):
+            ts.add(t, float(t))
+        json.dumps(ts.snapshot())
+
+
+class TestSparkline:
+    """Unicode rendering edge cases."""
+
+    def test_monotone_ramp_uses_full_range(self):
+        line = sparkline(list(range(48)))
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0] * 10)
+        assert len(set(line)) == 1
+        assert len(line) == 10
+
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
