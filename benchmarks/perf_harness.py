@@ -27,6 +27,11 @@ contract — an explicit ``NullRecorder`` run must stay within
 records a ``CounterRecorder`` run's solver-iteration count and ProbTable
 hit rate alongside the timings.
 
+The ``serve`` section replays a seeded FLOOR stream through the
+:mod:`repro.serve` streaming tier — after asserting single-shard
+parity with the scalar simulator — and records ingestion throughput
+(tuples/sec) plus queue-depth telemetry (p90 and high-water mark).
+
 Each full run is also appended to ``BENCH_history.jsonl`` (timestamp,
 git SHA, environment fingerprint, headline metrics) via
 ``tools/bench_history.py``, whose ``--check`` mode gates CI against the
@@ -38,8 +43,9 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
         [--length 600] [--workers N] [--fe-length 300]
         [--fe-lookahead 8] [--min-fe-speedup X] [--max-null-overhead P]
-        [--out BENCH_batch.json] [--history BENCH_history.jsonl]
-        [--no-history]
+        [--serve-length 2000] [--serve-shards 4] [--serve-queue 256]
+        [--skip-serve] [--out BENCH_batch.json]
+        [--history BENCH_history.jsonl] [--no-history]
 """
 
 from __future__ import annotations
@@ -361,6 +367,72 @@ def run_flowexpect_bench(
     return entry
 
 
+def run_serve_bench(
+    length: int, n_shards: int, queue_maxsize: int
+) -> dict:
+    """Time the serving tier on a seeded FLOOR replay; return the entry.
+
+    First asserts the tier's parity contract at bench scale — a
+    single-shard replay must reproduce the scalar simulator's result
+    count exactly — then times a sharded replay and records ingestion
+    throughput (tuples/sec) and queue-depth telemetry (high-water mark
+    and the P² p90 of the ``serve.queue_depth`` series).
+    """
+    from repro.serve import run_replay
+    from repro.serve.replay import generate_join_stream
+    from repro.sim.engine import ExperimentSpec
+
+    config = make_config("FLOOR")
+    r_values, s_values = generate_join_stream(
+        config.r_model, config.s_model, length, seed=0
+    )
+    spec = ExperimentSpec(kind="join", cache_size=CACHE_SIZE)
+    factory = lambda: make_policy("lru")
+
+    sim = JoinSimulator(policy=factory(), cache_size=CACHE_SIZE)
+    sim_results = sim.run(r_values, s_values).total_results
+    parity = run_replay(spec, factory, r_values, s_values, n_shards=1)
+    if parity.total_results != sim_results:
+        raise AssertionError(
+            f"serve parity broken: single-shard replay produced "
+            f"{parity.total_results} results, simulator {sim_results}"
+        )
+
+    recorder = CounterRecorder()
+    summary = run_replay(
+        spec,
+        factory,
+        r_values,
+        s_values,
+        n_shards=n_shards,
+        queue_maxsize=queue_maxsize,
+        recorder=recorder,
+    )
+    entry = {
+        "length": length,
+        "n_shards": n_shards,
+        "queue_maxsize": queue_maxsize,
+        "policy": "lru",
+        "seconds": round(summary.seconds, 4),
+        "tuples_per_sec": round(summary.tuples_per_sec, 1),
+        "max_queue_depth": summary.max_queue_depth,
+        "p90_queue_depth": (
+            round(summary.p90_queue_depth, 2)
+            if summary.p90_queue_depth is not None
+            else None
+        ),
+        "backpressure_waits": summary.backpressure_waits,
+        "total_results": summary.total_results,
+    }
+    print(
+        f"serve    shards={n_shards} len={length} "
+        f"{entry['tuples_per_sec']:10.1f} tuples/sec  "
+        f"queue depth p90 {entry['p90_queue_depth']} "
+        f"max {entry['max_queue_depth']}, parity OK"
+    )
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=256)
@@ -403,6 +475,29 @@ def main() -> None:
         help="skip the engine-tier benchmark (FlowExpect section only)",
     )
     parser.add_argument(
+        "--serve-length",
+        type=int,
+        default=2000,
+        help="stream length for the serving-tier throughput benchmark",
+    )
+    parser.add_argument(
+        "--serve-shards",
+        type=int,
+        default=4,
+        help="shard count for the serving-tier throughput benchmark",
+    )
+    parser.add_argument(
+        "--serve-queue",
+        type=int,
+        default=256,
+        help="per-shard queue bound for the serving-tier benchmark",
+    )
+    parser.add_argument(
+        "--skip-serve",
+        action="store_true",
+        help="skip the serving-tier throughput benchmark",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=_REPO_ROOT / "BENCH_batch.json",
@@ -439,6 +534,10 @@ def main() -> None:
 
     report = run_harness(args.trials, args.length, args.workers)
     report["flowexpect"] = fe_entry
+    if not args.skip_serve:
+        report["serve"] = run_serve_bench(
+            args.serve_length, args.serve_shards, args.serve_queue
+        )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     if not args.no_history:
         bench_history = _load_bench_history()

@@ -65,14 +65,30 @@ class StreamTuple:
 
 
 class TupleFactory:
-    """Mints :class:`StreamTuple` objects with unique ids."""
+    """Mints :class:`StreamTuple` objects with unique ids.
 
-    def __init__(self) -> None:
-        self._next_uid = 0
+    ``start`` and ``step`` define a strided uid space: the factory mints
+    ``start, start + step, start + 2*step, ...``.  The default
+    ``(0, 1)`` is the dense sequence every simulator uses; the sharded
+    server (:mod:`repro.serve`) gives shard ``i`` of ``n`` the stride
+    ``(i, n)`` so uids stay globally unique — and deterministic per
+    shard — no matter how the event loop interleaves the shards.
+    """
+
+    def __init__(self, start: int = 0, step: int = 1) -> None:
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self._next_uid = start
+        self._step = step
+
+    @property
+    def next_uid(self) -> int:
+        """The uid the next minted tuple will receive."""
+        return self._next_uid
 
     def make(self, side: Side, value, arrival: int) -> StreamTuple:
         t = StreamTuple(self._next_uid, side, value, arrival)
-        self._next_uid += 1
+        self._next_uid += self._step
         return t
 
 

@@ -269,6 +269,56 @@ def cmd_fig19(args: argparse.Namespace) -> None:
     _finish_recorder(recorder, args)
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Run the asyncio serving tier over a seeded or recorded stream."""
+    from ..policies import make_policy
+    from ..serve import run_replay
+    from ..serve.replay import arrivals_from_trace, generate_join_stream
+    from ..sim.engine import ExperimentSpec
+
+    recorder = _make_recorder(args)
+    config = make_config(args.config)
+    if args.replay_trace:
+        r_values, s_values = arrivals_from_trace(args.replay_trace)
+    else:
+        r_values, s_values = generate_join_stream(
+            config.r_model, config.s_model, args.length, args.seed, run=args.run
+        )
+    spec = ExperimentSpec(
+        kind="join",
+        cache_size=args.cache,
+        window=args.window,
+        r_model=config.r_model,
+        s_model=config.s_model,
+        window_oracle=config.window_oracle,
+        seed=args.seed,
+    )
+
+    def policy_factory():
+        if args.policy == "heeb":
+            return config.make_heeb(args.cache)
+        return make_policy(args.policy)
+
+    summary = run_replay(
+        spec,
+        policy_factory,
+        r_values,
+        s_values,
+        n_shards=args.shards,
+        queue_maxsize=args.queue,
+        n_producers=args.producers,
+        step_delay=args.step_delay,
+        recorder=recorder,
+    )
+    body = "\n".join(f"{k}: {v}" for k, v in summary.as_dict().items())
+    _print(
+        f"serve: {args.config} / {args.policy} "
+        f"(shards={args.shards}, per-shard cache={args.cache})",
+        body,
+    )
+    _finish_recorder(recorder, args)
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     for name in (
         "fig6",
@@ -385,6 +435,62 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, nargs="+", default=[1, 2, 3, 5, 7, 10])
     _add_obs(p)
 
+    p = sub.add_parser(
+        "serve",
+        help="push a stream through the asyncio serving tier (repro.serve)",
+    )
+    _add_common(p, length=2000, runs=1, cache=10)
+    p.add_argument(
+        "--config",
+        default="FLOOR",
+        help="synthetic scenario providing the stream models (default FLOOR)",
+    )
+    p.add_argument(
+        "--policy",
+        default="lru",
+        help="replacement policy name (registry name, or 'heeb' for the "
+        "scenario's HEEB strategy)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="cache shards; 1 = simulator-parity mode (default 1)",
+    )
+    p.add_argument(
+        "--queue",
+        type=int,
+        default=256,
+        help="per-shard bounded queue size (backpressure threshold)",
+    )
+    p.add_argument(
+        "--producers",
+        type=int,
+        default=1,
+        help="concurrent producer tasks feeding the server (default 1)",
+    )
+    p.add_argument(
+        "--step-delay",
+        type=float,
+        default=0.0,
+        help="artificial seconds slept per applied event (slow-consumer demo)",
+    )
+    p.add_argument("--window", type=int, default=None)
+    p.add_argument(
+        "--run",
+        type=int,
+        default=0,
+        help="trial index for seed spawning (matches simulator run k)",
+    )
+    p.add_argument(
+        "--replay-trace",
+        metavar="PATH",
+        default=None,
+        help="replay arrivals recorded in a repro.obs trace file instead "
+        "of sampling a seeded stream",
+    )
+    _add_obs(p)
+
     p = sub.add_parser("all", help="run everything at bench scale")
     p.add_argument("--seed", type=int, default=0)
 
@@ -404,6 +510,7 @@ _DISPATCH = {
     "fig15": cmd_fig15,
     "fig17": cmd_fig17,
     "fig19": cmd_fig19,
+    "serve": cmd_serve,
     "all": cmd_all,
 }
 

@@ -1,0 +1,45 @@
+"""Streaming service tier: asyncio join/cache serving over the sim core.
+
+The roadmap's production-scale direction: the pure per-step transitions
+of :mod:`repro.sim.step` driven by an asyncio event loop
+(:class:`~repro.serve.server.StreamServer`) instead of a simulator
+``for`` loop.  Concurrent producers push arrivals; the join-attribute
+space partitions across per-shard caches (:mod:`repro.serve.shard`);
+bounded queues apply backpressure; hit-rate/occupancy/queue-depth flow
+through the existing :mod:`repro.obs` recorder telemetry.  The replay
+clients (:mod:`repro.serve.replay`) feed recorded traces or seeded
+streams back through a server — the basis of the sim-vs-server parity
+guarantee pinned by ``tests/test_serve_parity.py``.
+
+See ``docs/SERVING.md`` for the architecture walkthrough.
+"""
+
+from .replay import (
+    ReplaySummary,
+    arrivals_from_trace,
+    generate_join_stream,
+    generate_reference_stream,
+    replay_join,
+    replay_reference,
+    run_replay,
+)
+from .server import DEFAULT_QUEUE_MAXSIZE, ServerClosed, Shard, StreamServer
+from .shard import ShardRouter, partition_tuples, reshard, stable_hash
+
+__all__ = [
+    "DEFAULT_QUEUE_MAXSIZE",
+    "ReplaySummary",
+    "ServerClosed",
+    "Shard",
+    "ShardRouter",
+    "StreamServer",
+    "arrivals_from_trace",
+    "generate_join_stream",
+    "generate_reference_stream",
+    "partition_tuples",
+    "replay_join",
+    "replay_reference",
+    "reshard",
+    "run_replay",
+    "stable_hash",
+]

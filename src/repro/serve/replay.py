@@ -1,0 +1,289 @@
+"""Replay clients: feed recorded or seeded streams into a StreamServer.
+
+The serving tier is validated by *replay*: take a stream the simulators
+could run — freshly sampled through the pinned seed-spawning scheme
+(:func:`~repro.sim.engine.spawn_rng`) or reconstructed from a recorded
+:mod:`repro.obs` trace file — and push it through a
+:class:`~repro.serve.server.StreamServer` with one or more concurrent
+producers.  ``run_replay`` is the synchronous one-call orchestration
+used by the ``serve`` CLI subcommand and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..obs import read_trace
+from ..obs.recorder import NULL_RECORDER, CounterRecorder, Recorder
+from ..policies.base import ReplacementPolicy
+from ..sim.engine import ExperimentSpec, spawn_rng
+from ..streams.base import StreamModel, Value
+from .server import StreamServer
+
+__all__ = [
+    "arrivals_from_trace",
+    "generate_join_stream",
+    "generate_reference_stream",
+    "replay_join",
+    "replay_reference",
+    "ReplaySummary",
+    "run_replay",
+]
+
+
+# ----------------------------------------------------------------------
+# Stream sources
+# ----------------------------------------------------------------------
+def generate_join_stream(
+    r_model: StreamModel,
+    s_model: StreamModel,
+    length: int,
+    seed: int,
+    run: int = 0,
+) -> tuple[list[Value], list[Value]]:
+    """Sample one seeded (R, S) stream pair for replay.
+
+    Uses :func:`~repro.sim.engine.spawn_rng` with the same
+    ``(seed, run)`` derivation as :func:`~repro.sim.runner.generate_paths`
+    — run ``k`` of a simulator experiment and a server replay of
+    ``(seed, run=k)`` see the identical stream, which is what the parity
+    suite leans on.
+    """
+    rng = spawn_rng(seed, run)
+    return (
+        r_model.sample_path(length, rng),
+        s_model.sample_path(length, rng),
+    )
+
+
+def generate_reference_stream(
+    model: StreamModel, length: int, seed: int, run: int = 0
+) -> list[Value]:
+    """Sample one seeded reference stream for caching-problem replay."""
+    return model.sample_path(length, spawn_rng(seed, run))
+
+
+def arrivals_from_trace(
+    path: str,
+) -> tuple[list[Value], list[Value]]:
+    """Reconstruct per-step (R, S) arrivals from a recorded trace file.
+
+    Reads ``arrival`` events out of a :mod:`repro.obs` JSONL trace
+    (written by any traced run) and rebuilds the dense per-step value
+    lists, missing sides filled with ``None`` ("−").  Cache-kind traces
+    only carry R-side arrivals; their S list comes back all-``None`` and
+    the R list doubles as the reference stream.
+    """
+    events = read_trace(path)
+    arrivals: dict[int, dict[str, Value]] = {}
+    max_t = -1
+    for event in events:
+        if event.get("kind") != "arrival":
+            continue
+        t = int(event["t"])
+        max_t = max(max_t, t)
+        arrivals.setdefault(t, {})[event["side"]] = event.get("value")
+    r_values: list[Value] = [None] * (max_t + 1)
+    s_values: list[Value] = [None] * (max_t + 1)
+    for t, sides in arrivals.items():
+        r_values[t] = sides.get("R")
+        s_values[t] = sides.get("S")
+    return r_values, s_values
+
+
+# ----------------------------------------------------------------------
+# Producers
+# ----------------------------------------------------------------------
+async def replay_join(
+    server: StreamServer,
+    r_values: Sequence[Value],
+    s_values: Sequence[Value],
+    *,
+    n_producers: int = 1,
+) -> int:
+    """Push a join stream through the server with concurrent producers.
+
+    Producer ``i`` of ``P`` submits steps ``i, i + P, i + 2P, ...``
+    concurrently.  With one producer (the default) submission order is
+    exactly the simulator's step order, which keeps single-shard replay
+    deterministic; more producers demonstrate concurrent ingestion and
+    backpressure but make per-shard arrival interleaving scheduling-
+    dependent.  Returns the number of ticks submitted.
+    """
+    n = min(len(r_values), len(s_values))
+
+    async def producer(offset: int) -> None:
+        for t in range(offset, n, n_producers):
+            await server.submit(t, r_values[t], s_values[t])
+
+    if n_producers == 1:
+        await producer(0)
+    else:
+        await asyncio.gather(*(producer(i) for i in range(n_producers)))
+    return n
+
+
+async def replay_reference(
+    server: StreamServer,
+    references: Sequence[Value],
+    *,
+    n_producers: int = 1,
+) -> int:
+    """Push a caching-problem reference stream through the server."""
+    n = len(references)
+
+    async def producer(offset: int) -> None:
+        for t in range(offset, n, n_producers):
+            await server.submit_reference(t, references[t])
+
+    if n_producers == 1:
+        await producer(0)
+    else:
+        await asyncio.gather(*(producer(i) for i in range(n_producers)))
+    return n
+
+
+# ----------------------------------------------------------------------
+# One-call orchestration (CLI + bench)
+# ----------------------------------------------------------------------
+@dataclass
+class ReplaySummary:
+    """Operational outcome of one end-to-end server replay."""
+
+    kind: str
+    steps: int
+    n_shards: int
+    n_producers: int
+    #: Non-"−" arrivals accepted by the server.
+    ingested_arrivals: int
+    #: Wall-clock seconds from first submit to full drain.
+    seconds: float
+    #: Ingested arrivals per wall-clock second.
+    tuples_per_sec: float
+    #: High-water mark of any shard queue.
+    max_queue_depth: int
+    #: P² estimate of the 0.9 quantile of enqueue-time queue depth
+    #: (``None`` when the recorder tracked no ``serve.queue_depth`` series).
+    p90_queue_depth: Optional[float]
+    backpressure_waits: int
+    #: Join results (join kind) — else ``None``.
+    total_results: Optional[int] = None
+    #: Cache hits / misses (cache kind) — else ``None``.
+    hits: Optional[int] = None
+    misses: Optional[int] = None
+    #: Final per-shard occupancy, in shard order.
+    shard_occupancy: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (for the CLI and the bench harness)."""
+        out = {
+            "kind": self.kind,
+            "steps": self.steps,
+            "n_shards": self.n_shards,
+            "n_producers": self.n_producers,
+            "ingested_arrivals": self.ingested_arrivals,
+            "seconds": self.seconds,
+            "tuples_per_sec": self.tuples_per_sec,
+            "max_queue_depth": self.max_queue_depth,
+            "p90_queue_depth": self.p90_queue_depth,
+            "backpressure_waits": self.backpressure_waits,
+            "shard_occupancy": self.shard_occupancy,
+        }
+        if self.total_results is not None:
+            out["total_results"] = self.total_results
+        if self.hits is not None:
+            out["hits"] = self.hits
+            out["misses"] = self.misses
+        return out
+
+
+def _p90_queue_depth(recorder: Recorder) -> Optional[float]:
+    """Pull the 0.9 queue-depth quantile from a counting recorder."""
+    if not isinstance(recorder, CounterRecorder):
+        return None
+    series = recorder.series_data.get("serve.queue_depth")
+    if series is None:
+        return None
+    return series.quantile(0.9)
+
+
+async def _replay(
+    server: StreamServer,
+    r_values: Sequence[Value],
+    s_values: Optional[Sequence[Value]],
+    n_producers: int,
+) -> tuple[int, float]:
+    """Start, feed, drain, and stop the server; time the hot section."""
+    await server.start()
+    start = time.perf_counter()
+    if server.spec.kind == "join":
+        assert s_values is not None
+        steps = await replay_join(
+            server, r_values, s_values, n_producers=n_producers
+        )
+    else:
+        steps = await replay_reference(
+            server, r_values, n_producers=n_producers
+        )
+    await server.drain()
+    seconds = time.perf_counter() - start
+    await server.stop()
+    return steps, seconds
+
+
+def run_replay(
+    spec: ExperimentSpec,
+    policy_factory: Callable[[], ReplacementPolicy],
+    r_values: Sequence[Value],
+    s_values: Optional[Sequence[Value]] = None,
+    *,
+    n_shards: int = 1,
+    queue_maxsize: int = 1024,
+    n_producers: int = 1,
+    step_delay: float = 0.0,
+    recorder: Recorder = NULL_RECORDER,
+    server_factory: Callable[..., StreamServer] = StreamServer,
+) -> ReplaySummary:
+    """Replay a stream through a fresh server and summarize the run.
+
+    Synchronous wrapper (``asyncio.run``) so CLIs, benches, and tests
+    need no event-loop plumbing.  ``s_values`` is required for join
+    specs and ignored for cache specs.
+    """
+    server = server_factory(
+        spec,
+        policy_factory,
+        n_shards=n_shards,
+        queue_maxsize=queue_maxsize,
+        recorder=recorder,
+        step_delay=step_delay,
+    )
+    steps, seconds = asyncio.run(
+        _replay(server, r_values, s_values, n_producers)
+    )
+    summary = ReplaySummary(
+        kind=spec.kind,
+        steps=steps,
+        n_shards=server.n_shards,
+        n_producers=n_producers,
+        ingested_arrivals=server.ingested_arrivals,
+        seconds=seconds,
+        tuples_per_sec=(
+            server.ingested_arrivals / seconds if seconds > 0 else 0.0
+        ),
+        max_queue_depth=max(
+            (s.max_queue_depth for s in server.shards), default=0
+        ),
+        p90_queue_depth=_p90_queue_depth(recorder),
+        backpressure_waits=server.backpressure_waits,
+        shard_occupancy=[s.occupancy for s in server.shards],
+    )
+    if spec.kind == "join":
+        summary.total_results = server.total_results
+    else:
+        summary.hits = server.hits
+        summary.misses = server.misses
+    return summary

@@ -1,0 +1,568 @@
+"""Push-driven asyncio join/cache service over the shared step functions.
+
+:class:`StreamServer` is the serving tier promised by the roadmap: the
+same per-step transition the simulators drive with a ``for`` loop
+(:mod:`repro.sim.step`), driven instead by an asyncio event loop fed by
+concurrent producers.  Because both drivers call the *same* pure
+transition over the *same* state objects, a single-shard server replay
+of a seeded stream is decision-identical to the scalar simulator — the
+parity suite (``tests/test_serve_parity.py``) pins kept/victim uids,
+hit counts, and :mod:`repro.obs` counters byte for byte.
+
+Architecture
+------------
+* **Shards.**  The join-attribute space is partitioned across
+  ``n_shards`` independent caches (:class:`~repro.serve.shard.ShardRouter`),
+  each with its own policy instance, :class:`~repro.policies.base.PolicyContext`,
+  and bounded event queue.  Routing by join value means all matches for
+  a key are intra-shard; no cross-shard probe exists.  Each shard's
+  capacity is ``spec.cache_size`` (total capacity scales with shards).
+* **Backpressure.**  Each shard queue is a bounded :class:`asyncio.Queue`;
+  when a queue is full, ``submit`` awaits — producers slow to the rate
+  of the slowest shard instead of growing memory without bound.
+  Engagements are counted (``serve.backpressure.engaged``) and queue
+  depth is reported through the recorder's ``series()`` telemetry.
+* **Instrumentation.**  With one shard the caller's recorder is used
+  directly (exact simulator parity, trace events included).  With many
+  shards each shard records into a :meth:`~repro.obs.recorder.Recorder.fork`
+  of the caller's recorder and the snapshots are merged back additively
+  at :meth:`StreamServer.stop` — the same pattern the parallel engine
+  uses for worker processes.
+* **Uids.**  Shard ``i`` of ``n`` mints tuple uids ``i, i + n,
+  i + 2n, ...`` (a strided :class:`~repro.core.tuples.TupleFactory`),
+  so uids are globally unique and deterministic per shard regardless of
+  event-loop interleaving — which is what makes live resharding
+  (:meth:`StreamServer.reshard`) collision-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Union
+
+from ..core.tuples import StreamTuple, TupleFactory
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..policies.base import ReplacementPolicy
+from ..sim.engine import ExperimentSpec
+from ..sim.step import (
+    CacheStepState,
+    JoinStepState,
+    cache_step,
+    join_step,
+    make_cache_state,
+    make_join_state,
+)
+from ..streams.base import Value
+from .shard import ShardRouter, reshard as reshard_tuples
+
+__all__ = ["Shard", "StreamServer", "ServerClosed"]
+
+#: Queue sentinel telling a shard worker to exit after draining.
+_STOP = object()
+
+#: Default bound on each shard's event queue.
+DEFAULT_QUEUE_MAXSIZE = 1024
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to a server that is not accepting events."""
+
+
+class Shard:
+    """One shard: its own cache/policy state plus a bounded event queue.
+
+    Created and owned by :class:`StreamServer`; exposed read-only for
+    inspection (tests, stats).  ``state`` is a
+    :class:`~repro.sim.step.JoinStepState` or
+    :class:`~repro.sim.step.CacheStepState`.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        state: Union[JoinStepState, CacheStepState],
+        queue_maxsize: int,
+    ):
+        """Bind the shard's index, step state, and bounded queue."""
+        self.index = index
+        self.state = state
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_maxsize)
+        self.worker: Optional[asyncio.Task] = None
+        #: Events this shard's worker has applied.
+        self.events_applied = 0
+        #: Times a producer found this shard's queue full and had to wait.
+        self.backpressure_waits = 0
+        #: High-water mark of the queue depth observed at enqueue time.
+        self.max_queue_depth = 0
+        #: Recorder snapshot captured at server stop (sharded mode only).
+        self.snapshot: Optional[dict] = None
+
+    @property
+    def occupancy(self) -> int:
+        """Tuples currently cached by this shard."""
+        return len(self.state.cache)
+
+
+class StreamServer:
+    """Asyncio join/cache service sharing the simulators' transition.
+
+    Parameters
+    ----------
+    spec:
+        The problem description (``kind`` must be ``"join"`` or
+        ``"cache"``; the multi-join generalization is not served).
+        ``cache_size`` is the *per-shard* capacity.
+    policy_factory:
+        Builds a fresh replacement policy per shard, exactly like the
+        per-trial factories of :func:`~repro.sim.runner.run_experiment`.
+    n_shards:
+        Number of independent cache shards (default 1: simulator-parity
+        mode, where the caller's recorder is shared verbatim).
+    queue_maxsize:
+        Bound on each shard's event queue; full queues apply
+        backpressure to ``submit`` callers.
+    recorder:
+        Observability sink (:mod:`repro.obs`).  Counters/series:
+        ``serve.ingested``, ``serve.backpressure.engaged``,
+        ``serve.queue_depth`` plus everything the step functions emit.
+    step_delay:
+        Artificial seconds slept per applied event — a slow-consumer
+        knob for backpressure tests and demos, 0.0 in production.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        policy_factory: Callable[[], ReplacementPolicy],
+        *,
+        n_shards: int = 1,
+        queue_maxsize: int = DEFAULT_QUEUE_MAXSIZE,
+        recorder: Recorder = NULL_RECORDER,
+        step_delay: float = 0.0,
+    ):
+        """Validate the spec and build the (not yet started) shards."""
+        if spec.kind not in ("join", "cache"):
+            raise ValueError(
+                f"StreamServer serves 'join' or 'cache' specs, not {spec.kind!r}"
+            )
+        if queue_maxsize < 1:
+            raise ValueError("queue_maxsize must be >= 1")
+        if step_delay < 0:
+            raise ValueError("step_delay must be nonnegative")
+        self._spec = spec
+        self._policy_factory = policy_factory
+        self._recorder = recorder
+        self._queue_maxsize = queue_maxsize
+        self._step_delay = step_delay
+        self._router = ShardRouter(n_shards)
+        self._started = False
+        self._stopping = False
+        self._stopped = False
+        #: Arrivals (non-"−" values) accepted by ``submit`` so far.
+        self.ingested_arrivals = 0
+        #: Total times any producer hit a full queue.
+        self.backpressure_waits = 0
+        self._shards = [
+            self._make_shard(i, n_shards, uid_start=i)
+            for i in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_shard(self, index: int, n_shards: int, uid_start: int) -> Shard:
+        """Build one shard with its own policy, state, and recorder."""
+        # Single shard shares the caller's recorder verbatim so traces,
+        # counters, and series match the scalar simulator exactly; many
+        # shards fork and merge at stop (the parallel-engine pattern).
+        if n_shards == 1:
+            shard_recorder = self._recorder
+        else:
+            shard_recorder = self._recorder.fork()
+        spec = self._spec
+        state: Union[JoinStepState, CacheStepState]
+        if spec.kind == "join":
+            state = make_join_state(
+                spec.cache_size,
+                self._policy_factory(),
+                window=spec.window,
+                band=spec.band,
+                r_model=spec.r_model,
+                s_model=spec.s_model,
+                window_oracle=spec.window_oracle,
+                recorder=shard_recorder,
+            )
+        else:
+            state = make_cache_state(
+                spec.cache_size,
+                self._policy_factory(),
+                reference_model=spec.r_model,
+                recorder=shard_recorder,
+            )
+        state.factory = TupleFactory(start=uid_start, step=n_shards)
+        return Shard(index, state, self._queue_maxsize)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The problem description this server was built for."""
+        return self._spec
+
+    @property
+    def n_shards(self) -> int:
+        """Current number of shards."""
+        return self._router.n_shards
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """The live shard objects, in index order (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def recorder(self) -> Recorder:
+        """The server-level observability sink."""
+        return self._recorder
+
+    @property
+    def total_results(self) -> int:
+        """Join results produced across all shards (join kind)."""
+        return sum(
+            s.state.total_results
+            for s in self._shards
+            if isinstance(s.state, JoinStepState)
+        )
+
+    @property
+    def hits(self) -> int:
+        """Cache hits across all shards (cache kind)."""
+        return sum(
+            s.state.hits
+            for s in self._shards
+            if isinstance(s.state, CacheStepState)
+        )
+
+    @property
+    def misses(self) -> int:
+        """Cache misses across all shards (cache kind)."""
+        return sum(
+            s.state.misses
+            for s in self._shards
+            if isinstance(s.state, CacheStepState)
+        )
+
+    def occupancy(self) -> int:
+        """Tuples currently cached across all shards."""
+        return sum(s.occupancy for s in self._shards)
+
+    def cached_tuples(self) -> list[StreamTuple]:
+        """All cached tuples, shard by shard in index order."""
+        out: list[StreamTuple] = []
+        for s in self._shards:
+            out.extend(s.state.cache.tuples())
+        return out
+
+    def stats(self) -> dict:
+        """Plain-dict operational summary for logs, CLIs, and benches."""
+        per_shard = [
+            {
+                "shard": s.index,
+                "events_applied": s.events_applied,
+                "occupancy": s.occupancy,
+                "max_queue_depth": s.max_queue_depth,
+                "backpressure_waits": s.backpressure_waits,
+            }
+            for s in self._shards
+        ]
+        stats = {
+            "kind": self._spec.kind,
+            "n_shards": self.n_shards,
+            "ingested_arrivals": self.ingested_arrivals,
+            "backpressure_waits": self.backpressure_waits,
+            "occupancy": self.occupancy(),
+            "max_queue_depth": max(
+                (s.max_queue_depth for s in self._shards), default=0
+            ),
+            "shards": per_shard,
+        }
+        if self._spec.kind == "join":
+            stats["total_results"] = self.total_results
+        else:
+            stats["hits"] = self.hits
+            stats["misses"] = self.misses
+        return stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn one worker task per shard; idempotent calls are errors."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for shard in self._shards:
+            self._spawn_worker(shard)
+        if self._recorder.enabled:
+            self._recorder.count("serve.started")
+
+    def _spawn_worker(self, shard: Shard) -> None:
+        """Create the consumer task that applies events to one shard."""
+        shard.worker = asyncio.create_task(
+            self._worker(shard), name=f"repro-serve-shard-{shard.index}"
+        )
+
+    async def _worker(self, shard: Shard) -> None:
+        """Consume the shard queue, applying one step per event."""
+        kind = self._spec.kind
+        delay = self._step_delay
+        while True:
+            event = await shard.queue.get()
+            try:
+                if event is _STOP:
+                    return
+                if kind == "join":
+                    t, r_val, s_val = event
+                    assert isinstance(shard.state, JoinStepState)
+                    join_step(shard.state, t, r_val, s_val)
+                else:
+                    t, value = event
+                    assert isinstance(shard.state, CacheStepState)
+                    cache_step(shard.state, t, value)
+                shard.events_applied += 1
+                if delay:
+                    await asyncio.sleep(delay)
+            finally:
+                shard.queue.task_done()
+
+    def _raise_if_worker_failed(self, shard: Shard) -> None:
+        """Surface a crashed worker instead of deadlocking producers."""
+        worker = shard.worker
+        if worker is not None and worker.done() and not worker.cancelled():
+            exc = worker.exception()
+            if exc is not None:
+                raise RuntimeError(
+                    f"shard {shard.index} worker failed"
+                ) from exc
+
+    def _check_accepting(self) -> None:
+        """Reject submissions outside the started-and-not-stopping window."""
+        if not self._started:
+            raise ServerClosed("server not started; call start() first")
+        if self._stopping or self._stopped:
+            raise ServerClosed("server is stopping; no new events accepted")
+
+    async def _enqueue(self, shard: Shard, event: tuple) -> None:
+        """Bounded put with backpressure accounting and depth telemetry."""
+        self._raise_if_worker_failed(shard)
+        queue = shard.queue
+        if queue.full():
+            shard.backpressure_waits += 1
+            self.backpressure_waits += 1
+            if self._recorder.enabled:
+                self._recorder.count("serve.backpressure.engaged")
+        await queue.put(event)
+        depth = queue.qsize()
+        if depth > shard.max_queue_depth:
+            shard.max_queue_depth = depth
+        if self._recorder.enabled:
+            self._recorder.count("serve.ingested")
+            self._recorder.series("serve.queue_depth", event[0], depth)
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+    async def submit(self, step: int, r_value: Value, s_value: Value) -> None:
+        """Push one join tick: the step's R and S arrivals (``None`` = "−").
+
+        With one shard the tick is delivered whole — even a double-"−"
+        tick — so the shard observes exactly the simulator's input.
+        With many shards arrivals route by join value; a tick whose R
+        and S land on different shards is split into per-side events
+        (the absent side delivered as "−"), and "−" arrivals are not
+        delivered at all (they carry no key and join nothing).
+        """
+        self._check_accepting()
+        if self._spec.kind != "join":
+            raise ValueError("submit() is for join servers; use submit_reference()")
+        self.ingested_arrivals += (r_value is not None) + (s_value is not None)
+        if self._router.n_shards == 1:
+            await self._enqueue(self._shards[0], (step, r_value, s_value))
+            return
+        events: dict[int, list[Value]] = {}
+        if r_value is not None:
+            events.setdefault(self._router.shard_for(r_value), [None, None])[
+                0
+            ] = r_value
+        if s_value is not None:
+            events.setdefault(self._router.shard_for(s_value), [None, None])[
+                1
+            ] = s_value
+        if not events:
+            if self._recorder.enabled:
+                self._recorder.count("serve.null_ticks")
+            return
+        for index in sorted(events):
+            r_val, s_val = events[index]
+            await self._enqueue(self._shards[index], (step, r_val, s_val))
+
+    async def submit_reference(self, step: int, value: Value) -> None:
+        """Push one caching-problem reference (``None`` = skipped "−")."""
+        self._check_accepting()
+        if self._spec.kind != "cache":
+            raise ValueError("submit_reference() is for cache servers; use submit()")
+        if value is not None:
+            self.ingested_arrivals += 1
+        if self._router.n_shards == 1:
+            await self._enqueue(self._shards[0], (step, value))
+            return
+        if value is None:
+            if self._recorder.enabled:
+                self._recorder.count("serve.null_ticks")
+            return
+        shard = self._shards[self._router.shard_for(value)]
+        await self._enqueue(shard, (step, value))
+
+    # ------------------------------------------------------------------
+    # Drain / stop
+    # ------------------------------------------------------------------
+    async def _await_or_worker_death(
+        self, shard: Shard, awaitable: "asyncio.Future"
+    ) -> None:
+        """Wait for ``awaitable``, bailing out if the shard worker dies."""
+        pending_task = asyncio.ensure_future(awaitable)
+        worker = shard.worker
+        assert worker is not None
+        done, _ = await asyncio.wait(
+            {pending_task, worker}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if pending_task not in done:
+            pending_task.cancel()
+            self._raise_if_worker_failed(shard)
+            raise RuntimeError(
+                f"shard {shard.index} worker exited while waiting"
+            )
+
+    async def drain(self) -> None:
+        """Block until every queued event has been applied.
+
+        Deadlock-safe: if a shard worker crashed, the failure is raised
+        here instead of waiting forever on its queue.
+        """
+        if not self._started:
+            return
+        for shard in self._shards:
+            self._raise_if_worker_failed(shard)
+            await self._await_or_worker_death(shard, shard.queue.join())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain queues, stop workers, merge metrics.
+
+        Sentinels go behind any queued work (FIFO), so every accepted
+        event is applied before its worker exits.  In sharded mode each
+        shard's forked recorder snapshot is merged into the caller's
+        recorder (and kept on the shard for per-shard inspection).
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            self._stopping = True
+            return
+        self._stopping = True
+        failures: list[BaseException] = []
+        for shard in self._shards:
+            worker = shard.worker
+            assert worker is not None
+            if not worker.done():
+                try:
+                    await self._await_or_worker_death(
+                        shard, shard.queue.put(_STOP)
+                    )
+                except RuntimeError:
+                    pass  # worker died; collected from the task below
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+            except BaseException as exc:  # resurfaced after cleanup below
+                failures.append(exc)
+        self._stopped = True
+        self._merge_shard_snapshots()
+        if self._recorder.enabled:
+            self._recorder.count("serve.stopped")
+        if failures:
+            raise failures[0]
+
+    async def abort(self) -> None:
+        """Hard shutdown: cancel workers without draining queues."""
+        self._stopping = True
+        for shard in self._shards:
+            if shard.worker is not None:
+                shard.worker.cancel()
+        await asyncio.gather(
+            *(s.worker for s in self._shards if s.worker is not None),
+            return_exceptions=True,
+        )
+        self._stopped = True
+        self._merge_shard_snapshots()
+
+    def _merge_shard_snapshots(self) -> None:
+        """Fold forked per-shard recorders back into the caller's sink."""
+        if self.n_shards == 1 or not self._recorder.enabled:
+            return
+        for shard in self._shards:
+            if shard.snapshot is None:
+                shard.snapshot = shard.state.recorder.snapshot()
+                self._recorder.merge(shard.snapshot)
+
+    # ------------------------------------------------------------------
+    # Resharding
+    # ------------------------------------------------------------------
+    async def reshard(self, new_n_shards: int) -> None:
+        """Repartition the cached tuples onto ``new_n_shards`` shards.
+
+        Requires quiescence: queues are drained first, then the old
+        workers are retired and fresh shards take over.  The multiset of
+        cached tuples is preserved exactly
+        (:func:`~repro.serve.shard.reshard`); new uid strides start past
+        every uid minted so far, so no collision is possible.  Policies
+        are rebuilt per shard and re-admitted their shard's tuples in
+        uid order (recency/frequency state is reconstructed from the
+        admissions; model-aware history restarts from later arrivals).
+        """
+        if new_n_shards < 1:
+            raise ValueError("new_n_shards must be >= 1")
+        if self._stopping or self._stopped:
+            raise ServerClosed("cannot reshard a stopping server")
+        if self._started:
+            await self.drain()
+            # Retire the old workers (queues are empty, so the sentinel
+            # is consumed immediately).
+            for shard in self._shards:
+                await self._await_or_worker_death(
+                    shard, shard.queue.put(_STOP)
+                )
+            await asyncio.gather(
+                *(s.worker for s in self._shards if s.worker is not None)
+            )
+        old_shards = self._shards
+        self._merge_shard_snapshots()
+        uid_base = max(s.state.factory.next_uid for s in old_shards)
+        new_router = ShardRouter(new_n_shards)
+        assignments = reshard_tuples(
+            [s.state.cache.tuples() for s in old_shards], new_router
+        )
+        self._router = new_router
+        self._shards = []
+        for index, tuples in enumerate(assignments):
+            shard = self._make_shard(
+                index, new_n_shards, uid_start=uid_base + index
+            )
+            for tup in sorted(tuples, key=lambda x: x.uid):
+                shard.state.cache.add(tup)
+                shard.state.policy.on_admit(tup, tup.arrival)
+            self._shards.append(shard)
+        if self._started:
+            for shard in self._shards:
+                self._spawn_worker(shard)
+        if self._recorder.enabled:
+            self._recorder.count("serve.reshard")

@@ -16,12 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
-from ..core.tuples import CacheState, TupleFactory
 from ..obs.recorder import NULL_RECORDER, Recorder
-from ..policies.base import PolicyContext, ReplacementPolicy, validate_victims
+from ..policies.base import ReplacementPolicy
 from ..streams.base import StreamModel
 from .engine import RunResult
-from .join_sim import _victim_records
+from .step import cache_step, make_cache_state
 
 __all__ = ["CacheRunResult", "CacheSimulator"]
 
@@ -81,104 +80,39 @@ class CacheSimulator:
         self._recorder = recorder
 
     def run(self, reference: Sequence[Hashable]) -> CacheRunResult:
-        """Drive the policy over ``reference`` and tally hits/misses."""
-        cache = CacheState()
-        factory = TupleFactory()
-        rec = self._recorder
-        rec_on = rec.enabled
-        rec_trace = rec.trace
-        policy_name = self._policy.name
-        ctx = PolicyContext(
-            kind="cache",
-            time=-1,
-            cache_size=self._cache_size,
-            r_model=self._reference_model,
-            recorder=rec,
+        """Drive the policy over ``reference`` and tally hits/misses.
+
+        The per-step semantics live in :func:`repro.sim.step.cache_step`
+        (shared with the :mod:`repro.serve` event loop); this method is
+        the finite driver adding warmup-aware hit/miss accounting.
+        """
+        state = make_cache_state(
+            self._cache_size,
+            self._policy,
+            reference_model=self._reference_model,
+            recorder=self._recorder,
         )
-        self._policy.reset(ctx)
 
-        hits = misses = 0
         hits_w = misses_w = 0
-        skipped = 0
-
         for t, value in enumerate(reference):
-            ctx.time = t
-            ctx.record_arrival("R", value)
-            if rec_on:
-                rec.count("sim.steps")
-            if value is None:
-                skipped += 1
-                if rec_on:
-                    rec.count("arrivals.null")
-                    if rec_trace:
-                        rec.event("arrival", t, side="R", value=None)
+            outcome = cache_step(state, t, value)
+            if outcome.hit is None or t < self._warmup:
                 continue
-
-            cached = cache.matching("S", value)
-            if rec_on:
-                rec.count("arrivals.R")
-                rec.count("cache.hits" if cached else "cache.misses")
-                if rec_trace:
-                    rec.event(
-                        "arrival", t, side="R", value=value, hit=bool(cached)
-                    )
-            if cached:
-                hits += 1
-                if t >= self._warmup:
-                    hits_w += 1
-                self._policy.on_reference(cached[0], t)
-                if rec_on:
-                    rec.series("cache.occupancy", t, len(cache))
-                    rec.series("cache.hits.cum", t, hits)
-                    rec.series("cache.hit_rate", t, hits / (hits + misses))
-                continue
-
-            misses += 1
-            if t >= self._warmup:
+            if outcome.hit:
+                hits_w += 1
+            else:
                 misses_w += 1
-            fetched = factory.make("S", value, t)
-            candidates = cache.tuples() + [fetched]
-            n_evict = max(0, len(candidates) - self._cache_size)
-            victims = validate_victims(
-                self._policy.name,
-                candidates,
-                self._policy.select_victims(candidates, n_evict, ctx),
-                n_evict,
-            )
-            if victims and rec_on:
-                rec.count(f"evict.{policy_name}", len(victims))
-                if rec_trace:
-                    rec.event(
-                        "evict",
-                        t,
-                        policy=policy_name,
-                        victims=_victim_records(victims),
-                    )
-            victim_uids = {v.uid for v in victims}
-            for tup in victims:
-                if tup in cache:
-                    cache.remove(tup)
-                self._policy.on_evict(tup, t)
-            if fetched.uid not in victim_uids:
-                cache.add(fetched)
-                self._policy.on_admit(fetched, t)
-            if rec_on:
-                rec.series("cache.occupancy", t, len(cache))
-                rec.series("cache.hits.cum", t, hits)
-                rec.series("cache.hit_rate", t, hits / (hits + misses))
-                if rec_trace:
-                    rec.event("occupancy", t, total=len(cache))
 
         result = CacheRunResult(
-            hits=hits,
-            misses=misses,
+            hits=state.hits,
+            misses=state.misses,
             hits_after_warmup=hits_w,
             misses_after_warmup=misses_w,
-            steps=hits + misses,
+            steps=state.hits + state.misses,
             warmup=self._warmup,
             cache_size=self._cache_size,
-            skipped=skipped,
+            skipped=state.skipped,
         )
-        if rec_on:
-            result.metrics = rec.snapshot()
+        if self._recorder.enabled:
+            result.metrics = self._recorder.snapshot()
         return result

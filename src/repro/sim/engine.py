@@ -48,6 +48,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, NamedTuple, Optional, Sequence, Union
 
+import numpy as np
+
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import WindowOracle
 from ..streams.base import StreamModel
@@ -64,12 +66,45 @@ __all__ = [
     "available_engines",
     "get_engine",
     "select_engine",
+    "spawn_seed",
+    "spawn_rng",
 ]
 
 logger = logging.getLogger(__name__)
 
 #: Kinds an :class:`ExperimentSpec` may describe.
 KINDS = ("join", "cache", "multi_join")
+
+
+# ----------------------------------------------------------------------
+# Per-trial seed spawning
+# ----------------------------------------------------------------------
+def spawn_seed(seed: int, index: int) -> int:
+    """The derived seed of trial / producer ``index`` under base ``seed``.
+
+    This is the single place the repo turns one experiment seed into
+    independent per-trial (or per-producer) seeds.  Path generation
+    (:func:`~repro.sim.runner.generate_paths`,
+    :func:`~repro.sim.runner.generate_reference_paths`), the batch
+    engine's array generators, and the :mod:`repro.serve` replay client
+    all derive their RNGs here, so a spec seed means the same stream
+    realizations everywhere.  The scheme — ``seed + index`` — is pinned
+    by a regression test because every recorded benchmark and every
+    decision-identical equivalence suite depends on it; changing it
+    would silently invalidate all committed baselines.
+    """
+    if index < 0:
+        raise ValueError("index must be nonnegative")
+    return seed + index
+
+
+def spawn_rng(seed: int, index: int) -> np.random.Generator:
+    """A fresh :class:`numpy.random.Generator` for trial ``index``.
+
+    Equivalent to ``np.random.default_rng(spawn_seed(seed, index))``;
+    see :func:`spawn_seed` for why derivation is centralized.
+    """
+    return np.random.default_rng(spawn_seed(seed, index))
 
 
 class RunResult:

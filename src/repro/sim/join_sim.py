@@ -29,24 +29,11 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.tuples import CacheState, StreamTuple, TupleFactory
 from ..obs.recorder import NULL_RECORDER, Recorder
-from ..policies.base import (
-    PolicyContext,
-    ReplacementPolicy,
-    WindowOracle,
-    validate_victims,
-)
+from ..policies.base import ReplacementPolicy, WindowOracle
 from ..streams.base import StreamModel, Value
 from .engine import RunResult
-
-
-def _victim_records(victims: Sequence[StreamTuple]) -> list[dict]:
-    """JSON-ready ``{uid, side, value, arrived}`` records for a trace."""
-    return [
-        {"uid": v.uid, "side": v.side, "value": v.value, "arrived": v.arrival}
-        for v in victims
-    ]
+from .step import join_step, make_join_state
 
 __all__ = ["JoinRunResult", "JoinSimulator"]
 
@@ -143,124 +130,38 @@ class JoinSimulator:
     def run(
         self, r_values: Sequence[Value], s_values: Sequence[Value]
     ) -> JoinRunResult:
-        """Simulate the join over the given value sequences."""
+        """Simulate the join over the given value sequences.
+
+        The per-step semantics live in :func:`repro.sim.step.join_step`
+        (shared with the :mod:`repro.serve` event loop); this method is
+        the finite driver: it feeds the pre-sampled values step by step
+        and aggregates warmup-aware metrics and occupancy series.
+        """
         n = min(len(r_values), len(s_values))
-        cache = CacheState()
-        factory = TupleFactory()
-        # Hoist the recorder flags: disabled runs pay one bool check per
-        # guarded block, nothing else (the zero-overhead contract).
-        rec = self._recorder
-        rec_on = rec.enabled
-        rec_trace = rec.trace
-        policy_name = self._policy.name
-        ctx = PolicyContext(
-            kind="join",
-            time=-1,
-            cache_size=self._cache_size,
+        state = make_join_state(
+            self._cache_size,
+            self._policy,
+            window=self._window,
+            band=self._band,
             r_model=self._r_model,
             s_model=self._s_model,
-            window=self._window,
             window_oracle=self._window_oracle,
-            recorder=rec,
+            recorder=self._recorder,
         )
-        self._policy.reset(ctx)
 
-        total = 0
         after_warmup = 0
         r_occupancy = np.zeros(n, dtype=np.int64)
         occupancy = np.zeros(n, dtype=np.int64)
 
         for t in range(n):
-            ctx.time = t
-            r_val = r_values[t]
-            s_val = s_values[t]
-            ctx.record_arrival("R", r_val)
-            ctx.record_arrival("S", s_val)
-            if rec_on:
-                rec.count("sim.steps")
-                for side, val in (("R", r_val), ("S", s_val)):
-                    rec.count(
-                        "arrivals.null" if val is None else f"arrivals.{side}"
-                    )
-                    if rec_trace:
-                        rec.event("arrival", t, side=side, value=val)
-
-            # Sliding-window expiry: free removal of dead tuples.
-            if self._window is not None:
-                expired = cache.expired(t - self._window)
-                if expired and rec_on:
-                    rec.count("evict.window_expired", len(expired))
-                    if rec_trace:
-                        rec.event(
-                            "evict",
-                            t,
-                            policy=policy_name,
-                            victims=_victim_records(expired),
-                            expired=True,
-                        )
-                for dead in expired:
-                    cache.remove(dead)
-                    self._policy.on_evict(dead, t)
-
-            # New arrivals join cached partner tuples.
-            step_results = 0
-            for side, val in (("R", r_val), ("S", s_val)):
-                partner_side = "S" if side == "R" else "R"
-                for match in cache.matching_band(partner_side, val, self._band):
-                    step_results += 1
-                    self._policy.on_reference(match, t)
-            total += step_results
+            outcome = join_step(state, t, r_values[t], s_values[t])
             if t >= self._warmup:
-                after_warmup += step_results
-
-            # Candidate set: cache plus joinable new arrivals.
-            new_tuples = []
-            if r_val is not None:
-                new_tuples.append(factory.make("R", r_val, t))
-            if s_val is not None:
-                new_tuples.append(factory.make("S", s_val, t))
-            candidates = cache.tuples() + new_tuples
-
-            n_evict = max(0, len(candidates) - self._cache_size)
-            victims = self._select_victims(candidates, n_evict, ctx)
-            if victims and rec_on:
-                rec.count(f"evict.{policy_name}", len(victims))
-                if rec_trace:
-                    rec.event(
-                        "evict",
-                        t,
-                        policy=policy_name,
-                        victims=_victim_records(victims),
-                    )
-
-            victim_uids = {v.uid for v in victims}
-            for tup in victims:
-                if tup in cache:
-                    cache.remove(tup)
-                self._policy.on_evict(tup, t)
-            for tup in new_tuples:
-                if tup.uid not in victim_uids:
-                    cache.add(tup)
-                    self._policy.on_admit(tup, t)
-
-            r_occupancy[t] = cache.count_side("R")
-            occupancy[t] = len(cache)
-            if rec_on:
-                if step_results:
-                    rec.count("join.results", step_results)
-                rec.series("cache.occupancy", t, int(occupancy[t]))
-                rec.series("join.results.cum", t, total)
-                if rec_trace:
-                    rec.event("step", t, results=step_results)
-                    rec.event(
-                        "occupancy",
-                        t,
-                        total=int(occupancy[t]),
-                        r=int(r_occupancy[t]),
-                    )
+                after_warmup += outcome.results
+            r_occupancy[t] = outcome.r_occupancy
+            occupancy[t] = outcome.occupancy
 
         result = JoinRunResult(
-            total_results=total,
+            total_results=state.total_results,
             results_after_warmup=after_warmup,
             steps=n,
             warmup=self._warmup,
@@ -268,15 +169,6 @@ class JoinSimulator:
             r_occupancy=r_occupancy,
             occupancy=occupancy,
         )
-        if rec_on:
-            result.metrics = rec.snapshot()
+        if self._recorder.enabled:
+            result.metrics = self._recorder.snapshot()
         return result
-
-    def _select_victims(
-        self,
-        candidates: list[StreamTuple],
-        n_evict: int,
-        ctx: PolicyContext,
-    ) -> list[StreamTuple]:
-        victims = self._policy.select_victims(candidates, n_evict, ctx)
-        return validate_victims(self._policy.name, candidates, victims, n_evict)

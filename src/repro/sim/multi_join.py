@@ -35,10 +35,9 @@ from ..core.lifetime import LifetimeEstimator
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
 from ..flow.opt_offline import OfflineSolution
 from ..obs.recorder import NULL_RECORDER, Recorder
-from ..policies.base import validate_victims
 from ..streams.base import History, StreamModel, Value
 from .engine import RunResult
-from .join_sim import _victim_records
+from .step import make_multi_join_state, multi_join_step
 
 __all__ = [
     "MultiPolicyContext",
@@ -64,6 +63,8 @@ class MultiPolicyContext:
     partner_names: Mapping[str, tuple[str, ...]]
     histories: dict[str, list[Value]] = field(default_factory=dict)
     models: Optional[Mapping[str, StreamModel]] = None
+    #: Observability sink (:mod:`repro.obs`); defaults to the no-op sink.
+    recorder: Recorder = NULL_RECORDER
 
     def latest_history(self, name: str) -> History | None:
         """Most recent non-null observation of stream ``name``, if any."""
@@ -319,115 +320,58 @@ class MultiJoinSimulator:
     def run(
         self, streams: Mapping[str, Sequence[Value]]
     ) -> MultiJoinRunResult:
-        """Drive the policy over per-stream value sequences."""
+        """Drive the policy over per-stream value sequences.
+
+        The per-step semantics live in
+        :func:`repro.sim.step.multi_join_step` (shared with the
+        :mod:`repro.serve` event loop); this method is the finite
+        driver adding warmup accounting and per-stream occupancy.
+        """
         names = list(streams.keys())
         missing = set(self._partner_names) - set(names)
         if missing:
             raise ValueError(f"queries reference unknown streams {missing}")
         n = min(len(v) for v in streams.values())
-        cache = CacheState()
-        factory = TupleFactory()
         ctx = MultiPolicyContext(
             time=-1,
             cache_size=self._cache_size,
             partner_names=self._partner_names,
             histories={name: [] for name in names},
             models=self._models,
+            recorder=self._recorder,
         )
         self._policy.reset(ctx)
+        state = make_multi_join_state(
+            self._cache_size,
+            self._policy,
+            ctx,
+            self._partner_names,
+            names,
+            self._queries,
+        )
 
-        total = after_warmup = 0
-        per_query: dict[frozenset, int] = {
-            frozenset(q): 0 for q in self._queries
-        }
+        after_warmup = 0
         occupancy = {name: np.zeros(n, dtype=np.int64) for name in names}
 
-        rec = self._recorder
-        rec_on = rec.enabled
-        rec_trace = rec.trace
-        policy_name = self._policy.name
-
         for t in range(n):
-            ctx.time = t
             arrivals = {name: streams[name][t] for name in names}
-            for name in names:
-                ctx.histories[name].append(arrivals[name])
-            if rec_on:
-                rec.count("sim.steps")
-                for name in names:
-                    val = arrivals[name]
-                    rec.count(
-                        "arrivals.null" if val is None else f"arrivals.{name}"
-                    )
-                    if rec_trace:
-                        rec.event("arrival", t, side=name, value=val)
-
-            step_results = 0
-            for name in names:
-                val = arrivals[name]
-                if val is None:
-                    continue
-                for partner_name in self._partner_names.get(name, ()):
-                    matches = cache.matching(partner_name, val)
-                    step_results += len(matches)
-                    per_query[frozenset((name, partner_name))] += len(matches)
-            total += step_results
+            outcome = multi_join_step(state, t, arrivals)
             if t >= self._warmup:
-                after_warmup += step_results
-
-            new_tuples = [
-                factory.make(name, arrivals[name], t)
-                for name in names
-                if arrivals[name] is not None
-                and name in self._partner_names  # streams in no query
-            ]
-            candidates = cache.tuples() + new_tuples
-            n_evict = max(0, len(candidates) - self._cache_size)
-            victims = validate_victims(
-                self._policy.name,
-                candidates,
-                self._policy.select_victims(candidates, n_evict, ctx),
-                n_evict,
-            )
-            if victims and rec_on:
-                rec.count(f"evict.{policy_name}", len(victims))
-                if rec_trace:
-                    rec.event(
-                        "evict",
-                        t,
-                        policy=policy_name,
-                        victims=_victim_records(victims),
-                    )
-            victim_uids = {v.uid for v in victims}
-            for tup in victims:
-                if tup in cache:
-                    cache.remove(tup)
-            for tup in new_tuples:
-                if tup.uid not in victim_uids:
-                    cache.add(tup)
-
+                after_warmup += outcome.results
             for name in names:
-                occupancy[name][t] = cache.count_side(name)
-            if rec_on:
-                if step_results:
-                    rec.count("join.results", step_results)
-                rec.series("cache.occupancy", t, len(cache))
-                rec.series("join.results.cum", t, total)
-                if rec_trace:
-                    rec.event("step", t, results=step_results)
-                    rec.event("occupancy", t, total=len(cache))
+                occupancy[name][t] = state.cache.count_side(name)
 
         result = MultiJoinRunResult(
-            total_results=total,
+            total_results=state.total_results,
             results_after_warmup=after_warmup,
             steps=n,
             warmup=self._warmup,
             cache_size=self._cache_size,
-            per_query=per_query,
+            per_query=state.per_query,
             occupancy_by_stream=occupancy,
         )
-        if rec_on:
-            result.metrics = rec.snapshot()
+        if self._recorder.enabled:
+            result.metrics = self._recorder.snapshot()
         return result
 
 

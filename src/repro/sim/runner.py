@@ -22,7 +22,7 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..policies.base import ReplacementPolicy, WindowOracle
 from ..streams.base import StreamModel, Value
 from .cache_sim import CacheRunResult
-from .engine import Engine, ExperimentSpec, RunResult, select_engine
+from .engine import Engine, ExperimentSpec, RunResult, select_engine, spawn_rng
 from .join_sim import JoinRunResult
 from .multi_join import MultiJoinRunResult
 
@@ -146,10 +146,16 @@ def generate_paths(
     n_runs: int,
     seed: int,
 ) -> list[tuple[list[Value], list[Value]]]:
-    """Draw ``n_runs`` independent stream-pair realizations."""
+    """Draw ``n_runs`` independent stream-pair realizations.
+
+    Per-run seeds derive through :func:`~repro.sim.engine.spawn_seed`
+    (the one seed-spawning scheme shared with the batch generators and
+    the :mod:`repro.serve` replay client); R is drawn before S from the
+    same per-run generator.
+    """
     paths = []
     for run in range(n_runs):
-        rng = np.random.default_rng(seed + run)
+        rng = spawn_rng(seed, run)
         paths.append(
             (r_model.sample_path(length, rng), s_model.sample_path(length, rng))
         )
@@ -162,9 +168,13 @@ def generate_reference_paths(
     n_runs: int,
     seed: int,
 ) -> list[list[Value]]:
-    """Draw ``n_runs`` independent reference-stream realizations."""
+    """Draw ``n_runs`` independent reference-stream realizations.
+
+    Seeds derive through :func:`~repro.sim.engine.spawn_seed`, like
+    :func:`generate_paths`.
+    """
     return [
-        model.sample_path(length, np.random.default_rng(seed + run))
+        model.sample_path(length, spawn_rng(seed, run))
         for run in range(n_runs)
     ]
 

@@ -1,0 +1,594 @@
+"""Pure per-step transitions shared by the simulators and the server.
+
+Historically each simulator (:mod:`repro.sim.join_sim`,
+:mod:`repro.sim.cache_sim`, :mod:`repro.sim.multi_join`) carried its own
+inlined copy of the per-step transition — arrival → probe → admit/evict
+via the policy → emit results.  The streaming service tier
+(:mod:`repro.serve`) needs the *same* semantics driven by an asyncio
+event loop instead of a ``for`` loop, so this module hoists the
+transition into reusable functions over explicit state objects:
+
+* :class:`JoinStepState` / :func:`join_step` — the two-stream equijoin
+  transition of Section 2 (sliding windows and band joins included);
+* :class:`CacheStepState` / :func:`cache_step` — the classic caching
+  transition (reference stream against a database);
+* :class:`MultiJoinStepState` / :func:`multi_join_step` — the
+  Appendix-C multi-stream generalization.
+
+Each ``*_step`` function applies exactly one time step to the state and
+returns a :class:`JoinStepOutcome` / :class:`CacheStepOutcome` /
+:class:`MultiJoinStepOutcome` describing what happened (results
+produced, victims evicted, tuples admitted).  The functions are "pure"
+in the transition-system sense: all mutation is confined to the passed
+state object, the same ``(state, inputs)`` always produces the same
+``(state', outcome)``, and no global or ambient state is consulted —
+which is what makes a finite driver loop (the simulators) and a
+long-lived event loop (the server) provably the same semantics rather
+than a fork.  The parity suite (``tests/test_serve_parity.py``) pins
+this: a seeded stream replayed through the scalar simulator and through
+a single-shard server produces byte-identical eviction decisions and
+observability counters.
+
+All :mod:`repro.obs` instrumentation lives *inside* the step functions
+(guarded on :attr:`~repro.obs.recorder.Recorder.enabled` /
+:attr:`~repro.obs.recorder.Recorder.trace` as everywhere else), so any
+two drivers of the same transition also report identical counters,
+series, and trace events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Optional, Sequence
+
+from ..core.tuples import CacheState, StreamTuple, TupleFactory
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..policies.base import (
+    PolicyContext,
+    ReplacementPolicy,
+    WindowOracle,
+    validate_victims,
+)
+from ..streams.base import StreamModel, Value
+
+__all__ = [
+    "JoinStepState",
+    "JoinStepOutcome",
+    "make_join_state",
+    "join_step",
+    "CacheStepState",
+    "CacheStepOutcome",
+    "make_cache_state",
+    "cache_step",
+    "MultiJoinStepState",
+    "MultiJoinStepOutcome",
+    "make_multi_join_state",
+    "multi_join_step",
+]
+
+
+def _victim_records(victims: Sequence[StreamTuple]) -> list[dict]:
+    """JSON-ready ``{uid, side, value, arrived}`` records for a trace."""
+    return [
+        {"uid": v.uid, "side": v.side, "value": v.value, "arrived": v.arrival}
+        for v in victims
+    ]
+
+
+# ----------------------------------------------------------------------
+# Two-stream equijoin
+# ----------------------------------------------------------------------
+@dataclass
+class JoinStepState:
+    """Mutable state of one two-stream join run, step by step.
+
+    Built by :func:`make_join_state`; advanced by :func:`join_step`.
+    The fields mirror :class:`~repro.sim.join_sim.JoinSimulator`'s
+    constructor parameters plus the live run state (cache, uid factory,
+    policy context, cumulative result count).
+    """
+
+    cache_size: int
+    policy: ReplacementPolicy
+    ctx: PolicyContext
+    cache: CacheState = field(default_factory=CacheState)
+    factory: TupleFactory = field(default_factory=TupleFactory)
+    window: Optional[int] = None
+    band: int = 0
+    #: Cumulative join results produced so far (all steps).
+    total_results: int = 0
+
+    @property
+    def recorder(self) -> Recorder:
+        """The observability sink the run was built with."""
+        return self.ctx.recorder
+
+
+@dataclass
+class JoinStepOutcome:
+    """What one :func:`join_step` application did."""
+
+    #: Join results produced by this step's arrivals.
+    results: int
+    #: Tuples minted for this step's non-"−" arrivals.
+    new_tuples: list[StreamTuple]
+    #: Tuples the policy evicted (may include new arrivals never admitted).
+    victims: list[StreamTuple]
+    #: New tuples actually admitted to the cache.
+    admitted: list[StreamTuple]
+    #: Tuples removed by sliding-window expiry before the probe.
+    expired: list[StreamTuple]
+    #: Cache occupancy after the step.
+    occupancy: int
+    #: Cached R-side tuples after the step.
+    r_occupancy: int
+
+
+def make_join_state(
+    cache_size: int,
+    policy: ReplacementPolicy,
+    *,
+    window: Optional[int] = None,
+    band: int = 0,
+    r_model: Optional[StreamModel] = None,
+    s_model: Optional[StreamModel] = None,
+    window_oracle: Optional[WindowOracle] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> JoinStepState:
+    """Validate parameters, build the policy context, reset the policy.
+
+    This is the shared "run starts now" ritual of every join driver:
+    the returned state is ready for its first :func:`join_step` call.
+    """
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    if window is not None and window < 0:
+        raise ValueError("window must be nonnegative")
+    if band < 0:
+        raise ValueError("band must be nonnegative")
+    ctx = PolicyContext(
+        kind="join",
+        time=-1,
+        cache_size=cache_size,
+        r_model=r_model,
+        s_model=s_model,
+        window=window,
+        window_oracle=window_oracle,
+        recorder=recorder,
+    )
+    policy.reset(ctx)
+    return JoinStepState(
+        cache_size=cache_size,
+        policy=policy,
+        ctx=ctx,
+        window=window,
+        band=band,
+    )
+
+
+def join_step(
+    state: JoinStepState, t: int, r_val: Value, s_val: Value
+) -> JoinStepOutcome:
+    """Apply one join time step: arrivals, expiry, probe, admit/evict.
+
+    Semantics are exactly those of Section 2 as implemented by
+    :class:`~repro.sim.join_sim.JoinSimulator` (whose loop is now a
+    driver over this function): same-step R/S arrivals do not join each
+    other, "−" (``None``) arrivals join nothing and are not cacheable,
+    and expired tuples leave the cache before the policy is consulted.
+    """
+    cache = state.cache
+    policy = state.policy
+    ctx = state.ctx
+    rec = ctx.recorder
+    rec_on = rec.enabled
+    rec_trace = rec.trace
+    policy_name = policy.name
+
+    ctx.time = t
+    ctx.record_arrival("R", r_val)
+    ctx.record_arrival("S", s_val)
+    if rec_on:
+        rec.count("sim.steps")
+        for side, val in (("R", r_val), ("S", s_val)):
+            rec.count("arrivals.null" if val is None else f"arrivals.{side}")
+            if rec_trace:
+                rec.event("arrival", t, side=side, value=val)
+
+    # Sliding-window expiry: free removal of dead tuples.
+    expired: list[StreamTuple] = []
+    if state.window is not None:
+        expired = cache.expired(t - state.window)
+        if expired and rec_on:
+            rec.count("evict.window_expired", len(expired))
+            if rec_trace:
+                rec.event(
+                    "evict",
+                    t,
+                    policy=policy_name,
+                    victims=_victim_records(expired),
+                    expired=True,
+                )
+        for dead in expired:
+            cache.remove(dead)
+            policy.on_evict(dead, t)
+
+    # New arrivals join cached partner tuples.
+    step_results = 0
+    for side, val in (("R", r_val), ("S", s_val)):
+        partner_side = "S" if side == "R" else "R"
+        for match in cache.matching_band(partner_side, val, state.band):
+            step_results += 1
+            policy.on_reference(match, t)
+    state.total_results += step_results
+
+    # Candidate set: cache plus joinable new arrivals.
+    new_tuples = []
+    if r_val is not None:
+        new_tuples.append(state.factory.make("R", r_val, t))
+    if s_val is not None:
+        new_tuples.append(state.factory.make("S", s_val, t))
+    candidates = cache.tuples() + new_tuples
+
+    n_evict = max(0, len(candidates) - state.cache_size)
+    victims = validate_victims(
+        policy_name,
+        candidates,
+        policy.select_victims(candidates, n_evict, ctx),
+        n_evict,
+    )
+    if victims and rec_on:
+        rec.count(f"evict.{policy_name}", len(victims))
+        if rec_trace:
+            rec.event(
+                "evict",
+                t,
+                policy=policy_name,
+                victims=_victim_records(victims),
+            )
+
+    victim_uids = {v.uid for v in victims}
+    for tup in victims:
+        if tup in cache:
+            cache.remove(tup)
+        policy.on_evict(tup, t)
+    admitted = []
+    for tup in new_tuples:
+        if tup.uid not in victim_uids:
+            cache.add(tup)
+            policy.on_admit(tup, t)
+            admitted.append(tup)
+
+    occupancy = len(cache)
+    r_occupancy = cache.count_side("R")
+    if rec_on:
+        if step_results:
+            rec.count("join.results", step_results)
+        rec.series("cache.occupancy", t, occupancy)
+        rec.series("join.results.cum", t, state.total_results)
+        if rec_trace:
+            rec.event("step", t, results=step_results)
+            rec.event("occupancy", t, total=occupancy, r=r_occupancy)
+
+    return JoinStepOutcome(
+        results=step_results,
+        new_tuples=new_tuples,
+        victims=victims,
+        admitted=admitted,
+        expired=expired,
+        occupancy=occupancy,
+        r_occupancy=r_occupancy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic caching
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStepState:
+    """Mutable state of one classic-caching run, step by step."""
+
+    cache_size: int
+    policy: ReplacementPolicy
+    ctx: PolicyContext
+    cache: CacheState = field(default_factory=CacheState)
+    factory: TupleFactory = field(default_factory=TupleFactory)
+    #: Cumulative hits / misses / skipped-"−" entries so far.
+    hits: int = 0
+    misses: int = 0
+    skipped: int = 0
+
+    @property
+    def recorder(self) -> Recorder:
+        """The observability sink the run was built with."""
+        return self.ctx.recorder
+
+
+@dataclass
+class CacheStepOutcome:
+    """What one :func:`cache_step` application did."""
+
+    #: ``True`` hit, ``False`` miss, ``None`` skipped ("−" reference).
+    hit: Optional[bool]
+    #: Tuples the policy evicted on a miss (empty otherwise).
+    victims: list[StreamTuple]
+    #: The demand-fetched tuple, when it was admitted to the cache.
+    admitted: Optional[StreamTuple]
+    #: Cache occupancy after the step.
+    occupancy: int
+
+
+def make_cache_state(
+    cache_size: int,
+    policy: ReplacementPolicy,
+    *,
+    reference_model: Optional[StreamModel] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> CacheStepState:
+    """Validate parameters, build the policy context, reset the policy."""
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    ctx = PolicyContext(
+        kind="cache",
+        time=-1,
+        cache_size=cache_size,
+        r_model=reference_model,
+        recorder=recorder,
+    )
+    policy.reset(ctx)
+    return CacheStepState(cache_size=cache_size, policy=policy, ctx=ctx)
+
+
+def cache_step(
+    state: CacheStepState, t: int, value: Hashable
+) -> CacheStepOutcome:
+    """Apply one caching step: reference lookup, demand fetch, evict.
+
+    A hit touches the cached tuple (``on_reference``); a miss
+    demand-fetches the referenced tuple and lets the policy choose
+    victims among cache + fetched tuple; a "−" reference (``None``) is
+    skipped without consulting the cache.
+    """
+    cache = state.cache
+    policy = state.policy
+    ctx = state.ctx
+    rec = ctx.recorder
+    rec_on = rec.enabled
+    rec_trace = rec.trace
+    policy_name = policy.name
+
+    ctx.time = t
+    ctx.record_arrival("R", value)
+    if rec_on:
+        rec.count("sim.steps")
+    if value is None:
+        state.skipped += 1
+        if rec_on:
+            rec.count("arrivals.null")
+            if rec_trace:
+                rec.event("arrival", t, side="R", value=None)
+        return CacheStepOutcome(
+            hit=None, victims=[], admitted=None, occupancy=len(cache)
+        )
+
+    cached = cache.matching("S", value)
+    if rec_on:
+        rec.count("arrivals.R")
+        rec.count("cache.hits" if cached else "cache.misses")
+        if rec_trace:
+            rec.event("arrival", t, side="R", value=value, hit=bool(cached))
+    if cached:
+        state.hits += 1
+        policy.on_reference(cached[0], t)
+        if rec_on:
+            rec.series("cache.occupancy", t, len(cache))
+            rec.series("cache.hits.cum", t, state.hits)
+            rec.series(
+                "cache.hit_rate", t, state.hits / (state.hits + state.misses)
+            )
+        return CacheStepOutcome(
+            hit=True, victims=[], admitted=None, occupancy=len(cache)
+        )
+
+    state.misses += 1
+    fetched = state.factory.make("S", value, t)
+    candidates = cache.tuples() + [fetched]
+    n_evict = max(0, len(candidates) - state.cache_size)
+    victims = validate_victims(
+        policy_name,
+        candidates,
+        policy.select_victims(candidates, n_evict, ctx),
+        n_evict,
+    )
+    if victims and rec_on:
+        rec.count(f"evict.{policy_name}", len(victims))
+        if rec_trace:
+            rec.event(
+                "evict",
+                t,
+                policy=policy_name,
+                victims=_victim_records(victims),
+            )
+    victim_uids = {v.uid for v in victims}
+    for tup in victims:
+        if tup in cache:
+            cache.remove(tup)
+        policy.on_evict(tup, t)
+    admitted: Optional[StreamTuple] = None
+    if fetched.uid not in victim_uids:
+        cache.add(fetched)
+        policy.on_admit(fetched, t)
+        admitted = fetched
+    if rec_on:
+        rec.series("cache.occupancy", t, len(cache))
+        rec.series("cache.hits.cum", t, state.hits)
+        rec.series(
+            "cache.hit_rate", t, state.hits / (state.hits + state.misses)
+        )
+        if rec_trace:
+            rec.event("occupancy", t, total=len(cache))
+    return CacheStepOutcome(
+        hit=False, victims=victims, admitted=admitted, occupancy=len(cache)
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-stream joins (Appendix C)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiJoinStepState:
+    """Mutable state of one multi-stream join run, step by step.
+
+    ``ctx`` is a :class:`~repro.sim.multi_join.MultiPolicyContext`; it is
+    typed loosely here to avoid a circular import (the multi-join module
+    builds its states through :func:`make_multi_join_state`).
+    """
+
+    cache_size: int
+    policy: "object"
+    ctx: "object"
+    #: stream name -> names it has a join query with.
+    partner_names: Mapping[str, tuple[str, ...]]
+    #: Stream names that participate in this run, in arrival order.
+    names: Sequence[str]
+    cache: CacheState = field(default_factory=CacheState)
+    factory: TupleFactory = field(default_factory=TupleFactory)
+    #: results attributed to each query (unordered stream-name pair).
+    per_query: dict = field(default_factory=dict)
+    total_results: int = 0
+
+    @property
+    def recorder(self) -> Recorder:
+        """The observability sink the run was built with."""
+        return self.ctx.recorder  # type: ignore[attr-defined]
+
+
+@dataclass
+class MultiJoinStepOutcome:
+    """What one :func:`multi_join_step` application did."""
+
+    results: int
+    new_tuples: list[StreamTuple]
+    victims: list[StreamTuple]
+    admitted: list[StreamTuple]
+    occupancy: int
+
+
+def make_multi_join_state(
+    cache_size: int,
+    policy: "object",
+    ctx: "object",
+    partner_names: Mapping[str, tuple[str, ...]],
+    names: Sequence[str],
+    queries: Sequence[tuple[str, str]],
+) -> MultiJoinStepState:
+    """Bind a prepared multi-join context into a step-ready state.
+
+    Unlike the binary problems, context construction (histories, partner
+    maps) stays with :class:`~repro.sim.multi_join.MultiJoinSimulator`,
+    which validates the query set; this constructor only assembles the
+    state and seeds the per-query result counters.
+    """
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    return MultiJoinStepState(
+        cache_size=cache_size,
+        policy=policy,
+        ctx=ctx,
+        partner_names=partner_names,
+        names=list(names),
+        per_query={frozenset(q): 0 for q in queries},
+    )
+
+
+def multi_join_step(
+    state: MultiJoinStepState, t: int, arrivals: Mapping[str, Value]
+) -> MultiJoinStepOutcome:
+    """Apply one multi-stream step: arrivals, probes, admit/evict.
+
+    Each non-"−" arrival probes the cached tuples of every partner
+    stream; results are attributed to their (unordered) query pair.
+    Streams that appear in no query are observed (their histories grow)
+    but never cached.
+    """
+    cache = state.cache
+    policy = state.policy
+    ctx = state.ctx
+    rec: Recorder = ctx.recorder  # type: ignore[attr-defined]
+    rec_on = rec.enabled
+    rec_trace = rec.trace
+    policy_name: str = policy.name  # type: ignore[attr-defined]
+    names = state.names
+
+    ctx.time = t  # type: ignore[attr-defined]
+    for name in names:
+        ctx.histories[name].append(arrivals[name])  # type: ignore[attr-defined]
+    if rec_on:
+        rec.count("sim.steps")
+        for name in names:
+            val = arrivals[name]
+            rec.count("arrivals.null" if val is None else f"arrivals.{name}")
+            if rec_trace:
+                rec.event("arrival", t, side=name, value=val)
+
+    step_results = 0
+    for name in names:
+        val = arrivals[name]
+        if val is None:
+            continue
+        for partner_name in state.partner_names.get(name, ()):
+            matches = cache.matching(partner_name, val)
+            step_results += len(matches)
+            state.per_query[frozenset((name, partner_name))] += len(matches)
+    state.total_results += step_results
+
+    new_tuples = [
+        state.factory.make(name, arrivals[name], t)
+        for name in names
+        if arrivals[name] is not None
+        and name in state.partner_names  # streams in no query
+    ]
+    candidates = cache.tuples() + new_tuples
+    n_evict = max(0, len(candidates) - state.cache_size)
+    victims = validate_victims(
+        policy_name,
+        candidates,
+        policy.select_victims(candidates, n_evict, ctx),  # type: ignore[attr-defined]
+        n_evict,
+    )
+    if victims and rec_on:
+        rec.count(f"evict.{policy_name}", len(victims))
+        if rec_trace:
+            rec.event(
+                "evict",
+                t,
+                policy=policy_name,
+                victims=_victim_records(victims),
+            )
+    victim_uids = {v.uid for v in victims}
+    for tup in victims:
+        if tup in cache:
+            cache.remove(tup)
+    admitted = []
+    for tup in new_tuples:
+        if tup.uid not in victim_uids:
+            cache.add(tup)
+            admitted.append(tup)
+
+    occupancy = len(cache)
+    if rec_on:
+        if step_results:
+            rec.count("join.results", step_results)
+        rec.series("cache.occupancy", t, occupancy)
+        rec.series("join.results.cum", t, state.total_results)
+        if rec_trace:
+            rec.event("step", t, results=step_results)
+            rec.event("occupancy", t, total=occupancy)
+
+    return MultiJoinStepOutcome(
+        results=step_results,
+        new_tuples=new_tuples,
+        victims=victims,
+        admitted=admitted,
+        occupancy=occupancy,
+    )

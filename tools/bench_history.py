@@ -61,7 +61,15 @@ DEFAULT_MIN_RUNS = 2
 
 #: Metrics where a *smaller* value is better.  Anything not matching is
 #: treated as higher-is-better (speedups, trials/sec, hit rates).
-_LOWER_BETTER_SUFFIXES = ("_ms_per_step", "_seconds", "_overhead_pct")
+_LOWER_BETTER_SUFFIXES = (
+    "_ms_per_step",
+    "_seconds",
+    "_overhead_pct",
+    # Rising enqueue-time queue depth means the serving tier's consumer
+    # fell behind its producers — a latent step-function slowdown even
+    # when raw throughput still looks fine.
+    "_queue_depth",
+)
 
 #: Environment keys that participate in the fingerprint.  Worker count
 #: is included deliberately: parallel throughput on 1 worker and on 8
@@ -93,10 +101,11 @@ def entry_from_report(
     """Flatten one ``BENCH_batch.json``-style report into a history entry.
 
     Pulls the headline metrics out of ``aggregate`` (engine throughputs
-    and speedups) and ``flowexpect`` (per-step latency, fast-path
-    speedup, memo hit rate), prefixing the latter with ``fe_`` so the
-    two sections cannot collide.  Sections absent from the report are
-    simply absent from the metrics — a FlowExpect-only run still
+    and speedups), ``flowexpect`` (per-step latency, fast-path speedup,
+    memo hit rate, ``fe_`` prefix), and ``serve`` (serving-tier
+    ingestion throughput and queue-depth telemetry, ``serve_`` prefix)
+    so the sections cannot collide.  Sections absent from the report
+    are simply absent from the metrics — a FlowExpect-only run still
     produces a checkable entry.
     """
     metrics: dict[str, float] = {}
@@ -122,12 +131,23 @@ def entry_from_report(
         if isinstance(value, (int, float)):
             metrics[f"fe_{key}"] = float(value)
 
+    serve = report.get("serve") or {}
+    for key in ("tuples_per_sec", "p90_queue_depth", "max_queue_depth"):
+        value = serve.get(key)
+        if isinstance(value, (int, float)):
+            metrics[f"serve_{key}"] = float(value)
+
     workload = dict(report.get("workload") or {})
     # FlowExpect bench parameters are part of the workload identity too:
     # fe_ms_per_step at lookahead 8 is not comparable to lookahead 4.
     for key in ("length", "lookahead", "cache_size"):
         if key in flowexpect:
             workload[f"fe_{key}"] = flowexpect[key]
+    # Likewise the serve bench: throughput at 4 shards on a 2000-step
+    # stream is not comparable to other shapes.
+    for key in ("length", "n_shards", "queue_maxsize"):
+        if key in serve:
+            workload[f"serve_{key}"] = serve[key]
 
     env_in = report.get("environment") or {}
     env = {k: env_in.get(k) for k in _ENV_KEYS if k in env_in}
