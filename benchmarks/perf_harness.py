@@ -32,6 +32,13 @@ The ``serve`` section replays a seeded FLOOR stream through the
 parity with the scalar simulator — and records ingestion throughput
 (tuples/sec) plus queue-depth telemetry (p90 and high-water mark).
 
+The ``multi_join`` section times the CHAIN3 Appendix-C topology under
+unified HEEB on the scalar and batch tiers (asserting trial-for-trial
+identical results before reporting the speedup), then replays the same
+topology through the serving tier — single-shard parity against
+:class:`~repro.sim.multi_join.MultiJoinSimulator` first — and records
+sharded ingestion throughput.
+
 Each full run is also appended to ``BENCH_history.jsonl`` (timestamp,
 git SHA, environment fingerprint, headline metrics) via
 ``tools/bench_history.py``, whose ``--check`` mode gates CI against the
@@ -44,7 +51,9 @@ Usage::
         [--length 600] [--workers N] [--fe-length 300]
         [--fe-lookahead 8] [--min-fe-speedup X] [--max-null-overhead P]
         [--serve-length 2000] [--serve-shards 4] [--serve-queue 256]
-        [--skip-serve] [--out BENCH_batch.json]
+        [--skip-serve] [--multi-length 300] [--multi-trials 64]
+        [--multi-serve-length 1500] [--multi-shards 3] [--skip-multi]
+        [--out BENCH_batch.json]
         [--history BENCH_history.jsonl] [--no-history]
 """
 
@@ -433,6 +442,139 @@ def run_serve_bench(
     return entry
 
 
+def run_multi_join_bench(
+    length: int,
+    n_trials: int,
+    serve_length: int,
+    serve_shards: int,
+    queue_maxsize: int,
+) -> dict:
+    """Time the CHAIN3 multi-join on scalar vs batch, then serve it.
+
+    The batch tier runs the same trials as the scalar reference and
+    must produce identical per-trial results (total, per-query, and
+    per-stream occupancy) before its speedup is reported — the same
+    apples-to-apples contract as the binary engine harness.  The serve
+    half first asserts single-shard parity with
+    :class:`~repro.sim.multi_join.MultiJoinSimulator`, then times a
+    sharded replay and records ingestion throughput.
+    """
+    from repro.experiments.configs import make_multi_config
+    from repro.serve import run_replay
+    from repro.serve.replay import generate_multi_join_stream
+    from repro.sim.engine import ExperimentSpec, spawn_rng
+    from repro.sim.multi_join import MultiJoinSimulator
+    from repro.sim.runner import run_multi_join_experiment
+
+    config = make_multi_config("CHAIN3")
+    warmup = 4 * CACHE_SIZE
+    trials = []
+    for run in range(n_trials):
+        rng = spawn_rng(0, run)
+        trials.append(
+            {
+                name: model.sample_path(length, rng)
+                for name, model in config.models.items()
+            }
+        )
+
+    factory = lambda: config.make_heeb(CACHE_SIZE)
+    seconds = {}
+    results = {}
+    for engine_name in ("scalar", "batch"):
+        t0 = time.perf_counter()
+        results[engine_name] = run_multi_join_experiment(
+            factory,
+            trials,
+            CACHE_SIZE,
+            config.queries,
+            warmup=warmup,
+            models=config.models,
+            engine=engine_name,
+        )
+        seconds[engine_name] = time.perf_counter() - t0
+    if results["batch"].engine_used != "batch":
+        raise AssertionError(
+            "multi-join bench: batch preference was demoted to "
+            f"{results['batch'].engine_used!r}"
+        )
+    mismatches = sum(
+        a.total_results != b.total_results
+        or a.per_query != b.per_query
+        or any(
+            not np.array_equal(
+                np.asarray(a.occupancy_by_stream[name]),
+                np.asarray(b.occupancy_by_stream[name]),
+            )
+            for name in a.occupancy_by_stream
+        )
+        for a, b in zip(results["scalar"].per_run, results["batch"].per_run)
+    )
+    if mismatches:
+        raise AssertionError(
+            f"multi-join bench: batch diverged from scalar on "
+            f"{mismatches} of {n_trials} trials"
+        )
+
+    streams = generate_multi_join_stream(
+        config.models, serve_length, seed=0
+    )
+    spec = ExperimentSpec(
+        kind="multi_join",
+        cache_size=CACHE_SIZE,
+        queries=tuple(tuple(q) for q in config.queries),
+        models=config.models,
+    )
+    serve_factory = lambda: make_policy("lru")
+    sim = MultiJoinSimulator(
+        CACHE_SIZE, serve_factory(), config.queries, models=config.models
+    )
+    sim_results = sim.run(streams).total_results
+    parity = run_replay(spec, serve_factory, streams, n_shards=1)
+    if parity.total_results != sim_results:
+        raise AssertionError(
+            f"multi-join serve parity broken: single-shard replay "
+            f"produced {parity.total_results} results, simulator "
+            f"{sim_results}"
+        )
+    summary = run_replay(
+        spec,
+        serve_factory,
+        streams,
+        n_shards=serve_shards,
+        queue_maxsize=queue_maxsize,
+    )
+
+    entry = {
+        "config": config.name,
+        "length": length,
+        "trials": n_trials,
+        "cache_size": CACHE_SIZE,
+        "warmup": warmup,
+        "policy": "HEEB",
+        "scalar_seconds": round(seconds["scalar"], 4),
+        "batch_seconds": round(seconds["batch"], 4),
+        "scalar_trials_per_sec": round(n_trials / seconds["scalar"], 2),
+        "batch_trials_per_sec": round(n_trials / seconds["batch"], 2),
+        "batch_speedup": round(seconds["scalar"] / seconds["batch"], 2),
+        "serve_length": serve_length,
+        "serve_n_shards": serve_shards,
+        "serve_policy": "lru",
+        "serve_seconds": round(summary.seconds, 4),
+        "serve_tuples_per_sec": round(summary.tuples_per_sec, 1),
+        "serve_total_results": summary.total_results,
+    }
+    print(
+        f"multi    {config.name} len={length} trials={n_trials} "
+        f"scalar {seconds['scalar']:7.3f}s  "
+        f"batch {seconds['batch']:7.3f}s "
+        f"({entry['batch_speedup']:5.1f}x), identical results; "
+        f"serve shards={serve_shards} "
+        f"{entry['serve_tuples_per_sec']:10.1f} tuples/sec, parity OK"
+    )
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=256)
@@ -498,6 +640,35 @@ def main() -> None:
         help="skip the serving-tier throughput benchmark",
     )
     parser.add_argument(
+        "--multi-length",
+        type=int,
+        default=300,
+        help="stream length for the multi-join benchmark",
+    )
+    parser.add_argument(
+        "--multi-trials",
+        type=int,
+        default=64,
+        help="trial count for the multi-join scalar-vs-batch timing",
+    )
+    parser.add_argument(
+        "--multi-serve-length",
+        type=int,
+        default=1500,
+        help="stream length for the multi-join serving throughput",
+    )
+    parser.add_argument(
+        "--multi-shards",
+        type=int,
+        default=3,
+        help="shard count for the multi-join serving throughput",
+    )
+    parser.add_argument(
+        "--skip-multi",
+        action="store_true",
+        help="skip the multi-join benchmark",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=_REPO_ROOT / "BENCH_batch.json",
@@ -537,6 +708,14 @@ def main() -> None:
     if not args.skip_serve:
         report["serve"] = run_serve_bench(
             args.serve_length, args.serve_shards, args.serve_queue
+        )
+    if not args.skip_multi:
+        report["multi_join"] = run_multi_join_bench(
+            args.multi_length,
+            args.multi_trials,
+            args.multi_serve_length,
+            args.multi_shards,
+            args.serve_queue,
         )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     if not args.no_history:

@@ -269,30 +269,106 @@ def cmd_fig19(args: argparse.Namespace) -> None:
     _finish_recorder(recorder, args)
 
 
+def cmd_multi(args: argparse.Namespace) -> None:
+    """Run an n-way (Appendix C) topology across policies and engines."""
+    from ..policies import make_policy
+    from ..sim.engine import spawn_rng
+    from ..sim.runner import run_multi_join_experiment
+    from .configs import make_multi_config
+
+    recorder = _make_recorder(args)
+    config = make_multi_config(args.config)
+    trials = []
+    for run in range(args.runs):
+        rng = spawn_rng(args.seed, run)
+        trials.append(
+            {
+                name: model.sample_path(args.length, rng)
+                for name, model in config.models.items()
+            }
+        )
+    rows: dict[str, dict[str, float]] = {}
+    engines_used: dict[str, str] = {}
+    for pol_name in args.policies:
+
+        def factory(pol_name: str = pol_name):
+            if pol_name == "heeb":
+                return config.make_heeb(args.cache)
+            if pol_name == "rand":
+                return make_policy("rand", seed=args.seed)
+            return make_policy(pol_name)
+
+        out = run_multi_join_experiment(
+            factory,
+            trials,
+            args.cache,
+            config.queries,
+            warmup=args.warmup,
+            models=config.models,
+            engine=args.engine,
+            recorder=recorder,
+        )
+        rows[out.policy_name] = {"mean results": out.mean_results}
+        engines_used[out.policy_name] = out.engine_used
+    meta = format_metadata(
+        cache=args.cache,
+        length=args.length,
+        runs=args.runs,
+        engine=args.engine or "scalar",
+    )
+    queries = ", ".join(f"{a}⋈{b}" for a, b in config.queries)
+    body = format_table(rows, row_label="policy")
+    body += "\n\nengines used: " + ", ".join(
+        f"{p}={e}" for p, e in engines_used.items()
+    )
+    _print(f"multi-join {config.name} [{queries}] ({meta})", body)
+    _finish_recorder(recorder, args)
+
+
 def cmd_serve(args: argparse.Namespace) -> None:
     """Run the asyncio serving tier over a seeded or recorded stream."""
     from ..policies import make_policy
     from ..serve import run_replay
-    from ..serve.replay import arrivals_from_trace, generate_join_stream
+    from ..serve.replay import (
+        arrivals_from_trace,
+        generate_join_stream,
+        generate_multi_join_stream,
+    )
     from ..sim.engine import ExperimentSpec
+    from .configs import MultiJoinConfig
 
     recorder = _make_recorder(args)
     config = make_config(args.config)
-    if args.replay_trace:
-        r_values, s_values = arrivals_from_trace(args.replay_trace)
-    else:
-        r_values, s_values = generate_join_stream(
-            config.r_model, config.s_model, args.length, args.seed, run=args.run
+    s_values = None
+    if isinstance(config, MultiJoinConfig):
+        if args.replay_trace:
+            raise SystemExit("--replay-trace is not supported for multi-join configs")
+        r_values = generate_multi_join_stream(
+            config.models, args.length, args.seed, run=args.run
         )
-    spec = ExperimentSpec(
-        kind="join",
-        cache_size=args.cache,
-        window=args.window,
-        r_model=config.r_model,
-        s_model=config.s_model,
-        window_oracle=config.window_oracle,
-        seed=args.seed,
-    )
+        spec = ExperimentSpec(
+            kind="multi_join",
+            cache_size=args.cache,
+            queries=tuple(tuple(q) for q in config.queries),
+            models=config.models,
+            seed=args.seed,
+        )
+    else:
+        if args.replay_trace:
+            r_values, s_values = arrivals_from_trace(args.replay_trace)
+        else:
+            r_values, s_values = generate_join_stream(
+                config.r_model, config.s_model, args.length, args.seed, run=args.run
+            )
+        spec = ExperimentSpec(
+            kind="join",
+            cache_size=args.cache,
+            window=args.window,
+            r_model=config.r_model,
+            s_model=config.s_model,
+            window_oracle=config.window_oracle,
+            seed=args.seed,
+        )
 
     def policy_factory():
         if args.policy == "heeb":
@@ -436,6 +512,27 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
 
     p = sub.add_parser(
+        "multi",
+        help="n-way multi-join topology comparison (Appendix C)",
+    )
+    _add_common(p, length=800, runs=3, cache=10)
+    p.add_argument(
+        "--config",
+        default="CHAIN3",
+        help="multi-join topology name (CHAIN3, STAR5; default CHAIN3)",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        default=["rand", "lru", "lfu", "prob", "trie", "heeb"],
+        help="policy registry names ('heeb' uses the topology's "
+        "Appendix-C strategy)",
+    )
+    p.add_argument("--warmup", type=int, default=0)
+    _add_engine(p)
+    _add_obs(p)
+
+    p = sub.add_parser(
         "serve",
         help="push a stream through the asyncio serving tier (repro.serve)",
     )
@@ -510,6 +607,7 @@ _DISPATCH = {
     "fig15": cmd_fig15,
     "fig17": cmd_fig17,
     "fig19": cmd_fig19,
+    "multi": cmd_multi,
     "serve": cmd_serve,
     "all": cmd_all,
 }

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 from ..core.lifetime import LExp, alpha_for_mean_lifetime
 from ..policies.base import ReplacementPolicy, WindowOracle
 from ..policies.heeb_policy import (
+    GenericJoinHeeb,
     HeebPolicy,
     HeebStrategy,
     TrendJoinHeeb,
@@ -35,19 +36,32 @@ from ..policies.heeb_policy import (
 from ..policies.window_oracle import TrendWindowOracle
 from ..streams.base import StreamModel
 from ..streams.linear_trend import LinearTrendStream
-from ..streams.noise import bounded_normal, bounded_uniform, discretized_normal
+from ..streams.noise import (
+    bounded_normal,
+    bounded_uniform,
+    discretized_normal,
+    from_mapping,
+)
 from ..streams.random_walk import RandomWalkStream
+from ..streams.stationary import StationaryStream
 
 __all__ = [
     "JoinConfig",
+    "MultiJoinConfig",
     "tower_config",
     "roof_config",
     "floor_config",
     "walk_config",
+    "chain3_config",
+    "star5_config",
     "CONFIG_REGISTRY",
+    "MULTI_CONFIG_REGISTRY",
     "make_config",
+    "make_multi_config",
     "available_configs",
+    "available_multi_configs",
     "SYNTHETIC_CONFIGS",
+    "MULTI_CONFIGS",
     "PAPER_LENGTH",
     "PAPER_RUNS",
     "PAPER_CACHE_SIZE",
@@ -172,6 +186,74 @@ def walk_config(step_sigma: float = 1.0, drift: int = 0) -> JoinConfig:
     )
 
 
+@dataclass
+class MultiJoinConfig:
+    """One Appendix-C n-way joining experiment configuration.
+
+    All models are stationary so every tier can run the topology: the
+    scalar reference, the exact batch adapters
+    (:class:`~repro.policies.batch.BatchMultiStationaryHeeb` requires
+    stationary query streams), and the serving tier.
+    """
+
+    name: str
+    #: Stream name -> model, in arrival order.
+    models: dict[str, StreamModel]
+    #: Binary equijoin query edges as stream-name pairs.
+    queries: list[tuple[str, str]]
+    heeb_alpha_for: Callable[[int], float]
+
+    def make_heeb(self, cache_size: int) -> ReplacementPolicy:
+        """The Appendix-C HEEB (partner-summed generic strategy)."""
+        return HeebPolicy(
+            GenericJoinHeeb(LExp(self.heeb_alpha_for(cache_size)))
+        )
+
+
+def _skewed_dist(n_values: int, skew: float):
+    """Geometric-weight distribution over ``1..n_values`` (skew < 1)."""
+    weights = {v: skew ** (v - 1) for v in range(1, n_values + 1)}
+    total = sum(weights.values())
+    return from_mapping({v: w / total for v, w in weights.items()})
+
+
+def chain3_config(n_values: int = 12, skew: float = 0.8) -> MultiJoinConfig:
+    """CHAIN3: three stationary streams joined in a chain A–B–C.
+
+    The middle stream ``B`` participates in both queries, so its tuples
+    carry twice the benefit — the topology that separates partner-aware
+    policies from binary ones.
+    """
+    dist = _skewed_dist(n_values, skew)
+    return MultiJoinConfig(
+        name="CHAIN3",
+        models={
+            "A": StationaryStream(dist),
+            "B": StationaryStream(dist),
+            "C": StationaryStream(dist),
+        },
+        queries=[("A", "B"), ("B", "C")],
+        heeb_alpha_for=lambda cache_size: float(max(2, cache_size)),
+    )
+
+
+def star5_config(n_values: int = 16, skew: float = 0.85) -> MultiJoinConfig:
+    """STAR5: a hub stream joined against four stationary leaves."""
+    dist = _skewed_dist(n_values, skew)
+    models: dict[str, StreamModel] = {"HUB": StationaryStream(dist)}
+    queries = []
+    for i in range(1, 5):
+        leaf = f"L{i}"
+        models[leaf] = StationaryStream(dist)
+        queries.append(("HUB", leaf))
+    return MultiJoinConfig(
+        name="STAR5",
+        models=models,
+        queries=queries,
+        heeb_alpha_for=lambda cache_size: float(max(2, cache_size)),
+    )
+
+
 #: String-keyed configuration registry: experiment harnesses and the CLI
 #: build scenarios by name instead of importing factory functions.
 CONFIG_REGISTRY: dict[str, Callable[..., JoinConfig]] = {
@@ -181,14 +263,41 @@ CONFIG_REGISTRY: dict[str, Callable[..., JoinConfig]] = {
     "WALK": walk_config,
 }
 
+#: Multi-join (n-way) topologies, kept in their own registry so the
+#: binary harnesses that iterate :func:`SYNTHETIC_CONFIGS` are
+#: unaffected.
+MULTI_CONFIG_REGISTRY: dict[str, Callable[..., MultiJoinConfig]] = {
+    "CHAIN3": chain3_config,
+    "STAR5": star5_config,
+}
 
-def make_config(name: str, **kwargs) -> JoinConfig:
-    """Build a synthetic configuration by registry name."""
+
+def make_config(name: str, **kwargs):
+    """Build a configuration by registry name.
+
+    Binary names resolve first; unmatched names fall through to the
+    multi-join registry, so ``make_config("chain3")`` works wherever a
+    config name is accepted.
+    """
+    factory = CONFIG_REGISTRY.get(name.upper())
+    if factory is None:
+        factory = MULTI_CONFIG_REGISTRY.get(name.upper())
+    if factory is None:
+        raise ValueError(
+            f"unknown config {name!r}; available: "
+            f"{available_configs() + available_multi_configs()}"
+        )
+    return factory(**kwargs)
+
+
+def make_multi_config(name: str, **kwargs) -> MultiJoinConfig:
+    """Build a multi-join topology by registry name."""
     try:
-        factory = CONFIG_REGISTRY[name.upper()]
+        factory = MULTI_CONFIG_REGISTRY[name.upper()]
     except KeyError:
         raise ValueError(
-            f"unknown config {name!r}; available: {available_configs()}"
+            f"unknown multi-join config {name!r}; available: "
+            f"{available_multi_configs()}"
         ) from None
     return factory(**kwargs)
 
@@ -198,6 +307,16 @@ def available_configs() -> tuple[str, ...]:
     return tuple(CONFIG_REGISTRY)
 
 
+def available_multi_configs() -> tuple[str, ...]:
+    """Registered multi-join topology names."""
+    return tuple(MULTI_CONFIG_REGISTRY)
+
+
 def SYNTHETIC_CONFIGS() -> dict[str, JoinConfig]:
     """Fresh instances of all four synthetic configurations."""
     return {name: make_config(name) for name in CONFIG_REGISTRY}
+
+
+def MULTI_CONFIGS() -> dict[str, MultiJoinConfig]:
+    """Fresh instances of the multi-join topologies."""
+    return {name: make_multi_config(name) for name in MULTI_CONFIG_REGISTRY}

@@ -161,7 +161,15 @@ class P2Quantile:
                 delta <= -1.0 and n[i - 1] - n[i] < -1.0
             ):
                 step = 1.0 if delta > 0 else -1.0
-                candidate = self._parabolic(i, step)
+                # Weighted adds (sketch merges) can collapse adjacent
+                # marker positions; the parabolic formula divides by
+                # both gaps, so fall back to the linear one (whose
+                # denominator the move condition keeps > 1) when either
+                # gap is closed.
+                if n[i + 1] - n[i] > 0.0 and n[i] - n[i - 1] > 0.0:
+                    candidate = self._parabolic(i, step)
+                else:
+                    candidate = self._linear(i, step)
                 if not h[i - 1] < candidate < h[i + 1]:
                     candidate = self._linear(i, step)
                 h[i] = candidate

@@ -47,6 +47,7 @@ from .prob import ProbPolicy
 from .rand import RandPolicy
 from .reduction_adapter import ReducedJoiningPolicy
 from .scheduled import ScheduledPolicy
+from .trie import TrieCachePolicy
 from .window_oracle import TrendWindowOracle
 
 # ----------------------------------------------------------------------
@@ -87,6 +88,7 @@ register_policy("heeb", HeebPolicy)
 register_policy("flowexpect", FlowExpectPolicy)
 register_policy("adaptive-alpha-heeb", AdaptiveAlphaHeebPolicy)
 register_policy("model-driven-heeb", ModelDrivenHeebPolicy)
+register_policy("trie", TrieCachePolicy)
 
 __all__ = [
     "POLICY_REGISTRY",
@@ -128,6 +130,7 @@ __all__ = [
     "SmallestValueFirstPolicy",
     "TrendJoinHeeb",
     "TrendWindowOracle",
+    "TrieCachePolicy",
     "WalkCacheHeeb",
     "WalkJoinHeeb",
     "WindowOracle",

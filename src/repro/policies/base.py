@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, Sequence
+from typing import Mapping, Optional, Protocol, Sequence
 
 from ..core.tuples import StreamTuple
 from ..obs.recorder import NULL_RECORDER, Recorder
@@ -81,11 +81,21 @@ class WindowOracle(Protocol):
 class PolicyContext:
     """Everything a policy may consult when choosing victims.
 
+    The context is *partner-aware*: a binary R/S join is the 1-partner
+    degenerate case of the general n-way topology.  When
+    :attr:`partner_names` is ``None`` the context is binary and the
+    classic ``r_*``/``s_*`` fields apply; when it is set (kind
+    ``"multi_join"``), streams are addressed by name through
+    :attr:`histories`/:attr:`models` and :meth:`partners_of` returns the
+    partners each stream joins against.  Policies written against
+    :meth:`partners_of`/:meth:`model_for`/:meth:`latest_history` work
+    unchanged on both shapes.
+
     Attributes
     ----------
     kind:
-        ``"join"`` (two-stream equijoin) or ``"cache"`` (reference stream
-        against a database relation).
+        ``"join"`` (two-stream equijoin), ``"cache"`` (reference stream
+        against a database relation), or ``"multi_join"`` (n-way).
     time:
         The current step ``t0``; the new arrivals of this step are already
         appended to the histories.
@@ -94,7 +104,7 @@ class PolicyContext:
     r_history / s_history:
         Observed values so far (indices are time steps).  For the caching
         problem, ``r_history`` is the reference stream and ``s_history``
-        is empty.
+        is empty.  Unused when :attr:`partner_names` is set.
     r_model / s_model:
         The stochastic models, when the policy is model-aware (HEEB,
         FlowExpect).  For caching, ``r_model`` is the reference model.
@@ -102,6 +112,15 @@ class PolicyContext:
         Sliding-window length under Section-7 semantics, else ``None``.
     window_oracle:
         Value-window knowledge for the window-aware baselines.
+    partner_names:
+        For n-way topologies: stream name → names of the streams it
+        joins against (one entry per query edge).  ``None`` marks a
+        binary context.
+    histories:
+        For n-way topologies: stream name → observed values so far.
+    models:
+        For n-way topologies: stream name → stochastic model, when the
+        policy is model-aware.
     recorder:
         Observability sink (:mod:`repro.obs`).  Defaults to the shared
         no-op recorder; policies emitting counters or trace events must
@@ -125,6 +144,17 @@ class PolicyContext:
     r_last_obs: Optional[tuple[int, int]] = None
     s_last_obs: Optional[tuple[int, int]] = None
     recorder: Recorder = NULL_RECORDER
+    partner_names: Optional[Mapping[str, tuple[str, ...]]] = None
+    histories: Optional[dict[str, list[Value]]] = None
+    models: Optional[Mapping[str, StreamModel]] = None
+    #: Per-stream ``(t, value)`` anchors for n-way contexts (the
+    #: name-keyed analogue of ``r_last_obs``/``s_last_obs``).
+    last_obs: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def is_multi(self) -> bool:
+        """True for n-way (name-addressed) contexts."""
+        return self.partner_names is not None
 
     def record_arrival(self, side: str, value: Value) -> None:
         """Append this step's arrival and update the last-observed anchor.
@@ -136,6 +166,11 @@ class PolicyContext:
         anchor — a "−" tuple is an observation that carries no value to
         condition on.
         """
+        if self.histories is not None:
+            self.histories.setdefault(side, []).append(value)
+            if value is not None:
+                self.last_obs[side] = (self.time, value)
+            return
         if side == "R":
             self.r_history.append(value)
             if value is not None:
@@ -154,7 +189,10 @@ class PolicyContext:
         has ever been recorded, so it cannot reintroduce the per-eviction
         rescans this replaces).
         """
-        obs = self.r_last_obs if side == "R" else self.s_last_obs
+        if self.histories is not None:
+            obs = self.last_obs.get(side)
+        else:
+            obs = self.r_last_obs if side == "R" else self.s_last_obs
         if obs is None:
             values = self.history_for(side)
             for t in range(min(self.time, len(values) - 1), -1, -1):
@@ -166,14 +204,38 @@ class PolicyContext:
         return History(now=obs[0], last_value=obs[1])
 
     def history_for(self, side: str) -> list[Value]:
+        if self.histories is not None:
+            return self.histories.setdefault(side, [])
         return self.r_history if side == "R" else self.s_history
 
     def partner_history(self, side: str) -> list[Value]:
         """History of the stream that tuples from ``side`` join against."""
+        if self.histories is not None:
+            partners = self.partners_of(side)
+            return self.history_for(partners[0]) if partners else []
         return self.s_history if side == "R" else self.r_history
 
     def partner_model(self, side: str) -> Optional[StreamModel]:
+        if self.histories is not None:
+            partners = self.partners_of(side)
+            return self.model_for(partners[0]) if partners else None
         return self.s_model if side == "R" else self.r_model
+
+    def partners_of(self, side: str) -> tuple[str, ...]:
+        """Names of the streams that ``side`` tuples join against.
+
+        The binary join degenerates to a single partner: ``R`` joins
+        ``S`` and vice versa.
+        """
+        if self.partner_names is not None:
+            return tuple(self.partner_names.get(side, ()))
+        return ("S",) if side == "R" else ("R",)
+
+    def model_for(self, name: str) -> Optional[StreamModel]:
+        """Model of stream ``name`` (binary names are ``"R"``/``"S"``)."""
+        if self.partner_names is not None:
+            return None if self.models is None else self.models.get(name)
+        return self.r_model if name == "R" else self.s_model
 
 
 class ReplacementPolicy(abc.ABC):

@@ -73,6 +73,11 @@ __all__ = [
     "BatchStationaryJoinHeeb",
     "BatchSurfaceHeeb",
     "BatchTrendOracle",
+    "BatchMultiPolicy",
+    "BatchMultiRand",
+    "BatchMultiLru",
+    "BatchMultiProb",
+    "BatchMultiStationaryHeeb",
     "make_batch_policy",
 ]
 
@@ -557,6 +562,196 @@ class BatchSurfaceHeeb(BatchPolicy):
 
 
 # ----------------------------------------------------------------------
+# Multi-join adapters
+# ----------------------------------------------------------------------
+class BatchMultiPolicy(BatchPolicy):
+    """One replacement policy vectorized over an n-way join topology.
+
+    Multi-join state arrays use *stream codes* — the index of the stream
+    name in the run's arrival order — as ``side`` values, so the adapter
+    must learn the code assignment before the run starts: the simulator
+    calls :meth:`bind` with the stream names and the partner map, then
+    :meth:`reset` as usual.  ``begin_step`` receives one ``(B,)`` value
+    column per stream, indexed by code, instead of the binary R/S pair.
+    """
+
+    def bind(self, names, partner_names) -> None:
+        """Learn the name → code assignment of this run (before reset)."""
+
+    def begin_step(self, state, t: int, vals) -> None:  # type: ignore[override]
+        """Observe this step's arrivals: ``vals[code]`` is ``(B,)`` int64."""
+
+
+class BatchMultiRand(BatchMultiPolicy):
+    """RAND on an n-way topology: per-trial generators, scalar call trace.
+
+    The scalar policy (and the legacy ``MultiRandPolicy``, whose uid
+    pre-sort is the identity on simulator-supplied candidate lists) draws
+    ``rng.choice`` over the candidates in cache-insertion order; the
+    row-prefix layout preserves that order, so delegating to
+    :class:`BatchRand`'s oracle-free select replays the exact draws.
+    """
+
+    name = "RAND"
+    scored = False
+
+    def __init__(self, seed: int):
+        self._inner = BatchRand(seed)
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._inner.reset(n_trials, n_slots)
+
+    def select(self, state, n_evict, t: int) -> np.ndarray:
+        return self._inner.select(state, n_evict, t)
+
+
+class BatchMultiLru(BatchMultiPolicy):
+    """LRU on an n-way topology: the binary stamp logic, name-agnostic."""
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        self._inner = BatchLru()
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._inner.reset(n_trials, n_slots)
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        return self._inner.aux_arrays()
+
+    def on_reference(self, state, mask, t: int) -> None:
+        self._inner.on_reference(state, mask, t)
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        self._inner.on_admit(state, rows, cols, side_code, values, t)
+
+    def scores(self, state, t: int) -> np.ndarray:
+        return self._inner.scores(state, t)
+
+
+class BatchMultiProb(BatchMultiPolicy):
+    """PROB / LFU over many streams: per-partner frequency summation.
+
+    A tuple's frequency sums its value's observed count over *every*
+    partner stream (the scalar policy's n-way rule).  Cached slots carry
+    that sum as per-slot state updated by array comparisons against each
+    step's arrivals; one dictionary update per trial per arriving stream
+    (the global value counters, needed to initialize newly admitted
+    tuples) remains Python-level, exactly like the binary adapter.
+    """
+
+    name = "PROB"
+
+    def __init__(self) -> None:
+        self._freq = np.zeros((0, 0), dtype=np.int64)
+        self._adj = np.zeros((0, 0), dtype=bool)
+        self._tracked: list[int] = []
+        self._partners_by_code: dict[int, list[int]] = {}
+        self._counts: dict[int, list[dict]] = {}
+
+    def bind(self, names, partner_names) -> None:
+        idx = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        # adj[cached_code, arriving_code]: does the arrival probe the slot?
+        self._adj = np.zeros((n, n), dtype=bool)
+        for name, partners in partner_names.items():
+            for p in partners:
+                self._adj[idx[name], idx[p]] = True
+        self._tracked = [idx[name] for name in names if name in partner_names]
+        self._partners_by_code = {
+            idx[name]: [idx[p] for p in partners]
+            for name, partners in partner_names.items()
+        }
+
+    def reset(self, n_trials: int, n_slots: int) -> None:
+        self._freq = np.zeros((n_trials, n_slots), dtype=np.int64)
+        self._counts = {
+            code: [dict() for _ in range(n_trials)] for code in self._tracked
+        }
+
+    def aux_arrays(self) -> tuple[np.ndarray, ...]:
+        return (self._freq,)
+
+    def begin_step(self, state, t: int, vals) -> None:
+        for code in self._tracked:
+            counts = self._counts[code]
+            for b, v in enumerate(vals[code].tolist()):
+                if v != NONE_VALUE:
+                    counts[b][v] = counts[b].get(v, 0) + 1
+        for code in self._tracked:
+            v = vals[code]
+            has = v != NONE_VALUE
+            if not has.any():
+                continue
+            safe = np.where(has, v, 0)
+            # Dead slots' garbage side codes may index anywhere in the
+            # adjacency column; the alive mask discards those lookups.
+            partnered = self._adj[:, code][state.side]
+            self._freq += (
+                state.alive
+                & partnered
+                & has[:, None]
+                & (state.val == safe[:, None])
+            )
+
+    def on_admit(self, state, rows, cols, side_code: int, values, t: int) -> None:
+        partners = self._partners_by_code[side_code]
+        counts = self._counts
+        self._freq[rows, cols] = [
+            sum(counts[p][b].get(v, 0) for p in partners)
+            for b, v in zip(rows.tolist(), values.tolist())
+        ]
+
+    def scores(self, state, t: int) -> np.ndarray:
+        return self._freq.astype(np.float64)
+
+
+class BatchMultiStationaryHeeb(BatchMultiPolicy):
+    """Generic joining HEEB on n-way topologies of stationary streams.
+
+    Appendix C sums the binary benefit over every partner stream; for
+    i.i.d. partners each term depends on the candidate's value only, so
+    one dense per-stream table (the scalar ``heeb_join`` summed over the
+    partners in partner order — identical floats for every query time)
+    turns scoring into an array lookup per stream code.
+    """
+
+    name = "HEEB"
+
+    def __init__(self, strategy: GenericJoinHeeb, models, partner_names):
+        self._tables: dict[str, tuple[int, np.ndarray]] = {}
+        for name, partners in partner_names.items():
+            lo = min(models[p].dist.min_value for p in partners)
+            hi = max(models[p].dist.max_value for p in partners)
+            values = []
+            for v in range(lo, hi + 1):
+                total = 0.0
+                for p in partners:
+                    total += heeb_join(
+                        models[p], 0, v, strategy.estimator, strategy.horizon
+                    )
+                values.append(total)
+            self._tables[name] = (lo, np.array(values))
+        self._by_code: list[Optional[tuple[int, np.ndarray]]] = []
+
+    def bind(self, names, partner_names) -> None:
+        # Streams outside every query are never cached, hence never scored.
+        self._by_code = [self._tables.get(name) for name in names]
+
+    def scores(self, state, t: int) -> np.ndarray:
+        out = np.zeros(state.val.shape)
+        for code, entry in enumerate(self._by_code):
+            if entry is None:
+                continue
+            mask = state.side == code
+            if not mask.any():
+                continue
+            lo, tab = entry
+            out = np.where(mask, _dense_lookup(tab, lo, state.val), out)
+        return out
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 def _batch_heeb(
@@ -609,6 +804,45 @@ def _batch_heeb(
     )
 
 
+def _batch_multi(policy: ReplacementPolicy, models, queries) -> BatchMultiPolicy:
+    """Exact multi-join adapter dispatch (see :func:`make_batch_policy`)."""
+    from ..sim.step import multi_partner_names
+
+    if not queries:
+        raise ValueError("multi_join batch adapters need at least one query")
+    partner_names = multi_partner_names(queries)
+    if isinstance(policy, RandPolicy):
+        return BatchMultiRand(policy.seed)
+    if isinstance(policy, LrukPolicy):
+        raise UnbatchablePolicyError("LRU-k keeps per-value histories")
+    if isinstance(policy, LruPolicy):
+        return BatchMultiLru()
+    if isinstance(policy, ProbPolicy):
+        # LFU subclasses PROB (identical mechanics, different label).
+        adapter = BatchMultiProb()
+        adapter.name = policy.name
+        return adapter
+    if isinstance(policy, HeebPolicy):
+        strategy = policy.strategy
+        if (
+            isinstance(strategy, GenericJoinHeeb)
+            and models is not None
+            and all(
+                isinstance(models.get(name), StationaryStream)
+                for name in partner_names
+            )
+        ):
+            return BatchMultiStationaryHeeb(strategy, models, partner_names)
+        raise UnbatchablePolicyError(
+            f"no multi-join batch adapter for HEEB strategy "
+            f"{type(strategy).__name__} on this configuration "
+            f"(all query-stream models must be stationary)"
+        )
+    raise UnbatchablePolicyError(
+        f"no multi-join batch adapter for policy {type(policy).__name__}"
+    )
+
+
 def make_batch_policy(
     policy: ReplacementPolicy,
     kind: str = "join",
@@ -616,12 +850,22 @@ def make_batch_policy(
     s_model: Optional[StreamModel] = None,
     window: Optional[int] = None,
     window_oracle: Optional[WindowOracle] = None,
+    models=None,
+    queries=None,
 ) -> BatchPolicy:
     """Build the exact batch adapter for a scalar policy instance.
 
+    For ``kind="multi_join"`` the topology is described by ``queries``
+    (binary stream-name pairs) and ``models`` (per-stream models for the
+    model-aware policies); the returned adapter is a
+    :class:`BatchMultiPolicy` that the simulator still has to
+    :meth:`~BatchMultiPolicy.bind` to the run's stream order.
+
     Raises :class:`UnbatchablePolicyError` when no exact adapter exists;
-    callers (the runner's ``batch=`` path) fall back to the scalar loop.
+    callers (the engine negotiation) fall back to the scalar loop.
     """
+    if kind == "multi_join":
+        return _batch_multi(policy, models, queries)
     if kind not in ("join", "cache"):
         raise ValueError(f"unknown kind {kind!r}")
     if isinstance(policy, RandPolicy):

@@ -82,6 +82,8 @@ class GenericJoinHeeb(HeebStrategy):
         return WindowedLExp(self.estimator.alpha, remaining)
 
     def h_value(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        if ctx.is_multi:
+            return self._h_value_multi(tup, ctx)
         partner = ctx.partner_model(tup.side)
         if partner is None:
             raise ValueError("GenericJoinHeeb needs stream models in context")
@@ -96,6 +98,28 @@ class GenericJoinHeeb(HeebStrategy):
             self.horizon,
             history,
         )
+
+    def _h_value_multi(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        """Appendix C rule: ``H`` sums the binary benefit over every
+        partner stream the tuple can join — the binary join is the
+        1-partner degenerate case and yields the identical float."""
+        if ctx.models is None:
+            raise ValueError("GenericJoinHeeb needs stream models in context")
+        estimator = self._estimator_for(tup, ctx)
+        total = 0.0
+        for name in ctx.partners_of(tup.side):
+            partner = ctx.model_for(name)
+            if partner is None:
+                raise ValueError(
+                    f"GenericJoinHeeb: no model for stream {name!r}"
+                )
+            history = None
+            if not partner.is_independent:
+                history = ctx.latest_history(name)
+            total += heeb_join(
+                partner, ctx.time, tup.value, estimator, self.horizon, history
+            )
+        return total
 
 
 class GenericCacheHeeb(HeebStrategy):

@@ -25,6 +25,10 @@ __all__ = ["ProbPolicy"]
 #: Score penalty that forces window-dead tuples below every live tuple.
 _DEAD_PENALTY = 1e18
 
+#: Shared empty counter so multi-join frequency lookups on streams with
+#: no recorded arrivals allocate nothing.
+_EMPTY_COUNTER: Counter = Counter()
+
 
 class ProbPolicy(ScoredPolicy):
     name = "PROB"
@@ -33,14 +37,30 @@ class ProbPolicy(ScoredPolicy):
         self._r_counts: Counter = Counter()
         self._s_counts: Counter = Counter()
         self._consumed = 0
+        # Name-keyed counters for n-way contexts (binary contexts keep
+        # the dedicated R/S pair above untouched).
+        self._multi_counts: dict[str, Counter] = {}
+        self._multi_consumed: dict[str, int] = {}
 
     def reset(self, ctx: PolicyContext) -> None:
         self._r_counts = Counter()
         self._s_counts = Counter()
         self._consumed = 0
+        self._multi_counts = {}
+        self._multi_consumed = {}
 
     def _sync_counts(self, ctx: PolicyContext) -> None:
         """Fold newly observed history entries into the frequency counters."""
+        if ctx.histories is not None:
+            for name, history in ctx.histories.items():
+                counts = self._multi_counts.setdefault(name, Counter())
+                start = self._multi_consumed.get(name, 0)
+                for t in range(start, len(history)):
+                    v = history[t]
+                    if v is not None:
+                        counts[v] += 1
+                self._multi_consumed[name] = len(history)
+            return
         r_hist, s_hist = ctx.r_history, ctx.s_history
         n = len(r_hist)
         for t in range(self._consumed, n):
@@ -54,7 +74,16 @@ class ProbPolicy(ScoredPolicy):
         self._consumed = n
 
     def frequency(self, tup: StreamTuple, ctx: PolicyContext) -> int:
-        """Observed occurrences of the tuple's value in the stream it matches."""
+        """Observed occurrences of the tuple's value in the stream it matches.
+
+        On n-way topologies a tuple matches arrivals of *every* partner
+        stream, so its frequency sums the partner counts.
+        """
+        if ctx.histories is not None:
+            return sum(
+                self._multi_counts.get(name, _EMPTY_COUNTER)[tup.value]
+                for name in ctx.partners_of(tup.side)
+            )
         if ctx.kind == "cache":
             # Database tuples are referenced by the reference stream R.
             return self._r_counts[tup.value]

@@ -9,7 +9,8 @@ bounded queues apply backpressure; hit-rate/occupancy/queue-depth flow
 through the existing :mod:`repro.obs` recorder telemetry.  The replay
 clients (:mod:`repro.serve.replay`) feed recorded traces or seeded
 streams back through a server — the basis of the sim-vs-server parity
-guarantee pinned by ``tests/test_serve_parity.py``.
+guarantee pinned by ``tests/test_serve_parity.py`` and, for the
+Appendix-C multi-join topologies, ``tests/test_serve_multi.py``.
 
 See ``docs/SERVING.md`` for the architecture walkthrough.
 """
@@ -18,8 +19,10 @@ from .replay import (
     ReplaySummary,
     arrivals_from_trace,
     generate_join_stream,
+    generate_multi_join_stream,
     generate_reference_stream,
     replay_join,
+    replay_multi,
     replay_reference,
     run_replay,
 )
@@ -35,9 +38,11 @@ __all__ = [
     "StreamServer",
     "arrivals_from_trace",
     "generate_join_stream",
+    "generate_multi_join_stream",
     "generate_reference_stream",
     "partition_tuples",
     "replay_join",
+    "replay_multi",
     "replay_reference",
     "reshard",
     "run_replay",

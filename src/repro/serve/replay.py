@@ -14,7 +14,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from ..obs import read_trace
 from ..obs.recorder import NULL_RECORDER, CounterRecorder, Recorder
@@ -26,8 +26,10 @@ from .server import StreamServer
 __all__ = [
     "arrivals_from_trace",
     "generate_join_stream",
+    "generate_multi_join_stream",
     "generate_reference_stream",
     "replay_join",
+    "replay_multi",
     "replay_reference",
     "ReplaySummary",
     "run_replay",
@@ -57,6 +59,27 @@ def generate_join_stream(
         r_model.sample_path(length, rng),
         s_model.sample_path(length, rng),
     )
+
+
+def generate_multi_join_stream(
+    models: Mapping[str, StreamModel],
+    length: int,
+    seed: int,
+    run: int = 0,
+) -> dict[str, list[Value]]:
+    """Sample one seeded per-stream value mapping for multi-join replay.
+
+    One :func:`~repro.sim.engine.spawn_rng` generator is consumed by the
+    models in mapping order — the same convention a scalar
+    :class:`~repro.sim.multi_join.MultiJoinSimulator` caller uses when
+    sampling its ``streams`` argument, so simulator and server replays
+    of ``(seed, run)`` see identical arrivals.
+    """
+    rng = spawn_rng(seed, run)
+    return {
+        name: model.sample_path(length, rng)
+        for name, model in models.items()
+    }
 
 
 def generate_reference_stream(
@@ -126,6 +149,33 @@ async def replay_join(
     return n
 
 
+async def replay_multi(
+    server: StreamServer,
+    streams: Mapping[str, Sequence[Value]],
+    *,
+    n_producers: int = 1,
+) -> int:
+    """Push a multi-join stream mapping through the server.
+
+    ``streams`` maps stream name to its per-step value list; ticks are
+    truncated to the shortest stream, mirroring the scalar simulator.
+    The producer-striding contract matches :func:`replay_join`.
+    """
+    n = min((len(v) for v in streams.values()), default=0)
+
+    async def producer(offset: int) -> None:
+        for t in range(offset, n, n_producers):
+            await server.submit_multi(
+                t, {name: streams[name][t] for name in streams}
+            )
+
+    if n_producers == 1:
+        await producer(0)
+    else:
+        await asyncio.gather(*(producer(i) for i in range(n_producers)))
+    return n
+
+
 async def replay_reference(
     server: StreamServer,
     references: Sequence[Value],
@@ -169,7 +219,7 @@ class ReplaySummary:
     #: (``None`` when the recorder tracked no ``serve.queue_depth`` series).
     p90_queue_depth: Optional[float]
     backpressure_waits: int
-    #: Join results (join kind) — else ``None``.
+    #: Join results (join / multi-join kinds) — else ``None``.
     total_results: Optional[int] = None
     #: Cache hits / misses (cache kind) — else ``None``.
     hits: Optional[int] = None
@@ -212,7 +262,7 @@ def _p90_queue_depth(recorder: Recorder) -> Optional[float]:
 
 async def _replay(
     server: StreamServer,
-    r_values: Sequence[Value],
+    r_values: Union[Sequence[Value], Mapping[str, Sequence[Value]]],
     s_values: Optional[Sequence[Value]],
     n_producers: int,
 ) -> tuple[int, float]:
@@ -223,6 +273,11 @@ async def _replay(
         assert s_values is not None
         steps = await replay_join(
             server, r_values, s_values, n_producers=n_producers
+        )
+    elif server.spec.kind == "multi_join":
+        assert isinstance(r_values, Mapping)
+        steps = await replay_multi(
+            server, r_values, n_producers=n_producers
         )
     else:
         steps = await replay_reference(
@@ -237,7 +292,7 @@ async def _replay(
 def run_replay(
     spec: ExperimentSpec,
     policy_factory: Callable[[], ReplacementPolicy],
-    r_values: Sequence[Value],
+    r_values: Union[Sequence[Value], Mapping[str, Sequence[Value]]],
     s_values: Optional[Sequence[Value]] = None,
     *,
     n_shards: int = 1,
@@ -251,7 +306,9 @@ def run_replay(
 
     Synchronous wrapper (``asyncio.run``) so CLIs, benches, and tests
     need no event-loop plumbing.  ``s_values`` is required for join
-    specs and ignored for cache specs.
+    specs and ignored otherwise; for multi-join specs pass the
+    name-keyed stream mapping (:func:`generate_multi_join_stream`) as
+    ``r_values``.
     """
     server = server_factory(
         spec,
@@ -281,7 +338,7 @@ def run_replay(
         backpressure_waits=server.backpressure_waits,
         shard_occupancy=[s.occupancy for s in server.shards],
     )
-    if spec.kind == "join":
+    if spec.kind in ("join", "multi_join"):
         summary.total_results = server.total_results
     else:
         summary.hits = server.hits

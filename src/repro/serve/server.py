@@ -6,8 +6,12 @@ same per-step transition the simulators drive with a ``for`` loop
 concurrent producers.  Because both drivers call the *same* pure
 transition over the *same* state objects, a single-shard server replay
 of a seeded stream is decision-identical to the scalar simulator — the
-parity suite (``tests/test_serve_parity.py``) pins kept/victim uids,
-hit counts, and :mod:`repro.obs` counters byte for byte.
+parity suite (``tests/test_serve_parity.py``,
+``tests/test_serve_multi.py``) pins kept/victim uids, hit counts, and
+:mod:`repro.obs` counters byte for byte.  All three problem kinds are
+served: two-stream joins, the caching problem, and the Appendix-C
+multi-join topologies (``kind="multi_join"``, fed via
+:meth:`StreamServer.submit_multi`).
 
 Architecture
 ------------
@@ -15,8 +19,10 @@ Architecture
   ``n_shards`` independent caches (:class:`~repro.serve.shard.ShardRouter`),
   each with its own policy instance, :class:`~repro.policies.base.PolicyContext`,
   and bounded event queue.  Routing by join value means all matches for
-  a key are intra-shard; no cross-shard probe exists.  Each shard's
-  capacity is ``spec.cache_size`` (total capacity scales with shards).
+  a key are intra-shard — in the multi-join case every query edge probes
+  by the same join attribute, so one value-keyed router covers all
+  queries and no cross-shard probe exists.  Each shard's capacity is
+  ``spec.cache_size`` (total capacity scales with shards).
 * **Backpressure.**  Each shard queue is a bounded :class:`asyncio.Queue`;
   when a queue is full, ``submit`` awaits — producers slow to the rate
   of the slowest shard instead of growing memory without bound.
@@ -38,7 +44,7 @@ Architecture
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Optional, Union
+from typing import Callable, Mapping, Optional, Union
 
 from ..core.tuples import StreamTuple, TupleFactory
 from ..obs.recorder import NULL_RECORDER, Recorder
@@ -47,10 +53,14 @@ from ..sim.engine import ExperimentSpec
 from ..sim.step import (
     CacheStepState,
     JoinStepState,
+    MultiJoinStepState,
+    build_multi_join_state,
     cache_step,
     join_step,
     make_cache_state,
     make_join_state,
+    multi_join_step,
+    multi_partner_names,
 )
 from ..streams.base import Value
 from .shard import ShardRouter, reshard as reshard_tuples
@@ -73,14 +83,15 @@ class Shard:
 
     Created and owned by :class:`StreamServer`; exposed read-only for
     inspection (tests, stats).  ``state`` is a
-    :class:`~repro.sim.step.JoinStepState` or
-    :class:`~repro.sim.step.CacheStepState`.
+    :class:`~repro.sim.step.JoinStepState`,
+    :class:`~repro.sim.step.CacheStepState`, or
+    :class:`~repro.sim.step.MultiJoinStepState`.
     """
 
     def __init__(
         self,
         index: int,
-        state: Union[JoinStepState, CacheStepState],
+        state: Union[JoinStepState, CacheStepState, MultiJoinStepState],
         queue_maxsize: int,
     ):
         """Bind the shard's index, step state, and bounded queue."""
@@ -109,9 +120,10 @@ class StreamServer:
     Parameters
     ----------
     spec:
-        The problem description (``kind`` must be ``"join"`` or
-        ``"cache"``; the multi-join generalization is not served).
-        ``cache_size`` is the *per-shard* capacity.
+        The problem description (``kind`` may be ``"join"``, ``"cache"``,
+        or ``"multi_join"`` — the Appendix-C generalization is served
+        through :meth:`submit_multi`).  ``cache_size`` is the
+        *per-shard* capacity.
     policy_factory:
         Builds a fresh replacement policy per shard, exactly like the
         per-trial factories of :func:`~repro.sim.runner.run_experiment`.
@@ -141,10 +153,27 @@ class StreamServer:
         step_delay: float = 0.0,
     ):
         """Validate the spec and build the (not yet started) shards."""
-        if spec.kind not in ("join", "cache"):
+        if spec.kind not in ("join", "cache", "multi_join"):
             raise ValueError(
-                f"StreamServer serves 'join' or 'cache' specs, not {spec.kind!r}"
+                "StreamServer serves 'join', 'cache', or 'multi_join' "
+                f"specs, not {spec.kind!r}"
             )
+        if spec.kind == "multi_join":
+            partner_names = multi_partner_names(spec.queries)
+            if spec.models:
+                names = list(spec.models)
+            else:
+                names = []
+                for a, b in spec.queries:
+                    for name in (a, b):
+                        if name not in names:
+                            names.append(name)
+            missing = set(partner_names) - set(names)
+            if missing:
+                raise ValueError(f"queries reference unknown streams {missing}")
+            self._names: tuple[str, ...] = tuple(names)
+        else:
+            self._names = ()
         if queue_maxsize < 1:
             raise ValueError("queue_maxsize must be >= 1")
         if step_delay < 0:
@@ -180,7 +209,7 @@ class StreamServer:
         else:
             shard_recorder = self._recorder.fork()
         spec = self._spec
-        state: Union[JoinStepState, CacheStepState]
+        state: Union[JoinStepState, CacheStepState, MultiJoinStepState]
         if spec.kind == "join":
             state = make_join_state(
                 spec.cache_size,
@@ -190,6 +219,15 @@ class StreamServer:
                 r_model=spec.r_model,
                 s_model=spec.s_model,
                 window_oracle=spec.window_oracle,
+                recorder=shard_recorder,
+            )
+        elif spec.kind == "multi_join":
+            state = build_multi_join_state(
+                spec.cache_size,
+                self._policy_factory(),
+                spec.queries,
+                list(self._names),
+                models=spec.models,
                 recorder=shard_recorder,
             )
         else:
@@ -211,6 +249,12 @@ class StreamServer:
         return self._spec
 
     @property
+    def names(self) -> tuple[str, ...]:
+        """Stream names served, in arrival order (multi-join kind;
+        empty for join/cache)."""
+        return self._names
+
+    @property
     def n_shards(self) -> int:
         """Current number of shards."""
         return self._router.n_shards
@@ -227,12 +271,22 @@ class StreamServer:
 
     @property
     def total_results(self) -> int:
-        """Join results produced across all shards (join kind)."""
+        """Join results produced across all shards (join kinds)."""
         return sum(
             s.state.total_results
             for s in self._shards
-            if isinstance(s.state, JoinStepState)
+            if isinstance(s.state, (JoinStepState, MultiJoinStepState))
         )
+
+    def per_query_results(self) -> dict[frozenset, int]:
+        """Results attributed per query pair, summed over shards
+        (multi-join kind only)."""
+        out: dict[frozenset, int] = {}
+        for s in self._shards:
+            if isinstance(s.state, MultiJoinStepState):
+                for query, count in s.state.per_query.items():
+                    out[query] = out.get(query, 0) + count
+        return out
 
     @property
     def hits(self) -> int:
@@ -286,7 +340,7 @@ class StreamServer:
             ),
             "shards": per_shard,
         }
-        if self._spec.kind == "join":
+        if self._spec.kind in ("join", "multi_join"):
             stats["total_results"] = self.total_results
         else:
             stats["hits"] = self.hits
@@ -325,6 +379,10 @@ class StreamServer:
                     t, r_val, s_val = event
                     assert isinstance(shard.state, JoinStepState)
                     join_step(shard.state, t, r_val, s_val)
+                elif kind == "multi_join":
+                    t, arrivals = event
+                    assert isinstance(shard.state, MultiJoinStepState)
+                    multi_join_step(shard.state, t, arrivals)
                 else:
                     t, value = event
                     assert isinstance(shard.state, CacheStepState)
@@ -384,7 +442,10 @@ class StreamServer:
         """
         self._check_accepting()
         if self._spec.kind != "join":
-            raise ValueError("submit() is for join servers; use submit_reference()")
+            raise ValueError(
+                "submit() is for join servers; use submit_reference() "
+                "or submit_multi()"
+            )
         self.ingested_arrivals += (r_value is not None) + (s_value is not None)
         if self._router.n_shards == 1:
             await self._enqueue(self._shards[0], (step, r_value, s_value))
@@ -422,6 +483,47 @@ class StreamServer:
             return
         shard = self._shards[self._router.shard_for(value)]
         await self._enqueue(shard, (step, value))
+
+    async def submit_multi(self, step: int, arrivals: Mapping[str, Value]) -> None:
+        """Push one multi-join tick: arrivals keyed by stream name.
+
+        Streams absent from ``arrivals`` are treated as "−" (``None``).
+        With one shard the tick is delivered whole, normalized over the
+        server's stream set, so the shard observes exactly the scalar
+        simulator's input.  With many shards each non-"−" arrival routes
+        by its join value — every query edge probes the same attribute,
+        so all of a value's matches stay intra-shard — and arrivals
+        landing on the same shard share one event; an all-"−" tick is
+        not delivered at all (``serve.null_ticks``).
+        """
+        self._check_accepting()
+        if self._spec.kind != "multi_join":
+            raise ValueError("submit_multi() is for multi-join servers")
+        unknown = set(arrivals) - set(self._names)
+        if unknown:
+            raise ValueError(f"arrivals for unknown streams {sorted(unknown)}")
+        self.ingested_arrivals += sum(
+            v is not None for v in arrivals.values()
+        )
+        if self._router.n_shards == 1:
+            tick = {name: arrivals.get(name) for name in self._names}
+            await self._enqueue(self._shards[0], (step, tick))
+            return
+        events: dict[int, dict[str, Value]] = {}
+        for name in self._names:
+            value = arrivals.get(name)
+            if value is None:
+                continue
+            index = self._router.shard_for(value)
+            events.setdefault(
+                index, {n: None for n in self._names}
+            )[name] = value
+        if not events:
+            if self._recorder.enabled:
+                self._recorder.count("serve.null_ticks")
+            return
+        for index in sorted(events):
+            await self._enqueue(self._shards[index], (step, events[index]))
 
     # ------------------------------------------------------------------
     # Drain / stop

@@ -34,7 +34,7 @@ Layout invariants the engine maintains:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -43,20 +43,25 @@ from ..policies.batch import (
     NONE_VALUE,
     R_CODE,
     S_CODE,
+    BatchMultiPolicy,
     BatchPolicy,
 )
 from ..streams.base import StreamModel, Value
 from .cache_sim import CacheRunResult
 from .join_sim import JoinRunResult
+from .step import multi_partner_names
 
 __all__ = [
     "BatchState",
     "BatchJoinRunResult",
     "BatchCacheRunResult",
+    "BatchMultiJoinRunResult",
     "BatchJoinSimulator",
     "BatchCacheSimulator",
+    "BatchMultiJoinSimulator",
     "values_to_array",
     "paths_to_arrays",
+    "streams_to_arrays",
     "generate_paths_arrays",
     "generate_reference_array",
 ]
@@ -176,6 +181,48 @@ class BatchCacheRunResult:
         ]
 
 
+@dataclass
+class BatchMultiJoinRunResult:
+    """Per-trial outcomes of one batched multi-join run (arrays over B)."""
+
+    total_results: np.ndarray
+    results_after_warmup: np.ndarray
+    steps: int
+    warmup: int
+    cache_size: int
+    #: The query pairs, in spec order (columns of :attr:`per_query`).
+    queries: list[tuple[str, str]]
+    #: ``(B, n_queries)`` results attributed to each query.
+    per_query: np.ndarray
+    #: stream name -> ``(B, steps)`` cached-tuple counts after each step.
+    occupancy_by_stream: dict[str, np.ndarray]
+    #: Slot arrays after the last step (final-cache parity checks).
+    final_state: BatchState
+
+    def unbatch(self) -> list:
+        """Split into scalar-compatible per-trial results."""
+        from .multi_join import MultiJoinRunResult
+
+        return [
+            MultiJoinRunResult(
+                total_results=int(self.total_results[b]),
+                results_after_warmup=int(self.results_after_warmup[b]),
+                steps=self.steps,
+                warmup=self.warmup,
+                cache_size=self.cache_size,
+                per_query={
+                    frozenset(q): int(self.per_query[b, i])
+                    for i, q in enumerate(self.queries)
+                },
+                occupancy_by_stream={
+                    name: occ[b].copy()
+                    for name, occ in self.occupancy_by_stream.items()
+                },
+            )
+            for b in range(self.total_results.size)
+        ]
+
+
 # ----------------------------------------------------------------------
 # Input conversion
 # ----------------------------------------------------------------------
@@ -203,6 +250,39 @@ def paths_to_arrays(
     s = values_to_array([p[1] for p in paths])
     n = min(r.shape[1], s.shape[1]) if paths else 0
     return r[:, :n], s[:, :n]
+
+
+def streams_to_arrays(
+    data: Sequence[Mapping[str, Sequence[Value]]],
+) -> dict[str, np.ndarray]:
+    """Stack per-trial stream mappings into ``{name: (B, n)}`` arrays.
+
+    Every trial must list the same streams in the same order — the
+    arrival (and hence uid-minting) order the scalar simulator derives
+    from each mapping, which lock-step execution needs to be shared.
+    Sequences are truncated to the shortest one across all trials and
+    streams, matching :func:`values_to_array`'s convention.
+    """
+    if not data:
+        return {}
+    names = list(data[0])
+    for item in data[1:]:
+        if list(item) != names:
+            raise ValueError(
+                "all multi-join trials must list the same streams "
+                "in the same order"
+            )
+    n = min(len(seq) for item in data for seq in item.values())
+    out = {}
+    for name in names:
+        arr = np.empty((len(data), n), dtype=np.int64)
+        for b, item in enumerate(data):
+            arr[b] = [
+                NONE_VALUE if v is None else int(v)
+                for v in item[name][:n]
+            ]
+        out[name] = arr
+    return out
 
 
 def generate_paths_arrays(
@@ -638,3 +718,246 @@ class BatchCacheSimulator:
                 rec.series("cache.occupancy", t, occ_row[t])
                 rec.series("cache.hits.cum", t, h)
                 rec.series("cache.hit_rate", t, h / (h + m_row[t]))
+
+
+class BatchMultiJoinSimulator:
+    """Vectorized counterpart of :class:`~repro.sim.multi_join.MultiJoinSimulator`.
+
+    Takes a :class:`~repro.policies.batch.BatchMultiPolicy` (built by
+    :func:`~repro.policies.batch.make_batch_policy` with
+    ``kind="multi_join"``) and per-stream ``(B, n)`` value arrays; every
+    step performs the scalar step function's phases — per-partner
+    probing, arrival minting in stream order, eviction — as whole-array
+    operations, with ``side`` carrying the stream's index in arrival
+    order instead of the binary R/S codes.
+
+    An enabled ``recorder`` receives counters aggregated over the whole
+    batch (``sim.steps``, ``arrivals.<stream>``, ``arrivals.null``,
+    ``join.results``, ``evict.<policy_name>``) and the scalar per-step
+    series (``cache.occupancy``, ``join.results.cum``,
+    ``cache.hit_rate``) replayed trial-major, matching what a scalar
+    recorder collects over the same trials.  Per-step trace events are
+    not emitted — trace with the scalar engine for per-tuple visibility.
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        policy: BatchMultiPolicy,
+        queries: Sequence[tuple[str, str]],
+        warmup: int = 0,
+        recorder: Recorder = NULL_RECORDER,
+        policy_name: str = "policy",
+    ):
+        """Validate the query set and bind the shared-cache parameters."""
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be nonnegative")
+        self._partner_names = multi_partner_names(queries)
+        self._queries = [tuple(q) for q in queries]
+        self._cache_size = cache_size
+        self._policy = policy
+        self._warmup = warmup
+        self._recorder = recorder
+        self._policy_name = policy_name
+
+    def run(self, streams: Mapping[str, np.ndarray]) -> BatchMultiJoinRunResult:
+        """Simulate every trial in lock-step over per-stream value arrays."""
+        names = list(streams)
+        missing = set(self._partner_names) - set(names)
+        if missing:
+            raise ValueError(f"queries reference unknown streams {missing}")
+        arrs = [np.asarray(streams[name], dtype=np.int64) for name in names]
+        if any(a.ndim != 2 or a.shape != arrs[0].shape for a in arrs):
+            raise ValueError("all streams must be matching (B, n) arrays")
+        n_trials, n = arrs[0].shape
+        k = self._cache_size
+        code_of = {name: i for i, name in enumerate(names)}
+        # Streams outside every query are observed but never cached.
+        query_codes = [
+            code_of[name] for name in names if name in self._partner_names
+        ]
+        # Probe edges in scalar order: arrival stream in names order, its
+        # partners in query order; each edge knows its query column.
+        query_col = {frozenset(q): i for i, q in enumerate(self._queries)}
+        edges = [
+            (code_of[name], code_of[p], query_col[frozenset((name, p))])
+            for name in names
+            if name in self._partner_names
+            for p in self._partner_names[name]
+        ]
+
+        # ≤ k survivors plus one arrival per cacheable stream.
+        state = BatchState.empty(n_trials, k + len(query_codes))
+        self._policy.bind(names, self._partner_names)
+        self._policy.reset(n_trials, k + len(query_codes))
+        aux = self._policy.aux_arrays()
+
+        counts = np.zeros(n_trials, dtype=np.int64)
+        uid_next = np.zeros(n_trials, dtype=np.int64)
+        total = np.zeros(n_trials, dtype=np.int64)
+        after_warmup = np.zeros(n_trials, dtype=np.int64)
+        per_query = np.zeros((n_trials, len(self._queries)), dtype=np.int64)
+        probe_hits = np.zeros(n_trials, dtype=np.int64)
+        probe_misses = np.zeros(n_trials, dtype=np.int64)
+        occupancy_by_stream = {
+            name: np.zeros((n_trials, n), dtype=np.int64) for name in names
+        }
+
+        rec = self._recorder
+        rec_on = rec.enabled
+        evicted_total = 0
+        # Per-step logs, kept only to replay the scalar series exactly.
+        if rec_on:
+            occ_log = np.zeros((n_trials, n), dtype=np.int64)
+            results_log = np.zeros((n_trials, n), dtype=np.int64)
+            hits_log = np.zeros((n_trials, n), dtype=np.int64)
+            probes_log = np.zeros((n_trials, n), dtype=np.int64)
+        else:
+            occ_log = results_log = hits_log = probes_log = None
+
+        for t in range(n):
+            vals = [a[:, t] for a in arrs]
+            self._policy.begin_step(state, t, vals)
+
+            # New arrivals join cached partner tuples (same-step arrivals
+            # never join each other — they are appended only afterwards).
+            step_results = np.zeros(n_trials, dtype=np.int64)
+            referenced = np.zeros(state.alive.shape, dtype=bool)
+            matched = {code: np.zeros(n_trials, dtype=bool) for code in query_codes}
+            for a_code, p_code, q_col in edges:
+                v = vals[a_code]
+                has = v != NONE_VALUE
+                if not has.any():
+                    continue
+                safe = np.where(has, v, 0)
+                m = (
+                    state.alive
+                    & (state.side == p_code)
+                    & has[:, None]
+                    & (state.val == safe[:, None])
+                )
+                cnt = m.sum(axis=1)
+                per_query[:, q_col] += cnt
+                step_results += cnt
+                referenced |= m
+                matched[a_code] |= cnt > 0
+            for code in query_codes:
+                has = vals[code] != NONE_VALUE
+                probe_hits += has & matched[code]
+                probe_misses += has & ~matched[code]
+            total += step_results
+            if t >= self._warmup:
+                after_warmup += step_results
+            if results_log is not None:
+                results_log[:, t] = step_results
+                hits_log[:, t] = probe_hits
+                probes_log[:, t] = probe_hits + probe_misses
+            if referenced.any():
+                self._policy.on_reference(state, referenced, t)
+
+            # Append arrivals in candidate order: stream arrival order.
+            for code in query_codes:
+                v = vals[code]
+                rows = np.flatnonzero(v != NONE_VALUE)
+                if rows.size == 0:
+                    continue
+                cols = counts[rows]
+                state.val[rows, cols] = v[rows]
+                state.side[rows, cols] = code
+                state.arr[rows, cols] = t
+                state.uid[rows, cols] = uid_next[rows]
+                state.alive[rows, cols] = True
+                uid_next[rows] += 1
+                counts[rows] += 1
+                self._policy.on_admit(state, rows, cols, code, v[rows], t)
+
+            n_evict = np.maximum(counts - k, 0)
+            if n_evict.any():
+                victims = _select_victims(self._policy, state, n_evict, t)
+                if victims.any():
+                    if rec_on:
+                        evicted_total += int(victims.sum())
+                    state.compact(state.alive & ~victims, aux)
+                    counts = state.alive.sum(axis=1)
+
+            for name in names:
+                occupancy_by_stream[name][:, t] = (
+                    state.alive & (state.side == code_of[name])
+                ).sum(axis=1)
+            if occ_log is not None:
+                occ_log[:, t] = counts
+
+        if rec_on:
+            self._record_counters(names, arrs, total, evicted_total)
+            self._emit_series(occ_log, results_log, hits_log, probes_log)
+        return BatchMultiJoinRunResult(
+            total_results=total,
+            results_after_warmup=after_warmup,
+            steps=n,
+            warmup=self._warmup,
+            cache_size=k,
+            queries=self._queries,
+            per_query=per_query,
+            occupancy_by_stream=occupancy_by_stream,
+            final_state=state,
+        )
+
+    def _record_counters(
+        self,
+        names: Sequence[str],
+        arrs: Sequence[np.ndarray],
+        total: np.ndarray,
+        evicted_total: int,
+    ) -> None:
+        """Flush batch-aggregated counters, mirroring the scalar keys.
+
+        Counters with a zero total are skipped so the resulting
+        dictionary has exactly the keys a scalar recorder would have
+        created over the same trials.
+        """
+        rec = self._recorder
+        n_steps = int(arrs[0].size)
+        pairs: list[tuple[str, int]] = [("sim.steps", n_steps)]
+        observed = 0
+        for name, arr in zip(names, arrs):
+            seen = int((arr != NONE_VALUE).sum())
+            observed += seen
+            pairs.append((f"arrivals.{name}", seen))
+        pairs.append(("arrivals.null", n_steps * len(names) - observed))
+        pairs.append((f"evict.{self._policy_name}", evicted_total))
+        pairs.append(("join.results", int(total.sum())))
+        for name, count in pairs:
+            if count:
+                rec.count(name, count)
+
+    def _emit_series(
+        self,
+        occ_log: np.ndarray | None,
+        results_log: np.ndarray | None,
+        hits_log: np.ndarray | None,
+        probes_log: np.ndarray | None,
+    ) -> None:
+        """Replay the scalar per-step series from the batch arrays.
+
+        Trial-major like :meth:`BatchJoinSimulator._emit_series`, so the
+        recorder's order-dependent aggregates come out bit-identical to
+        a scalar run; ``cache.hit_rate`` points exist only once a trial
+        has probed at least once, with the same integer operands.
+        """
+        assert occ_log is not None
+        rec = self._recorder
+        occ_rows = occ_log.tolist()
+        cum_rows = np.cumsum(results_log, axis=1).tolist()
+        hit_rows = hits_log.tolist()
+        probe_rows = probes_log.tolist()
+        for occ_row, cum_row, hit_row, probe_row in zip(
+            occ_rows, cum_rows, hit_rows, probe_rows
+        ):
+            for t, (occ, cum) in enumerate(zip(occ_row, cum_row)):
+                rec.series("cache.occupancy", t, occ)
+                rec.series("join.results.cum", t, cum)
+                probes = probe_row[t]
+                if probes:
+                    rec.series("cache.hit_rate", t, hit_row[t] / probes)

@@ -19,7 +19,8 @@ dissolves that coupling into an explicit operator/engine split:
                 kinds and all policies, including FlowExpect's
                 fast/reference paths)
   ``batch``     the vectorized NumPy engine (:mod:`repro.sim.batch`);
-                joining/caching with an exact batch policy adapter
+                joining, caching, and multi-join with an exact batch
+                policy adapter
   ``parallel``  fans independent trials across a
                 :class:`~concurrent.futures.ProcessPoolExecutor`;
                 needs ``fork`` and an effective worker count > 1
@@ -326,9 +327,9 @@ class BatchEngine(Engine):
     """The vectorized tier: all trials advance in lockstep over
     ``(B, slots)`` NumPy arrays (:mod:`repro.sim.batch`).
 
-    Capability: joining and caching specs whose policy has an exact
-    batch adapter (:func:`~repro.policies.batch.make_batch_policy`);
-    multi-join has no vectorized implementation yet.
+    Capability: joining, caching, and multi-join specs whose policy has
+    an exact batch adapter
+    (:func:`~repro.policies.batch.make_batch_policy`).
     """
 
     name = "batch"
@@ -338,6 +339,13 @@ class BatchEngine(Engine):
 
         if spec.kind == "cache":
             return make_batch_policy(policy, kind="cache", r_model=spec.r_model)
+        if spec.kind == "multi_join":
+            return make_batch_policy(
+                policy,
+                kind="multi_join",
+                models=spec.models,
+                queries=spec.queries,
+            )
         return make_batch_policy(
             policy,
             kind="join",
@@ -348,11 +356,9 @@ class BatchEngine(Engine):
         )
 
     def supports(self, spec, policy_factory):
-        """``None`` for join/cache specs whose policy has a batch adapter."""
+        """``None`` for specs whose policy has an exact batch adapter."""
         from ..policies.batch import UnbatchablePolicyError
 
-        if spec.kind == "multi_join":
-            return "the batch engine has no multi-join implementation"
         try:
             self._adapter(spec, policy_factory())
         except UnbatchablePolicyError as exc:
@@ -371,7 +377,9 @@ class BatchEngine(Engine):
         from .batch import (
             BatchCacheSimulator,
             BatchJoinSimulator,
+            BatchMultiJoinSimulator,
             paths_to_arrays,
+            streams_to_arrays,
             values_to_array,
         )
 
@@ -386,6 +394,19 @@ class BatchEngine(Engine):
                 policy_name=policy.name,
             )
             batched = sim.run(values_to_array(data))
+        elif spec.kind == "multi_join":
+            arrays = streams_to_arrays(data)
+            if not arrays:
+                return EngineRun(policy_name=policy.name, per_run=[])
+            sim = BatchMultiJoinSimulator(
+                spec.cache_size,
+                adapter,
+                spec.queries,
+                warmup=spec.warmup,
+                recorder=recorder,
+                policy_name=policy.name,
+            )
+            batched = sim.run(arrays)
         else:
             r_arr, s_arr = paths_to_arrays(data)
             sim = BatchJoinSimulator(

@@ -7,14 +7,22 @@ in computation of expected benefit of the horizontal arc: ... this
 expected benefit is a summary of each expected benefit of the binary
 join with one partner stream."
 
-This module implements that generalization end to end:
+Since the policy layer became partner-aware
+(:class:`repro.policies.base.PolicyContext` addresses streams by name
+when ``partner_names`` is set, with the binary join as the 1-partner
+degenerate case), the unified policies serve both shapes and the
+``Multi*`` classes in this module are **thin deprecated aliases** kept
+for backward compatibility:
 
 * :class:`MultiJoinSimulator` -- ``n`` named streams, a set of binary
   equijoin queries (stream-name pairs), one shared cache;
-* :class:`MultiHeebPolicy` -- HEEB where ``H_x`` sums the per-partner
-  joining benefits, exactly the appendix's "summary" rule;
-* :class:`MultiProbPolicy` / reuse of :class:`~repro.policies.rand.RandPolicy`
-  as baselines;
+* :class:`MultiHeebPolicy` -- alias of
+  :class:`~repro.policies.heeb_policy.HeebPolicy` over the partner-aware
+  :class:`~repro.policies.heeb_policy.GenericJoinHeeb` (the appendix's
+  per-partner benefit summation, the "summary" rule);
+* :class:`MultiProbPolicy` / :class:`MultiRandPolicy` -- aliases of
+  :class:`~repro.policies.prob.ProbPolicy` /
+  :class:`~repro.policies.rand.RandPolicy`;
 * :func:`solve_opt_offline_multi` -- the compact OPT-offline formulation
   with per-match-step benefit *counts* (a tuple may match arrivals from
   several partners in one step), replayable through the simulator via
@@ -24,20 +32,24 @@ This module implements that generalization end to end:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 import networkx as nx
 import numpy as np
 
-from ..core.heeb import default_horizon
 from ..core.lifetime import LifetimeEstimator
 from ..core.tuples import CacheState, StreamTuple, TupleFactory
 from ..flow.opt_offline import OfflineSolution
 from ..obs.recorder import NULL_RECORDER, Recorder
-from ..streams.base import History, StreamModel, Value
+from ..policies.base import PolicyContext, ReplacementPolicy
+from ..policies.heeb_policy import GenericJoinHeeb, HeebPolicy
+from ..policies.prob import ProbPolicy
+from ..policies.rand import RandPolicy
+from ..policies.scheduled import ScheduledPolicy
+from ..streams.base import StreamModel, Value
 from .engine import RunResult
-from .step import make_multi_join_state, multi_join_step
+from .step import build_multi_join_state, multi_join_step, multi_partner_names
 
 __all__ = [
     "MultiPolicyContext",
@@ -53,153 +65,77 @@ __all__ = [
 ]
 
 
-@dataclass
-class MultiPolicyContext:
-    """What a multi-join policy may consult."""
+class MultiPolicyContext(PolicyContext):
+    """Deprecated alias: a name-addressed :class:`PolicyContext`.
 
-    time: int
-    cache_size: int
-    #: partner_names[s] = streams that s has a join query with.
-    partner_names: Mapping[str, tuple[str, ...]]
-    histories: dict[str, list[Value]] = field(default_factory=dict)
-    models: Optional[Mapping[str, StreamModel]] = None
-    #: Observability sink (:mod:`repro.obs`); defaults to the no-op sink.
-    recorder: Recorder = NULL_RECORDER
+    Kept so pre-unification callers constructing
+    ``MultiPolicyContext(time=..., cache_size=..., partner_names=...,
+    histories=..., models=...)`` keep working; the unified context
+    exposes the same ``latest_history(name)`` accessor.
+    """
 
-    def latest_history(self, name: str) -> History | None:
-        """Most recent non-null observation of stream ``name``, if any."""
-        values = self.histories.get(name, [])
-        for t in range(len(values) - 1, -1, -1):
-            if values[t] is not None:
-                return History(now=t, last_value=values[t])
-        return None
+    def __init__(
+        self,
+        time: int,
+        cache_size: int,
+        partner_names: Mapping[str, tuple[str, ...]],
+        histories: Optional[dict[str, list[Value]]] = None,
+        models: Optional[Mapping[str, StreamModel]] = None,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        super().__init__(
+            kind="multi_join",
+            time=time,
+            cache_size=cache_size,
+            partner_names=partner_names,
+            histories=histories if histories is not None else {},
+            models=models,
+            recorder=recorder,
+        )
 
 
-class MultiJoinPolicy:
-    """Base class for multi-join replacement policies."""
+class MultiJoinPolicy(ReplacementPolicy):
+    """Deprecated alias: multi-join policies are ordinary
+    :class:`~repro.policies.base.ReplacementPolicy` subclasses now (the
+    partner-aware context carries the topology)."""
 
     name = "multi-policy"
 
-    def reset(self, ctx: MultiPolicyContext) -> None:
-        """Clear per-run state."""
 
-    def select_victims(
-        self,
-        candidates: Sequence[StreamTuple],
-        n_evict: int,
-        ctx: MultiPolicyContext,
-    ) -> list[StreamTuple]:
-        """Choose ``n_evict`` tuples to evict from ``candidates``."""
-        raise NotImplementedError
+class MultiHeebPolicy(HeebPolicy):
+    """Deprecated alias: HEEB with per-partner benefit summation.
 
-
-class MultiHeebPolicy(MultiJoinPolicy):
-    """HEEB with per-partner benefit summation (the appendix rule).
-
-    ``H_x = Σ_{P ∈ partners(stream(x))} Σ_Δt Pr{X^P_{t0+Δt} = v_x} L(Δt)``.
+    ``H_x = Σ_{P ∈ partners(stream(x))} Σ_Δt Pr{X^P_{t0+Δt} = v_x} L(Δt)``
+    — exactly what the unified :class:`HeebPolicy` computes over a
+    partner-aware context via the generic strategy.
     """
 
-    name = "HEEB"
-
     def __init__(self, estimator: LifetimeEstimator, horizon: int | None = None):
-        """HEEB over ``estimator``'s lifetime weights, optionally capped at ``horizon``."""
+        super().__init__(GenericJoinHeeb(estimator, horizon))
         self.estimator = estimator
         self.horizon = horizon
 
-    def _h_value(self, tup: StreamTuple, ctx: MultiPolicyContext) -> float:
-        if ctx.models is None:
-            raise ValueError("MultiHeebPolicy needs stream models")
-        h = (
-            default_horizon(self.estimator)
-            if self.horizon is None
-            else self.horizon
-        )
-        weights = self.estimator.weights(h)
-        total = 0.0
-        for partner_name in ctx.partner_names.get(tup.side, ()):
-            model = ctx.models[partner_name]
-            history = None
-            if not model.is_independent:
-                history = ctx.latest_history(partner_name)
-            probs = np.array(
-                [
-                    model.prob(ctx.time + dt, tup.value, history)
-                    for dt in range(1, h + 1)
-                ]
-            )
-            total += float(np.dot(probs, weights))
-        return total
+    def _h_value(self, tup: StreamTuple, ctx: PolicyContext) -> float:
+        """Pre-unification spelling of :meth:`score` (kept for callers)."""
+        return self.strategy.h_value(tup, ctx)
+
+
+class MultiProbPolicy(ProbPolicy):
+    """Deprecated alias: the unified PROB already sums the value's
+    observed frequency across all partner streams on name-addressed
+    contexts."""
+
+
+class MultiRandPolicy(RandPolicy):
+    """Deprecated alias of :class:`~repro.policies.rand.RandPolicy`.
+
+    Preserves the legacy draw order exactly: candidates are sorted by
+    uid before sampling (a no-op for simulator-supplied candidate
+    lists, which are always uid-ascending, but pinned for hand-built
+    lists).
+    """
 
     def select_victims(self, candidates, n_evict, ctx):
-        """Evict the tuples with the lowest summed expected benefit."""
-        if n_evict <= 0:
-            return []
-        ranked = sorted(
-            candidates, key=lambda tup: (self._h_value(tup, ctx), tup.uid)
-        )
-        return ranked[:n_evict]
-
-
-class MultiProbPolicy(MultiJoinPolicy):
-    """PROB generalized: frequency of the value across all partner
-    streams' observed histories."""
-
-    name = "PROB"
-
-    def __init__(self) -> None:
-        """Start with empty per-stream value-frequency tables."""
-        self._counts: dict[str, Counter] = {}
-        self._consumed: dict[str, int] = {}
-
-    def reset(self, ctx: MultiPolicyContext) -> None:
-        """Forget all observed frequencies before a new run."""
-        self._counts = {}
-        self._consumed = {}
-
-    def _sync(self, ctx: MultiPolicyContext) -> None:
-        for name, history in ctx.histories.items():
-            counts = self._counts.setdefault(name, Counter())
-            start = self._consumed.get(name, 0)
-            for t in range(start, len(history)):
-                v = history[t]
-                if v is not None:
-                    counts[v] += 1
-            self._consumed[name] = len(history)
-
-    def select_victims(self, candidates, n_evict, ctx):
-        """Evict the tuples whose values are rarest across partner streams."""
-        if n_evict <= 0:
-            return []
-        self._sync(ctx)
-
-        def score(tup: StreamTuple) -> float:
-            return float(
-                sum(
-                    self._counts.get(p, Counter())[tup.value]
-                    for p in ctx.partner_names.get(tup.side, ())
-                )
-            )
-
-        ranked = sorted(candidates, key=lambda tup: (score(tup), tup.uid))
-        return ranked[:n_evict]
-
-
-class MultiRandPolicy(MultiJoinPolicy):
-    """Uniformly random victims."""
-
-    name = "RAND"
-
-    def __init__(self, seed: int = 0):
-        """Seeded uniform-random victim selection."""
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-
-    def reset(self, ctx: MultiPolicyContext) -> None:
-        """Re-seed so every run draws the same victim sequence."""
-        self._rng = np.random.default_rng(self._seed)
-
-    def select_victims(self, candidates, n_evict, ctx):
-        """Evict ``n_evict`` uniformly random candidates."""
         if n_evict <= 0:
             return []
         order = sorted(candidates, key=lambda t: t.uid)
@@ -207,35 +143,10 @@ class MultiRandPolicy(MultiJoinPolicy):
         return [order[i] for i in picks]
 
 
-class MultiScheduledPolicy(MultiJoinPolicy):
-    """Replays a precomputed multi-join schedule (OPT-offline)."""
-
-    name = "OPT-OFFLINE"
-
-    def __init__(self, solution: OfflineSolution):
-        """Replay the eviction schedule carried by ``solution``."""
-        self._solution = solution
-        self.mismatches = 0
-
-    def reset(self, ctx: MultiPolicyContext) -> None:
-        """Zero the schedule-mismatch counter."""
-        self.mismatches = 0
-
-    def select_victims(self, candidates, n_evict, ctx):
-        """Evict tuples whose scheduled departure time has passed."""
-        due = [
-            c
-            for c in candidates
-            if self._solution.scheduled_eviction(c.side, c.arrival) <= ctx.time
-        ]
-        if len(due) >= n_evict:
-            return due
-        self.mismatches += 1
-        others = sorted(
-            (c for c in candidates if c not in due),
-            key=lambda c: self._solution.scheduled_eviction(c.side, c.arrival),
-        )
-        return due + others[: n_evict - len(due)]
+class MultiScheduledPolicy(ScheduledPolicy):
+    """Deprecated alias: :class:`~repro.policies.scheduled.ScheduledPolicy`
+    replays multi-join schedules unchanged (``(stream_name, arrival)``
+    schedule keys)."""
 
 
 # ----------------------------------------------------------------------
@@ -269,7 +180,8 @@ class MultiJoinSimulator:
     cache_size:
         Shared capacity in tuples.
     policy:
-        A :class:`MultiJoinPolicy`.
+        Any :class:`~repro.policies.base.ReplacementPolicy`; the
+        partner-aware context carries the topology.
     queries:
         Binary equijoin queries as stream-name pairs.  A pair may appear
         once; self-joins are rejected.
@@ -283,7 +195,7 @@ class MultiJoinSimulator:
     def __init__(
         self,
         cache_size: int,
-        policy: MultiJoinPolicy,
+        policy: ReplacementPolicy,
         queries: Sequence[tuple[str, str]],
         warmup: int = 0,
         models: Mapping[str, StreamModel] | None = None,
@@ -294,23 +206,8 @@ class MultiJoinSimulator:
             raise ValueError("cache_size must be >= 1")
         if warmup < 0:
             raise ValueError("warmup must be nonnegative")
-        if not queries:
-            raise ValueError("need at least one join query")
-        partner_names: dict[str, list[str]] = {}
-        seen = set()
-        for a, b in queries:
-            if a == b:
-                raise ValueError(f"self-join {a!r} not supported")
-            key = frozenset((a, b))
-            if key in seen:
-                raise ValueError(f"duplicate query {a!r}-{b!r}")
-            seen.add(key)
-            partner_names.setdefault(a, []).append(b)
-            partner_names.setdefault(b, []).append(a)
+        self._partner_names = multi_partner_names(queries)
         self._queries = [tuple(q) for q in queries]
-        self._partner_names = {
-            name: tuple(ps) for name, ps in partner_names.items()
-        }
         self._cache_size = cache_size
         self._policy = policy
         self._warmup = warmup
@@ -332,22 +229,13 @@ class MultiJoinSimulator:
         if missing:
             raise ValueError(f"queries reference unknown streams {missing}")
         n = min(len(v) for v in streams.values())
-        ctx = MultiPolicyContext(
-            time=-1,
-            cache_size=self._cache_size,
-            partner_names=self._partner_names,
-            histories={name: [] for name in names},
-            models=self._models,
-            recorder=self._recorder,
-        )
-        self._policy.reset(ctx)
-        state = make_multi_join_state(
+        state = build_multi_join_state(
             self._cache_size,
             self._policy,
-            ctx,
-            self._partner_names,
-            names,
             self._queries,
+            names,
+            models=self._models,
+            recorder=self._recorder,
         )
 
         after_warmup = 0

@@ -62,7 +62,9 @@ __all__ = [
     "cache_step",
     "MultiJoinStepState",
     "MultiJoinStepOutcome",
+    "multi_partner_names",
     "make_multi_join_state",
+    "build_multi_join_state",
     "multi_join_step",
 ]
 
@@ -439,14 +441,13 @@ def cache_step(
 class MultiJoinStepState:
     """Mutable state of one multi-stream join run, step by step.
 
-    ``ctx`` is a :class:`~repro.sim.multi_join.MultiPolicyContext`; it is
-    typed loosely here to avoid a circular import (the multi-join module
-    builds its states through :func:`make_multi_join_state`).
+    ``ctx`` is a partner-aware :class:`~repro.policies.base.PolicyContext`
+    (``kind="multi_join"``) addressing streams by name.
     """
 
     cache_size: int
-    policy: "object"
-    ctx: "object"
+    policy: ReplacementPolicy
+    ctx: PolicyContext
     #: stream name -> names it has a join query with.
     partner_names: Mapping[str, tuple[str, ...]]
     #: Stream names that participate in this run, in arrival order.
@@ -456,11 +457,16 @@ class MultiJoinStepState:
     #: results attributed to each query (unordered stream-name pair).
     per_query: dict = field(default_factory=dict)
     total_results: int = 0
+    #: Cumulative probe outcomes: a non-"−" arrival of a query stream
+    #: that matched ≥1 cached partner tuple counts as one hit, else one
+    #: miss.  Feeds the ``cache.hit_rate`` series.
+    probe_hits: int = 0
+    probe_misses: int = 0
 
     @property
     def recorder(self) -> Recorder:
         """The observability sink the run was built with."""
-        return self.ctx.recorder  # type: ignore[attr-defined]
+        return self.ctx.recorder
 
 
 @dataclass
@@ -474,20 +480,47 @@ class MultiJoinStepOutcome:
     occupancy: int
 
 
+def multi_partner_names(
+    queries: Sequence[tuple[str, str]],
+) -> dict[str, tuple[str, ...]]:
+    """Validate a query set and derive the partner map.
+
+    Queries are binary equijoins as stream-name pairs; a pair may appear
+    once and self-joins are rejected.  Returns ``stream name -> names it
+    has a join query with`` (partner order follows query order).  Shared
+    by the simulator, the batch engine, and the server so every tier
+    rejects malformed topologies with the same diagnostics.
+    """
+    if not queries:
+        raise ValueError("need at least one join query")
+    partner_names: dict[str, list[str]] = {}
+    seen = set()
+    for a, b in queries:
+        if a == b:
+            raise ValueError(f"self-join {a!r} not supported")
+        key = frozenset((a, b))
+        if key in seen:
+            raise ValueError(f"duplicate query {a!r}-{b!r}")
+        seen.add(key)
+        partner_names.setdefault(a, []).append(b)
+        partner_names.setdefault(b, []).append(a)
+    return {name: tuple(ps) for name, ps in partner_names.items()}
+
+
 def make_multi_join_state(
     cache_size: int,
-    policy: "object",
-    ctx: "object",
+    policy: ReplacementPolicy,
+    ctx: PolicyContext,
     partner_names: Mapping[str, tuple[str, ...]],
     names: Sequence[str],
     queries: Sequence[tuple[str, str]],
 ) -> MultiJoinStepState:
     """Bind a prepared multi-join context into a step-ready state.
 
-    Unlike the binary problems, context construction (histories, partner
-    maps) stays with :class:`~repro.sim.multi_join.MultiJoinSimulator`,
-    which validates the query set; this constructor only assembles the
-    state and seeds the per-query result counters.
+    This low-level constructor only assembles the state and seeds the
+    per-query result counters; most callers want
+    :func:`build_multi_join_state`, which also builds the context and
+    resets the policy.
     """
     if cache_size < 1:
         raise ValueError("cache_size must be >= 1")
@@ -501,6 +534,35 @@ def make_multi_join_state(
     )
 
 
+def build_multi_join_state(
+    cache_size: int,
+    policy: ReplacementPolicy,
+    queries: Sequence[tuple[str, str]],
+    names: Sequence[str],
+    *,
+    models: Optional[Mapping[str, StreamModel]] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> MultiJoinStepState:
+    """Validate the topology, build the partner-aware context, reset the
+    policy — the multi-join analogue of :func:`make_join_state`, shared
+    by :class:`~repro.sim.multi_join.MultiJoinSimulator` and the
+    :mod:`repro.serve` event loop."""
+    partner_names = multi_partner_names(queries)
+    ctx = PolicyContext(
+        kind="multi_join",
+        time=-1,
+        cache_size=cache_size,
+        partner_names=partner_names,
+        histories={name: [] for name in names},
+        models=models,
+        recorder=recorder,
+    )
+    policy.reset(ctx)
+    return make_multi_join_state(
+        cache_size, policy, ctx, partner_names, names, queries
+    )
+
+
 def multi_join_step(
     state: MultiJoinStepState, t: int, arrivals: Mapping[str, Value]
 ) -> MultiJoinStepOutcome:
@@ -509,20 +571,23 @@ def multi_join_step(
     Each non-"−" arrival probes the cached tuples of every partner
     stream; results are attributed to their (unordered) query pair.
     Streams that appear in no query are observed (their histories grow)
-    but never cached.
+    but never cached.  Matched tuples receive
+    :meth:`~repro.policies.base.ReplacementPolicy.on_reference`, and
+    evictions/admissions fire the corresponding hooks, so bookkeeping
+    policies (LRU, LFU) work on n-way topologies unchanged.
     """
     cache = state.cache
     policy = state.policy
     ctx = state.ctx
-    rec: Recorder = ctx.recorder  # type: ignore[attr-defined]
+    rec: Recorder = ctx.recorder
     rec_on = rec.enabled
     rec_trace = rec.trace
-    policy_name: str = policy.name  # type: ignore[attr-defined]
+    policy_name: str = policy.name
     names = state.names
 
-    ctx.time = t  # type: ignore[attr-defined]
+    ctx.time = t
     for name in names:
-        ctx.histories[name].append(arrivals[name])  # type: ignore[attr-defined]
+        ctx.record_arrival(name, arrivals[name])
     if rec_on:
         rec.count("sim.steps")
         for name in names:
@@ -536,10 +601,19 @@ def multi_join_step(
         val = arrivals[name]
         if val is None:
             continue
+        arrival_results = 0
         for partner_name in state.partner_names.get(name, ()):
             matches = cache.matching(partner_name, val)
-            step_results += len(matches)
+            arrival_results += len(matches)
             state.per_query[frozenset((name, partner_name))] += len(matches)
+            for match in matches:
+                policy.on_reference(match, t)
+        if name in state.partner_names:
+            if arrival_results:
+                state.probe_hits += 1
+            else:
+                state.probe_misses += 1
+        step_results += arrival_results
     state.total_results += step_results
 
     new_tuples = [
@@ -553,7 +627,7 @@ def multi_join_step(
     victims = validate_victims(
         policy_name,
         candidates,
-        policy.select_victims(candidates, n_evict, ctx),  # type: ignore[attr-defined]
+        policy.select_victims(candidates, n_evict, ctx),
         n_evict,
     )
     if victims and rec_on:
@@ -569,10 +643,12 @@ def multi_join_step(
     for tup in victims:
         if tup in cache:
             cache.remove(tup)
+        policy.on_evict(tup, t)
     admitted = []
     for tup in new_tuples:
         if tup.uid not in victim_uids:
             cache.add(tup)
+            policy.on_admit(tup, t)
             admitted.append(tup)
 
     occupancy = len(cache)
@@ -581,6 +657,9 @@ def multi_join_step(
             rec.count("join.results", step_results)
         rec.series("cache.occupancy", t, occupancy)
         rec.series("join.results.cum", t, state.total_results)
+        probes = state.probe_hits + state.probe_misses
+        if probes:
+            rec.series("cache.hit_rate", t, state.probe_hits / probes)
         if rec_trace:
             rec.event("step", t, results=step_results)
             rec.event("occupancy", t, total=occupancy)

@@ -63,6 +63,17 @@ REPORT = {
         "fast_speedup": 6.0,
         "prob_table_hit_rate": 0.7,
     },
+    "multi_join": {
+        "config": "CHAIN3",
+        "length": 80,
+        "trials": 8,
+        "scalar_trials_per_sec": 40.0,
+        "batch_trials_per_sec": 200.0,
+        "batch_speedup": 5.0,
+        "serve_length": 500,
+        "serve_n_shards": 3,
+        "serve_tuples_per_sec": 9000.0,
+    },
 }
 
 
@@ -96,6 +107,15 @@ class TestEntryFromReport:
         assert bh.fingerprint_key(entry) != bh.fingerprint_key(
             bh.entry_from_report(other, ts=1.0, sha="abc1234")
         )
+
+    def test_multi_join_section_flattened_with_prefix(self, bh):
+        entry = _entry(bh)
+        m = entry["metrics"]
+        assert m["multi_batch_speedup"] == 5.0
+        assert m["multi_serve_tuples_per_sec"] == 9000.0
+        assert entry["workload"]["multi_config"] == "CHAIN3"
+        assert entry["workload"]["multi_trials"] == 8
+        assert "multi_length" in entry["workload"]
 
     def test_missing_sections_are_tolerated(self, bh):
         partial = {"workload": {}, "environment": {}, "flowexpect": REPORT["flowexpect"]}

@@ -13,7 +13,12 @@ import logging
 import pytest
 
 from repro.core.lifetime import LExp
-from repro.experiments.configs import available_configs, make_config
+from repro.experiments.configs import (
+    available_configs,
+    available_multi_configs,
+    make_config,
+    make_multi_config,
+)
 from repro.policies import available_policies, make_policy
 from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
 from repro.sim.engine import (
@@ -118,13 +123,27 @@ class TestSelectEngine:
         ]
         assert len(warnings) == 1
 
-    def test_batch_rejects_multi_join(self):
+    def test_batch_accepts_multi_join(self):
+        """Multi-join specs negotiate onto the batch tier when the policy
+        has an exact adapter (the old blanket rejection is gone)."""
         spec = ExperimentSpec(
             kind="multi_join", cache_size=4, queries=[("A", "B")]
         )
-        assert BatchEngine().supports(spec, _rand_factory) is not None
-        _FALLBACK_WARNED.clear()
+        assert BatchEngine().supports(spec, _rand_factory) is None
         chosen = select_engine(spec, _rand_factory, prefer="batch")
+        assert isinstance(chosen, BatchEngine)
+
+    def test_batch_rejects_unbatchable_multi_join_policy(self):
+        """Policies without a multi-join adapter still fall back."""
+        from repro.policies.scheduled import ScheduledPolicy
+
+        spec = ExperimentSpec(
+            kind="multi_join", cache_size=4, queries=[("A", "B")]
+        )
+        factory = lambda: ScheduledPolicy({})
+        assert BatchEngine().supports(spec, factory) is not None
+        _FALLBACK_WARNED.clear()
+        chosen = select_engine(spec, factory, prefer="batch")
         assert isinstance(chosen, ScalarEngine)
 
 
@@ -179,3 +198,17 @@ class TestNameRegistries:
         assert make_config("tower").name == "TOWER"
         with pytest.raises(ValueError, match="unknown config"):
             make_config("cliff")
+
+    def test_multi_config_registry(self):
+        assert available_multi_configs() == ("CHAIN3", "STAR5")
+        chain = make_multi_config("chain3")
+        assert chain.name == "CHAIN3"
+        assert list(chain.models) == ["A", "B", "C"]
+        star = make_multi_config("STAR5")
+        assert len(star.queries) == 4
+        # make_config falls through to the multi registry by name.
+        assert make_config("chain3").name == "CHAIN3"
+        with pytest.raises(ValueError, match="unknown multi-join config"):
+            make_multi_config("ring9")
+        # Binary registry is untouched by the fallthrough.
+        assert "CHAIN3" not in available_configs()

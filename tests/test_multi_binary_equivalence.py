@@ -7,9 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.lifetime import LExp
+from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
 from repro.sim.join_sim import JoinSimulator
 from repro.sim.multi_join import MultiJoinPolicy, MultiJoinSimulator
 from repro.policies.base import ScoredPolicy
+from repro.streams import StationaryStream, from_mapping
 
 
 class KeepLargestValueBinary(ScoredPolicy):
@@ -60,3 +63,50 @@ class TestTwoStreamEquivalence:
         )
         result = sim.run(streams)
         assert sum(result.per_query.values()) == result.total_results
+
+
+class _RecordingHeeb(HeebPolicy):
+    """HEEB wrapper logging every eviction decision as (t, victim uids)."""
+
+    def __init__(self, strategy, log):
+        super().__init__(strategy)
+        self.log = log
+
+    def select_victims(self, candidates, n_evict, ctx):
+        victims = super().select_victims(candidates, n_evict, ctx)
+        if victims:
+            self.log.append((ctx.time, tuple(v.uid for v in victims)))
+        return victims
+
+
+class TestUnifiedHeebDegeneracy:
+    """The unified HeebPolicy is the binary policy on 1-partner contexts.
+
+    Appendix C sums the binary benefit over partner streams; with one
+    partner the sum has one term, so a 2-stream/1-query multi-join run
+    must make byte-identical decisions to the binary simulator — same
+    victims at the same steps, not merely the same counts.
+    """
+
+    @given(value_lists, value_lists, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_heeb_two_stream_decisions_byte_identical(self, r, s, k):
+        dist = from_mapping({v: 1.0 / 6 for v in range(6)})
+        models = {"R": StationaryStream(dist), "S": StationaryStream(dist)}
+
+        binary_log, multi_log = [], []
+        binary = JoinSimulator(
+            k,
+            _RecordingHeeb(GenericJoinHeeb(LExp(4.0), horizon=20), binary_log),
+            r_model=models["R"],
+            s_model=models["S"],
+        ).run(r, s)
+        multi = MultiJoinSimulator(
+            k,
+            _RecordingHeeb(GenericJoinHeeb(LExp(4.0), horizon=20), multi_log),
+            queries=[("R", "S")],
+            models=models,
+        ).run({"R": r, "S": s})
+
+        assert multi.total_results == binary.total_results
+        assert multi_log == binary_log

@@ -1,0 +1,198 @@
+"""Contract tests for the trie-style shared-prefix cache policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import StreamTuple, TupleFactory
+from repro.obs import CounterRecorder
+from repro.policies import TrieCachePolicy, make_policy
+from repro.policies.base import PolicyContext, validate_victims
+from repro.sim.cache_sim import CacheSimulator
+from repro.sim.join_sim import JoinSimulator
+from repro.sim.multi_join import MultiJoinSimulator
+from repro.streams import StationaryStream, from_mapping
+
+
+def _multi_ctx(cache_size=4, time=0, models=None):
+    partner_names = {"A": ("B",), "B": ("A", "C"), "C": ("B",)}
+    return PolicyContext(
+        kind="multi_join",
+        time=time,
+        cache_size=cache_size,
+        partner_names=partner_names,
+        histories={name: [] for name in partner_names},
+        models=models,
+    )
+
+
+def _tuples(specs):
+    factory = TupleFactory()
+    return [factory.make(side, value, t) for side, value, t in specs]
+
+
+class TestRegistryAndConstruction:
+    def test_registered(self):
+        policy = make_policy("trie")
+        assert isinstance(policy, TrieCachePolicy)
+        assert policy.name == "TRIE"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            TrieCachePolicy(beta=0.0)
+        with pytest.raises(ValueError, match="min_share"):
+            TrieCachePolicy(min_share=1.5)
+
+
+class TestVictimContract:
+    def test_respects_eviction_contract(self):
+        policy = TrieCachePolicy()
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        candidates = _tuples(
+            [("A", 1, 0), ("A", 2, 0), ("B", 1, 1), ("B", 3, 1), ("C", 2, 2)]
+        )
+        ctx.time = 3
+        for n_evict in (1, 2, 5):
+            victims = policy.select_victims(candidates, n_evict, ctx)
+            validate_victims("TRIE", candidates, victims, n_evict)
+            assert len(victims) == n_evict
+
+    def test_zero_evictions(self):
+        policy = TrieCachePolicy()
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        assert policy.select_victims(_tuples([("A", 1, 0)]), 0, ctx) == []
+
+    def test_deterministic(self):
+        candidates = _tuples(
+            [("A", 1, 0), ("B", 2, 0), ("B", 1, 1), ("C", 3, 1)]
+        )
+
+        def run():
+            policy = TrieCachePolicy()
+            ctx = _multi_ctx()
+            policy.reset(ctx)
+            ctx.time = 2
+            ctx.histories["B"].extend([1, 1, 2])
+            ctx.histories["A"].extend([3, 1])
+            return [v.uid for v in policy.select_victims(candidates, 2, ctx)]
+
+        assert run() == run()
+
+
+class TestSharedPrefixScoring:
+    def test_frequency_fallback_prefers_frequent_partner_values(self):
+        """Without models, the node benefit is the observed partner
+        frequency of the value — tuples matching common partner values
+        are kept."""
+        policy = TrieCachePolicy()
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        ctx.time = 5
+        # B (partner of A) has shown value 7 often and value 1 never.
+        ctx.histories["B"].extend([7, 7, 7, 2, 7])
+        hot, cold = _tuples([("A", 7, 0), ("A", 1, 0)])
+        victims = policy.select_victims([hot, cold], 1, ctx)
+        assert victims == [cold]
+
+    def test_node_scores_shared_within_step(self):
+        """Two tuples under the same (stream, value) node compute the
+        benefit once per step (memoized) and tie-break by uid."""
+        calls = []
+
+        class CountingTrie(TrieCachePolicy):
+            def _join_benefit(self, stream, value, ctx):
+                calls.append((stream, value))
+                return super()._join_benefit(stream, value, ctx)
+
+        policy = CountingTrie()
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        ctx.time = 1
+        twins = _tuples([("A", 4, 0), ("A", 4, 1), ("A", 4, 1)])
+        victims = policy.select_victims(twins, 1, ctx)
+        assert calls.count(("A", 4)) == 1
+        assert victims[0].uid == min(t.uid for t in twins)
+
+    def test_multi_partner_stream_scores_sum(self):
+        """A middle-of-chain stream (two partners) accumulates benefit
+        from both partner histories."""
+        policy = TrieCachePolicy()
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        ctx.time = 4
+        ctx.histories["A"].extend([5, 5])
+        ctx.histories["C"].extend([5])
+        policy._sync(ctx)
+        assert policy._node_score("B", 5, ctx) == 3.0
+        assert policy._node_score("A", 5, ctx) == 0.0  # B never showed 5
+
+
+class TestAdaptiveBudgets:
+    def test_budget_series_emitted(self):
+        rec = CounterRecorder()
+        rng = np.random.default_rng(1)
+        streams = {
+            name: list(rng.integers(0, 4, size=120)) for name in "ABC"
+        }
+        sim = MultiJoinSimulator(
+            3,
+            make_policy("trie"),
+            queries=[("A", "B"), ("B", "C")],
+            recorder=rec,
+        )
+        sim.run(streams)
+        for name in "ABC":
+            assert f"trie.budget.{name}" in rec.series_data, name
+        assert "scores.cutoff" in rec.series_data
+
+    def test_shares_stay_normalized_with_floor(self):
+        policy = TrieCachePolicy(beta=0.5, min_share=0.3)
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        candidates = _tuples(
+            [("A", 1, 0), ("B", 2, 0), ("B", 1, 1), ("C", 3, 1)]
+        )
+        for t in range(1, 30):
+            ctx.time = t
+            ctx.histories["B"].append(1)
+            policy.select_victims(candidates, 2, ctx)
+        shares = policy._shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+        floor = 0.3 / 3
+        assert all(s >= floor - 1e-12 for s in shares.values())
+
+    def test_pressure_shifts_budget_toward_contested_level(self):
+        """A level whose evicted tuples still score high gains share."""
+        policy = TrieCachePolicy(beta=0.5, min_share=0.0)
+        ctx = _multi_ctx()
+        policy.reset(ctx)
+        # A-tuples are valuable (B shows their value constantly); C is junk.
+        candidates = _tuples(
+            [("A", 9, 0), ("A", 9, 0), ("C", 1, 0), ("C", 2, 0)]
+        )
+        for t in range(1, 20):
+            ctx.time = t
+            ctx.histories["B"].append(9)
+            policy.select_victims(candidates, 3, ctx)
+        assert policy._shares["A"] > policy._shares["C"]
+
+
+class TestAllKinds:
+    def test_binary_join_and_cache_kinds_run(self):
+        dist = from_mapping({v: 1.0 / 4 for v in range(4)})
+        model = StationaryStream(dist)
+        rng = np.random.default_rng(2)
+        values = [int(v) for v in rng.integers(0, 4, size=100)]
+
+        join = JoinSimulator(
+            4, make_policy("trie"), r_model=model, s_model=model
+        ).run(values, list(reversed(values)))
+        assert join.total_results > 0
+
+        cache = CacheSimulator(
+            2, make_policy("trie"), reference_model=model
+        ).run(values)
+        assert cache.hits + cache.misses == len(values)

@@ -102,11 +102,12 @@ def entry_from_report(
 
     Pulls the headline metrics out of ``aggregate`` (engine throughputs
     and speedups), ``flowexpect`` (per-step latency, fast-path speedup,
-    memo hit rate, ``fe_`` prefix), and ``serve`` (serving-tier
-    ingestion throughput and queue-depth telemetry, ``serve_`` prefix)
-    so the sections cannot collide.  Sections absent from the report
-    are simply absent from the metrics — a FlowExpect-only run still
-    produces a checkable entry.
+    memo hit rate, ``fe_`` prefix), ``serve`` (serving-tier ingestion
+    throughput and queue-depth telemetry, ``serve_`` prefix), and
+    ``multi_join`` (multi-join batch speedup and serve throughput,
+    ``multi_`` prefix) so the sections cannot collide.  Sections absent
+    from the report are simply absent from the metrics — a
+    FlowExpect-only run still produces a checkable entry.
     """
     metrics: dict[str, float] = {}
     aggregate = report.get("aggregate") or {}
@@ -137,6 +138,17 @@ def entry_from_report(
         if isinstance(value, (int, float)):
             metrics[f"serve_{key}"] = float(value)
 
+    multi = report.get("multi_join") or {}
+    for key in (
+        "batch_speedup",
+        "scalar_trials_per_sec",
+        "batch_trials_per_sec",
+        "serve_tuples_per_sec",
+    ):
+        value = multi.get(key)
+        if isinstance(value, (int, float)):
+            metrics[f"multi_{key}"] = float(value)
+
     workload = dict(report.get("workload") or {})
     # FlowExpect bench parameters are part of the workload identity too:
     # fe_ms_per_step at lookahead 8 is not comparable to lookahead 4.
@@ -148,6 +160,11 @@ def entry_from_report(
     for key in ("length", "n_shards", "queue_maxsize"):
         if key in serve:
             workload[f"serve_{key}"] = serve[key]
+    # And the multi-join bench: the topology and trial count define the
+    # experiment just as much as the machine does.
+    for key in ("config", "length", "trials", "serve_length", "serve_n_shards"):
+        if key in multi:
+            workload[f"multi_{key}"] = multi[key]
 
     env_in = report.get("environment") or {}
     env = {k: env_in.get(k) for k in _ENV_KEYS if k in env_in}
