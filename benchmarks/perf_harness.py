@@ -39,6 +39,13 @@ topology through the serving tier — single-shard parity against
 :class:`~repro.sim.multi_join.MultiJoinSimulator` first — and records
 sharded ingestion throughput.
 
+The ``sketch`` section runs the bounded-memory cache workload of
+:func:`run_sketch_bench`: a ``cache_size=10**6`` skewed reference
+stream under ``LfuPolicy(counts="sketch")`` plus the bloom
+:class:`~repro.sketch.AdmissionFilter`, with the run's tracemalloc peak
+asserted under ``--sketch-max-mem-mb`` and the hit-rate delta vs exact
+counts recorded for the history gate.
+
 Each full run is also appended to ``BENCH_history.jsonl`` (timestamp,
 git SHA, environment fingerprint, headline metrics) via
 ``tools/bench_history.py``, whose ``--check`` mode gates CI against the
@@ -53,6 +60,8 @@ Usage::
         [--serve-length 2000] [--serve-shards 4] [--serve-queue 256]
         [--skip-serve] [--multi-length 300] [--multi-trials 64]
         [--multi-serve-length 1500] [--multi-shards 3] [--skip-multi]
+        [--sketch-cache-size 1000000] [--sketch-length 120000]
+        [--sketch-max-mem-mb 64] [--sketch-width 65536] [--skip-sketch]
         [--out BENCH_batch.json]
         [--history BENCH_history.jsonl] [--no-history]
 """
@@ -575,6 +584,115 @@ def run_multi_join_bench(
     return entry
 
 
+def _sketch_workload(
+    length: int, head_values: int, tail_fraction: float, seed: int = 7
+) -> list[int]:
+    """Skewed reference stream over a huge value domain.
+
+    A Zipf-popular "head" of ``head_values`` hot keys carries most
+    references; a "tail" of essentially-unique cold keys (drawn from a
+    disjoint 10^9-sized domain) supplies the one-hit wonders that blow
+    up exact per-value state.  Values are plain ints, deterministic in
+    ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    is_tail = rng.random(length) < tail_fraction
+    head = rng.zipf(1.5, size=length) % head_values
+    tail = rng.integers(head_values, 10**9, size=length)
+    values = np.where(is_tail, tail, head)
+    return [int(v) for v in values]
+
+
+def run_sketch_bench(
+    cache_size: int = 10**6,
+    length: int = 120_000,
+    head_values: int = 1_000,
+    tail_fraction: float = 0.15,
+    sketch_width: int = 65_536,
+    max_mem_mb: float = 64.0,
+) -> dict:
+    """Cache at ``cache_size`` slots with sketch front-ends vs exact.
+
+    Two runs over the identical skewed reference stream:
+
+    * **exact** — ``LfuPolicy(counts="exact")``, every miss admitted;
+      per-value ``Counter`` state grows with the distinct-value count.
+    * **sketch** — ``LfuPolicy(counts="sketch")`` plus the bloom
+      :class:`~repro.sketch.AdmissionFilter`: frequency state is a
+      fixed count-min table and one-hit wonders never occupy a cache
+      slot.  The sketch run executes under :mod:`tracemalloc` and its
+      peak must stay below ``max_mem_mb`` (the bounded-memory
+      contract); the measured hit-rate delta vs the exact run is
+      recorded for the history gate (lower is better — it is the price
+      of approximation, dominated by each hot value's one extra
+      doorkeeper miss).
+    """
+    import tracemalloc
+
+    from repro.sim.cache_sim import CacheSimulator
+    from repro.sketch import AdmissionFilter
+
+    reference = _sketch_workload(length, head_values, tail_fraction)
+
+    exact_policy = make_policy("lfu")
+    t0 = time.perf_counter()
+    exact = CacheSimulator(cache_size, exact_policy).run(reference)
+    exact_seconds = time.perf_counter() - t0
+    # What exact per-value state costs on this stream: one Counter entry
+    # (and, for admitted values, one live cache tuple) per distinct value.
+    distinct_values = len(set(reference))
+
+    tracemalloc.start()
+    sketch_policy = make_policy(
+        "lfu", counts="sketch", sketch_width=sketch_width
+    ).with_admission(AdmissionFilter())
+    t0 = time.perf_counter()
+    sketch = CacheSimulator(cache_size, sketch_policy).run(reference)
+    sketch_seconds = time.perf_counter() - t0
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    mem_mb = peak_bytes / 2**20
+    if mem_mb > max_mem_mb:
+        raise AssertionError(
+            f"sketch run peak memory {mem_mb:.1f} MB exceeds the "
+            f"{max_mem_mb} MB bounded-memory budget"
+        )
+    exact_hit_rate = exact.hits / max(1, exact.hits + exact.misses)
+    sketch_hit_rate = sketch.hits / max(1, sketch.hits + sketch.misses)
+    delta = exact_hit_rate - sketch_hit_rate
+    admission = sketch_policy.admission
+    entry = {
+        "cache_size": cache_size,
+        "length": length,
+        "head_values": head_values,
+        "tail_fraction": tail_fraction,
+        "sketch_width": sketch_width,
+        "max_mem_mb": max_mem_mb,
+        "mem_mb": round(mem_mb, 2),
+        "exact_seconds": round(exact_seconds, 4),
+        "sketch_seconds": round(sketch_seconds, 4),
+        "steps_per_sec": round(length / sketch_seconds, 1),
+        "exact_hit_rate": round(exact_hit_rate, 4),
+        "sketch_hit_rate": round(sketch_hit_rate, 4),
+        "hit_rate_delta": round(delta, 4),
+        "distinct_values": distinct_values,
+        "sketch_state_bytes": sketch_policy.sketch_memory_bytes()
+        + admission.memory_bytes(),
+        "admission_rejects": admission.rejects,
+        "admission_fp_rate": round(admission.fp_rate(), 6),
+    }
+    print(
+        f"sketch   cache={cache_size} len={length} "
+        f"peak {entry['mem_mb']:6.1f} MB (budget {max_mem_mb}), "
+        f"hit rate exact {entry['exact_hit_rate']:.4f} -> sketch "
+        f"{entry['sketch_hit_rate']:.4f} (delta {entry['hit_rate_delta']:+.4f}), "
+        f"state {entry['sketch_state_bytes'] / 2**20:.2f} MB fixed vs "
+        f"{distinct_values} distinct values of exact state"
+    )
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=256)
@@ -669,6 +787,35 @@ def main() -> None:
         help="skip the multi-join benchmark",
     )
     parser.add_argument(
+        "--sketch-cache-size",
+        type=int,
+        default=10**6,
+        help="cache slots for the sketch front-end benchmark",
+    )
+    parser.add_argument(
+        "--sketch-length",
+        type=int,
+        default=120_000,
+        help="reference-stream length for the sketch benchmark",
+    )
+    parser.add_argument(
+        "--sketch-max-mem-mb",
+        type=float,
+        default=64.0,
+        help="tracemalloc peak budget (MB) for the sketch run",
+    )
+    parser.add_argument(
+        "--sketch-width",
+        type=int,
+        default=65_536,
+        help="count-min width per row for the sketch run",
+    )
+    parser.add_argument(
+        "--skip-sketch",
+        action="store_true",
+        help="skip the sketch front-end benchmark",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=_REPO_ROOT / "BENCH_batch.json",
@@ -716,6 +863,13 @@ def main() -> None:
             args.multi_serve_length,
             args.multi_shards,
             args.serve_queue,
+        )
+    if not args.skip_sketch:
+        report["sketch"] = run_sketch_bench(
+            cache_size=args.sketch_cache_size,
+            length=args.sketch_length,
+            sketch_width=args.sketch_width,
+            max_mem_mb=args.sketch_max_mem_mb,
         )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     if not args.no_history:

@@ -371,9 +371,28 @@ def cmd_serve(args: argparse.Namespace) -> None:
         )
 
     def policy_factory():
+        from ..policies.base import ScoredPolicy
+        from ..sketch import AdmissionFilter
+
         if args.policy == "heeb":
-            return config.make_heeb(args.cache)
-        return make_policy(args.policy)
+            policy = config.make_heeb(args.cache)
+        elif args.counts != "exact":
+            if args.policy not in ("prob", "lfu"):
+                raise SystemExit(
+                    "--counts sketch/tinylfu applies to prob/lfu only"
+                )
+            policy = make_policy(
+                args.policy, counts=args.counts, sketch_width=args.sketch_width
+            )
+        else:
+            policy = make_policy(args.policy)
+        if args.admission:
+            if not isinstance(policy, ScoredPolicy):
+                raise SystemExit(
+                    f"--admission needs a scored policy, not {args.policy!r}"
+                )
+            policy.with_admission(AdmissionFilter())
+        return policy
 
     summary = run_replay(
         spec,
@@ -393,6 +412,22 @@ def cmd_serve(args: argparse.Namespace) -> None:
         body,
     )
     _finish_recorder(recorder, args)
+
+
+def cmd_figext(args: argparse.Namespace) -> None:
+    """Render a registered extension figure as headless text tables."""
+    from .figures import render_figure
+
+    rendered = render_figure(
+        args.figure,
+        config_names=tuple(args.configs),
+        cache_sizes=tuple(args.cache_sizes),
+        length=args.length,
+        n_runs=args.runs,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    _print(f"{args.figure}: cache-size sweep", rendered)
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -586,7 +621,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay arrivals recorded in a repro.obs trace file instead "
         "of sampling a seeded stream",
     )
+    p.add_argument(
+        "--counts",
+        choices=("exact", "sketch", "tinylfu"),
+        default="exact",
+        help="frequency back-end for prob/lfu: exact Counter (default), "
+        "count-min sketch, or TinyLFU (doorkeeper + halving)",
+    )
+    p.add_argument(
+        "--sketch-width",
+        type=int,
+        default=2048,
+        help="count-min width per row when --counts is a sketch mode",
+    )
+    p.add_argument(
+        "--admission",
+        action="store_true",
+        help="attach the bloom admission front-end (scored policies only): "
+        "first-time values below the eviction-cutoff EMA are rejected",
+    )
     _add_obs(p)
+
+    p = sub.add_parser(
+        "figext",
+        help="registered extension figures (headless text tables)",
+    )
+    p.add_argument(
+        "--figure",
+        default="ext-multi-sweep",
+        help="registered figure name (see repro.experiments.figures)",
+    )
+    p.add_argument(
+        "--configs",
+        nargs="+",
+        default=["CHAIN3", "STAR5"],
+        help="multi-join topologies to sweep",
+    )
+    p.add_argument(
+        "--cache-sizes",
+        type=int,
+        nargs="+",
+        default=[4, 8, 12],
+        help="cache sizes swept per topology",
+    )
+    p.add_argument("--length", type=int, default=300)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    _add_engine(p)
 
     p = sub.add_parser("all", help="run everything at bench scale")
     p.add_argument("--seed", type=int, default=0)
@@ -609,6 +690,7 @@ _DISPATCH = {
     "fig19": cmd_fig19,
     "multi": cmd_multi,
     "serve": cmd_serve,
+    "figext": cmd_figext,
     "all": cmd_all,
 }
 

@@ -45,6 +45,13 @@ from ..streams.random_walk import RandomWalkStream
 from .configs import JoinConfig, SYNTHETIC_CONFIGS, floor_config
 
 __all__ = [
+    "FIGURE_REGISTRY",
+    "FigureSpec",
+    "figure_ext_multi_sweep",
+    "figure_names",
+    "make_figure",
+    "register_figure",
+    "render_figure",
     "run_opt_offline",
     "figure6",
     "figure7",
@@ -564,3 +571,138 @@ def figure19(
         )
         out[name] = [result.mean_results] * len(delta_ts)
     return out
+
+
+# ----------------------------------------------------------------------
+# Extension figures and the figure registry
+# ----------------------------------------------------------------------
+def figure_ext_multi_sweep(
+    config_names: Sequence[str] = ("CHAIN3", "STAR5"),
+    cache_sizes: Sequence[int] = (4, 8, 12),
+    length: int = 300,
+    n_runs: int = 2,
+    seed: int = 0,
+    engine: str | None = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> dict[str, dict[str, list[float]]]:
+    """Cache-size sweep over n-way topologies: trie vs unified HEEB.
+
+    For each topology in ``config_names`` (keys of the multi-config
+    registry, e.g. CHAIN3/STAR5) the sweep runs the shared-prefix
+    :class:`~repro.policies.trie.TrieCachePolicy` and the unified
+    partner-aware HEEB over the same sampled trials at each cache size,
+    returning ``{config: {policy: [mean results per cache size]}}`` —
+    the ROADMAP item-4 comparison closing the n-way workload.
+    """
+    from ..sim.engine import spawn_rng
+    from ..sim.runner import run_multi_join_experiment
+    from .configs import make_multi_config
+
+    out: dict[str, dict[str, list[float]]] = {}
+    for config_name in config_names:
+        config = make_multi_config(config_name)
+        trials = []
+        for run in range(n_runs):
+            rng = spawn_rng(seed, run)
+            trials.append(
+                {
+                    name: model.sample_path(length, rng)
+                    for name, model in config.models.items()
+                }
+            )
+        rows: dict[str, list[float]] = {}
+        for cache_size in cache_sizes:
+            for label, factory in (
+                ("HEEB", lambda k=cache_size: config.make_heeb(k)),
+                ("TRIE", lambda: make_policy("trie")),
+            ):
+                result = run_multi_join_experiment(
+                    factory,
+                    trials,
+                    cache_size,
+                    config.queries,
+                    warmup=0,
+                    models=config.models,
+                    engine=engine,
+                    recorder=recorder,
+                )
+                rows.setdefault(label, []).append(result.mean_results)
+        out[config_name] = rows
+    return out
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registered figure: a data builder plus a headless renderer.
+
+    ``builder(**kwargs)`` regenerates the figure's data; ``render(data,
+    **meta)`` turns it into the text-table form every environment can
+    produce (the optional matplotlib PNG path stays CLI-only).  The
+    registry gives scenario sweeps one comparison pipeline: new figures
+    drop in with :func:`register_figure` and are immediately listable
+    and renderable by name.
+    """
+
+    name: str
+    title: str
+    builder: Callable[..., dict]
+    render: Callable[..., str]
+
+
+FIGURE_REGISTRY: dict[str, FigureSpec] = {}
+
+
+def register_figure(spec: FigureSpec) -> FigureSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in FIGURE_REGISTRY:
+        raise ValueError(f"figure {spec.name!r} already registered")
+    FIGURE_REGISTRY[spec.name] = spec
+    return spec
+
+
+def figure_names() -> list[str]:
+    """Registered figure names, sorted."""
+    return sorted(FIGURE_REGISTRY)
+
+
+def make_figure(name: str, **kwargs) -> dict:
+    """Build a registered figure's data by name."""
+    try:
+        spec = FIGURE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; registered: {figure_names()}"
+        ) from None
+    return spec.builder(**kwargs)
+
+
+def render_figure(name: str, **kwargs) -> str:
+    """Build and render a registered figure headlessly (text tables)."""
+    spec = FIGURE_REGISTRY[name]
+    data = spec.builder(**kwargs)
+    return spec.render(data, **kwargs)
+
+
+def _render_ext_multi_sweep(
+    data: dict[str, dict[str, list[float]]],
+    cache_sizes: Sequence[int] = (4, 8, 12),
+    **kwargs,
+) -> str:
+    """Text tables for :func:`figure_ext_multi_sweep` (one per config)."""
+    from .report import format_series_table
+
+    blocks = []
+    for config_name, rows in data.items():
+        table = format_series_table("cache", list(cache_sizes), rows)
+        blocks.append(f"[{config_name}] trie vs unified HEEB\n{table}")
+    return "\n\n".join(blocks)
+
+
+register_figure(
+    FigureSpec(
+        name="ext-multi-sweep",
+        title="n-way cache-size sweep: trie vs unified HEEB",
+        builder=figure_ext_multi_sweep,
+        render=_render_ext_multi_sweep,
+    )
+)

@@ -86,18 +86,37 @@ class P2Quantile:
             raise ValueError("q must be strictly between 0 and 1")
         self.q = q
         self.count = 0.0
-        #: Exact buffer used until 5 observations initialize the markers.
-        self._initial: list[float] = []
+        #: Exact ``(value, weight)`` buffer used until 5 observations
+        #: initialize the markers.  Weights are carried verbatim (no
+        #: truncation), so marker positions and ``count`` agree exactly
+        #: however fractional the weights of tiny-sketch merges are.
+        self._initial: list[tuple[float, float]] = []
         self._heights: list[float] = []
         self._positions: list[float] = []
         self._desired: list[float] = []
 
     def _init_markers(self) -> None:
-        values = sorted(self._initial)
-        self._heights = list(values[:5])
-        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        entries = sorted(self._initial)
+        self._heights = [v for v, _ in entries]
+        positions: list[float] = []
+        cum = 0.0
+        for _, w in entries:
+            cum += w
+            positions.append(cum)
+        self._positions = positions
+        # Desired positions generalize the unit-weight seeds
+        # ``[1, 1+2q, 1+4q, 3+2q, 5]`` to total weight ``W``: the
+        # interior markers aim at the q/2, q, (1+q)/2 ranks of [1, W].
+        total = cum
         q = self.q
-        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        span = total - 1.0
+        self._desired = [
+            1.0,
+            1.0 + span * q / 2.0,
+            1.0 + span * q,
+            1.0 + span * (1.0 + q) / 2.0,
+            total,
+        ]
         self._initial = []
 
     def add(self, x: float, weight: float = 1.0) -> None:
@@ -105,27 +124,16 @@ class P2Quantile:
         if weight <= 0:
             return
         x = float(x)
+        weight = float(weight)
         self.count += weight
-        if not self._heights:
-            # Initial phase: collect exact values one at a time so the
-            # five seed markers are real observations.
-            self._initial.append(x)
-            weight -= 1.0
-            if len(self._initial) == 5:
-                self._init_markers()
-            if weight <= 0 or not self._heights:
-                # Still initializing, or the single unit was consumed;
-                # residual fractional weight in the initial phase is
-                # absorbed as one more copy (rare: merge of tiny sketches).
-                for _ in range(int(weight)):
-                    if not self._heights:
-                        self._initial.append(x)
-                        if len(self._initial) == 5:
-                            self._init_markers()
-                    else:
-                        self._update(x, 1.0)
-                return
-        self._update(x, weight)
+        if self._heights:
+            self._update(x, weight)
+            return
+        # Initial phase: buffer exact (value, weight) pairs so the five
+        # seed markers are real observations carrying their full weight.
+        self._initial.append((x, weight))
+        if len(self._initial) == 5:
+            self._init_markers()
 
     def _update(self, x: float, weight: float) -> None:
         h, n, d = self._heights, self._positions, self._desired
@@ -198,28 +206,54 @@ class P2Quantile:
             return self._heights[2]
         if not self._initial:
             return None
-        values = sorted(self._initial)
-        # Nearest-rank on the exact buffer.
-        rank = min(len(values) - 1, max(0, round(self.q * (len(values) - 1))))
-        return values[rank]
+        entries = sorted(self._initial)
+        if all(w == 1.0 for _, w in entries):
+            # Nearest-rank on the exact buffer (the historical unit-weight
+            # formula, preserved bit for bit).
+            values = [v for v, _ in entries]
+            rank = min(
+                len(values) - 1, max(0, round(self.q * (len(values) - 1)))
+            )
+            return values[rank]
+        # Weighted nearest-rank: first value whose cumulative weight
+        # reaches q * W.
+        target = self.q * self.count
+        cum = 0.0
+        for v, w in entries:
+            cum += w
+            if cum >= target:
+                return v
+        return entries[-1][0]
 
     def state(self) -> dict:
         """JSON-serializable state for snapshots and merging."""
         return {
             "q": self.q,
             "count": self.count,
-            "initial": list(self._initial),
+            "initial": [[v, w] for v, w in self._initial],
             "heights": list(self._heights),
             "positions": list(self._positions),
             "desired": list(self._desired),
         }
+
+    @staticmethod
+    def _parse_initial(entries) -> list[tuple[float, float]]:
+        """Accept ``[v, w]`` pairs or the legacy bare-value format."""
+        parsed = []
+        for entry in entries:
+            if isinstance(entry, (int, float)):
+                parsed.append((float(entry), 1.0))
+            else:
+                v, w = entry
+                parsed.append((float(v), float(w)))
+        return parsed
 
     @classmethod
     def from_state(cls, state: Mapping) -> "P2Quantile":
         """Rebuild a sketch from :meth:`state` output."""
         sketch = cls(float(state["q"]))
         sketch.count = float(state["count"])
-        sketch._initial = [float(v) for v in state.get("initial", ())]
+        sketch._initial = cls._parse_initial(state.get("initial", ()))
         sketch._heights = [float(v) for v in state.get("heights", ())]
         sketch._positions = [float(v) for v in state.get("positions", ())]
         sketch._desired = [float(v) for v in state.get("desired", ())]
@@ -229,8 +263,8 @@ class P2Quantile:
         """Fold another sketch's :meth:`state` into this one.
 
         Exact when the donor is still in its initial phase (its raw
-        values are replayed); otherwise its five markers are fed as
-        weighted observations — an approximation the tests bound.
+        weighted values are replayed); otherwise its five markers are
+        fed as weighted observations — an approximation the tests bound.
         """
         donor_count = float(state.get("count", 0.0))
         if donor_count <= 0:
@@ -238,8 +272,8 @@ class P2Quantile:
         initial = state.get("initial") or ()
         heights = state.get("heights") or ()
         if initial and not heights:
-            for v in initial:
-                self.add(float(v))
+            for v, w in self._parse_initial(initial):
+                self.add(v, weight=w)
             return
         weight = donor_count / 5.0
         for v in heights:

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Protocol, Sequence
 
 from ..core.tuples import StreamTuple
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..streams.base import History, StreamModel, Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..sketch import AdmissionFilter
 
 __all__ = [
     "PolicyContext",
@@ -261,6 +264,20 @@ class ReplacementPolicy(abc.ABC):
         is an error the simulator rejects.
         """
 
+    # -- sketch-state hooks (default no-ops) ---------------------------
+    def sketch_state(self) -> Optional[dict[str, Any]]:
+        """Bounded-memory sketch state to carry across a reshard.
+
+        ``None`` means the policy has no sketch state (the exact
+        policies); otherwise the returned mapping is fed to every
+        successor policy's :meth:`merge_sketch_state` so frequency and
+        admission history survive shard rebuilds.
+        """
+        return None
+
+    def merge_sketch_state(self, state: Optional[dict[str, Any]]) -> None:
+        """Fold a retiring policy's :meth:`sketch_state` into this one."""
+
     # -- notification hooks (default no-ops) ---------------------------
     def on_admit(self, tup: StreamTuple, t: int) -> None:
         """A tuple entered the cache at step ``t``."""
@@ -278,7 +295,40 @@ class ScoredPolicy(ReplacementPolicy):
     Subclasses implement :meth:`score`; higher scores mean more worth
     keeping.  Ties break deterministically by tuple uid (oldest first) so
     runs are reproducible.
+
+    An optional :class:`~repro.sketch.AdmissionFilter` can be attached
+    with :meth:`with_admission`; new arrivals whose score cannot clear
+    the filter's running eviction-cutoff EMA are then returned as extra
+    victims (the ``validate_victims`` contract allows over-eviction), so
+    every scored policy gains admission control without per-policy code.
     """
+
+    #: Opt-in admission front-end; ``None`` keeps the exact seed-for-seed
+    #: eviction path byte-identical to previous releases.
+    admission: "AdmissionFilter | None" = None
+
+    def with_admission(self, admission: "AdmissionFilter") -> "ScoredPolicy":
+        """Attach an admission front-end; returns ``self`` for chaining."""
+        self.admission = admission
+        return self
+
+    def sketch_state(self) -> Optional[dict[str, Any]]:
+        """Expose the admission filter for merge-on-reshard."""
+        if self.admission is None:
+            return None
+        return {"admission": self.admission}
+
+    def merge_sketch_state(self, state: Optional[dict[str, Any]]) -> None:
+        """Merge a retiring shard's admission filter into ours."""
+        if not state:
+            return
+        donor = state.get("admission")
+        if (
+            donor is not None
+            and self.admission is not None
+            and donor is not self.admission
+        ):
+            self.admission.merge(donor)
 
     @abc.abstractmethod
     def score(self, tup: StreamTuple, ctx: PolicyContext) -> float:
@@ -290,6 +340,8 @@ class ScoredPolicy(ReplacementPolicy):
         n_evict: int,
         ctx: PolicyContext,
     ) -> list[StreamTuple]:
+        if self.admission is not None:
+            return self._select_with_admission(candidates, n_evict, ctx)
         if n_evict <= 0:
             return []
         rec = ctx.recorder
@@ -323,3 +375,56 @@ class ScoredPolicy(ReplacementPolicy):
             candidates, key=lambda tup: (self.score(tup, ctx), tup.uid)
         )
         return ranked[:n_evict]
+
+    def _select_with_admission(
+        self,
+        candidates: Sequence[StreamTuple],
+        n_evict: int,
+        ctx: PolicyContext,
+    ) -> list[StreamTuple]:
+        """Eviction with the admission front-end in the loop.
+
+        New arrivals (``tup.arrival == ctx.time``) are screened first:
+        a rejected arrival becomes an extra victim, shrinking (or
+        eliminating) the ranked eviction pass.  The ranked pass feeds
+        its marginal-survivor score back into the filter's cutoff EMA,
+        so admission thresholds track whatever the policy currently
+        considers worth keeping.
+        """
+        admission = self.admission
+        assert admission is not None
+        t = ctx.time
+        rec = ctx.recorder
+        new_scores: dict[int, float] = {}
+        rejected: list[StreamTuple] = []
+        for tup in candidates:
+            if tup.arrival == t:
+                score = self.score(tup, ctx)
+                new_scores[tup.uid] = score
+                if not admission.admit(tup.value, score):
+                    rejected.append(tup)
+        victims = list(rejected)
+        n_more = n_evict - len(rejected)
+        if n_more > 0:
+            rejected_uids = {tup.uid for tup in rejected}
+            scored = [
+                (
+                    new_scores[tup.uid]
+                    if tup.uid in new_scores
+                    else self.score(tup, ctx),
+                    tup.uid,
+                    tup,
+                )
+                for tup in candidates
+                if tup.uid not in rejected_uids
+            ]
+            ranked = sorted(scored)
+            cutoff = ranked[n_more - 1][0]
+            admission.update_cutoff(cutoff)
+            if rec.enabled:
+                rec.series("scores.cutoff", t, cutoff)
+            victims.extend(tup for _, _, tup in ranked[:n_more])
+        if rec.enabled:
+            rec.series("admission.rejects.cum", t, admission.rejects)
+            rec.series("sketch.fp_rate", t, admission.fp_rate())
+        return victims

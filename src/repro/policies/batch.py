@@ -804,6 +804,28 @@ def _batch_heeb(
     )
 
 
+def _check_sketch_free(policy: ReplacementPolicy) -> None:
+    """Refuse batch adapters for sketch-frontend configurations.
+
+    The batch adapters are exact-parity replays of the scalar decisions;
+    count-min estimates and admission rejections are stateful
+    approximations with no decision-identical vectorized counterpart, so
+    the engine negotiation must fall back to the scalar loop for them
+    (``counts="exact"`` without an admission filter stays batchable and
+    seed-for-seed identical).
+    """
+    if getattr(policy, "admission", None) is not None:
+        raise UnbatchablePolicyError(
+            "admission-filtered policies are scalar-only (the filter's "
+            "doorkeeper/EMA state has no exact batch replay)"
+        )
+    if isinstance(policy, ProbPolicy) and policy.counts != "exact":
+        raise UnbatchablePolicyError(
+            f"sketch-backed PROB counts ({policy.counts!r}) are "
+            "scalar-only; BatchProb replays exact counts"
+        )
+
+
 def _batch_multi(policy: ReplacementPolicy, models, queries) -> BatchMultiPolicy:
     """Exact multi-join adapter dispatch (see :func:`make_batch_policy`)."""
     from ..sim.step import multi_partner_names
@@ -864,6 +886,7 @@ def make_batch_policy(
     Raises :class:`UnbatchablePolicyError` when no exact adapter exists;
     callers (the engine negotiation) fall back to the scalar loop.
     """
+    _check_sketch_free(policy)
     if kind == "multi_join":
         return _batch_multi(policy, models, queries)
     if kind not in ("join", "cache"):

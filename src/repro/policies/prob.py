@@ -11,13 +11,21 @@ reference stream, which is exactly perfect LFU (the paper labels the REAL
 experiment's variant "PROB (essentially LFU in this case)").
 
 With a window oracle, dead tuples are evicted first (Section 6.2).
+
+Frequency state is exact by default (an unbounded ``Counter``); the
+``counts="sketch"`` / ``counts="tinylfu"`` knobs swap in the bounded
+:mod:`repro.sketch` back-ends so PROB/LFU scale to value domains far
+larger than memory -- estimates can then over-count (count-min is
+one-sided), which is the documented exact-vs-sketch parity caveat.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Any, Optional, Union
 
 from ..core.tuples import StreamTuple
+from ..sketch import CountMinSketch, TinyLfuFilter
 from .base import PolicyContext, ScoredPolicy
 
 __all__ = ["ProbPolicy"]
@@ -25,53 +33,173 @@ __all__ = ["ProbPolicy"]
 #: Score penalty that forces window-dead tuples below every live tuple.
 _DEAD_PENALTY = 1e18
 
+
+class _ExactCounts(Counter):
+    """Unbounded exact counter speaking the sketch increment protocol."""
+
+    def increment(self, value, by: int = 1) -> None:
+        """Add ``by`` occurrences of ``value``."""
+        self[value] += by
+
+
 #: Shared empty counter so multi-join frequency lookups on streams with
 #: no recorded arrivals allocate nothing.
-_EMPTY_COUNTER: Counter = Counter()
+_EMPTY_COUNTER: _ExactCounts = _ExactCounts()
+
+_Counts = Union[_ExactCounts, CountMinSketch, TinyLfuFilter]
+
+_COUNT_MODES = ("exact", "sketch", "tinylfu")
 
 
 class ProbPolicy(ScoredPolicy):
     name = "PROB"
 
-    def __init__(self) -> None:
-        self._r_counts: Counter = Counter()
-        self._s_counts: Counter = Counter()
-        self._consumed = 0
+    def __init__(
+        self,
+        counts: str = "exact",
+        sketch_width: int = 2048,
+        sketch_depth: int = 4,
+        sample_size: Optional[int] = None,
+    ) -> None:
+        """``counts`` selects the frequency back-end.
+
+        ``"exact"`` (default) keeps the byte-identical ``Counter`` path;
+        ``"sketch"`` backs counts with a :class:`CountMinSketch` and
+        ``"tinylfu"`` with a :class:`TinyLfuFilter` (doorkeeper +
+        periodic halving), both in O(width x depth) memory.
+        """
+        if counts not in _COUNT_MODES:
+            raise ValueError(
+                f"counts must be one of {_COUNT_MODES}, got {counts!r}"
+            )
+        self.counts = counts
+        self._sketch_width = sketch_width
+        self._sketch_depth = sketch_depth
+        self._sample_size = sample_size
+        self._r_counts: _Counts = self._make_counts()
+        self._s_counts: _Counts = self._make_counts()
+        self._r_consumed = 0
+        self._s_consumed = 0
         # Name-keyed counters for n-way contexts (binary contexts keep
         # the dedicated R/S pair above untouched).
-        self._multi_counts: dict[str, Counter] = {}
+        self._multi_counts: dict[str, _Counts] = {}
         self._multi_consumed: dict[str, int] = {}
 
+    def _make_counts(self) -> _Counts:
+        if self.counts == "sketch":
+            return CountMinSketch(
+                width=self._sketch_width, depth=self._sketch_depth
+            )
+        if self.counts == "tinylfu":
+            return TinyLfuFilter(
+                width=self._sketch_width,
+                depth=self._sketch_depth,
+                sample_size=self._sample_size,
+            )
+        return _ExactCounts()
+
     def reset(self, ctx: PolicyContext) -> None:
-        self._r_counts = Counter()
-        self._s_counts = Counter()
-        self._consumed = 0
+        self._r_counts = self._make_counts()
+        self._s_counts = self._make_counts()
+        self._r_consumed = 0
+        self._s_consumed = 0
         self._multi_counts = {}
         self._multi_consumed = {}
 
     def _sync_counts(self, ctx: PolicyContext) -> None:
-        """Fold newly observed history entries into the frequency counters."""
+        """Fold newly observed history entries into the frequency counters.
+
+        R and S consumption is tracked with *independent* cursors: the
+        simulators feed equal-length histories, but partner-aware and
+        replayed contexts may not, and a single shared cursor silently
+        skipped ``s_history`` entries past ``len(r_history)`` forever.
+        """
+        consumed = False
         if ctx.histories is not None:
             for name, history in ctx.histories.items():
-                counts = self._multi_counts.setdefault(name, Counter())
+                counts = self._multi_counts.setdefault(
+                    name, self._make_counts()
+                )
                 start = self._multi_consumed.get(name, 0)
-                for t in range(start, len(history)):
+                n = len(history)
+                for t in range(start, n):
                     v = history[t]
                     if v is not None:
-                        counts[v] += 1
-                self._multi_consumed[name] = len(history)
-            return
-        r_hist, s_hist = ctx.r_history, ctx.s_history
-        n = len(r_hist)
-        for t in range(self._consumed, n):
-            v = r_hist[t]
-            if v is not None:
-                self._r_counts[v] += 1
-            if t < len(s_hist):
+                        counts.increment(v)
+                if n > start:
+                    consumed = True
+                self._multi_consumed[name] = n
+        else:
+            r_hist, s_hist = ctx.r_history, ctx.s_history
+            n_r = len(r_hist)
+            for t in range(self._r_consumed, n_r):
+                v = r_hist[t]
+                if v is not None:
+                    self._r_counts.increment(v)
+            n_s = len(s_hist)
+            for t in range(self._s_consumed, n_s):
                 w = s_hist[t]
                 if w is not None:
-                    self._s_counts[w] += 1
-        self._consumed = n
+                    self._s_counts.increment(w)
+            consumed = n_r > self._r_consumed or n_s > self._s_consumed
+            self._r_consumed = n_r
+            self._s_consumed = n_s
+        if consumed and self.counts != "exact" and ctx.recorder.enabled:
+            ctx.recorder.series("sketch.fill", ctx.time, self._sketch_fill())
+
+    def _active_sketches(self) -> list[_Counts]:
+        if self._multi_counts:
+            return list(self._multi_counts.values())
+        return [self._r_counts, self._s_counts]
+
+    def _sketch_fill(self) -> float:
+        """Mean fill ratio over the sketches that have absorbed events."""
+        fills = [
+            sk.fill_ratio()
+            for sk in self._active_sketches()
+            if not isinstance(sk, _ExactCounts) and sk.total > 0
+        ]
+        return sum(fills) / len(fills) if fills else 0.0
+
+    def sketch_memory_bytes(self) -> int:
+        """Bytes held by the sketch back-ends (0 in exact mode)."""
+        return sum(
+            sk.memory_bytes()
+            for sk in self._active_sketches()
+            if not isinstance(sk, _ExactCounts)
+        )
+
+    # -- merge-on-reshard -----------------------------------------------
+    def sketch_state(self) -> Optional[dict[str, Any]]:
+        """Admission filter plus (in sketch modes) the frequency state."""
+        state = super().sketch_state() or {}
+        if self.counts != "exact":
+            state["counts"] = {
+                "mode": self.counts,
+                "r": self._r_counts,
+                "s": self._s_counts,
+                "multi": dict(self._multi_counts),
+            }
+        return state or None
+
+    def merge_sketch_state(self, state: Optional[dict[str, Any]]) -> None:
+        """Fold a retiring policy's sketches into this one's."""
+        super().merge_sketch_state(state)
+        if not state:
+            return
+        donor = state.get("counts")
+        if donor is None or self.counts == "exact":
+            return
+        if donor.get("mode") != self.counts:
+            return
+        if donor["r"] is not self._r_counts:
+            self._r_counts.merge(donor["r"])
+        if donor["s"] is not self._s_counts:
+            self._s_counts.merge(donor["s"])
+        for name, counts in donor["multi"].items():
+            mine = self._multi_counts.setdefault(name, self._make_counts())
+            if mine is not counts:
+                mine.merge(counts)
 
     def frequency(self, tup: StreamTuple, ctx: PolicyContext) -> int:
         """Observed occurrences of the tuple's value in the stream it matches.

@@ -653,12 +653,26 @@ class StreamServer:
         assignments = reshard_tuples(
             [s.state.cache.tuples() for s in old_shards], new_router
         )
+        # Sketch-backed policies (count-min / TinyLFU frequency state,
+        # admission doorkeepers + cutoff EMAs) cannot be reconstructed
+        # from re-admissions alone, so carry the retiring shards' sketch
+        # state over and fold it into every successor.  Each new shard
+        # receives the union of all old shards; for its own keys the
+        # counts are preserved, for foreign keys the only cost is
+        # count-min's one-sided overestimate.
+        donor_states = [
+            state
+            for state in (s.state.policy.sketch_state() for s in old_shards)
+            if state
+        ]
         self._router = new_router
         self._shards = []
         for index, tuples in enumerate(assignments):
             shard = self._make_shard(
                 index, new_n_shards, uid_start=uid_base + index
             )
+            for state in donor_states:
+                shard.state.policy.merge_sketch_state(state)
             for tup in sorted(tuples, key=lambda x: x.uid):
                 shard.state.cache.add(tup)
                 shard.state.policy.on_admit(tup, tup.arrival)

@@ -31,6 +31,7 @@ for backward compatibility:
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
@@ -65,6 +66,16 @@ __all__ = [
 ]
 
 
+def _warn_deprecated_alias(name: str, replacement: str) -> None:
+    """One DeprecationWarning per alias construction (removal on schedule)."""
+    warnings.warn(
+        f"{name} is a deprecated alias; use {replacement} instead "
+        "(the partner-aware unified policy layer, PR 7)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class MultiPolicyContext(PolicyContext):
     """Deprecated alias: a name-addressed :class:`PolicyContext`.
 
@@ -83,6 +94,7 @@ class MultiPolicyContext(PolicyContext):
         models: Optional[Mapping[str, StreamModel]] = None,
         recorder: Recorder = NULL_RECORDER,
     ):
+        _warn_deprecated_alias("MultiPolicyContext", "PolicyContext")
         super().__init__(
             kind="multi_join",
             time=time,
@@ -101,6 +113,10 @@ class MultiJoinPolicy(ReplacementPolicy):
 
     name = "multi-policy"
 
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated_alias("MultiJoinPolicy", "ReplacementPolicy")
+        super().__init__(*args, **kwargs)
+
 
 class MultiHeebPolicy(HeebPolicy):
     """Deprecated alias: HEEB with per-partner benefit summation.
@@ -111,6 +127,7 @@ class MultiHeebPolicy(HeebPolicy):
     """
 
     def __init__(self, estimator: LifetimeEstimator, horizon: int | None = None):
+        _warn_deprecated_alias("MultiHeebPolicy", "HeebPolicy(GenericJoinHeeb(...))")
         super().__init__(GenericJoinHeeb(estimator, horizon))
         self.estimator = estimator
         self.horizon = horizon
@@ -125,6 +142,10 @@ class MultiProbPolicy(ProbPolicy):
     observed frequency across all partner streams on name-addressed
     contexts."""
 
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated_alias("MultiProbPolicy", "ProbPolicy")
+        super().__init__(*args, **kwargs)
+
 
 class MultiRandPolicy(RandPolicy):
     """Deprecated alias of :class:`~repro.policies.rand.RandPolicy`.
@@ -134,6 +155,10 @@ class MultiRandPolicy(RandPolicy):
     lists, which are always uid-ascending, but pinned for hand-built
     lists).
     """
+
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated_alias("MultiRandPolicy", "RandPolicy")
+        super().__init__(*args, **kwargs)
 
     def select_victims(self, candidates, n_evict, ctx):
         if n_evict <= 0:
@@ -147,6 +172,10 @@ class MultiScheduledPolicy(ScheduledPolicy):
     """Deprecated alias: :class:`~repro.policies.scheduled.ScheduledPolicy`
     replays multi-join schedules unchanged (``(stream_name, arrival)``
     schedule keys)."""
+
+    def __init__(self, *args, **kwargs):
+        _warn_deprecated_alias("MultiScheduledPolicy", "ScheduledPolicy")
+        super().__init__(*args, **kwargs)
 
 
 # ----------------------------------------------------------------------

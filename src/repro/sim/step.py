@@ -69,6 +69,19 @@ __all__ = [
 ]
 
 
+def _reset_policy(policy: ReplacementPolicy, ctx: PolicyContext) -> None:
+    """Run-start reset for the policy plus its admission front-end.
+
+    The admission filter is reset here rather than in ``reset``
+    overrides because subclasses do not call ``super().reset()`` and
+    policies are reused across trials.
+    """
+    policy.reset(ctx)
+    admission = getattr(policy, "admission", None)
+    if admission is not None:
+        admission.reset()
+
+
 def _victim_records(victims: Sequence[StreamTuple]) -> list[dict]:
     """JSON-ready ``{uid, side, value, arrived}`` records for a trace."""
     return [
@@ -158,7 +171,7 @@ def make_join_state(
         window_oracle=window_oracle,
         recorder=recorder,
     )
-    policy.reset(ctx)
+    _reset_policy(policy, ctx)
     return JoinStepState(
         cache_size=cache_size,
         policy=policy,
@@ -337,7 +350,7 @@ def make_cache_state(
         r_model=reference_model,
         recorder=recorder,
     )
-    policy.reset(ctx)
+    _reset_policy(policy, ctx)
     return CacheStepState(cache_size=cache_size, policy=policy, ctx=ctx)
 
 
@@ -557,7 +570,7 @@ def build_multi_join_state(
         models=models,
         recorder=recorder,
     )
-    policy.reset(ctx)
+    _reset_policy(policy, ctx)
     return make_multi_join_state(
         cache_size, policy, ctx, partner_names, names, queries
     )

@@ -1,0 +1,35 @@
+"""Bounded-memory sketch front-ends for caches at millions of tuples.
+
+The exact policies keep one :class:`collections.Counter` entry per
+distinct stream value, which caps realistic cache sizes well below the
+"millions of live tuples" target.  This package trades a measured,
+bounded accuracy loss for O(width x depth) memory:
+
+- :class:`CountMinSketch` -- conservative frequency estimates in a
+  fixed ``width x depth`` table of saturating counters.
+- :class:`BloomFilter` -- approximate membership over a fixed bit
+  array (no false negatives; tracked false-positive rate).
+- :class:`TinyLfuFilter` -- a count-min sketch behind a bloom
+  "doorkeeper" with periodic halving, so one-hit wonders never touch
+  the counters and old frequencies age out (TinyLFU, Einziger et al.).
+- :class:`AdmissionFilter` -- a bloom doorkeeper plus a running EMA of
+  the eviction-score cutoff; first-time values whose score cannot
+  clear the EMA are rejected before they ever occupy a cache slot.
+
+All hashing is BLAKE2b-based and therefore stable across processes
+and ``PYTHONHASHSEED`` values, matching the determinism contract of
+``repro.serve.shard.stable_hash``.  Every structure supports
+``merge()`` so per-shard sketches can be combined on reshard.
+"""
+
+from .bloom import BloomFilter
+from .countmin import CountMinSketch
+from .tinylfu import TinyLfuFilter
+from .admission import AdmissionFilter
+
+__all__ = [
+    "AdmissionFilter",
+    "BloomFilter",
+    "CountMinSketch",
+    "TinyLfuFilter",
+]

@@ -1,0 +1,141 @@
+"""Admission front-end: reject tuples that cannot clear the cutoff EMA.
+
+Eviction in :class:`~repro.policies.base.ScoredPolicy` already emits
+the score of the marginal survivor (the ``scores.cutoff`` series from
+PR 5).  :class:`AdmissionFilter` keeps an exponential moving average of
+that cutoff and refuses first-time values whose score cannot clear it:
+a tuple that would be the next eviction victim anyway never occupies a
+cache slot.  A bloom doorkeeper remembers recently seen values so
+recurring values are always admitted (frequency evidence beats the
+one-shot score estimate); the doorkeeper is flushed when it saturates
+so "recent" stays recent.
+
+The filter is deliberately policy-agnostic: it sees only
+``(value, score)`` pairs and the cutoff feedback, so HEEB, PROB, LFU
+and any other scored policy gain admission control without per-policy
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .bloom import BloomFilter
+
+__all__ = ["AdmissionFilter"]
+
+
+class AdmissionFilter:
+    """EMA-of-cutoff admission with a bloom doorkeeper.
+
+    Decision rule for a candidate ``(value, score)``:
+
+    - value seen recently (doorkeeper hit) -> admit;
+    - otherwise, admit only if a cutoff signal exists and
+      ``score > margin * cutoff_ema``;
+    - before the first eviction cutoff arrives, first-time values are
+      rejected (pure doorkeeper mode) -- the cache only fills with
+      values that have shown up at least twice.
+    """
+
+    __slots__ = (
+        "ema_alpha",
+        "margin",
+        "cutoff_ema",
+        "doorkeeper",
+        "max_fill",
+        "observed",
+        "admits",
+        "rejects",
+        "flushes",
+    )
+
+    def __init__(
+        self,
+        n_bits: int = 65536,
+        n_hashes: int = 4,
+        ema_alpha: float = 0.1,
+        margin: float = 1.0,
+        max_fill: float = 0.5,
+    ):
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if margin <= 0.0:
+            raise ValueError("margin must be positive")
+        if not 0.0 < max_fill < 1.0:
+            raise ValueError("max_fill must be in (0, 1)")
+        self.ema_alpha = ema_alpha
+        self.margin = margin
+        self.max_fill = max_fill
+        self.cutoff_ema: float | None = None
+        self.doorkeeper = BloomFilter(n_bits=n_bits, n_hashes=n_hashes)
+        self.observed = 0
+        self.admits = 0
+        self.rejects = 0
+        self.flushes = 0
+
+    def admit(self, value: Hashable, score: float) -> bool:
+        """Decide whether a first-class cache slot is worth ``value``."""
+        self.observed += 1
+        seen = value in self.doorkeeper
+        if not seen:
+            self.doorkeeper.add(value)
+            if self.doorkeeper.fill_ratio() > self.max_fill:
+                self._flush(keep=value)
+        if seen or (
+            self.cutoff_ema is not None and score > self.margin * self.cutoff_ema
+        ):
+            self.admits += 1
+            return True
+        self.rejects += 1
+        return False
+
+    def _flush(self, keep: Hashable) -> None:
+        self.doorkeeper.clear()
+        self.doorkeeper.add(keep)
+        self.flushes += 1
+
+    def update_cutoff(self, cutoff: float) -> None:
+        """Feed one eviction-cutoff observation into the EMA."""
+        if self.cutoff_ema is None:
+            self.cutoff_ema = float(cutoff)
+        else:
+            a = self.ema_alpha
+            self.cutoff_ema = a * float(cutoff) + (1.0 - a) * self.cutoff_ema
+
+    def fp_rate(self) -> float:
+        """Doorkeeper false-positive rate (a false positive = a tuple
+        admitted as "recurring" that was actually first-time)."""
+        return self.doorkeeper.fp_rate()
+
+    def reset(self) -> None:
+        """Clear all state for a fresh run (called from ``make_*_state``)."""
+        self.cutoff_ema = None
+        self.doorkeeper.clear()
+        self.observed = 0
+        self.admits = 0
+        self.rejects = 0
+        self.flushes = 0
+
+    def merge(self, other: "AdmissionFilter") -> None:
+        """Fold a retiring shard's filter into this one (reshard path)."""
+        self.doorkeeper.merge(other.doorkeeper)
+        if other.cutoff_ema is not None:
+            if self.cutoff_ema is None:
+                self.cutoff_ema = other.cutoff_ema
+            else:
+                self.cutoff_ema = 0.5 * (self.cutoff_ema + other.cutoff_ema)
+        self.observed += other.observed
+        self.admits += other.admits
+        self.rejects += other.rejects
+        self.flushes += other.flushes
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the doorkeeper bit array."""
+        return self.doorkeeper.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionFilter(cutoff_ema={self.cutoff_ema}, "
+            f"admits={self.admits}, rejects={self.rejects})"
+        )

@@ -1,0 +1,89 @@
+"""Bloom filter: approximate membership over a fixed bit array.
+
+Used as the TinyLFU "doorkeeper" (absorb first occurrences so one-hit
+wonders never reach the count-min counters) and as the admission
+filter's recent-value memory.  No false negatives; the false-positive
+rate is tracked from the observed fill so callers can surface it as a
+telemetry series.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .countmin import value_hashes
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed ``n_bits`` membership filter with ``n_hashes`` probes."""
+
+    __slots__ = ("n_bits", "n_hashes", "n_added", "_bits", "_set_bits")
+
+    def __init__(self, n_bits: int = 8192, n_hashes: int = 4):
+        if n_bits < 8 or n_hashes < 1:
+            raise ValueError("n_bits must be >= 8 and n_hashes >= 1")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.n_added = 0
+        self._bits = bytearray(n_bits // 8 + (1 if n_bits % 8 else 0))
+        self._set_bits = 0
+
+    def _positions(self, value: Hashable) -> list[int]:
+        h1, h2 = value_hashes(value)
+        n = self.n_bits
+        return [(h1 + i * h2) % n for i in range(self.n_hashes)]
+
+    def add(self, value: Hashable) -> bool:
+        """Insert ``value``; return True if it was (probably) new."""
+        new = False
+        for pos in self._positions(value):
+            byte, mask = pos >> 3, 1 << (pos & 7)
+            if not self._bits[byte] & mask:
+                self._bits[byte] |= mask
+                self._set_bits += 1
+                new = True
+        if new:
+            self.n_added += 1
+        return new
+
+    def __contains__(self, value: Hashable) -> bool:
+        for pos in self._positions(value):
+            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset every bit (periodic doorkeeper flush)."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self._set_bits = 0
+        self.n_added = 0
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return self._set_bits / self.n_bits
+
+    def fp_rate(self) -> float:
+        """Estimated false-positive probability at the current fill."""
+        return self.fill_ratio() ** self.n_hashes
+
+    def merge(self, other: "BloomFilter") -> None:
+        """Bitwise-OR ``other`` into this filter (same geometry)."""
+        if (other.n_bits, other.n_hashes) != (self.n_bits, self.n_hashes):
+            raise ValueError("cannot merge bloom filters of different shape")
+        for i, b in enumerate(other._bits):
+            self._bits[i] |= b
+        self._set_bits = sum(bin(b).count("1") for b in self._bits)
+        self.n_added += other.n_added
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the bit array."""
+        return len(self._bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(n_bits={self.n_bits}, n_hashes={self.n_hashes}, "
+            f"fill={self.fill_ratio():.3f})"
+        )

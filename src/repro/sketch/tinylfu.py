@@ -1,0 +1,99 @@
+"""TinyLFU: a doorkeeper bloom filter in front of an aging count-min.
+
+First occurrences of a value are absorbed by the doorkeeper, so
+one-hit wonders never consume count-min counters; repeat occurrences
+increment the sketch.  When ``sample_size`` events have been observed
+the counters are halved and the doorkeeper flushed, which exponentially
+ages out stale popularity (Einziger, Gabbay & Friedman, "TinyLFU: A
+Highly Efficient Cache Admission Policy").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .bloom import BloomFilter
+from .countmin import CountMinSketch
+
+__all__ = ["TinyLfuFilter"]
+
+
+class TinyLfuFilter:
+    """Aging frequency estimates with one-hit-wonder suppression."""
+
+    __slots__ = ("sketch", "doorkeeper", "sample_size", "events", "resets")
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 4,
+        sample_size: int | None = None,
+        doorkeeper_bits: int | None = None,
+    ):
+        self.sketch = CountMinSketch(width=width, depth=depth)
+        self.doorkeeper = BloomFilter(
+            n_bits=doorkeeper_bits if doorkeeper_bits is not None else 8 * width,
+            n_hashes=4,
+        )
+        self.sample_size = sample_size if sample_size is not None else 16 * width
+        if self.sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        self.events = 0
+        self.resets = 0
+
+    @property
+    def total(self) -> int:
+        """Events currently represented (doorkeeper + sketch weight)."""
+        return self.doorkeeper.n_added + self.sketch.total
+
+    def increment(self, value: Hashable, by: int = 1) -> None:
+        """Record ``by`` occurrences of ``value``."""
+        if by <= 0:
+            return
+        if value in self.doorkeeper:
+            self.sketch.increment(value, by)
+        else:
+            self.doorkeeper.add(value)
+            if by > 1:
+                self.sketch.increment(value, by - 1)
+        self.events += by
+        if self.events >= self.sample_size:
+            self._age()
+
+    def _age(self) -> None:
+        self.sketch.halve()
+        self.doorkeeper.clear()
+        self.events //= 2
+        self.resets += 1
+
+    def estimate(self, value: Hashable) -> int:
+        """Estimated (aged) occurrence count of ``value``."""
+        est = self.sketch.estimate(value)
+        if value in self.doorkeeper:
+            est += 1
+        return est
+
+    __getitem__ = estimate
+
+    def merge(self, other: "TinyLfuFilter") -> None:
+        """Combine another TinyLFU (same geometry) into this one."""
+        self.sketch.merge(other.sketch)
+        self.doorkeeper.merge(other.doorkeeper)
+        self.events += other.events
+        if self.events >= self.sample_size:
+            self._age()
+
+    def fill_ratio(self) -> float:
+        """Count-min saturation (the doorkeeper fill is separate)."""
+        return self.sketch.fill_ratio()
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the sketch plus the doorkeeper."""
+        return self.sketch.memory_bytes() + self.doorkeeper.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"TinyLfuFilter(width={self.sketch.width}, "
+            f"depth={self.sketch.depth}, sample_size={self.sample_size}, "
+            f"resets={self.resets})"
+        )

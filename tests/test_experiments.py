@@ -215,3 +215,42 @@ class TestReport:
         ys = [x * 0.5 for x in xs]
         text = format_curve(xs, ys, max_points=5)
         assert len(text.splitlines()) <= 8
+
+
+class TestFigureRegistry:
+    """The name-addressed figure registry behind the ``figext`` CLI."""
+
+    def test_ext_multi_sweep_is_registered(self):
+        from repro.experiments.figures import figure_names
+
+        assert "ext-multi-sweep" in figure_names()
+
+    def test_register_rejects_duplicates(self):
+        from repro.experiments.figures import FIGURE_REGISTRY, register_figure
+
+        spec = FIGURE_REGISTRY["ext-multi-sweep"]
+        with pytest.raises(ValueError):
+            register_figure(spec)
+
+    def test_render_unknown_name_raises(self):
+        from repro.experiments.figures import render_figure
+
+        with pytest.raises(KeyError):
+            render_figure("no-such-figure")
+
+    def test_ext_multi_sweep_renders_headless(self):
+        """End-to-end smoke at toy scale: the trie-vs-unified-HEEB sweep
+        builds and renders as a text table with one block per config and
+        one row per cache size (no plotting backend required)."""
+        from repro.experiments.figures import render_figure
+
+        text = render_figure(
+            "ext-multi-sweep",
+            config_names=("CHAIN3",),
+            cache_sizes=(2, 3),
+            length=40,
+            n_runs=1,
+        )
+        assert "CHAIN3" in text
+        assert "HEEB" in text and "TRIE" in text
+        assert "2" in text and "3" in text

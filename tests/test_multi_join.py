@@ -194,3 +194,55 @@ class TestMultiHeeb:
         h_hub = policy._h_value(hub, ctx)
         h_leaf = policy._h_value(leaf, ctx)
         assert h_hub == pytest.approx(2 * h_leaf, rel=1e-9)
+
+
+class TestDeprecatedAliases:
+    """Every pre-unification ``Multi*`` alias warns on construction.
+
+    The aliases stay importable (and behave identically to their
+    unified replacements), but new code should not reach for them —
+    the warning is the migration signpost.  The repo-wide pytest
+    config ignores ``DeprecationWarning``, so existing alias-using
+    tests keep passing unchanged."""
+
+    def test_multi_policy_context_warns(self):
+        from repro.sim.multi_join import MultiPolicyContext
+
+        with pytest.warns(DeprecationWarning, match="MultiPolicyContext"):
+            MultiPolicyContext(
+                time=0,
+                cache_size=2,
+                partner_names={"A": ("B",), "B": ("A",)},
+                histories={"A": [], "B": []},
+            )
+
+    def test_multi_heeb_policy_warns(self):
+        with pytest.warns(DeprecationWarning, match="MultiHeebPolicy"):
+            MultiHeebPolicy(LExp(5.0), horizon=10)
+
+    def test_multi_prob_policy_warns(self):
+        with pytest.warns(DeprecationWarning, match="MultiProbPolicy"):
+            MultiProbPolicy()
+
+    def test_multi_rand_policy_warns(self):
+        with pytest.warns(DeprecationWarning, match="MultiRandPolicy"):
+            MultiRandPolicy(seed=0)
+
+    def test_multi_scheduled_policy_warns(self):
+        from repro.flow.opt_offline import OfflineSolution
+
+        solution = OfflineSolution(
+            eviction_time={}, total_benefit=0, cache_size=1, length=0
+        )
+        with pytest.warns(DeprecationWarning, match="MultiScheduledPolicy"):
+            MultiScheduledPolicy(solution)
+
+    def test_multi_join_policy_warns(self):
+        from repro.sim.multi_join import MultiJoinPolicy
+
+        class _Alias(MultiJoinPolicy):
+            def select_victims(self, candidates, n_evict, ctx):
+                return list(candidates[:n_evict])
+
+        with pytest.warns(DeprecationWarning, match="MultiJoinPolicy"):
+            _Alias()

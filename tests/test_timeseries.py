@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import P2Quantile, SeriesBuffer, TimeSeries, sparkline
 
@@ -77,6 +78,97 @@ class TestP2Quantile:
         for v in (1.0, 2.0, 3.0, 4.0):
             reference.add(v)
         assert base.value() == reference.value()
+
+
+class TestP2QuantileFractionalWeights:
+    """Weighted observations must not lose mass in the initial phase.
+
+    Regression for the seeding bug where ``add(x, weight)`` replayed
+    ``int(weight)`` unit observations, silently dropping the fractional
+    remainder (a ``weight=0.5`` add contributed nothing at all)."""
+
+    def test_fractional_weight_counts_full_mass(self):
+        sketch = P2Quantile(0.5)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            sketch.add(v, weight=0.5)
+        assert sketch.count == pytest.approx(2.5)
+        assert sketch.value() == 3.0
+
+    def test_sub_unit_weight_is_not_dropped(self):
+        sketch = P2Quantile(0.5)
+        sketch.add(7.0, weight=0.25)
+        assert sketch.count == pytest.approx(0.25)
+        assert sketch.value() == 7.0
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_position_consistency(self, weights, seed):
+        """``positions[4] == count`` whenever the markers are live, and
+        the buffered mass equals ``count`` before that — no weight is
+        ever truncated on either path."""
+        rng = np.random.default_rng(seed)
+        sketch = P2Quantile(0.5)
+        for w in weights:
+            sketch.add(float(rng.normal()), weight=w)
+        assert sketch.count == pytest.approx(sum(weights))
+        if sketch._heights:
+            assert sketch._positions[4] == pytest.approx(sketch.count)
+        else:
+            buffered = sum(w for _, w in sketch._initial)
+            assert buffered == pytest.approx(sketch.count)
+
+    @given(
+        left_weights=st.lists(
+            st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+        right_weights=st.lists(
+            st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_preserves_fractional_mass(self, left_weights, right_weights):
+        """Merging tiny sketches replays (value, weight) pairs, so the
+        union's count is the exact sum of both sides' weights."""
+        left, right = P2Quantile(0.5), P2Quantile(0.5)
+        for i, w in enumerate(left_weights):
+            left.add(float(i), weight=w)
+        for i, w in enumerate(right_weights):
+            right.add(float(10 + i), weight=w)
+        left.merge(right.state())
+        assert left.count == pytest.approx(
+            sum(left_weights) + sum(right_weights)
+        )
+        assert left.value() is not None
+
+    def test_weighted_state_round_trip(self):
+        sketch = P2Quantile(0.9)
+        for i in range(8):
+            sketch.add(float(i), weight=0.5 + 0.25 * i)
+        clone = P2Quantile.from_state(sketch.state())
+        assert clone.value() == sketch.value()
+        assert clone.state() == sketch.state()
+
+    def test_legacy_bare_float_state_still_loads(self):
+        # Pre-weighted snapshots stored the initial buffer as bare
+        # floats; they must round-trip as unit-weight observations.
+        sketch = P2Quantile(0.5)
+        sketch.add(1.0)
+        sketch.add(2.0)
+        state = sketch.state()
+        state["initial"] = [1.0, 2.0]
+        clone = P2Quantile.from_state(state)
+        assert clone.value() == sketch.value()
 
 
 class TestSeriesBuffer:

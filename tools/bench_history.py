@@ -69,6 +69,11 @@ _LOWER_BETTER_SUFFIXES = (
     # fell behind its producers — a latent step-function slowdown even
     # when raw throughput still looks fine.
     "_queue_depth",
+    # Sketch front-ends: a growing tracemalloc peak means the bounded-
+    # memory contract is eroding, and a growing hit-rate delta means the
+    # approximation is costing more accuracy vs exact counts.
+    "_mem_mb",
+    "_hit_rate_delta",
 )
 
 #: Environment keys that participate in the fingerprint.  Worker count
@@ -103,9 +108,11 @@ def entry_from_report(
     Pulls the headline metrics out of ``aggregate`` (engine throughputs
     and speedups), ``flowexpect`` (per-step latency, fast-path speedup,
     memo hit rate, ``fe_`` prefix), ``serve`` (serving-tier ingestion
-    throughput and queue-depth telemetry, ``serve_`` prefix), and
+    throughput and queue-depth telemetry, ``serve_`` prefix),
     ``multi_join`` (multi-join batch speedup and serve throughput,
-    ``multi_`` prefix) so the sections cannot collide.  Sections absent
+    ``multi_`` prefix), and ``sketch`` (bounded-memory peak and
+    exact-vs-sketch hit-rate delta, ``sketch_`` prefix) so the sections
+    cannot collide.  Sections absent
     from the report are simply absent from the metrics — a
     FlowExpect-only run still produces a checkable entry.
     """
@@ -149,6 +156,24 @@ def entry_from_report(
         if isinstance(value, (int, float)):
             metrics[f"multi_{key}"] = float(value)
 
+    sketch = report.get("sketch") or {}
+    for key in (
+        "mem_mb",
+        "hit_rate_delta",
+        "exact_hit_rate",
+        "sketch_hit_rate",
+        "steps_per_sec",
+    ):
+        value = sketch.get(key)
+        if isinstance(value, (int, float)):
+            if key == "hit_rate_delta":
+                # Gate math is multiplicative around the median, which
+                # assumes non-negative magnitudes; a negative delta
+                # (sketch *beat* exact) gates as zero — the raw value
+                # stays in the report for inspection.
+                value = max(0.0, float(value))
+            metrics[f"sketch_{key}"] = float(value)
+
     workload = dict(report.get("workload") or {})
     # FlowExpect bench parameters are part of the workload identity too:
     # fe_ms_per_step at lookahead 8 is not comparable to lookahead 4.
@@ -165,6 +190,17 @@ def entry_from_report(
     for key in ("config", "length", "trials", "serve_length", "serve_n_shards"):
         if key in multi:
             workload[f"multi_{key}"] = multi[key]
+    # Sketch bench shape: memory peaks and hit-rate deltas are only
+    # comparable at the same cache size / stream length / value mix.
+    for key in (
+        "cache_size",
+        "length",
+        "head_values",
+        "tail_fraction",
+        "sketch_width",
+    ):
+        if key in sketch:
+            workload[f"sketch_{key}"] = sketch[key]
 
     env_in = report.get("environment") or {}
     env = {k: env_in.get(k) for k in _ENV_KEYS if k in env_in}
