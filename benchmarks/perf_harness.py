@@ -39,6 +39,23 @@ topology through the serving tier — single-shard parity against
 :class:`~repro.sim.multi_join.MultiJoinSimulator` first — and records
 sharded ingestion throughput.
 
+The ``batch_coverage`` section times the four PR-9 adapter families —
+LRU-k, windowed HEEB, trie caching, FlowExpect — scalar vs batch,
+asserting seed-for-seed identical results and that the batch preference
+was honoured before recording per-family speedups.
+``--min-batch-speedup`` turns the non-FlowExpect speedups into a hard
+CI floor; FlowExpect gets the separate, lower
+``--min-fe-batch-speedup`` floor because its scalar tier already is the
+optimized fast path (the Amdahl argument is spelled out in
+``docs/PERFORMANCE.md``).
+
+The ``native`` section runs one FlowExpect experiment through
+``run_experiment(native=...)`` with the compiled kernels off and on,
+asserts identical decisions, and records the speedup; on a numba-free
+install both runs use the reference kernels and the entry says so.
+``--min-native-speedup`` is the CI native-leg floor, enforced only when
+numba is importable.
+
 The ``sketch`` section runs the bounded-memory cache workload of
 :func:`run_sketch_bench`: a ``cache_size=10**6`` skewed reference
 stream under ``LfuPolicy(counts="sketch")`` plus the bloom
@@ -57,6 +74,10 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_harness.py [--trials 256]
         [--length 600] [--workers N] [--fe-length 300]
         [--fe-lookahead 8] [--min-fe-speedup X] [--max-null-overhead P]
+        [--batchcov-trials 192] [--batchcov-length 400]
+        [--min-batch-speedup X] [--min-fe-batch-speedup X]
+        [--skip-batchcov] [--native-length 200] [--native-lookahead 8]
+        [--min-native-speedup X] [--skip-native]
         [--serve-length 2000] [--serve-shards 4] [--serve-queue 256]
         [--skip-serve] [--multi-length 300] [--multi-trials 64]
         [--multi-serve-length 1500] [--multi-shards 3] [--skip-multi]
@@ -381,6 +402,246 @@ def run_flowexpect_bench(
         f"{entry['solver_iterations']} solver iterations over "
         f"{entry['flow_solves']} solves, prob-table hit rate "
         f"{entry['prob_table_hit_rate']}"
+    )
+    return entry
+
+
+#: Floors for the batch-coverage section: the families whose adapters
+#: replay per-trial Python loops share memoized scoring across trials,
+#: so their speedup scales with the trial count; FlowExpect is Amdahl-
+#: bound by its per-trial exact solver (see docs/PERFORMANCE.md) and
+#: gets a lower floor.
+BATCHCOV_FE_FAMILY = "flowexpect"
+
+
+def run_batch_coverage_bench(
+    n_trials: int,
+    length: int,
+    fe_trials: int,
+    fe_length: int,
+) -> dict:
+    """Time the four PR-9 adapter families, scalar vs batch.
+
+    LRU-k, windowed HEEB, trie caching, and FlowExpect used to negotiate
+    down to the scalar tier; each now has an exact batch adapter.  Every
+    family runs the same pre-generated paths on both tiers, asserts
+    trial-for-trial identical results (totals and occupancy) and that
+    the batch preference was *not* demoted, then records the speedup.
+    FlowExpect runs a reduced shape: its scalar tier is itself the fast
+    path, so the reference timing is expensive and the achievable
+    speedup is bounded by the per-trial solver share (Amdahl), not by
+    vectorization.
+    """
+    from repro.policies.lru import LrukPolicy
+
+    warmup = 2 * CACHE_SIZE
+    families: dict[str, dict] = {}
+
+    def _time_family(
+        name,
+        r_model,
+        s_model,
+        factory,
+        *,
+        window=None,
+        window_oracle=None,
+        trials=n_trials,
+        steps=length,
+        cache_size=CACHE_SIZE,
+    ):
+        paths = generate_paths(r_model, s_model, steps, trials, seed=0)
+        kwargs = dict(
+            cache_size=cache_size,
+            warmup=warmup,
+            window=window,
+            r_model=r_model,
+            s_model=s_model,
+            window_oracle=window_oracle,
+        )
+        seconds = {}
+        results = {}
+        for engine_name in ("scalar", "batch"):
+            t0 = time.perf_counter()
+            results[engine_name] = run_join_experiment(
+                factory, paths, engine=engine_name, **kwargs
+            )
+            seconds[engine_name] = time.perf_counter() - t0
+        if results["batch"].engine_used != "batch":
+            raise AssertionError(
+                f"batch-coverage {name}: batch preference was demoted to "
+                f"{results['batch'].engine_used!r}"
+            )
+        _assert_equal(name, results["scalar"].policy_name, "batch",
+                      results["scalar"], results["batch"])
+        entry = {
+            "policy": results["scalar"].policy_name,
+            "trials": trials,
+            "length": steps,
+            "cache_size": cache_size,
+            "window": window,
+            "scalar_seconds": round(seconds["scalar"], 4),
+            "batch_seconds": round(seconds["batch"], 4),
+            "batch_speedup": round(
+                seconds["scalar"] / seconds["batch"], 2
+            ),
+        }
+        families[name] = entry
+        print(
+            f"batchcov {name:13s} scalar {seconds['scalar']:7.3f}s  "
+            f"batch {seconds['batch']:7.3f}s "
+            f"({entry['batch_speedup']:5.1f}x), identical results"
+        )
+
+    tower = make_config("tower")
+    _time_family(
+        "lruk", tower.r_model, tower.s_model, lambda: LrukPolicy(2)
+    )
+    _time_family(
+        "windowed_heeb",
+        tower.r_model,
+        tower.s_model,
+        lambda: tower.make_heeb(CACHE_SIZE),
+        window=8,
+        window_oracle=tower.window_oracle,
+    )
+    from repro.streams import StationaryStream
+    from repro.streams.noise import from_mapping
+
+    pmf = from_mapping({1: 0.35, 2: 0.25, 3: 0.2, 4: 0.12, 5: 0.08})
+    trie_r, trie_s = StationaryStream(pmf), StationaryStream(pmf)
+    _time_family(
+        "trie", trie_r, trie_s, lambda: make_policy("trie")
+    )
+    fe_r, fe_s = StationaryStream(pmf), StationaryStream(pmf)
+    _time_family(
+        BATCHCOV_FE_FAMILY,
+        fe_r,
+        fe_s,
+        lambda: FlowExpectPolicy(4, fe_r, fe_s, fast=True),
+        trials=fe_trials,
+        steps=fe_length,
+        cache_size=6,
+    )
+
+    return {
+        "length": length,
+        "trials": n_trials,
+        "fe_length": fe_length,
+        "fe_trials": fe_trials,
+        "families": families,
+    }
+
+
+def enforce_batch_coverage_floors(
+    section: dict,
+    min_batch_speedup: float | None,
+    min_fe_batch_speedup: float | None,
+) -> None:
+    """Apply the CI smoke floors to a batch-coverage section.
+
+    ``min_batch_speedup`` gates every family except FlowExpect, whose
+    scalar tier already *is* the optimized fast path — the batch win
+    there is bounded by the shareable (non-solver) fraction of the work
+    and gets its own, lower ``min_fe_batch_speedup`` floor.
+    """
+    for name, entry in section["families"].items():
+        floor = (
+            min_fe_batch_speedup
+            if name == BATCHCOV_FE_FAMILY
+            else min_batch_speedup
+        )
+        if floor is not None and entry["batch_speedup"] < floor:
+            raise SystemExit(
+                f"batch-coverage {name} speedup "
+                f"{entry['batch_speedup']}x is below the required "
+                f"floor {floor}x"
+            )
+
+
+def run_native_bench(
+    length: int, lookahead: int, n_trials: int = 4
+) -> dict:
+    """Time a FlowExpect join with and without the compiled kernels.
+
+    Runs the identical FLOOR-config experiment twice through
+    ``run_experiment(native=...)`` — the knob routes every
+    :func:`~repro.flow.native.solve_unit_flow` call to the numba kernel
+    when available — and asserts the decisions (totals, occupancy)
+    are identical before reporting the speedup.  On a numba-free
+    install the native run degrades to the reference kernels; the entry
+    records ``native_available`` so a ~1x speedup is legible, and the
+    ``--min-native-speedup`` floor only applies when the compiled
+    kernels can actually run.
+    """
+    from repro.flow.native import native_available
+    from repro.sim.engine import ExperimentSpec
+    from repro.sim.runner import run_experiment
+
+    config = make_config("floor")
+    spec = ExperimentSpec(
+        kind="join",
+        cache_size=CACHE_SIZE,
+        r_model=config.r_model,
+        s_model=config.s_model,
+    )
+    paths = generate_paths(
+        config.r_model, config.s_model, length, n_trials, seed=21
+    )
+    factory = lambda: FlowExpectPolicy(
+        lookahead, config.r_model, config.s_model, fast=True
+    )
+
+    # The first native call pays jit compilation; a tiny warm-up run on
+    # both legs keeps that out of the timed comparison.
+    warm_paths = generate_paths(
+        config.r_model, config.s_model, min(length, 40), 1, seed=22
+    )
+    for native in (False, True):
+        run_experiment(spec, factory, warm_paths, native=native)
+
+    seconds = {}
+    results = {}
+    for label, native in (("reference", False), ("native", True)):
+        t0 = time.perf_counter()
+        results[label] = run_experiment(
+            spec, factory, paths, native=native
+        )
+        seconds[label] = time.perf_counter() - t0
+    _assert_equal("FLOOR", "FLOWEXPECT", "native",
+                  results["reference"], results["native"])
+
+    available = native_available()
+    entry = {
+        "config": "FLOOR",
+        "length": length,
+        "lookahead": lookahead,
+        "trials": n_trials,
+        "cache_size": CACHE_SIZE,
+        "native_available": available,
+        "engine_used": results["native"].engine_used,
+        "reference_seconds": round(seconds["reference"], 4),
+        "native_seconds": round(seconds["native"], 4),
+        "reference_ms_per_step": round(
+            1000 * seconds["reference"] / (length * n_trials), 4
+        ),
+        "native_ms_per_step": round(
+            1000 * seconds["native"] / (length * n_trials), 4
+        ),
+        "native_speedup": (
+            round(seconds["reference"] / seconds["native"], 2)
+            if available
+            else None
+        ),
+    }
+    print(
+        f"native   la={lookahead:2d} len={length} trials={n_trials} "
+        f"reference {seconds['reference']:7.3f}s  native "
+        f"{seconds['native']:7.3f}s "
+        + (
+            f"({entry['native_speedup']:5.1f}x, {entry['engine_used']})"
+            if available
+            else "(numba absent: reference kernels on both runs)"
+        )
     )
     return entry
 
@@ -735,6 +996,74 @@ def main() -> None:
         help="skip the engine-tier benchmark (FlowExpect section only)",
     )
     parser.add_argument(
+        "--batchcov-trials",
+        type=int,
+        default=192,
+        help="trial count for the batch-coverage adapter benchmark",
+    )
+    parser.add_argument(
+        "--batchcov-length",
+        type=int,
+        default=400,
+        help="stream length for the batch-coverage adapter benchmark",
+    )
+    parser.add_argument(
+        "--batchcov-fe-trials",
+        type=int,
+        default=16,
+        help="FlowExpect trial count for the batch-coverage benchmark",
+    )
+    parser.add_argument(
+        "--batchcov-fe-length",
+        type=int,
+        default=150,
+        help="FlowExpect stream length for the batch-coverage benchmark",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        help="fail unless every non-FlowExpect batch-coverage family is "
+        "at least this many times faster than scalar (CI smoke floor)",
+    )
+    parser.add_argument(
+        "--min-fe-batch-speedup",
+        type=float,
+        default=None,
+        help="fail unless the FlowExpect batch adapter clears this "
+        "lower, Amdahl-bounded floor (see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--skip-batchcov",
+        action="store_true",
+        help="skip the batch-coverage adapter benchmark",
+    )
+    parser.add_argument(
+        "--native-length",
+        type=int,
+        default=200,
+        help="stream length for the native-kernel benchmark",
+    )
+    parser.add_argument(
+        "--native-lookahead",
+        type=int,
+        default=8,
+        help="FlowExpect lookahead for the native-kernel benchmark",
+    )
+    parser.add_argument(
+        "--min-native-speedup",
+        type=float,
+        default=None,
+        help="fail unless the compiled kernels beat the pure-Python "
+        "reference by this factor (only enforced when numba is "
+        "importable; CI native-leg floor)",
+    )
+    parser.add_argument(
+        "--skip-native",
+        action="store_true",
+        help="skip the native-kernel benchmark",
+    )
+    parser.add_argument(
         "--serve-length",
         type=int,
         default=2000,
@@ -847,11 +1176,40 @@ def main() -> None:
             f"FlowExpect fast-path speedup {fe_entry['fast_speedup']}x is "
             f"below the required floor {args.min_fe_speedup}x"
         )
+    native_entry = None
+    if not args.skip_native:
+        native_entry = run_native_bench(
+            args.native_length, args.native_lookahead
+        )
+        if (
+            args.min_native_speedup is not None
+            and native_entry["native_available"]
+            and native_entry["native_speedup"] < args.min_native_speedup
+        ):
+            raise SystemExit(
+                f"native kernel speedup {native_entry['native_speedup']}x "
+                f"is below the required floor {args.min_native_speedup}x"
+            )
+    batchcov = None
+    if not args.skip_batchcov:
+        batchcov = run_batch_coverage_bench(
+            args.batchcov_trials,
+            args.batchcov_length,
+            args.batchcov_fe_trials,
+            args.batchcov_fe_length,
+        )
+        enforce_batch_coverage_floors(
+            batchcov, args.min_batch_speedup, args.min_fe_batch_speedup
+        )
     if args.skip_engines:
         return
 
     report = run_harness(args.trials, args.length, args.workers)
     report["flowexpect"] = fe_entry
+    if batchcov is not None:
+        report["batch_coverage"] = batchcov
+    if native_entry is not None:
+        report["native"] = native_entry
     if not args.skip_serve:
         report["serve"] = run_serve_bench(
             args.serve_length, args.serve_shards, args.serve_queue

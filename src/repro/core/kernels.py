@@ -1,0 +1,85 @@
+"""Optional compiled kernel for the dense HEEB scoring sweep.
+
+The batch HEEB helpers (:func:`repro.core.heeb.heeb_join_batch` and
+friends) reduce scoring to one dense matrix-vector sweep: a
+``(n_values, horizon)`` matrix of per-step match probabilities weighted
+by the ``(horizon,)`` survival curve.  NumPy's ``@`` already does this
+well, but it delegates to BLAS with pairwise/blocked summation; this
+module restructures the sweep as an explicit accumulation loop that
+numba can compile, behind the same ``REPRO_NATIVE=1`` / ``native=``
+knob as the flow kernel (:mod:`repro.flow.native`).
+
+Exactness contract: the sweep is *tolerance*-equivalent, not
+bit-exact — different summation orders may differ in the last ulp — so
+it is wired only into the batch helpers that already document
+"agrees up to floating-point summation order".  The bit-exact batch
+adapters in :mod:`repro.policies.batch` never route through it.
+
+numba stays optional: without it :func:`heeb_sweep` silently evaluates
+``probs @ weights``, and :func:`sweep_kernel_available` reports whether
+the compiled path can run at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..flow.native import native_active
+
+try:  # pragma: no cover - exercised only on numba-equipped installs
+    import numba
+except ImportError:  # pragma: no cover - the default, numba-free install
+    numba = None
+
+__all__ = ["heeb_sweep", "sweep_kernel_available", "weighted_sweep"]
+
+
+def sweep_kernel_available() -> bool:
+    """Whether the compiled sweep can run (numba importable)."""
+    return numba is not None
+
+
+def weighted_sweep(probs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Loop-form ``probs @ weights`` (njit-compilable reference body).
+
+    Accumulates left to right per row; used directly when numba is
+    absent so tests can pin the kernel's arithmetic without compiling.
+    """
+    n, h = probs.shape
+    out = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(h):
+            acc += probs[i, j] * weights[j]
+        out[i] = acc
+    return out
+
+
+_JIT: Optional[Callable] = None
+
+
+def _jit_sweep() -> Optional[Callable]:
+    """Compile the sweep on first use (``None`` without numba)."""
+    global _JIT
+    if _JIT is None and numba is not None:
+        _JIT = numba.njit(cache=True)(weighted_sweep)
+    return _JIT
+
+
+def heeb_sweep(probs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """One dense benefit sweep, natively when the knob allows it.
+
+    Falls back to ``probs @ weights`` whenever native kernels are off or
+    numba is unavailable; both paths agree to floating-point summation
+    order (the contract of the batch HEEB helpers).
+    """
+    if native_active():
+        kernel = _jit_sweep()
+        if kernel is not None:
+            return kernel(
+                np.ascontiguousarray(probs, dtype=np.float64),
+                np.ascontiguousarray(weights, dtype=np.float64),
+            )
+    return probs @ weights

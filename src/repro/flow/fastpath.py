@@ -39,6 +39,7 @@ from ..core.tuples import StreamTuple, partner
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..streams.base import History, StreamModel
 from .flowexpect import FlowExpectDecision
+from .native import solve_unit_flow
 from .prob_table import ProbTable
 from .solver import COST_SCALE
 
@@ -82,6 +83,7 @@ class LookaheadTemplate:
         "topo",
         "src_arcs",
         "costed",
+        "_arrays",
     )
 
     def __init__(self, n_candidates: int, lookahead: int):
@@ -143,6 +145,9 @@ class LookaheadTemplate:
             self.out_arcs[u].append(a)
             self.adj[u].append(2 * a)
             self.adj[v].append(2 * a + 1)
+        #: Flat int64 skeleton views, built lazily by
+        #: :func:`repro.flow.native.template_arrays` for the compiled solver.
+        self._arrays = None
 
 
 def _solve_unit_flow(
@@ -319,7 +324,7 @@ class FlowExpectFastPath:
         if rec.enabled:
             solve_start = time.perf_counter()
             with rec.timer("flow.solve"):
-                used = _solve_unit_flow(template, cost_int, amount)
+                used = solve_unit_flow(template, cost_int, amount)
             solve_ms = (time.perf_counter() - solve_start) * 1e3
             rec.count("flow.solves")
             rec.count("flow.solver_iterations", amount)
@@ -340,7 +345,7 @@ class FlowExpectFastPath:
             if lookups > 0:
                 rec.series("prob_table.hit_rate", t0, d_hits / lookups)
         else:
-            used = _solve_unit_flow(template, cost_int, amount)
+            used = solve_unit_flow(template, cost_int, amount)
 
         kept_mask = [used[template.src_arcs[p]] for p in range(n)]
         benefit = -sum(

@@ -1,0 +1,296 @@
+"""Optional native (numba-compiled) kernel for the FlowExpect solver.
+
+The successive-shortest-paths solver in :mod:`repro.flow.fastpath` is
+the bit-exact reference: pure Python over the
+:class:`~repro.flow.fastpath.LookaheadTemplate` skeleton.  This module
+restructures the *same algorithm* over flat ``int64`` arrays — CSR
+adjacency, an array-backed binary heap — so numba can compile it, and
+dispatches between the two behind the ``REPRO_NATIVE=1`` / ``native=``
+knob:
+
+* :func:`native_available` — numba is importable in this environment;
+* :func:`native_requested` — the knob asked for native kernels (an
+  explicit :func:`set_native_override` wins over the environment
+  variable);
+* :func:`native_active` — both of the above hold, i.e. the compiled
+  kernel actually runs.
+
+numba is an *optional* dependency: importing this module without it
+degrades cleanly (``native_available()`` returns ``False`` and every
+solve runs the pure-Python reference).  The compiled path is
+decision-identical to the reference, not merely equally good: the
+uid-rank perturbation of :mod:`repro.flow.solver` makes the optimal
+flow pattern unique, so any exact integer solver — whatever its
+traversal or heap tie order — produces the same per-arc usage mask.
+``tests/test_native_kernels.py`` pins the array kernel against the
+reference arc-for-arc; the kernel body is plain Python when numba is
+absent, so the equivalence oracle holds on numba-free installations
+too.
+
+Overflow safety: the array kernel works in ``int64`` while the
+reference uses Python's unbounded integers, so :func:`solve_unit_flow`
+bounds the worst-case distance/potential magnitude before dispatching
+and silently falls back to the reference when the bound does not fit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fastpath imports us)
+    from .fastpath import LookaheadTemplate
+
+try:  # pragma: no cover - exercised only on numba-equipped installs
+    import numba
+except ImportError:  # pragma: no cover - the default, numba-free install
+    numba = None
+
+__all__ = [
+    "native_available",
+    "native_requested",
+    "native_active",
+    "set_native_override",
+    "solve_unit_flow",
+    "template_arrays",
+]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Session override installed by ``run_experiment(native=...)``; ``None``
+#: defers to the ``REPRO_NATIVE`` environment variable.
+_OVERRIDE: Optional[bool] = None
+
+
+def native_available() -> bool:
+    """Whether numba is importable, i.e. kernels can actually compile."""
+    return numba is not None
+
+
+def native_requested() -> bool:
+    """Whether the knob (override or ``REPRO_NATIVE``) asked for native."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_NATIVE", "").strip().lower() in _TRUTHY
+
+
+def native_active() -> bool:
+    """Whether compiled kernels run: requested *and* available."""
+    return native_requested() and native_available()
+
+
+def set_native_override(flag: Optional[bool]) -> None:
+    """Install (or clear, with ``None``) the programmatic ``native=`` knob."""
+    global _OVERRIDE
+    _OVERRIDE = flag
+
+
+def template_arrays(template: "LookaheadTemplate") -> tuple:
+    """Flat int64 views of a template's skeleton, built once per template.
+
+    Returns ``(tails, heads, topo, out_ptr, out_idx, adj_ptr, adj_idx)``
+    where the two ``(ptr, idx)`` pairs are CSR encodings of the
+    forward-arc and residual-arc adjacency lists.  Cached on the
+    template so repeated decisions pay the conversion once.
+    """
+    arrs = template._arrays
+    if arrs is not None:
+        return arrs
+    n_nodes = template.n_nodes
+    tails = np.asarray(template.tails, dtype=np.int64)
+    heads = np.asarray(template.heads, dtype=np.int64)
+    topo = np.asarray(template.topo, dtype=np.int64)
+
+    def _csr(lists: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+        ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        ptr[1:] = np.cumsum([len(entries) for entries in lists])
+        idx = np.fromiter(
+            (a for entries in lists for a in entries),
+            dtype=np.int64,
+            count=int(ptr[-1]),
+        )
+        return ptr, idx
+
+    out_ptr, out_idx = _csr(template.out_arcs)
+    adj_ptr, adj_idx = _csr(template.adj)
+    arrs = (tails, heads, topo, out_ptr, out_idx, adj_ptr, adj_idx)
+    template._arrays = arrs
+    return arrs
+
+
+def _ssp_kernel(tails, heads, topo, out_ptr, out_idx, adj_ptr, adj_idx, cost, amount):
+    """Successive shortest paths over flat arrays (njit-compilable).
+
+    Mirrors ``fastpath._solve_unit_flow`` step for step: iteration 0
+    relaxes in topological order (the DAG carries negative arcs), later
+    iterations run Dijkstra with Johnson potentials over the residual
+    network using an array-backed binary heap.  Returns a bool array of
+    length ``n_arcs + 1``: per-forward-arc "carries flow" flags plus a
+    trailing success flag (``False`` when the DAG cannot carry
+    ``amount`` units — numba-safe error signalling).
+    """
+    n_nodes = out_ptr.shape[0] - 1
+    n_arcs = tails.shape[0]
+    INF = np.int64(2**62)
+    cap = np.zeros(2 * n_arcs, dtype=np.int64)
+    for a in range(n_arcs):
+        cap[2 * a] = 1
+    pot = np.zeros(n_nodes, dtype=np.int64)
+    dist = np.empty(n_nodes, dtype=np.int64)
+    par = np.empty(n_nodes, dtype=np.int64)
+    done = np.empty(n_nodes, dtype=np.bool_)
+    n_res = adj_idx.shape[0]
+    heap_d = np.empty(n_res + 1, dtype=np.int64)
+    heap_v = np.empty(n_res + 1, dtype=np.int64)
+    out = np.zeros(n_arcs + 1, dtype=np.bool_)
+
+    for iteration in range(amount):
+        for v in range(n_nodes):
+            dist[v] = INF
+            par[v] = -1
+        dist[0] = 0
+        if iteration == 0:
+            for ti in range(topo.shape[0]):
+                u = topo[ti]
+                du = dist[u]
+                if du == INF:
+                    continue
+                for k in range(out_ptr[u], out_ptr[u + 1]):
+                    a = out_idx[k]
+                    v = heads[a]
+                    nd = du + cost[a]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        par[v] = 2 * a
+        else:
+            for v in range(n_nodes):
+                done[v] = False
+            heap_d[0] = 0
+            heap_v[0] = 0
+            size = 1
+            while size > 0:
+                d = heap_d[0]
+                u = heap_v[0]
+                size -= 1
+                # Pop: move the tail entry to the root and sift it down.
+                ld = heap_d[size]
+                lv = heap_v[size]
+                pos = 0
+                while True:
+                    child = 2 * pos + 1
+                    if child >= size:
+                        break
+                    if child + 1 < size and heap_d[child + 1] < heap_d[child]:
+                        child += 1
+                    if heap_d[child] < ld:
+                        heap_d[pos] = heap_d[child]
+                        heap_v[pos] = heap_v[child]
+                        pos = child
+                    else:
+                        break
+                heap_d[pos] = ld
+                heap_v[pos] = lv
+                if done[u]:
+                    continue
+                done[u] = True
+                if u == 1:  # sink reached; labels past it are not needed
+                    break
+                pot_u = pot[u]
+                for k in range(adj_ptr[u], adj_ptr[u + 1]):
+                    r = adj_idx[k]
+                    if cap[r] == 0:
+                        continue
+                    a = r >> 1
+                    if r & 1:
+                        v = tails[a]
+                        rc = -cost[a]
+                    else:
+                        v = heads[a]
+                        rc = cost[a]
+                    if done[v]:
+                        continue
+                    nd = d + rc + pot_u - pot[v]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        par[v] = r
+                        # Push (nd, v): sift up from the end.
+                        pos = size
+                        size += 1
+                        while pos > 0:
+                            parent = (pos - 1) >> 1
+                            if heap_d[parent] > nd:
+                                heap_d[pos] = heap_d[parent]
+                                heap_v[pos] = heap_v[parent]
+                                pos = parent
+                            else:
+                                break
+                        heap_d[pos] = nd
+                        heap_v[pos] = v
+        d_sink = dist[1]
+        if d_sink == INF:
+            return out  # success flag stays False
+        if iteration == 0:
+            for v in range(n_nodes):
+                pot[v] = dist[v] if dist[v] != INF else d_sink
+        else:
+            for v in range(n_nodes):
+                pot[v] += dist[v] if dist[v] < d_sink else d_sink
+        v = 1
+        while v != 0:
+            r = par[v]
+            cap[r] -= 1
+            cap[r ^ 1] += 1
+            a = r >> 1
+            v = heads[a] if (r & 1) else tails[a]
+
+    for a in range(n_arcs):
+        out[a] = cap[2 * a] == 0
+    out[n_arcs] = True
+    return out
+
+
+_JIT: Optional[Callable] = None
+
+
+def _jit_kernel() -> Optional[Callable]:
+    """Compile the array kernel on first use (``None`` without numba)."""
+    global _JIT
+    if _JIT is None and numba is not None:
+        _JIT = numba.njit(cache=True)(_ssp_kernel)
+    return _JIT
+
+
+def solve_unit_flow(
+    template: "LookaheadTemplate", cost: Sequence[int], amount: int
+) -> Sequence[bool]:
+    """Solve one unit-flow instance, natively when the knob allows it.
+
+    Decision-identical to ``fastpath._solve_unit_flow`` (the tie-break
+    perturbation makes the optimal arc-usage mask unique); falls back to
+    the pure-Python reference when numba is unavailable, native was not
+    requested, or the int64 overflow bound fails.
+    """
+    if native_active():
+        kernel = _jit_kernel()
+        # Worst-case |distance| is one path of < n_nodes arcs; potentials
+        # accumulate at most ``amount + 1`` sink distances on top.  Keep a
+        # wide margin below 2**62 before trusting int64.
+        max_c = 0
+        for c in cost:
+            a = -c if c < 0 else c
+            if a > max_c:
+                max_c = a
+        if kernel is not None and (amount + 2) * template.n_nodes * (max_c + 1) < 2**61:
+            arrs = template_arrays(template)
+            cost_arr = np.asarray(cost, dtype=np.int64)
+            res = kernel(*arrs, cost_arr, amount)
+            if not res[-1]:
+                raise RuntimeError(
+                    f"lookahead DAG cannot carry {amount} flow units"
+                )
+            return res[:-1]
+    from .fastpath import _solve_unit_flow
+
+    return _solve_unit_flow(template, cost, amount)

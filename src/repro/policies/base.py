@@ -367,8 +367,8 @@ class ScoredPolicy(ReplacementPolicy):
                 )
             ranked = sorted(scored)
             # Eviction threshold over time: the best score that still got
-            # evicted.  Scalar-tier only, like trace events (the batch
-            # adapters rank scores without materializing them per step).
+            # evicted.  The batch engine mirrors this series for every
+            # exactly-scored adapter (trace events stay scalar-only).
             rec.series("scores.cutoff", ctx.time, ranked[n_evict - 1][0])
             return [tup for _, _, tup in ranked[:n_evict]]
         ranked = sorted(

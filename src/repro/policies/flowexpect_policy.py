@@ -53,6 +53,21 @@ class FlowExpectPolicy(ReplacementPolicy):
         self._fastpath: FlowExpectFastPath | None = None
         self._fastpath_models: tuple[StreamModel, StreamModel] | None = None
 
+    @property
+    def r_model(self) -> StreamModel | None:
+        """The pinned R-stream model (``None`` defers to the context)."""
+        return self._r_model
+
+    @property
+    def s_model(self) -> StreamModel | None:
+        """The pinned S-stream model (``None`` defers to the context)."""
+        return self._s_model
+
+    @property
+    def fast(self) -> bool:
+        """Whether decisions run on the template-reusing fast path."""
+        return self._fast
+
     def reset(self, ctx: PolicyContext) -> None:
         self._fastpath = None
         self._fastpath_models = None

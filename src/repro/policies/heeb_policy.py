@@ -207,6 +207,22 @@ class TrendJoinHeeb(HeebStrategy):
         pmfs = noise.pmf_many(value - trend_vals)
         return float(np.dot(pmfs, np.exp(-dts / alpha)))
 
+    def direct_sum(
+        self,
+        partner: LinearTrendStream,
+        value: int,
+        t0: int,
+        max_dt: int,
+    ) -> float:
+        """Public access to the windowed/general-speed direct sum.
+
+        The batch engine's windowed adapter calls this per distinct
+        ``(offset, clipped horizon)`` key — the same NumPy expression the
+        scalar path evaluates, so memoized batch scores stay
+        bit-identical to per-tuple scalar scores.
+        """
+        return self._direct_sum(partner, value, t0, max_dt)
+
     def table_array(
         self, partner: LinearTrendStream, key: str
     ) -> tuple[int, np.ndarray]:

@@ -319,7 +319,11 @@ def generate_reference_array(
 # Victim selection shared by both engines
 # ----------------------------------------------------------------------
 def _select_victims(
-    policy: BatchPolicy, state: BatchState, n_evict: np.ndarray, t: int
+    policy: BatchPolicy,
+    state: BatchState,
+    n_evict: np.ndarray,
+    t: int,
+    cutoff_log: list[list[tuple[int, float]]] | None = None,
 ) -> np.ndarray:
     if not policy.scored:
         victims = policy.select(state, n_evict, t)
@@ -334,7 +338,55 @@ def _select_victims(
     np.put_along_axis(
         ranks, order, np.arange(order.shape[1], dtype=order.dtype)[None, :], axis=1
     )
+    if cutoff_log is not None:
+        # ScoredPolicy's "scores.cutoff": the best score still evicted —
+        # the slot at rank n_evict-1 (alive whenever n_evict <= count).
+        for b in np.flatnonzero(n_evict > 0).tolist():
+            col = order[b, n_evict[b] - 1]
+            cutoff_log[b].append((t, float(scores[b, col])))
     return (ranks < n_evict[:, None]) & state.alive
+
+
+def _cutoff_log_for(
+    policy: BatchPolicy, rec_on: bool, n_trials: int
+) -> list[list[tuple[int, float]]] | None:
+    """Per-trial ``scores.cutoff`` sinks, only where the scalar tier emits.
+
+    Scalar ``scores.cutoff`` comes from
+    :class:`~repro.policies.base.ScoredPolicy`; its batch mirror exists
+    exactly for scored adapters whose score floats are bit-identical
+    (``exact_scores``).  Non-scored adapters that emit their own series
+    (Trie) route them through
+    :meth:`~repro.policies.batch.BatchPolicy.series_logs` instead.
+    """
+    if rec_on and policy.scored and policy.exact_scores:
+        return [[] for _ in range(n_trials)]
+    return None
+
+
+def _emit_policy_series(
+    rec: Recorder,
+    policy: BatchPolicy,
+    cutoff_log: list[list[tuple[int, float]]] | None,
+) -> None:
+    """Drain policy-side series and counters after a recorded run.
+
+    Series points are replayed trial-major with per-trial times
+    ascending — the order a scalar recorder sees over the same trials —
+    so order-dependent series aggregates match bit for bit.  Counters
+    with zero totals are skipped, mirroring the scalar key sets.
+    """
+    series: dict[str, list[list[tuple[int, float]]]] = {}
+    if cutoff_log is not None:
+        series["scores.cutoff"] = cutoff_log
+    series.update(policy.series_logs())
+    for name, logs in series.items():
+        for trial_points in logs:
+            for t, value in trial_points:
+                rec.series(name, t, value)
+    for name, count in policy.counter_totals().items():
+        if count:
+            rec.count(name, count)
 
 
 # ----------------------------------------------------------------------
@@ -409,6 +461,7 @@ class BatchJoinSimulator:
         evicted_total = 0
         # Per-step results, kept only to replay the scalar series exactly.
         results_log = np.zeros((n_trials, n), dtype=np.int64) if rec_on else None
+        cutoff_log = _cutoff_log_for(self._policy, rec_on, n_trials)
 
         for t in range(n):
             r_vals = r_paths[:, t]
@@ -470,7 +523,9 @@ class BatchJoinSimulator:
 
             n_evict = np.maximum(counts - k, 0)
             if n_evict.any():
-                victims = _select_victims(self._policy, state, n_evict, t)
+                victims = _select_victims(
+                    self._policy, state, n_evict, t, cutoff_log
+                )
                 if victims.any():
                     if rec_on:
                         evicted_total += int(victims.sum())
@@ -485,6 +540,7 @@ class BatchJoinSimulator:
                 r_paths, s_paths, total, expired_total, evicted_total
             )
             self._emit_series(occupancy, results_log)
+            _emit_policy_series(rec, self._policy, cutoff_log)
         return BatchJoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,
@@ -608,6 +664,7 @@ class BatchCacheSimulator:
             occ_log = np.zeros((n_trials, n), dtype=np.int64)
         else:
             hit_log = occ_log = None
+        cutoff_log = _cutoff_log_for(self._policy, rec_on, n_trials)
 
         for t in range(n):
             vals = references[:, t]
@@ -650,7 +707,9 @@ class BatchCacheSimulator:
 
             n_evict = np.maximum(counts - k, 0)
             if n_evict.any():
-                victims = _select_victims(self._policy, state, n_evict, t)
+                victims = _select_victims(
+                    self._policy, state, n_evict, t, cutoff_log
+                )
                 if victims.any():
                     if rec_on:
                         evicted_total += int(victims.sum())
@@ -674,6 +733,7 @@ class BatchCacheSimulator:
                 if count:
                     rec.count(name, count)
             self._emit_series(references, occ_log, hit_log)
+            _emit_policy_series(rec, self._policy, cutoff_log)
         return BatchCacheRunResult(
             hits=hits,
             misses=misses,
@@ -816,6 +876,7 @@ class BatchMultiJoinSimulator:
             probes_log = np.zeros((n_trials, n), dtype=np.int64)
         else:
             occ_log = results_log = hits_log = probes_log = None
+        cutoff_log = _cutoff_log_for(self._policy, rec_on, n_trials)
 
         for t in range(n):
             vals = [a[:, t] for a in arrs]
@@ -875,7 +936,9 @@ class BatchMultiJoinSimulator:
 
             n_evict = np.maximum(counts - k, 0)
             if n_evict.any():
-                victims = _select_victims(self._policy, state, n_evict, t)
+                victims = _select_victims(
+                    self._policy, state, n_evict, t, cutoff_log
+                )
                 if victims.any():
                     if rec_on:
                         evicted_total += int(victims.sum())
@@ -892,6 +955,7 @@ class BatchMultiJoinSimulator:
         if rec_on:
             self._record_counters(names, arrs, total, evicted_total)
             self._emit_series(occ_log, results_log, hits_log, probes_log)
+            _emit_policy_series(rec, self._policy, cutoff_log)
         return BatchMultiJoinRunResult(
             total_results=total,
             results_after_warmup=after_warmup,

@@ -353,6 +353,7 @@ class BatchEngine(Engine):
             s_model=spec.s_model,
             window=spec.window,
             window_oracle=spec.window_oracle,
+            cache_size=spec.cache_size,
         )
 
     def supports(self, spec, policy_factory):

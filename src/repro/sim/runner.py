@@ -13,6 +13,7 @@ actually used on the result.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, Union
 
@@ -182,12 +183,17 @@ def generate_reference_paths(
 # ----------------------------------------------------------------------
 # The canonical entry point
 # ----------------------------------------------------------------------
+#: One-time warning dedup for native-kernel requests without numba.
+_NATIVE_WARNED = False
+
+
 def run_experiment(
     spec: ExperimentSpec,
     policy_factory: Callable[[], ReplacementPolicy],
     data: Sequence,
     engine: Union[str, Engine, None] = None,
     recorder: Recorder = NULL_RECORDER,
+    native: bool | None = None,
 ) -> ExperimentResult:
     """Run one policy over pre-sampled trial data on the best engine.
 
@@ -199,17 +205,48 @@ def run_experiment(
     preferred engine does not support the (spec, policy) combination.
     The tier that actually ran is recorded as ``engine_used``.
 
+    ``native`` asks for the compiled hot kernels
+    (:mod:`repro.flow.native`) for the duration of this experiment:
+    ``True``/``False`` override the ``REPRO_NATIVE`` environment
+    variable, ``None`` defers to it.  Like ``engine``, it is a
+    preference — when numba is missing the run proceeds on the
+    pure-Python reference kernels with a one-time logged warning and an
+    ``engine.fallback.native`` counter; when the compiled kernels
+    actually run, ``engine_used`` gains a ``"+native"`` suffix.
+
     ``recorder`` is the observability sink (:mod:`repro.obs`) shared by
     every trial; when it is enabled, its counter snapshot after the run
     is attached to the result's ``metrics``.
     """
+    from ..flow.native import (
+        native_active,
+        native_available,
+        native_requested,
+        set_native_override,
+    )
+
     chosen = select_engine(spec, policy_factory, prefer=engine, recorder=recorder)
-    outcome = chosen.run(spec, policy_factory, data, recorder=recorder)
+    set_native_override(native)
+    try:
+        if native_requested() and not native_available():
+            global _NATIVE_WARNED
+            if not _NATIVE_WARNED:
+                _NATIVE_WARNED = True
+                logging.getLogger(__name__).warning(
+                    "native kernels requested but numba is not installed; "
+                    "running the pure-Python reference kernels"
+                )
+            if recorder.enabled:
+                recorder.count("engine.fallback.native")
+        engine_used = chosen.name + ("+native" if native_active() else "")
+        outcome = chosen.run(spec, policy_factory, data, recorder=recorder)
+    finally:
+        set_native_override(None)
     result_type = _RESULT_TYPES[spec.kind]
     return result_type(
         policy_name=outcome.policy_name,
         per_run=outcome.per_run,
-        engine_used=chosen.name,
+        engine_used=engine_used,
         metrics=recorder.snapshot() if recorder.enabled else None,
     )
 

@@ -184,9 +184,9 @@ class TestDeterminism:
 
 class TestScalarFallback:
     def test_unbatchable_policy_falls_back_with_warning(self, caplog):
-        """Windowed generic HEEB has no batch adapter; ``batch=True``
-        must produce the scalar result, record the engine actually used,
-        and log a one-time warning instead of failing silently."""
+        """Sketch-backed PROB has no batch adapter; ``batch=True`` must
+        produce the scalar result, record the engine actually used, and
+        log a one-time warning instead of failing silently."""
         import logging
 
         import repro.sim.engine as engine_mod
@@ -198,7 +198,7 @@ class TestScalarFallback:
                 model.sample_path(150, np.random.default_rng(1)),
             )
         ]
-        factory = lambda: HeebPolicy(GenericJoinHeeb(LExp(5.0), horizon=60))
+        factory = lambda: ProbPolicy(counts="sketch")
         kwargs = dict(
             cache_size=4, warmup=10, window=8, r_model=model, s_model=model
         )

@@ -49,7 +49,14 @@ class TestDocsReferenceRealFiles:
         return out
 
     @pytest.mark.parametrize(
-        "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md"]
+        "doc",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/THEORY.md",
+            "docs/PERFORMANCE.md",
+        ],
     )
     def test_paths_exist(self, doc):
         text = (REPO / doc).read_text()
@@ -65,6 +72,127 @@ class TestDocsReferenceRealFiles:
         readme = (REPO / "README.md").read_text()
         for example in sorted((REPO / "examples").glob("*.py")):
             assert example.name in readme, f"README missing {example.name}"
+
+
+class TestPerformanceMatrix:
+    """docs/PERFORMANCE.md §1 must mirror the ``make_batch_policy``
+    dispatch: every adapter class it names exists, and representative
+    matrix rows agree with what ``BatchEngine.supports`` actually says.
+    """
+
+    DOC = REPO / "docs" / "PERFORMANCE.md"
+
+    def test_every_named_adapter_class_exists(self):
+        import repro.policies.batch as batch_mod
+
+        names = set(re.findall(r"`(Batch\w+)`", self.DOC.read_text()))
+        assert names, "PERFORMANCE.md names no adapter classes"
+        for name in sorted(names):
+            assert hasattr(batch_mod, name), (
+                f"PERFORMANCE.md names {name}, absent from "
+                "repro.policies.batch"
+            )
+
+    @pytest.mark.parametrize(
+        "row, batchable",
+        [
+            ("lru-k always batchable", True),
+            ("prob exact counts", True),
+            ("windowed generic heeb with LExp", True),
+            ("windowed generic heeb non-LExp", False),
+            ("trie on independent models", True),
+            ("trie on markov models", False),
+            ("flowexpect fast path", True),
+            ("flowexpect reference pipeline", False),
+            ("prob sketch counts", False),
+            ("opt replay", False),
+        ],
+    )
+    def test_matrix_rows_match_dispatch(self, row, batchable):
+        from repro.core.lifetime import LExp, LFixed
+        from repro.policies import make_policy
+        from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
+        from repro.policies.scheduled import ScheduledPolicy
+        from repro.sim.engine import BatchEngine, ExperimentSpec
+        from repro.streams import make_stream
+        from repro.streams.noise import from_mapping
+
+        stationary = make_stream(
+            "stationary", dist=from_mapping({1: 0.6, 2: 0.4})
+        )
+        walk = make_stream(
+            "random-walk", step=from_mapping({-1: 0.5, 1: 0.5})
+        )
+
+        def spec(model, **overrides):
+            defaults = dict(
+                kind="join", cache_size=4, r_model=model, s_model=model
+            )
+            defaults.update(overrides)
+            return ExperimentSpec(**defaults)
+
+        cases = {
+            "lru-k always batchable": (
+                spec(stationary),
+                lambda: make_policy("lru-k"),
+            ),
+            "prob exact counts": (
+                spec(stationary),
+                lambda: make_policy("prob"),
+            ),
+            "windowed generic heeb with LExp": (
+                spec(stationary, window=8),
+                lambda: HeebPolicy(GenericJoinHeeb(LExp(5.0), horizon=40)),
+            ),
+            "windowed generic heeb non-LExp": (
+                spec(stationary, window=8),
+                lambda: HeebPolicy(GenericJoinHeeb(LFixed(5), horizon=40)),
+            ),
+            "trie on independent models": (
+                spec(stationary),
+                lambda: make_policy("trie"),
+            ),
+            "trie on markov models": (
+                spec(walk),
+                lambda: make_policy("trie"),
+            ),
+            "flowexpect fast path": (
+                spec(stationary),
+                lambda: make_policy(
+                    "flowexpect",
+                    lookahead=2,
+                    r_model=stationary,
+                    s_model=stationary,
+                ),
+            ),
+            "flowexpect reference pipeline": (
+                spec(stationary),
+                lambda: make_policy(
+                    "flowexpect",
+                    lookahead=2,
+                    r_model=stationary,
+                    s_model=stationary,
+                    fast=False,
+                ),
+            ),
+            "prob sketch counts": (
+                spec(stationary),
+                lambda: make_policy("prob", counts="sketch"),
+            ),
+            "opt replay": (spec(stationary), lambda: ScheduledPolicy({})),
+        }
+        the_spec, factory = cases[row]
+        reason = BatchEngine().supports(the_spec, factory)
+        if batchable:
+            assert reason is None, f"{row}: unexpectedly refused: {reason}"
+        else:
+            assert reason is not None, f"{row}: unexpectedly batchable"
+            assert "has no exact batch adapter" in reason
+
+    def test_matrix_documents_the_normalized_refusal(self):
+        text = self.DOC.read_text()
+        assert "has no exact batch adapter" in text
+        assert "it runs on the scalar tier" in text
 
 
 class TestModuleDocstrings:

@@ -9,6 +9,7 @@ unknown names.
 from __future__ import annotations
 
 import logging
+import re
 
 import pytest
 
@@ -106,8 +107,9 @@ class TestSelectEngine:
         assert len(warnings) == 1
 
     def test_unsupported_preference_falls_back_and_warns_once(self, caplog):
-        """Batch cannot run windowed generic HEEB; the resolver must pick
-        scalar and say so exactly once per (engine, reason) pair."""
+        """Generic HEEB on a spec without stream models has no exact
+        replay; the resolver must pick scalar and say so exactly once
+        per (engine, reason) pair."""
         factory = lambda: HeebPolicy(GenericJoinHeeb(LExp(5.0), horizon=40))
         spec = _join_spec(window=8)
         _FALLBACK_WARNED.clear()
@@ -145,6 +147,78 @@ class TestSelectEngine:
         _FALLBACK_WARNED.clear()
         chosen = select_engine(spec, factory, prefer="batch")
         assert isinstance(chosen, ScalarEngine)
+
+
+class TestUnbatchableReasonFormat:
+    """Every batch refusal speaks the same normalized sentence.
+
+    The contract (pinned here so tooling can parse fallback warnings):
+    ``<POLICY> has no exact batch adapter (<reason>); it runs on the
+    scalar tier``.
+    """
+
+    FORMAT = (
+        r"^\S.* has no exact batch adapter \(.+\); "
+        r"it runs on the scalar tier$"
+    )
+
+    def _reason(self, spec, factory):
+        reason = BatchEngine().supports(spec, factory)
+        assert reason is not None
+        assert re.match(self.FORMAT, reason), reason
+        return reason
+
+    def _stationary_spec(self, **overrides):
+        model = make_stream(
+            "stationary", dist=from_mapping({1: 0.6, 2: 0.4})
+        )
+        return _join_spec(r_model=model, s_model=model, **overrides), model
+
+    def test_sketch_counters(self):
+        spec, _ = self._stationary_spec()
+        reason = self._reason(spec, lambda: make_policy("prob", counts="sketch"))
+        assert reason.startswith("PROB ")
+
+    def test_windowed_heeb_needs_lexp(self):
+        from repro.core.lifetime import LFixed
+
+        spec, _ = self._stationary_spec(window=8)
+        factory = lambda: HeebPolicy(GenericJoinHeeb(LFixed(5), horizon=40))
+        reason = self._reason(spec, factory)
+        assert "LExp" in reason
+
+    def test_heeb_without_models(self):
+        factory = lambda: HeebPolicy(GenericJoinHeeb(LExp(5.0), horizon=40))
+        self._reason(_join_spec(), factory)
+
+    def test_trie_on_markov_models(self):
+        model = make_stream("random-walk", step=from_mapping({-1: 0.5, 1: 0.5}))
+        spec = _join_spec(r_model=model, s_model=model)
+        reason = self._reason(spec, lambda: make_policy("trie"))
+        assert reason.startswith("TRIE ")
+
+    def test_flowexpect_reference_pipeline(self):
+        spec, model = self._stationary_spec()
+        factory = lambda: make_policy(
+            "flowexpect", lookahead=2, r_model=model, s_model=model, fast=False
+        )
+        reason = self._reason(spec, factory)
+        assert "networkx" in reason
+
+    def test_flowexpect_on_markov_models(self):
+        model = make_stream("random-walk", step=from_mapping({-1: 0.5, 1: 0.5}))
+        spec = _join_spec(r_model=model, s_model=model)
+        factory = lambda: make_policy(
+            "flowexpect", lookahead=2, r_model=model, s_model=model
+        )
+        self._reason(spec, factory)
+
+    def test_multi_join_lruk_names_the_family(self):
+        spec = ExperimentSpec(
+            kind="multi_join", cache_size=4, queries=[("A", "B")]
+        )
+        reason = self._reason(spec, lambda: make_policy("lru-k"))
+        assert "LRU-k" in reason
 
 
 class TestEngineRegistry:

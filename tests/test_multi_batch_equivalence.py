@@ -5,8 +5,9 @@ multi-join policy adapters; every decision must be seed-for-seed
 identical to the scalar reference: total and per-query results,
 per-stream occupancy trajectories, :mod:`repro.obs` counters, and the
 multi-join telemetry series (``cache.occupancy``, ``join.results.cum``,
-``cache.hit_rate``).  ``scores.cutoff`` is scalar-tier-only by design
-and is excluded, like trace events.
+``cache.hit_rate``), plus the policy-side series the batch tier mirrors
+for exactly-scored adapters (``scores.cutoff``) and for the trie
+replay (``trie.budget.<stream>``).  Trace events stay scalar-only.
 """
 
 from __future__ import annotations
@@ -21,7 +22,12 @@ from repro.policies import make_policy
 from repro.policies.heeb_policy import GenericJoinHeeb, HeebPolicy
 from repro.sim.engine import BatchEngine, ExperimentSpec, ScalarEngine, spawn_rng
 
-MULTI_SERIES = ("cache.occupancy", "join.results.cum", "cache.hit_rate")
+MULTI_SERIES = (
+    "cache.occupancy",
+    "join.results.cum",
+    "cache.hit_rate",
+    "scores.cutoff",
+)
 
 
 def _trials(config, length, n_runs, seed, null_every=5):
@@ -117,8 +123,37 @@ def test_unbatchable_multi_policy_is_rejected_not_wrong():
     assert reason is not None and "LRU-k" in reason
 
 
-def test_trie_policy_falls_back_to_scalar():
+def test_trie_policy_batches_with_series_parity():
+    """Trie on independent models batches exactly: decisions, counters,
+    and its own emitted series (``scores.cutoff``, ``trie.budget.*``)
+    are byte-identical to the scalar run."""
     config = make_multi_config("CHAIN3")
     spec = _spec(config)
     factory = lambda: make_policy("trie")
-    assert BatchEngine().supports(spec, factory) is not None
+    assert BatchEngine().supports(spec, factory) is None
+    trials = _trials(config, length=150, n_runs=3, seed=31)
+
+    rec_scalar = CounterRecorder()
+    scalar = ScalarEngine().run(spec, factory, trials, recorder=rec_scalar)
+    rec_batch = CounterRecorder()
+    batch = BatchEngine().run(spec, factory, trials, recorder=rec_batch)
+
+    for b, s in zip(batch.per_run, scalar.per_run):
+        assert b.total_results == s.total_results
+        assert b.per_query == s.per_query
+        for name in s.occupancy_by_stream:
+            np.testing.assert_array_equal(
+                np.asarray(b.occupancy_by_stream[name]),
+                np.asarray(s.occupancy_by_stream[name]),
+            )
+    assert rec_batch.counters == rec_scalar.counters
+    budget_series = [
+        name for name in rec_scalar.series_data if name.startswith("trie.budget.")
+    ]
+    assert budget_series, "scalar trie must emit per-level budget series"
+    for name in (*MULTI_SERIES, *budget_series):
+        assert name in rec_scalar.series_data, name
+        assert (
+            rec_batch.series_data[name].snapshot()
+            == rec_scalar.series_data[name].snapshot()
+        ), name

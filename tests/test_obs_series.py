@@ -9,8 +9,10 @@ Pins the acceptance contract of the time-series layer:
 * the parallel engine's sketch-merge keeps count/sum/min/max exact and
   quantiles within sketch tolerance;
 * every documented emitter actually emits: simulators (occupancy,
-  cumulative results/hits, hit rate), scored policies (score cutoff),
-  and the FlowExpect fast path (per-solve latency, memo hit rate).
+  cumulative results/hits, hit rate), scored policies (score cutoff,
+  mirrored bit-identically by the batch tier for exactly-scored
+  adapters), and the FlowExpect fast path (per-solve latency, memo hit
+  rate — scalar-only, since batch shares one memo across trials).
 """
 
 from __future__ import annotations
@@ -70,18 +72,19 @@ class TestBatchSeriesParity:
         scalar = _series_snapshot(spec, paths)
         batch = _series_snapshot(spec, paths, engine="batch")
         assert JOIN_SIM_SERIES <= set(scalar)
-        # Policy-emitted series (scores.cutoff) are scalar-tier-only,
-        # like trace events; the simulator series must agree exactly.
-        for name in JOIN_SIM_SERIES:
+        # The batch tier mirrors the simulator series AND the scored
+        # policies' scores.cutoff (LRU is exactly scored), all
+        # bit-identical; trace events remain scalar-only.
+        assert set(batch) == JOIN_SIM_SERIES | {"scores.cutoff"}
+        for name in sorted(set(batch)):
             assert scalar[name] == batch[name], name
-        assert set(batch) == JOIN_SIM_SERIES
 
     def test_cache_series_identical(self):
         spec, paths = _cache_spec_and_paths()
         scalar = _series_snapshot(spec, paths)
         batch = _series_snapshot(spec, paths, engine="batch")
         assert CACHE_SIM_SERIES <= set(scalar)
-        for name in CACHE_SIM_SERIES:
+        for name in (*CACHE_SIM_SERIES, "scores.cutoff"):
             assert scalar[name] == batch[name], name
 
     def test_hit_rate_division_matches_scalar(self):
