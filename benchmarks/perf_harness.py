@@ -647,15 +647,26 @@ def run_native_bench(
 
 
 def run_serve_bench(
-    length: int, n_shards: int, queue_maxsize: int
+    length: int,
+    n_shards: int,
+    queue_maxsize: int,
+    max_null_overhead: float = 2.0,
 ) -> dict:
     """Time the serving tier on a seeded FLOOR replay; return the entry.
 
     First asserts the tier's parity contract at bench scale — a
     single-shard replay must reproduce the scalar simulator's result
     count exactly — then times a sharded replay and records ingestion
-    throughput (tuples/sec) and queue-depth telemetry (high-water mark
-    and the P² p90 of the ``serve.queue_depth`` series).
+    throughput (tuples/sec), queue-depth telemetry (high-water mark and
+    the P² p90/p99 of the ``serve.queue_depth`` series), and the p99 of
+    the ``decide`` request-path span from the merged latency histograms.
+
+    The span machinery's disabled-path contract rides along: replays
+    under the shared :data:`~repro.obs.NULL_RECORDER` and an explicit
+    :class:`~repro.obs.NullRecorder` (spans inactive in both — the
+    request path must read no clocks) are interleaved and the *minimum*
+    per-round throughput ratio must stay within ``max_null_overhead``
+    percent, the same least-noise estimate the FlowExpect bench uses.
     """
     from repro.serve import run_replay
     from repro.serve.replay import generate_join_stream
@@ -677,6 +688,36 @@ def run_serve_bench(
             f"{parity.total_results} results, simulator {sim_results}"
         )
 
+    def _one_replay(recorder) -> float:
+        return run_replay(
+            spec,
+            factory,
+            r_values,
+            s_values,
+            n_shards=n_shards,
+            queue_maxsize=queue_maxsize,
+            recorder=recorder,
+        ).seconds
+
+    base_seconds = float("inf")
+    null_seconds = float("inf")
+    null_ratio = float("inf")
+    for _ in range(3):
+        round_base = _one_replay(NULL_RECORDER)
+        round_null = _one_replay(NullRecorder())
+        base_seconds = min(base_seconds, round_base)
+        null_seconds = min(null_seconds, round_null)
+        null_ratio = min(null_ratio, round_null / round_base)
+    span_overhead_pct = 100.0 * (null_ratio - 1.0)
+    if span_overhead_pct > max_null_overhead:
+        raise AssertionError(
+            f"disabled-span serve overhead {span_overhead_pct:.2f}% "
+            f"exceeds the {max_null_overhead}% budget "
+            f"(base {base_seconds:.4f}s, null {null_seconds:.4f}s)"
+        )
+
+    # The instrumented run: an enabled recorder activates span timing,
+    # so the summary carries the decide-span p99 for the history gate.
     recorder = CounterRecorder()
     summary = run_replay(
         spec,
@@ -700,6 +741,17 @@ def run_serve_bench(
             if summary.p90_queue_depth is not None
             else None
         ),
+        "p99_queue_depth": (
+            round(summary.p99_queue_depth, 2)
+            if summary.p99_queue_depth is not None
+            else None
+        ),
+        "p99_ms": (
+            round(summary.p99_decide_ms, 4)
+            if summary.p99_decide_ms is not None
+            else None
+        ),
+        "span_overhead_pct": round(span_overhead_pct, 2),
         "backpressure_waits": summary.backpressure_waits,
         "total_results": summary.total_results,
     }
@@ -707,7 +759,10 @@ def run_serve_bench(
         f"serve    shards={n_shards} len={length} "
         f"{entry['tuples_per_sec']:10.1f} tuples/sec  "
         f"queue depth p90 {entry['p90_queue_depth']} "
-        f"max {entry['max_queue_depth']}, parity OK"
+        f"max {entry['max_queue_depth']}  "
+        f"decide p99 {entry['p99_ms']}ms  "
+        f"spans disabled {entry['span_overhead_pct']:+.2f}% "
+        f"(budget {max_null_overhead}%), parity OK"
     )
     return entry
 
@@ -1212,7 +1267,10 @@ def main() -> None:
         report["native"] = native_entry
     if not args.skip_serve:
         report["serve"] = run_serve_bench(
-            args.serve_length, args.serve_shards, args.serve_queue
+            args.serve_length,
+            args.serve_shards,
+            args.serve_queue,
+            max_null_overhead=args.max_null_overhead,
         )
     if not args.skip_multi:
         report["multi_join"] = run_multi_join_bench(

@@ -404,6 +404,9 @@ def cmd_serve(args: argparse.Namespace) -> None:
         n_producers=args.producers,
         step_delay=args.step_delay,
         recorder=recorder,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
+        health_path=args.health_out,
     )
     body = "\n".join(f"{k}: {v}" for k, v in summary.as_dict().items())
     _print(
@@ -639,6 +642,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the bloom admission front-end (scored policies only): "
         "first-time values below the eviction-cutoff EMA are rejected",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus /metrics and JSON /health on this port "
+        "for the duration of the replay (0 = ephemeral); watch it with "
+        "`python -m repro.obs top --url http://HOST:PORT`",
+    )
+    p.add_argument(
+        "--metrics-host",
+        default="127.0.0.1",
+        help="bind address for --metrics-port (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--health-out",
+        metavar="PATH",
+        default=None,
+        help="write the final /health JSON document here (offline "
+        "snapshot for `repro.obs top --snapshot`)",
     )
     _add_obs(p)
 

@@ -29,7 +29,16 @@ with zero overhead when disabled:
 * :mod:`repro.obs.audit` — step-aligned diffing of two traces
   (``python -m repro.obs diff``);
 * :class:`ProgressRecorder` — a delegating wrapper rendering a stderr
-  trials-done/ETA line (the experiment CLI's ``--progress``).
+  trials-done/ETA line (the experiment CLI's ``--progress``);
+* :mod:`repro.obs.spans` — request-path span timing for the serve tier
+  (:class:`SpanTracker`) plus the :data:`KNOWN_SERIES` naming registry;
+* :mod:`repro.obs.hist` — mergeable log-bucketed latency histograms
+  (:class:`LogHistogram`) whose exact merge survives shard fork/merge
+  and live resharding;
+* :mod:`repro.obs.promtext` — Prometheus text exposition rendering and
+  a matching validator/parser for the serve ``/metrics`` endpoint;
+* :mod:`repro.obs.top` — the refreshing per-shard TTY dashboard
+  (``python -m repro.obs top``).
 
 Recorders enter the system through ``recorder=`` keywords on the
 simulators and experiment entry points and travel to policies via
@@ -43,7 +52,9 @@ from .audit import (
     diff_traces,
     format_diff,
 )
+from .hist import HistogramSet, LogHistogram
 from .progress import ProgressRecorder
+from .promtext import parse_prometheus_text, render_prometheus
 from .recorder import (
     NULL_RECORDER,
     CounterRecorder,
@@ -53,12 +64,15 @@ from .recorder import (
 from .report import (
     collect_series,
     format_metrics,
+    format_serve_section,
     format_series_table,
     format_trace_summary,
     save_series_png,
+    serve_latency_histograms,
     summarize_trace,
     summarize_trace_file,
 )
+from .spans import KNOWN_SERIES, SpanTracker, check_series_name
 from .timeseries import (
     P2Quantile,
     SeriesBuffer,
@@ -73,25 +87,34 @@ from .trace import (
 
 __all__ = [
     "CounterRecorder",
+    "HistogramSet",
+    "KNOWN_SERIES",
+    "LogHistogram",
     "NULL_RECORDER",
     "NullRecorder",
     "P2Quantile",
     "ProgressRecorder",
     "Recorder",
     "SeriesBuffer",
+    "SpanTracker",
     "TRACE_SCHEMA_VERSION",
     "TimeSeries",
     "TraceDiff",
     "TraceRecorder",
+    "check_series_name",
     "collect_series",
     "diff_trace_files",
     "diff_traces",
     "format_diff",
     "format_metrics",
+    "format_serve_section",
     "format_series_table",
     "format_trace_summary",
+    "parse_prometheus_text",
     "read_trace",
+    "render_prometheus",
     "save_series_png",
+    "serve_latency_histograms",
     "sparkline",
     "summarize_trace",
     "summarize_trace_file",

@@ -1,9 +1,10 @@
-"""CLI entry: ``python -m repro.obs`` — trace reports and trace diffs.
+"""CLI entry: ``python -m repro.obs`` — reports, diffs, live dashboard.
 
-Two subcommands::
+Three subcommands::
 
-    python -m repro.obs report run.jsonl [--series] [--png out.png]
+    python -m repro.obs report run.jsonl [--series] [--serve] [--png out.png]
     python -m repro.obs diff fast.jsonl reference.jsonl [--tol 1e-9]
+    python -m repro.obs top --url http://127.0.0.1:9200 [--interval 1]
 
 For backward compatibility the original form ``python -m repro.obs
 run.jsonl`` (no subcommand) still summarizes a trace — anything that is
@@ -19,14 +20,16 @@ from __future__ import annotations
 import sys
 from typing import Optional, Sequence
 
-from . import audit, report
+from . import audit, report, top
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch to the report or diff CLI."""
+    """Dispatch to the report, diff, or top CLI."""
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] == "diff":
         return audit.main(args[1:])
+    if args and args[0] == "top":
+        return top.main(args[1:])
     if args and args[0] == "report":
         return report.main(args[1:])
     return report.main(args)

@@ -1,0 +1,325 @@
+"""Mergeable log-bucketed latency histograms for the serving tier.
+
+The bounded series of :mod:`repro.obs.timeseries` answer "what is the
+p90 of this gauge?" with a five-marker P² sketch — great for occupancy
+curves, too coarse for request latency, where the tail (p99, max) is
+the whole point and where per-shard state must merge *exactly* across
+``fork``/``merge`` and live resharding.  :class:`LogHistogram` is the
+standard answer from the telemetry literature (HdrHistogram, Prometheus
+native histograms): a fixed budget of geometrically growing buckets.
+
+Design contract
+---------------
+* **Fixed budget.**  ``n_buckets`` counters plus a handful of scalars,
+  no matter how many observations arrive.  The default layout spans
+  1 µs .. ~4.7 hours of millisecond-valued observations at one bucket
+  per factor of two.
+* **Exact merge.**  Two histograms with the same layout merge by adding
+  bucket counts — associative, commutative, lossless.  Total count,
+  sum, min, and max are preserved exactly, and every quantile of the
+  merged histogram equals the quantile of the union of observations to
+  within one bucket's relative width (the acceptance bound the serve
+  reshard tests pin).  Mismatched layouts re-bin the donor's buckets at
+  their geometric midpoints (approximate, but never drops counts).
+* **JSON state.**  ``state()`` / ``from_state()`` / ``merge()`` follow
+  the :class:`~repro.obs.timeseries.P2Quantile` pattern, so histogram
+  state travels through the same plain-dict snapshots the parallel
+  engine and the serve tier already ship across process and shard
+  boundaries.
+
+:class:`HistogramSet` is the name-keyed collection the serve tier hangs
+off every shard: observe into it per span, merge sets at shard
+retirement, and render the result as Prometheus histogram families
+(:func:`repro.obs.promtext.render_prometheus`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+__all__ = [
+    "DEFAULT_GROWTH",
+    "DEFAULT_MIN_VALUE_MS",
+    "DEFAULT_N_BUCKETS",
+    "LogHistogram",
+    "HistogramSet",
+]
+
+#: Default geometric growth factor between bucket upper bounds.
+DEFAULT_GROWTH = 2.0
+
+#: Default upper bound of the first bucket, in milliseconds (1 µs).
+DEFAULT_MIN_VALUE_MS = 1e-3
+
+#: Default bucket budget: 1 µs · 2^43 ≈ 2.4 hours of dynamic range.
+DEFAULT_N_BUCKETS = 44
+
+
+class LogHistogram:
+    """Fixed-budget histogram with geometrically growing buckets.
+
+    Bucket ``i`` (``0 <= i < n_buckets``) counts observations ``v`` with
+    ``bound[i-1] < v <= bound[i]`` where ``bound[i] =
+    min_value * growth**i``; values at or below ``min_value`` land in
+    bucket 0 and values above the last bound land in the final
+    (overflow) bucket, so no observation is ever dropped.
+    """
+
+    __slots__ = (
+        "name",
+        "min_value",
+        "growth",
+        "counts",
+        "count",
+        "total",
+        "vmin",
+        "vmax",
+        "_log_growth",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        min_value: float = DEFAULT_MIN_VALUE_MS,
+        growth: float = DEFAULT_GROWTH,
+        n_buckets: int = DEFAULT_N_BUCKETS,
+    ):
+        """Empty histogram ``name`` with the given bucket layout."""
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        if n_buckets < 2:
+            raise ValueError("n_buckets must be >= 2")
+        self.name = name
+        self.min_value = float(min_value)
+        self.growth = float(growth)
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self._log_growth = math.log(self.growth)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of buckets in the fixed layout."""
+        return len(self.counts)
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket that would receive ``value``."""
+        if value <= self.min_value:
+            return 0
+        index = int(
+            math.ceil(math.log(value / self.min_value) / self._log_growth)
+        )
+        # Guard the exact-boundary case: floating-point log can land an
+        # exact bound one bucket high or low, so settle by comparison.
+        while index > 0 and value <= self.bucket_bound(index - 1):
+            index -= 1
+        while value > self.bucket_bound(index):
+            index += 1
+        return min(index, len(self.counts) - 1)
+
+    def bucket_bound(self, index: int) -> float:
+        """Inclusive upper bound of bucket ``index``."""
+        return self.min_value * self.growth**index
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram."""
+        value = float(value)
+        self.counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of all observations, ``None`` when empty."""
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate of quantile ``q`` (``0 <= q <= 1``), or ``None``.
+
+        Locates the bucket where the cumulative count crosses
+        ``q * count`` and interpolates linearly inside it; the result is
+        clamped to the observed ``[min, max]`` so single-bucket
+        histograms report exact extremes.  The error is bounded by one
+        bucket's width — the log-bucket guarantee.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cum = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.bucket_bound(index - 1) if index > 0 else 0.0
+                hi = self.bucket_bound(index)
+                frac = (target - cum) / n if n else 0.0
+                value = lo + frac * (hi - lo)
+                if self.vmin is not None:
+                    value = max(value, self.vmin)
+                if self.vmax is not None:
+                    value = min(value, self.vmax)
+                return value
+            cum += n
+        return self.vmax
+
+    def percentiles(self) -> dict:
+        """The headline latency summary: p50/p90/p99/max (and count)."""
+        return {
+            "count": self.count,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+            "max": self.vmax,
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        Only buckets up to the last non-empty one are emitted, followed
+        by the infinity bucket, so empty histograms render compactly.
+        """
+        out: list[tuple[float, int]] = []
+        cum = 0
+        last = -1
+        for index, n in enumerate(self.counts):
+            if n:
+                last = index
+        for index in range(last + 1):
+            cum += self.counts[index]
+            out.append((self.bucket_bound(index), cum))
+        out.append((math.inf, self.count))
+        return out
+
+    def state(self) -> dict:
+        """JSON-serializable state for snapshots and merging."""
+        return {
+            "min_value": self.min_value,
+            "growth": self.growth,
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: Mapping) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        counts = [int(n) for n in state.get("counts", ())]
+        hist = cls(
+            name,
+            min_value=float(state.get("min_value", DEFAULT_MIN_VALUE_MS)),
+            growth=float(state.get("growth", DEFAULT_GROWTH)),
+            n_buckets=max(2, len(counts)),
+        )
+        if counts:
+            hist.counts = counts
+        hist.count = int(state.get("count", 0))
+        hist.total = float(state.get("sum", 0.0))
+        vmin = state.get("min")
+        vmax = state.get("max")
+        hist.vmin = float(vmin) if vmin is not None else None
+        hist.vmax = float(vmax) if vmax is not None else None
+        return hist
+
+    def _same_layout(self, state: Mapping) -> bool:
+        return (
+            float(state.get("min_value", -1.0)) == self.min_value
+            and float(state.get("growth", -1.0)) == self.growth
+            and len(state.get("counts", ())) == len(self.counts)
+        )
+
+    def merge(self, state: Mapping) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Same-layout merges add bucket counts and are exact; mismatched
+        layouts re-bin the donor's buckets at their geometric midpoints
+        (total count and sum still preserved exactly).
+        """
+        donor_counts = [int(n) for n in state.get("counts", ())]
+        if self._same_layout(state):
+            for index, n in enumerate(donor_counts):
+                self.counts[index] += n
+        else:
+            donor = LogHistogram.from_state(self.name, state)
+            for index, n in enumerate(donor_counts):
+                if not n:
+                    continue
+                lo = donor.bucket_bound(index - 1) if index > 0 else 0.0
+                hi = donor.bucket_bound(index)
+                mid = math.sqrt(lo * hi) if lo > 0 else hi / 2.0
+                self.counts[self.bucket_index(mid)] += n
+        self.count += int(state.get("count", 0))
+        self.total += float(state.get("sum", 0.0))
+        other_min = state.get("min")
+        if other_min is not None and (
+            self.vmin is None or other_min < self.vmin
+        ):
+            self.vmin = float(other_min)
+        other_max = state.get("max")
+        if other_max is not None and (
+            self.vmax is None or other_max > self.vmax
+        ):
+            self.vmax = float(other_max)
+
+
+class HistogramSet:
+    """Name-keyed :class:`LogHistogram` collection with set-level merge.
+
+    The serve tier hangs one of these off every shard (span latencies
+    observed worker-side) plus one off the server (producer-side spans
+    and retired shards' merged state); ``state()``/``merge()`` make the
+    whole set travel like one recorder snapshot.
+    """
+
+    __slots__ = ("hists",)
+
+    def __init__(self) -> None:
+        """Start empty; histograms are created on first observe."""
+        self.hists: dict[str, LogHistogram] = {}
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name`` (created lazily)."""
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = LogHistogram(name)
+        hist.observe(value)
+
+    def get(self, name: str) -> Optional[LogHistogram]:
+        """The histogram ``name``, or ``None`` if never observed."""
+        return self.hists.get(name)
+
+    def __bool__(self) -> bool:
+        """True when at least one histogram holds observations."""
+        return any(h.count for h in self.hists.values())
+
+    def state(self) -> dict:
+        """``{name: histogram state}`` for every histogram in the set."""
+        return {name: hist.state() for name, hist in self.hists.items()}
+
+    def merge(self, state: Mapping) -> None:
+        """Fold another set's :meth:`state` into this one, name by name."""
+        for name, hist_state in state.items():
+            hist = self.hists.get(name)
+            if hist is None:
+                self.hists[name] = LogHistogram.from_state(name, hist_state)
+            else:
+                hist.merge(hist_state)
+
+    def copy(self) -> "HistogramSet":
+        """Deep copy via state round-trip (cheap: fixed-budget state)."""
+        clone = HistogramSet()
+        clone.merge(self.state())
+        return clone

@@ -1,0 +1,227 @@
+"""Prometheus text exposition: render recorder state, parse it back.
+
+The serve tier's ``/metrics`` endpoint speaks the Prometheus text
+format (version 0.0.4) — the lingua franca every scraper understands —
+without taking a client-library dependency: the format is line-based
+and this module hand-renders it from plain recorder snapshots and
+:class:`~repro.obs.hist.LogHistogram` state.
+
+Three stable families keep the exposition schema-free as counters come
+and go (dotted recorder names ride in labels instead of being mangled
+into metric names, so the scrape is loss-lessly invertible back to the
+snapshot — the exactness the endpoint test pins):
+
+* ``repro_counter_total{name="serve.ingested"}`` — every recorder
+  counter, verbatim;
+* ``repro_timer_seconds_total{name="flow.solve"}`` /
+  ``repro_timer_calls_total{name=...}`` — accumulated timers;
+* ``repro_gauge{name="queue_depth",shard="0"}`` — caller-supplied
+  operational gauges (queue saturation, occupancy, liveness);
+* ``repro_latency_ms{span="serve.span.decide_ms"}`` — one Prometheus
+  histogram (``_bucket``/``_sum``/``_count``) per log-bucketed latency
+  histogram.
+
+:func:`parse_prometheus_text` is the matching minimal parser used by
+the endpoint tests and the CI scrape smoke: it validates the line
+grammar and returns ``{(metric, labels): value}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence, Union
+
+from .hist import LogHistogram
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus_text",
+]
+
+#: Labeled sample key: ``(metric_name, ((label, value), ...))``.
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Mapping[str, Union[str, int, float]]) -> str:
+    """Render a label set (possibly empty) in canonical key order."""
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(str(pairs[key]))}"' for key in sorted(pairs)
+    )
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    """Render a sample value (``+Inf`` for infinity)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    counters: Optional[Mapping[str, int]] = None,
+    timers: Optional[Mapping[str, Mapping[str, float]]] = None,
+    gauges: Optional[
+        Sequence[tuple[str, Mapping[str, Union[str, int, float]], float]]
+    ] = None,
+    histograms: Optional[Mapping[str, LogHistogram]] = None,
+) -> str:
+    """Render the metric families as Prometheus text (0.0.4).
+
+    ``counters`` and ``timers`` take the recorder snapshot's shapes
+    verbatim; ``gauges`` is a sequence of ``(name, labels, value)``
+    triples; ``histograms`` maps span series names to
+    :class:`~repro.obs.hist.LogHistogram` instances.
+    """
+    lines: list[str] = []
+    if counters:
+        lines.append(
+            "# HELP repro_counter_total Recorder counters, "
+            "exactly as snapshotted."
+        )
+        lines.append("# TYPE repro_counter_total counter")
+        for name in sorted(counters):
+            lines.append(
+                f"repro_counter_total{_labels({'name': name})} "
+                f"{_num(float(counters[name]))}"
+            )
+    if timers:
+        lines.append(
+            "# HELP repro_timer_seconds_total Accumulated recorder "
+            "timer seconds."
+        )
+        lines.append("# TYPE repro_timer_seconds_total counter")
+        for name in sorted(timers):
+            lines.append(
+                f"repro_timer_seconds_total{_labels({'name': name})} "
+                f"{_num(float(timers[name]['seconds']))}"
+            )
+        lines.append(
+            "# HELP repro_timer_calls_total Recorder timer call counts."
+        )
+        lines.append("# TYPE repro_timer_calls_total counter")
+        for name in sorted(timers):
+            lines.append(
+                f"repro_timer_calls_total{_labels({'name': name})} "
+                f"{_num(float(timers[name]['calls']))}"
+            )
+    if gauges:
+        lines.append("# HELP repro_gauge Operational gauges.")
+        lines.append("# TYPE repro_gauge gauge")
+        for name, labels, value in gauges:
+            merged = dict(labels)
+            merged["name"] = name
+            lines.append(f"repro_gauge{_labels(merged)} {_num(float(value))}")
+    if histograms:
+        lines.append(
+            "# HELP repro_latency_ms Log-bucketed span latency "
+            "histograms (milliseconds)."
+        )
+        lines.append("# TYPE repro_latency_ms histogram")
+        for span in sorted(histograms):
+            hist = histograms[span]
+            for bound, cum in hist.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else _num(bound)
+                lines.append(
+                    f"repro_latency_ms_bucket"
+                    f"{_labels({'span': span, 'le': le})} {cum}"
+                )
+            lines.append(
+                f"repro_latency_ms_sum{_labels({'span': span})} "
+                f"{_num(hist.total)}"
+            )
+            lines.append(
+                f"repro_latency_ms_count{_labels({'span': span})} "
+                f"{hist.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str, lineno: int) -> tuple[tuple[str, str], ...]:
+    """Parse one ``key="value",...`` label body (already brace-stripped)."""
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(raw):
+        eq = raw.index("=", i)
+        key = raw[i:eq].strip()
+        if not key.replace("_", "a").isalnum():
+            raise ValueError(f"line {lineno}: bad label name {key!r}")
+        if raw[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: unquoted label value")
+        j = eq + 2
+        value: list[str] = []
+        while raw[j] != '"':
+            if raw[j] == "\\":
+                nxt = raw[j + 1]
+                value.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        labels.append((key, "".join(value)))
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ",":
+                raise ValueError(f"line {lineno}: expected ',' in labels")
+            i += 1
+    return tuple(sorted(labels))
+
+
+def parse_prometheus_text(text: str) -> dict[SampleKey, float]:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``{(metric_name, ((label, value), ...)): sample_value}``.
+    Raises :class:`ValueError` on any line that is neither a comment
+    (``# HELP`` / ``# TYPE`` / blank) nor a well-formed sample — which
+    is what makes it a format check for the CI scrape smoke.
+    """
+    samples: dict[SampleKey, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: bad comment {line!r}")
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            body, value_part = rest.rsplit("}", 1)
+            labels = _parse_labels(body, lineno)
+        else:
+            name, _, value_part = line.partition(" ")
+            labels = ()
+        name = name.strip()
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        value_str = value_part.strip().split()[0]
+        try:
+            value = (
+                math.inf
+                if value_str == "+Inf"
+                else -math.inf
+                if value_str == "-Inf"
+                else float(value_str)
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_str!r}"
+            ) from exc
+        key = (name, labels)
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key}")
+        samples[key] = value
+    return samples

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
+from .hist import LogHistogram
+from .spans import SERVE_SPAN_PREFIX
 from .timeseries import sparkline
 from .trace import read_trace
 
@@ -42,6 +44,8 @@ __all__ = [
     "format_metrics",
     "collect_series",
     "format_series_table",
+    "serve_latency_histograms",
+    "format_serve_section",
     "save_series_png",
     "main",
 ]
@@ -312,6 +316,72 @@ def format_series_table(
     )
 
 
+def serve_latency_histograms(
+    series_map: Mapping[str, Sequence[tuple[int, float]]],
+) -> dict[str, LogHistogram]:
+    """Rebuild span-latency histograms from a trace's series points.
+
+    Every ``serve.span.*_ms`` point is folded into a
+    :class:`~repro.obs.hist.LogHistogram` with the default layout — the
+    same layout the live server fills — so a traced single-shard replay
+    and a live ``/metrics`` scrape of the same run summarize latency
+    with identical bucket boundaries.
+    """
+    hists: dict[str, LogHistogram] = {}
+    for name in sorted(series_map):
+        if not name.startswith(SERVE_SPAN_PREFIX):
+            continue
+        hist = LogHistogram(name)
+        for _, value in series_map[name]:
+            hist.observe(value)
+        if hist.count:
+            hists[name] = hist
+    return hists
+
+
+def format_serve_section(
+    series_map: Mapping[str, Sequence[tuple[int, float]]],
+) -> str:
+    """Render the ``--serve`` report section from collected series.
+
+    Summarizes the backpressure duty cycle (total blocked producer time
+    over the run's uptime, both recorded as series by the server) and
+    one percentile row per request-path span histogram.
+    """
+    rows: list[tuple[str, str]] = []
+    wait_points = series_map.get("serve.backpressure.wait_ms", ())
+    uptime_points = series_map.get("serve.uptime_ms", ())
+    waited_ms = sum(v for _, v in wait_points)
+    uptime_ms = uptime_points[-1][1] if uptime_points else None
+    if uptime_ms:
+        duty = min(1.0, waited_ms / uptime_ms)
+        rows.append(
+            (
+                "backpressure duty cycle",
+                f"{duty:.2%} (waited {waited_ms:.1f}ms "
+                f"of {uptime_ms:.1f}ms uptime)",
+            )
+        )
+    elif wait_points:
+        rows.append(
+            ("backpressure wait", f"{waited_ms:.1f}ms (no uptime series)")
+        )
+    for name, hist in serve_latency_histograms(series_map).items():
+        pct = hist.percentiles()
+        rows.append(
+            (
+                name,
+                f"n={pct['count']} p50={_fmt(pct['p50'])} "
+                f"p90={_fmt(hist.quantile(0.9))} "
+                f"p99={_fmt(pct['p99'])} max={_fmt(pct['max'])}",
+            )
+        )
+    if not rows:
+        return "(no serve series in trace)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
 def save_series_png(
     series_map: Mapping[str, Sequence[tuple[int, float]]],
     path: Union[str, Path],
@@ -386,6 +456,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="with --series: also plot the series to a PNG "
         "(requires matplotlib)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="summarize serve-tier telemetry: backpressure duty cycle "
+        "and request-path span latency histograms",
+    )
     args = parser.parse_args(argv)
 
     bad_lines: list[str] = []
@@ -404,6 +480,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
             print(f"wrote {args.png}")
+    if args.serve:
+        print(f"\nserve:\n{format_serve_section(collect_series(events))}")
     if args.steps is not None:
         first, last = args.steps
         print(f"\nevents for steps {first}..{last}:")

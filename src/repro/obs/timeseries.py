@@ -52,8 +52,10 @@ __all__ = [
 #: Default point budget of a :class:`SeriesBuffer` (~8 KB per series).
 DEFAULT_BUFFER_BUDGET = 512
 
-#: Quantiles every :class:`TimeSeries` tracks by default.
-DEFAULT_QUANTILES = (0.5, 0.9)
+#: Quantiles every :class:`TimeSeries` tracks by default.  The 0.99
+#: sketch feeds the serve tier's queue-depth tail reporting
+#: (``ReplaySummary.p99_queue_depth``).
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
 
 #: Unicode blocks used by :func:`sparkline`, lowest to highest.
 _BLOCKS = "▁▂▃▄▅▆▇█"

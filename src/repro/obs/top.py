@@ -1,0 +1,238 @@
+"""``python -m repro.obs top`` — a refreshing TTY serve dashboard.
+
+Polls a live :class:`~repro.serve.metrics.MetricsEndpoint` ``/health``
+URL (or reads a JSON snapshot written by ``repro serve --health-out``)
+and renders a per-shard table: worker liveness, queue depth and
+saturation, occupancy, backpressure duty cycle, p99 decide latency —
+plus a :func:`~repro.obs.timeseries.sparkline` of each shard's recent
+queue depth, accumulated across refreshes.
+
+Pure rendering is split from polling (:func:`render_health` is a
+function of the health document and the depth history), so tests drive
+the dashboard without sockets or timers, and the same code paths serve
+both the live and the offline snapshot mode::
+
+    python -m repro.obs top --url http://127.0.0.1:9200 --interval 1
+    python -m repro.obs top --snapshot health.json --count 1
+
+Only the standard library is used (``urllib.request`` for polling);
+there is nothing to install on a bare production box.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional, Sequence
+
+from .timeseries import sparkline
+
+__all__ = [
+    "DepthHistory",
+    "fetch_health",
+    "load_snapshot",
+    "render_health",
+    "main",
+]
+
+#: Cells in the per-shard queue-depth sparkline.
+SPARK_WIDTH = 24
+
+#: Most recent depth samples retained per shard.
+HISTORY_BUDGET = 120
+
+#: ANSI clear-screen + cursor-home, used between live refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+class DepthHistory:
+    """Bounded per-shard queue-depth history for the sparkline column."""
+
+    def __init__(self, budget: int = HISTORY_BUDGET):
+        """Empty history keeping at most ``budget`` samples per shard."""
+        self.budget = budget
+        self._samples: dict[int, list[float]] = {}
+
+    def push(self, health: Mapping) -> None:
+        """Record one health document's per-shard queue depths."""
+        for row in health.get("shards", ()):
+            shard = int(row.get("shard", 0))
+            samples = self._samples.setdefault(shard, [])
+            samples.append(float(row.get("queue_depth", 0)))
+            if len(samples) > self.budget:
+                del samples[: len(samples) - self.budget]
+
+    def samples(self, shard: int) -> list[float]:
+        """The retained depth samples for ``shard`` (oldest first)."""
+        return self._samples.get(shard, [])
+
+
+def _fmt(value: Optional[float], fmt: str = "{:.2f}") -> str:
+    """Render an optional number; ``-`` for missing."""
+    if value is None:
+        return "-"
+    return fmt.format(value)
+
+
+def render_health(
+    health: Mapping, history: Optional[DepthHistory] = None
+) -> str:
+    """Render one health document as the dashboard screen (no ANSI).
+
+    ``history`` supplies the per-shard queue-depth sparklines; omit it
+    for a one-shot render without the trend column.
+    """
+    latency = health.get("latency", {})
+    decide = latency.get("serve.span.decide_ms", {})
+    head = (
+        f"repro serve · {health.get('kind', '?')} · "
+        f"status={health.get('status', '?')} · "
+        f"shards={health.get('n_shards', '?')} · "
+        f"up {float(health.get('uptime_seconds', 0.0)):.1f}s"
+    )
+    line2 = (
+        f"ingested={health.get('ingested_arrivals', 0)} "
+        f"occupancy={health.get('occupancy', 0)} "
+        f"backpressure: waits={health.get('backpressure_waits', 0)} "
+        f"duty={float(health.get('backpressure_duty', 0.0)):.2%}"
+    )
+    line3 = "decide latency: " + " ".join(
+        f"{key}={_fmt(decide.get(key))}ms"
+        for key in ("p50", "p90", "p99", "max")
+    )
+    columns = [
+        "shard",
+        "alive",
+        "depth",
+        "sat",
+        "occ",
+        "applied",
+        "waits",
+        "duty",
+        "p99_ms",
+        "depth trend",
+    ]
+    rows = [columns]
+    for row in health.get("shards", ()):
+        shard = int(row.get("shard", 0))
+        trend = (
+            sparkline(history.samples(shard), width=SPARK_WIDTH)
+            if history is not None
+            else ""
+        )
+        rows.append(
+            [
+                str(shard),
+                "up" if row.get("alive") else "DOWN",
+                str(row.get("queue_depth", 0)),
+                f"{float(row.get('queue_saturation', 0.0)):.0%}",
+                str(row.get("occupancy", 0)),
+                str(row.get("events_applied", 0)),
+                str(row.get("backpressure_waits", 0)),
+                f"{float(row.get('backpressure_duty', 0.0)):.2%}",
+                _fmt(row.get("p99_decide_ms"), "{:.3f}"),
+                trend,
+            ]
+        )
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(columns) - 1)
+    ]
+    table = "\n".join(
+        "  ".join(
+            [
+                *(cell.ljust(widths[i]) for i, cell in enumerate(row[:-1])),
+                row[-1],
+            ]
+        )
+        for row in rows
+    )
+    return "\n".join([head, line2, line3, "", table])
+
+
+def fetch_health(url: str, timeout: float = 2.0) -> dict:
+    """GET and decode the ``/health`` JSON document from ``url``.
+
+    ``url`` may be the endpoint base (``http://host:port``) or the full
+    ``/health`` path; the suffix is appended when missing.
+    """
+    if not url.rstrip("/").endswith("/health"):
+        url = url.rstrip("/") + "/health"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a health document from a JSON snapshot file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: poll (or load) health documents and render the dashboard."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs top",
+        description="Live per-shard dashboard for a repro serve endpoint.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url",
+        help="metrics endpoint base URL (e.g. http://127.0.0.1:9200)",
+    )
+    source.add_argument(
+        "--snapshot",
+        help="offline mode: render a health JSON file written by "
+        "`repro serve --health-out`",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes (live mode; default 1.0)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="number of refreshes then exit (0 = until interrupted; "
+        "snapshot mode always renders once)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="do not clear the screen between refreshes (append instead)",
+    )
+    args = parser.parse_args(argv)
+
+    history = DepthHistory()
+    refreshes = 0
+    try:
+        while True:
+            if args.snapshot:
+                health = load_snapshot(args.snapshot)
+            else:
+                try:
+                    health = fetch_health(args.url)
+                except (urllib.error.URLError, OSError) as exc:
+                    print(f"error: cannot reach {args.url}: {exc}",
+                          file=sys.stderr)
+                    return 1
+            history.push(health)
+            screen = render_health(health, history)
+            if args.no_clear or args.snapshot:
+                print(screen)
+            else:
+                print(f"{CLEAR}{screen}", flush=True)
+            refreshes += 1
+            if args.snapshot or (args.count and refreshes >= args.count):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

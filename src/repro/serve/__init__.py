@@ -12,9 +12,15 @@ streams back through a server — the basis of the sim-vs-server parity
 guarantee pinned by ``tests/test_serve_parity.py`` and, for the
 Appendix-C multi-join topologies, ``tests/test_serve_multi.py``.
 
+At runtime the request path is span-timed (:mod:`repro.obs.spans`) into
+mergeable latency histograms, and an opt-in endpoint
+(:mod:`repro.serve.metrics`) serves Prometheus ``/metrics`` and JSON
+``/health`` live — watch it with ``python -m repro.obs top``.
+
 See ``docs/SERVING.md`` for the architecture walkthrough.
 """
 
+from .metrics import MetricsEndpoint, merged_snapshot, metrics_text, server_health
 from .replay import (
     ReplaySummary,
     arrivals_from_trace,
@@ -31,6 +37,7 @@ from .shard import ShardRouter, partition_tuples, reshard, stable_hash
 
 __all__ = [
     "DEFAULT_QUEUE_MAXSIZE",
+    "MetricsEndpoint",
     "ReplaySummary",
     "ServerClosed",
     "Shard",
@@ -40,11 +47,14 @@ __all__ = [
     "generate_join_stream",
     "generate_multi_join_stream",
     "generate_reference_stream",
+    "merged_snapshot",
+    "metrics_text",
     "partition_tuples",
     "replay_join",
     "replay_multi",
     "replay_reference",
     "reshard",
     "run_replay",
+    "server_health",
     "stable_hash",
 ]

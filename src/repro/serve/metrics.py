@@ -1,0 +1,278 @@
+"""Live scrape surface for :class:`~repro.serve.server.StreamServer`.
+
+An opt-in asyncio TCP endpoint (no framework, no dependencies — the
+Prometheus text format and a JSON health document need nothing beyond
+:func:`asyncio.start_server`) exposing the runtime signals the
+observability tentpole promises:
+
+* ``GET /metrics`` — Prometheus text format 0.0.4
+  (:func:`repro.obs.promtext.render_prometheus`): every recorder
+  counter and timer **exactly as snapshotted** (the endpoint test pins
+  scrape == snapshot), per-shard operational gauges, and the span
+  latency histograms as native Prometheus histogram families.
+* ``GET /health`` — JSON with server status plus per-shard rows: queue
+  saturation, backpressure duty cycle, worker liveness, occupancy, and
+  p99 decide latency — the payload ``python -m repro.obs top`` renders.
+
+Start it with :meth:`StreamServer.start_metrics` (which also flips span
+timing on so the histograms fill even under a ``NullRecorder``); it is
+closed automatically by ``stop()``/``abort()``.
+
+The module-level builders (:func:`merged_snapshot`,
+:func:`server_health`, :func:`metrics_text`) are pure functions of the
+server, so tests and the offline ``--health-out`` snapshot path reuse
+the exact rendering the live endpoint serves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Optional
+
+from ..obs.promtext import render_prometheus
+from ..obs.recorder import CounterRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .server import StreamServer
+
+__all__ = [
+    "MetricsEndpoint",
+    "merged_snapshot",
+    "server_health",
+    "metrics_text",
+]
+
+#: Response skeletons; HTTP/1.0 + ``Connection: close`` keeps the
+#: handler one-shot (scrapers reconnect per poll, which is the norm).
+_STATUS_LINES = {
+    200: "HTTP/1.0 200 OK",
+    404: "HTTP/1.0 404 Not Found",
+    405: "HTTP/1.0 405 Method Not Allowed",
+}
+
+#: Content type Prometheus scrapers expect for the text exposition.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def merged_snapshot(server: "StreamServer") -> dict:
+    """The server's recorder snapshot with live shard forks merged in.
+
+    Single-shard servers share the caller's recorder verbatim, so its
+    snapshot already holds everything.  Sharded servers fork per shard
+    and merge only at stop — a *live* scrape therefore merges the
+    running shards' fork snapshots on the fly (into a scratch
+    :class:`~repro.obs.recorder.CounterRecorder`, never mutating the
+    caller's sink).  Shards already folded at stop (``shard.snapshot``
+    set) are skipped: their state lives in the server recorder.
+    """
+    base = CounterRecorder()
+    snap = getattr(server.recorder, "snapshot", None)
+    if callable(snap):
+        base.merge(snap())
+    if server.n_shards > 1:
+        for shard in server.shards:
+            if shard.snapshot is not None:
+                continue
+            shard_snap = getattr(shard.state.recorder, "snapshot", None)
+            if callable(shard_snap):
+                base.merge(shard_snap())
+    return base.snapshot()
+
+
+def server_health(server: "StreamServer") -> dict:
+    """The ``/health`` document: server status plus per-shard rows."""
+    shards = []
+    all_alive = True
+    for shard in server.shards:
+        maxsize = shard.queue.maxsize
+        depth = shard.queue.qsize()
+        alive = shard.alive
+        all_alive = all_alive and alive
+        decide = shard.hists.get("serve.span.decide_ms")
+        shards.append(
+            {
+                "shard": shard.index,
+                "alive": alive,
+                "queue_depth": depth,
+                "queue_maxsize": maxsize,
+                "queue_saturation": depth / maxsize if maxsize else 0.0,
+                "events_applied": shard.events_applied,
+                "occupancy": shard.occupancy,
+                "max_queue_depth": shard.max_queue_depth,
+                "backpressure_waits": shard.backpressure_waits,
+                "backpressure_duty": (
+                    shard.backpressure_wait_seconds / server.uptime_seconds
+                    if server.uptime_seconds > 0
+                    else 0.0
+                ),
+                "p99_decide_ms": (
+                    decide.quantile(0.99)
+                    if decide is not None and decide.count
+                    else None
+                ),
+            }
+        )
+    if getattr(server, "_stopped", False):
+        status = "stopped"
+    elif not getattr(server, "_started", False):
+        status = "idle"
+    elif all_alive:
+        status = "ok"
+    else:
+        status = "degraded"
+    return {
+        "status": status,
+        "kind": server.spec.kind,
+        "n_shards": server.n_shards,
+        "uptime_seconds": server.uptime_seconds,
+        "ingested_arrivals": server.ingested_arrivals,
+        "backpressure_waits": server.backpressure_waits,
+        "backpressure_wait_seconds": server.backpressure_wait_seconds,
+        "backpressure_duty": server.backpressure_duty,
+        "occupancy": server.occupancy(),
+        "shards": shards,
+        "latency": {
+            name: hist.percentiles()
+            for name, hist in sorted(server.latency_histograms().items())
+        },
+    }
+
+
+def metrics_text(server: "StreamServer") -> str:
+    """Render the full ``/metrics`` payload as Prometheus text."""
+    snapshot = merged_snapshot(server)
+    gauges: list = [
+        ("uptime_seconds", {}, server.uptime_seconds),
+        ("backpressure_duty", {}, server.backpressure_duty),
+        ("n_shards", {}, float(server.n_shards)),
+        ("ingested_arrivals", {}, float(server.ingested_arrivals)),
+        ("occupancy", {}, float(server.occupancy())),
+    ]
+    for shard in server.shards:
+        labels = {"shard": shard.index}
+        maxsize = shard.queue.maxsize
+        depth = shard.queue.qsize()
+        gauges.extend(
+            [
+                ("shard_alive", labels, 1.0 if shard.alive else 0.0),
+                ("shard_queue_depth", labels, float(depth)),
+                (
+                    "shard_queue_saturation",
+                    labels,
+                    depth / maxsize if maxsize else 0.0,
+                ),
+                ("shard_occupancy", labels, float(shard.occupancy)),
+                (
+                    "shard_events_applied",
+                    labels,
+                    float(shard.events_applied),
+                ),
+                (
+                    "shard_backpressure_waits",
+                    labels,
+                    float(shard.backpressure_waits),
+                ),
+            ]
+        )
+    return render_prometheus(
+        counters=snapshot.get("counters"),
+        timers=snapshot.get("timers"),
+        gauges=gauges,
+        histograms=server.latency_histograms(),
+    )
+
+
+class MetricsEndpoint:
+    """Minimal asyncio HTTP server for ``/metrics`` and ``/health``.
+
+    One connection handles one request (``Connection: close``), which
+    is how Prometheus-style pollers behave anyway and keeps the handler
+    free of keep-alive state.  ``port=0`` binds an ephemeral port;
+    read the bound one back from :attr:`port`.
+    """
+
+    def __init__(
+        self, server: "StreamServer", host: str = "127.0.0.1", port: int = 0
+    ):
+        """Bind the target stream server and the listen address."""
+        self._server = server
+        self.host = host
+        self._requested_port = port
+        self._listener: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (0 until :meth:`start`)."""
+        if self._listener is None or not self._listener.sockets:
+            return 0
+        return self._listener.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint (host:port, no path)."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Start listening; idempotent calls are errors."""
+        if self._listener is not None:
+            raise RuntimeError("metrics endpoint already listening")
+        self._listener = await asyncio.start_server(
+            self._handle, host=self.host, port=self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Close the listener (idempotent)."""
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+            await listener.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP request and close the connection."""
+        try:
+            request_line = await reader.readline()
+            # Drain (and ignore) the request headers.
+            while True:
+                line = await reader.readline()
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            if method != "GET":
+                body, ctype, status = "method not allowed\n", "text/plain", 405
+            elif path == "/metrics":
+                body, ctype, status = (
+                    metrics_text(self._server),
+                    PROM_CONTENT_TYPE,
+                    200,
+                )
+            elif path == "/health":
+                body, ctype, status = (
+                    json.dumps(server_health(self._server), indent=2) + "\n",
+                    "application/json",
+                    200,
+                )
+            else:
+                body, ctype, status = "not found\n", "text/plain", 404
+            payload = body.encode("utf-8")
+            head = (
+                f"{_STATUS_LINES[status]}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to serve
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform-dependent
+                pass

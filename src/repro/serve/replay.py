@@ -12,6 +12,7 @@ used by the ``serve`` CLI subcommand and the benchmark harness.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
@@ -215,10 +216,18 @@ class ReplaySummary:
     tuples_per_sec: float
     #: High-water mark of any shard queue.
     max_queue_depth: int
-    #: P² estimate of the 0.9 quantile of enqueue-time queue depth
-    #: (``None`` when the recorder tracked no ``serve.queue_depth`` series).
+    #: P² estimates of the ``serve.queue_depth`` series quantiles —
+    #: sampled at enqueue *and* dequeue time, so drain phases count
+    #: (``None`` when the recorder tracked no such series).
     p90_queue_depth: Optional[float]
+    p99_queue_depth: Optional[float]
     backpressure_waits: int
+    #: Fraction of the run producers spent blocked on full queues.
+    backpressure_duty: float = 0.0
+    #: P99 of the ``decide`` span from the merged latency histograms
+    #: (``None`` unless spans were active: tracing recorder or live
+    #: metrics endpoint).
+    p99_decide_ms: Optional[float] = None
     #: Join results (join / multi-join kinds) — else ``None``.
     total_results: Optional[int] = None
     #: Cache hits / misses (cache kind) — else ``None``.
@@ -239,7 +248,10 @@ class ReplaySummary:
             "tuples_per_sec": self.tuples_per_sec,
             "max_queue_depth": self.max_queue_depth,
             "p90_queue_depth": self.p90_queue_depth,
+            "p99_queue_depth": self.p99_queue_depth,
             "backpressure_waits": self.backpressure_waits,
+            "backpressure_duty": self.backpressure_duty,
+            "p99_decide_ms": self.p99_decide_ms,
             "shard_occupancy": self.shard_occupancy,
         }
         if self.total_results is not None:
@@ -250,14 +262,14 @@ class ReplaySummary:
         return out
 
 
-def _p90_queue_depth(recorder: Recorder) -> Optional[float]:
-    """Pull the 0.9 queue-depth quantile from a counting recorder."""
+def _queue_depth_quantile(recorder: Recorder, q: float) -> Optional[float]:
+    """Pull a ``serve.queue_depth`` quantile from a counting recorder."""
     if not isinstance(recorder, CounterRecorder):
         return None
     series = recorder.series_data.get("serve.queue_depth")
     if series is None:
         return None
-    return series.quantile(0.9)
+    return series.quantile(q)
 
 
 async def _replay(
@@ -265,9 +277,20 @@ async def _replay(
     r_values: Union[Sequence[Value], Mapping[str, Sequence[Value]]],
     s_values: Optional[Sequence[Value]],
     n_producers: int,
+    metrics_host: str = "127.0.0.1",
+    metrics_port: Optional[int] = None,
+    health_path: Optional[str] = None,
 ) -> tuple[int, float]:
-    """Start, feed, drain, and stop the server; time the hot section."""
+    """Start, feed, drain, and stop the server; time the hot section.
+
+    When ``metrics_port`` is set the live scrape endpoint runs for the
+    duration of the replay; when ``health_path`` is set the final
+    ``/health`` document is written there as JSON (an offline snapshot
+    ``repro.obs top --snapshot`` can render).
+    """
     await server.start()
+    if metrics_port is not None:
+        await server.start_metrics(host=metrics_host, port=metrics_port)
     start = time.perf_counter()
     if server.spec.kind == "join":
         assert s_values is not None
@@ -285,6 +308,12 @@ async def _replay(
         )
     await server.drain()
     seconds = time.perf_counter() - start
+    if health_path is not None:
+        from .metrics import server_health
+
+        with open(health_path, "w", encoding="utf-8") as handle:
+            json.dump(server_health(server), handle, indent=2)
+            handle.write("\n")
     await server.stop()
     return steps, seconds
 
@@ -301,6 +330,9 @@ def run_replay(
     step_delay: float = 0.0,
     recorder: Recorder = NULL_RECORDER,
     server_factory: Callable[..., StreamServer] = StreamServer,
+    metrics_host: str = "127.0.0.1",
+    metrics_port: Optional[int] = None,
+    health_path: Optional[str] = None,
 ) -> ReplaySummary:
     """Replay a stream through a fresh server and summarize the run.
 
@@ -308,7 +340,9 @@ def run_replay(
     need no event-loop plumbing.  ``s_values`` is required for join
     specs and ignored otherwise; for multi-join specs pass the
     name-keyed stream mapping (:func:`generate_multi_join_stream`) as
-    ``r_values``.
+    ``r_values``.  ``metrics_port`` (0 = ephemeral) serves ``/metrics``
+    and ``/health`` live for the duration of the replay;
+    ``health_path`` writes the final health document as JSON.
     """
     server = server_factory(
         spec,
@@ -319,8 +353,17 @@ def run_replay(
         step_delay=step_delay,
     )
     steps, seconds = asyncio.run(
-        _replay(server, r_values, s_values, n_producers)
+        _replay(
+            server,
+            r_values,
+            s_values,
+            n_producers,
+            metrics_host=metrics_host,
+            metrics_port=metrics_port,
+            health_path=health_path,
+        )
     )
+    decide = server.latency_histograms().get("serve.span.decide_ms")
     summary = ReplaySummary(
         kind=spec.kind,
         steps=steps,
@@ -334,8 +377,15 @@ def run_replay(
         max_queue_depth=max(
             (s.max_queue_depth for s in server.shards), default=0
         ),
-        p90_queue_depth=_p90_queue_depth(recorder),
+        p90_queue_depth=_queue_depth_quantile(recorder, 0.9),
+        p99_queue_depth=_queue_depth_quantile(recorder, 0.99),
         backpressure_waits=server.backpressure_waits,
+        backpressure_duty=server.backpressure_duty,
+        p99_decide_ms=(
+            decide.quantile(0.99)
+            if decide is not None and decide.count
+            else None
+        ),
         shard_occupancy=[s.occupancy for s in server.shards],
     )
     if spec.kind in ("join", "multi_join"):

@@ -34,6 +34,13 @@ Architecture
   of the caller's recorder and the snapshots are merged back additively
   at :meth:`StreamServer.stop` — the same pattern the parallel engine
   uses for worker processes.
+* **Runtime observability.**  The request path ``submit → route →
+  queue_wait → decide → emit`` is span-timed (:mod:`repro.obs.spans`)
+  into mergeable log-bucketed latency histograms
+  (:mod:`repro.obs.hist`), all guarded so a
+  :class:`~repro.obs.NullRecorder` run reads no clocks.  An opt-in
+  asyncio endpoint (:meth:`StreamServer.start_metrics`) serves
+  Prometheus-text ``/metrics`` and JSON ``/health`` live.
 * **Uids.**  Shard ``i`` of ``n`` mints tuple uids ``i, i + n,
   i + 2n, ...`` (a strided :class:`~repro.core.tuples.TupleFactory`),
   so uids are globally unique and deterministic per shard regardless of
@@ -44,10 +51,13 @@ Architecture
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Mapping, Optional, Union
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Union
 
 from ..core.tuples import StreamTuple, TupleFactory
+from ..obs.hist import HistogramSet, LogHistogram
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.spans import SERVE_SPAN_PREFIX, SpanTracker
 from ..policies.base import ReplacementPolicy
 from ..sim.engine import ExperimentSpec
 from ..sim.step import (
@@ -64,6 +74,9 @@ from ..sim.step import (
 )
 from ..streams.base import Value
 from .shard import ShardRouter, reshard as reshard_tuples
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .metrics import MetricsEndpoint
 
 __all__ = ["Shard", "StreamServer", "ServerClosed"]
 
@@ -103,10 +116,27 @@ class Shard:
         self.events_applied = 0
         #: Times a producer found this shard's queue full and had to wait.
         self.backpressure_waits = 0
+        #: Seconds producers spent blocked on this shard's full queue.
+        self.backpressure_wait_seconds = 0.0
         #: High-water mark of the queue depth observed at enqueue time.
         self.max_queue_depth = 0
         #: Recorder snapshot captured at server stop (sharded mode only).
         self.snapshot: Optional[dict] = None
+        #: Worker-side span latency histograms (queue_wait/decide/emit).
+        self.hists = HistogramSet()
+        #: Span timing for this shard's worker loop; records ``*_ms``
+        #: series through the shard recorder and into :attr:`hists`.
+        self.spans = SpanTracker(
+            state.recorder, self.hists, prefix=SERVE_SPAN_PREFIX
+        )
+        #: True once :attr:`hists` has been folded into the server-level
+        #: set (shard retirement at stop/abort/reshard).
+        self.hists_folded = False
+
+    @property
+    def alive(self) -> bool:
+        """True while this shard's worker task is running."""
+        return self.worker is not None and not self.worker.done()
 
     @property
     def occupancy(self) -> int:
@@ -191,6 +221,18 @@ class StreamServer:
         self.ingested_arrivals = 0
         #: Total times any producer hit a full queue.
         self.backpressure_waits = 0
+        #: Total seconds producers spent blocked on full queues.
+        self.backpressure_wait_seconds = 0.0
+        #: Server-level latency histograms: producer-side spans plus the
+        #: folded state of every retired shard (stop/abort/reshard).
+        self._hists = HistogramSet()
+        #: Producer-side span timing (submit/route).
+        self._spans = SpanTracker(
+            recorder, self._hists, prefix=SERVE_SPAN_PREFIX
+        )
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+        self._metrics: Optional["MetricsEndpoint"] = None
         self._shards = [
             self._make_shard(i, n_shards, uid_start=i)
             for i in range(n_shards)
@@ -238,7 +280,11 @@ class StreamServer:
                 recorder=shard_recorder,
             )
         state.factory = TupleFactory(start=uid_start, step=n_shards)
-        return Shard(index, state, self._queue_maxsize)
+        shard = Shard(index, state, self._queue_maxsize)
+        # A live metrics endpoint keeps spans on even under a disabled
+        # recorder (histograms still fill); new shards inherit that.
+        shard.spans.active = self._spans.active
+        return shard
 
     # ------------------------------------------------------------------
     # Introspection
@@ -268,6 +314,53 @@ class StreamServer:
     def recorder(self) -> Recorder:
         """The server-level observability sink."""
         return self._recorder
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since :meth:`start` (frozen at stop)."""
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at
+        return (end if end is not None else perf_counter()) - self._started_at
+
+    @property
+    def backpressure_duty(self) -> float:
+        """Fraction of server uptime producers spent blocked on full
+        queues (0.0 before start)."""
+        uptime = self.uptime_seconds
+        if uptime <= 0.0:
+            return 0.0
+        return min(1.0, self.backpressure_wait_seconds / uptime)
+
+    @property
+    def metrics_endpoint(self) -> Optional["MetricsEndpoint"]:
+        """The live scrape endpoint, or ``None`` when not started."""
+        return self._metrics
+
+    def latency_histograms(self) -> dict[str, LogHistogram]:
+        """Merged span-latency histograms across all shards.
+
+        Combines the server-level set (producer-side spans plus every
+        retired shard's folded state) with the live shards' sets, by
+        exact same-layout bucket addition — total counts are preserved
+        across fork/merge and :meth:`reshard` by construction.
+        """
+        merged = self._hists.copy()
+        for shard in self._shards:
+            if not shard.hists_folded and shard.hists:
+                merged.merge(shard.hists.state())
+        return merged.hists
+
+    def span_p99_ms(self, span: str = "decide") -> Optional[float]:
+        """P99 of one request-path span in milliseconds, or ``None``.
+
+        ``span`` is the bare span name (``submit``, ``route``,
+        ``queue_wait``, ``decide``, ``emit``).
+        """
+        hist = self.latency_histograms().get(f"{SERVE_SPAN_PREFIX}{span}_ms")
+        if hist is None or hist.count == 0:
+            return None
+        return hist.quantile(0.99)
 
     @property
     def total_results(self) -> int:
@@ -334,6 +427,8 @@ class StreamServer:
             "n_shards": self.n_shards,
             "ingested_arrivals": self.ingested_arrivals,
             "backpressure_waits": self.backpressure_waits,
+            "backpressure_wait_seconds": self.backpressure_wait_seconds,
+            "uptime_seconds": self.uptime_seconds,
             "occupancy": self.occupancy(),
             "max_queue_depth": max(
                 (s.max_queue_depth for s in self._shards), default=0
@@ -355,6 +450,7 @@ class StreamServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        self._started_at = perf_counter()
         for shard in self._shards:
             self._spawn_worker(shard)
         if self._recorder.enabled:
@@ -367,27 +463,59 @@ class StreamServer:
         )
 
     async def _worker(self, shard: Shard) -> None:
-        """Consume the shard queue, applying one step per event."""
+        """Consume the shard queue, applying one step per event.
+
+        Per event the worker times the tail of the request path: the
+        ``queue_wait`` span (enqueue timestamp → dequeue), the
+        ``decide`` span (the pure step-function application), and the
+        ``emit`` span (dequeue-side telemetry).  All span work is
+        guarded on the shard tracker's ``active`` flag so a disabled
+        run reads no clocks at all.
+        """
         kind = self._spec.kind
         delay = self._step_delay
+        recorder = shard.state.recorder
+        spans = shard.spans
         while True:
             event = await shard.queue.get()
             try:
                 if event is _STOP:
                     return
+                spans_on = spans.active
+                if spans_on:
+                    t0 = perf_counter()
+                    enq_ts = event[-1]
+                    if enq_ts:
+                        spans.record(
+                            "queue_wait", event[0], (t0 - enq_ts) * 1000.0
+                        )
+                    t0 = perf_counter()
                 if kind == "join":
-                    t, r_val, s_val = event
+                    t, r_val, s_val = event[0], event[1], event[2]
                     assert isinstance(shard.state, JoinStepState)
                     join_step(shard.state, t, r_val, s_val)
                 elif kind == "multi_join":
-                    t, arrivals = event
+                    t, arrivals = event[0], event[1]
                     assert isinstance(shard.state, MultiJoinStepState)
                     multi_join_step(shard.state, t, arrivals)
                 else:
-                    t, value = event
+                    t, value = event[0], event[1]
                     assert isinstance(shard.state, CacheStepState)
                     cache_step(shard.state, t, value)
                 shard.events_applied += 1
+                if spans_on:
+                    t1 = perf_counter()
+                    spans.record("decide", t, (t1 - t0) * 1000.0)
+                # Dequeue-side depth sample: without it the series only
+                # ever sees enqueue-time depths, so drain and quiesce
+                # phases (consumer catching up, producers idle) are
+                # invisible.
+                if recorder.enabled:
+                    recorder.series(
+                        "serve.queue_depth", t, shard.queue.qsize()
+                    )
+                if spans_on:
+                    spans.record("emit", t, (perf_counter() - t1) * 1000.0)
                 if delay:
                     await asyncio.sleep(delay)
             finally:
@@ -411,19 +539,40 @@ class StreamServer:
             raise ServerClosed("server is stopping; no new events accepted")
 
     async def _enqueue(self, shard: Shard, event: tuple) -> None:
-        """Bounded put with backpressure accounting and depth telemetry."""
+        """Bounded put with backpressure accounting and depth telemetry.
+
+        The enqueue timestamp is appended to the event (0.0 when spans
+        are off), so the shard worker can measure the ``queue_wait``
+        span; when the queue is full the blocked time is accumulated
+        into the backpressure duty-cycle accounting and emitted as the
+        ``serve.backpressure.wait_ms`` series.
+        """
         self._raise_if_worker_failed(shard)
         queue = shard.queue
+        rec_on = self._recorder.enabled
+        spans_on = self._spans.active
         if queue.full():
             shard.backpressure_waits += 1
             self.backpressure_waits += 1
-            if self._recorder.enabled:
+            if rec_on:
                 self._recorder.count("serve.backpressure.engaged")
-        await queue.put(event)
+            wait_start = perf_counter()
+            await queue.put(event + (wait_start if spans_on else 0.0,))
+            waited = perf_counter() - wait_start
+            shard.backpressure_wait_seconds += waited
+            self.backpressure_wait_seconds += waited
+            if rec_on:
+                self._recorder.series(
+                    "serve.backpressure.wait_ms", event[0], waited * 1000.0
+                )
+        else:
+            await queue.put(
+                event + ((perf_counter() if spans_on else 0.0),)
+            )
         depth = queue.qsize()
         if depth > shard.max_queue_depth:
             shard.max_queue_depth = depth
-        if self._recorder.enabled:
+        if rec_on:
             self._recorder.count("serve.ingested")
             self._recorder.series("serve.queue_depth", event[0], depth)
 
@@ -446,43 +595,49 @@ class StreamServer:
                 "submit() is for join servers; use submit_reference() "
                 "or submit_multi()"
             )
-        self.ingested_arrivals += (r_value is not None) + (s_value is not None)
-        if self._router.n_shards == 1:
-            await self._enqueue(self._shards[0], (step, r_value, s_value))
-            return
-        events: dict[int, list[Value]] = {}
-        if r_value is not None:
-            events.setdefault(self._router.shard_for(r_value), [None, None])[
-                0
-            ] = r_value
-        if s_value is not None:
-            events.setdefault(self._router.shard_for(s_value), [None, None])[
-                1
-            ] = s_value
-        if not events:
-            if self._recorder.enabled:
-                self._recorder.count("serve.null_ticks")
-            return
-        for index in sorted(events):
-            r_val, s_val = events[index]
-            await self._enqueue(self._shards[index], (step, r_val, s_val))
+        with self._spans.span("submit", step):
+            self.ingested_arrivals += (r_value is not None) + (
+                s_value is not None
+            )
+            if self._router.n_shards == 1:
+                await self._enqueue(self._shards[0], (step, r_value, s_value))
+                return
+            events: dict[int, list[Value]] = {}
+            with self._spans.span("route", step):
+                if r_value is not None:
+                    events.setdefault(
+                        self._router.shard_for(r_value), [None, None]
+                    )[0] = r_value
+                if s_value is not None:
+                    events.setdefault(
+                        self._router.shard_for(s_value), [None, None]
+                    )[1] = s_value
+            if not events:
+                if self._recorder.enabled:
+                    self._recorder.count("serve.null_ticks")
+                return
+            for index in sorted(events):
+                r_val, s_val = events[index]
+                await self._enqueue(self._shards[index], (step, r_val, s_val))
 
     async def submit_reference(self, step: int, value: Value) -> None:
         """Push one caching-problem reference (``None`` = skipped "−")."""
         self._check_accepting()
         if self._spec.kind != "cache":
             raise ValueError("submit_reference() is for cache servers; use submit()")
-        if value is not None:
-            self.ingested_arrivals += 1
-        if self._router.n_shards == 1:
-            await self._enqueue(self._shards[0], (step, value))
-            return
-        if value is None:
-            if self._recorder.enabled:
-                self._recorder.count("serve.null_ticks")
-            return
-        shard = self._shards[self._router.shard_for(value)]
-        await self._enqueue(shard, (step, value))
+        with self._spans.span("submit", step):
+            if value is not None:
+                self.ingested_arrivals += 1
+            if self._router.n_shards == 1:
+                await self._enqueue(self._shards[0], (step, value))
+                return
+            if value is None:
+                if self._recorder.enabled:
+                    self._recorder.count("serve.null_ticks")
+                return
+            with self._spans.span("route", step):
+                shard = self._shards[self._router.shard_for(value)]
+            await self._enqueue(shard, (step, value))
 
     async def submit_multi(self, step: int, arrivals: Mapping[str, Value]) -> None:
         """Push one multi-join tick: arrivals keyed by stream name.
@@ -502,28 +657,32 @@ class StreamServer:
         unknown = set(arrivals) - set(self._names)
         if unknown:
             raise ValueError(f"arrivals for unknown streams {sorted(unknown)}")
-        self.ingested_arrivals += sum(
-            v is not None for v in arrivals.values()
-        )
-        if self._router.n_shards == 1:
-            tick = {name: arrivals.get(name) for name in self._names}
-            await self._enqueue(self._shards[0], (step, tick))
-            return
-        events: dict[int, dict[str, Value]] = {}
-        for name in self._names:
-            value = arrivals.get(name)
-            if value is None:
-                continue
-            index = self._router.shard_for(value)
-            events.setdefault(
-                index, {n: None for n in self._names}
-            )[name] = value
-        if not events:
-            if self._recorder.enabled:
-                self._recorder.count("serve.null_ticks")
-            return
-        for index in sorted(events):
-            await self._enqueue(self._shards[index], (step, events[index]))
+        with self._spans.span("submit", step):
+            self.ingested_arrivals += sum(
+                v is not None for v in arrivals.values()
+            )
+            if self._router.n_shards == 1:
+                tick = {name: arrivals.get(name) for name in self._names}
+                await self._enqueue(self._shards[0], (step, tick))
+                return
+            events: dict[int, dict[str, Value]] = {}
+            with self._spans.span("route", step):
+                for name in self._names:
+                    value = arrivals.get(name)
+                    if value is None:
+                        continue
+                    index = self._router.shard_for(value)
+                    events.setdefault(
+                        index, {n: None for n in self._names}
+                    )[name] = value
+            if not events:
+                if self._recorder.enabled:
+                    self._recorder.count("serve.null_ticks")
+                return
+            for index in sorted(events):
+                await self._enqueue(
+                    self._shards[index], (step, events[index])
+                )
 
     # ------------------------------------------------------------------
     # Drain / stop
@@ -568,6 +727,7 @@ class StreamServer:
         if not self._started or self._stopped:
             self._stopped = True
             self._stopping = True
+            await self.stop_metrics()
             return
         self._stopping = True
         failures: list[BaseException] = []
@@ -588,9 +748,17 @@ class StreamServer:
             except BaseException as exc:  # resurfaced after cleanup below
                 failures.append(exc)
         self._stopped = True
+        if self._stopped_at is None:
+            self._stopped_at = perf_counter()
+        if self._recorder.enabled:
+            self._recorder.series(
+                "serve.uptime_ms", 0, self.uptime_seconds * 1000.0
+            )
+        self._fold_shard_hists()
         self._merge_shard_snapshots()
         if self._recorder.enabled:
             self._recorder.count("serve.stopped")
+        await self.stop_metrics()
         if failures:
             raise failures[0]
 
@@ -605,7 +773,11 @@ class StreamServer:
             return_exceptions=True,
         )
         self._stopped = True
+        if self._stopped_at is None:
+            self._stopped_at = perf_counter()
+        self._fold_shard_hists()
         self._merge_shard_snapshots()
+        await self.stop_metrics()
 
     def _merge_shard_snapshots(self) -> None:
         """Fold forked per-shard recorders back into the caller's sink."""
@@ -615,6 +787,58 @@ class StreamServer:
             if shard.snapshot is None:
                 shard.snapshot = shard.state.recorder.snapshot()
                 self._recorder.merge(shard.snapshot)
+
+    def _fold_shard_hists(self, shards: Optional[list[Shard]] = None) -> None:
+        """Fold retiring shards' span histograms into the server set.
+
+        Same-layout histogram merges add bucket counts exactly, so no
+        observation is lost at stop, abort, or reshard; each shard is
+        folded at most once (``hists_folded``).
+        """
+        for shard in self._shards if shards is None else shards:
+            if not shard.hists_folded:
+                if shard.hists:
+                    self._hists.merge(shard.hists.state())
+                shard.hists_folded = True
+
+    # ------------------------------------------------------------------
+    # Live metrics endpoint
+    # ------------------------------------------------------------------
+    def enable_spans(self) -> None:
+        """Turn request-path span timing on for the server and shards.
+
+        Called automatically by :meth:`start_metrics` so a live scrape
+        has latency histograms to serve even under a
+        :class:`~repro.obs.NullRecorder`; harmless to call directly.
+        """
+        self._spans.active = True
+        for shard in self._shards:
+            shard.spans.active = True
+
+    async def start_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "MetricsEndpoint":
+        """Start the opt-in HTTP scrape endpoint (``/metrics``, ``/health``).
+
+        Binding ``port=0`` picks a free ephemeral port (see
+        :attr:`~repro.serve.metrics.MetricsEndpoint.port`).  Span timing
+        is enabled as a side effect so the latency histograms fill.
+        """
+        if self._metrics is not None:
+            raise RuntimeError("metrics endpoint already started")
+        from .metrics import MetricsEndpoint
+
+        self.enable_spans()
+        endpoint = MetricsEndpoint(self, host=host, port=port)
+        await endpoint.start()
+        self._metrics = endpoint
+        return endpoint
+
+    async def stop_metrics(self) -> None:
+        """Close the scrape endpoint if one is running (idempotent)."""
+        if self._metrics is not None:
+            endpoint, self._metrics = self._metrics, None
+            await endpoint.stop()
 
     # ------------------------------------------------------------------
     # Resharding
@@ -648,6 +872,10 @@ class StreamServer:
             )
         old_shards = self._shards
         self._merge_shard_snapshots()
+        # Retiring shards' span histograms fold into the server-level
+        # set (exact bucket addition), so latency observed before the
+        # reshard keeps counting toward the merged percentiles.
+        self._fold_shard_hists(old_shards)
         uid_base = max(s.state.factory.next_uid for s in old_shards)
         new_router = ShardRouter(new_n_shards)
         assignments = reshard_tuples(

@@ -1,0 +1,169 @@
+"""ProgressRecorder delegation and display contracts (satellite suite).
+
+The wrapper must be a *transparent* recorder — every protocol call
+reaches the inner recorder unchanged — while keeping its display honest:
+render only when trials actually complete, format the ETA only when a
+total is known, stay silent under a ``NullRecorder`` inner, and finish
+idempotently.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import CounterRecorder, NullRecorder, TraceRecorder, read_trace
+from repro.obs.progress import TRIALS_COUNTER, ProgressRecorder
+from repro.obs.recorder import NULL_RECORDER
+
+
+def make(inner=None, total=None) -> tuple[ProgressRecorder, io.StringIO]:
+    stream = io.StringIO()
+    return ProgressRecorder(
+        inner, total=total, stream=stream, min_interval=0.0
+    ), stream
+
+
+class TestDelegation:
+    """Every Recorder-protocol call passes through to the inner sink."""
+
+    def test_flags_mirror_inner(self):
+        assert ProgressRecorder(CounterRecorder()).enabled is True
+        assert ProgressRecorder(NullRecorder()).enabled is False
+        assert ProgressRecorder(CounterRecorder()).trace is False
+
+    def test_count_timer_series_event_reach_inner(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as trace:
+            progress = ProgressRecorder(trace, stream=io.StringIO())
+            progress.count("cache.hits", 3)
+            with progress.timer("flow.solve"):
+                pass
+            progress.series("cache.occupancy", 0, 2.0)
+            progress.event("arrival", 0, side="R", value=1)
+            snapshot = progress.snapshot()
+        assert snapshot["counters"]["cache.hits"] == 3
+        assert snapshot["timers"]["flow.solve"]["calls"] == 1
+        kinds = [e["kind"] for e in read_trace(path)]
+        assert "arrival" in kinds
+        assert "series" in kinds
+
+    def test_snapshot_is_inner_snapshot(self):
+        inner = CounterRecorder()
+        progress, _ = make(inner)
+        progress.count("x")
+        assert progress.snapshot() == inner.snapshot()
+
+    def test_merge_forwards_and_harvests_trials(self):
+        inner = CounterRecorder()
+        progress, _ = make(inner)
+        progress.merge({"counters": {TRIALS_COUNTER: 4, "other": 7}})
+        assert inner.counters[TRIALS_COUNTER] == 4
+        assert inner.counters["other"] == 7
+        assert progress.done == 4
+
+    def test_merge_without_trials_does_not_bump(self):
+        progress, stream = make(CounterRecorder())
+        progress.merge({"counters": {"other": 1}})
+        assert progress.done == 0
+        assert stream.getvalue() == ""
+
+    def test_fork_returns_inner_fork(self):
+        inner = CounterRecorder()
+        progress, _ = make(inner)
+        fork = progress.fork()
+        # The display stays in the parent: workers get a plain recorder.
+        assert isinstance(fork, CounterRecorder)
+        assert fork is not inner
+
+    def test_close_finishes_and_closes_inner(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = TraceRecorder(path)
+        progress = ProgressRecorder(trace, stream=io.StringIO())
+        progress.event("arrival", 0, side="R", value=1)
+        progress.count(TRIALS_COUNTER)
+        progress.close()
+        # close() reached the inner recorder: file flushed and closed.
+        assert trace._file is None
+        assert [e["kind"] for e in read_trace(path)] == ["arrival"]
+
+
+class TestDisplay:
+    """Rendering: counters drive it, totals shape it, Null silences it."""
+
+    def test_trials_bumps_render_progress(self):
+        progress, stream = make(CounterRecorder(), total=4)
+        for _ in range(3):
+            progress.count(TRIALS_COUNTER)
+        out = stream.getvalue()
+        assert "[progress] 3/4 trials" in out
+        assert "trials/s" in out
+
+    def test_other_counters_never_render(self):
+        progress, stream = make(CounterRecorder())
+        progress.count("cache.hits", 100)
+        progress.count("sim.steps", 100)
+        assert progress.done == 0
+        assert stream.getvalue() == ""
+
+    def test_no_trials_means_no_output_even_at_finish(self):
+        # The "trials.done never fires" contract: a run whose engine
+        # never bumps the counter leaves stderr untouched.
+        progress, stream = make(CounterRecorder(), total=10)
+        progress.series("cache.occupancy", 0, 1.0)
+        progress.finish()
+        assert stream.getvalue() == ""
+
+    def test_null_inner_renders_nothing(self):
+        progress, stream = make(NullRecorder())
+        progress.count(TRIALS_COUNTER, 5)
+        progress.finish()
+        assert progress.done == 5  # counted, just not displayed
+        assert stream.getvalue() == ""
+
+    def test_null_singleton_inner_renders_nothing(self):
+        progress = ProgressRecorder(NULL_RECORDER, stream=io.StringIO())
+        progress.count(TRIALS_COUNTER)
+        progress.finish()
+        assert progress._stream.getvalue() == ""
+
+    def test_finish_is_idempotent_and_terminates_line(self):
+        progress, stream = make(CounterRecorder(), total=2)
+        progress.count(TRIALS_COUNTER, 2)
+        progress.finish()
+        progress.finish()
+        out = stream.getvalue()
+        assert out.count("\n") == 1
+        assert out.endswith("\n")
+
+
+class TestLineFormat:
+    """_line: fraction + ETA with a total, count + elapsed without."""
+
+    def test_with_total_shows_fraction_and_eta(self):
+        progress, _ = make(CounterRecorder(), total=10)
+        progress.done = 4
+        line = progress._line()
+        assert line.startswith("[progress] 4/10 trials")
+        assert "ETA" in line
+        assert "elapsed" not in line
+
+    def test_without_total_shows_count_and_elapsed(self):
+        progress, _ = make(CounterRecorder())
+        progress.done = 4
+        line = progress._line()
+        assert line.startswith("[progress] 4 trials")
+        assert "elapsed" in line
+        assert "ETA" not in line
+
+    def test_zero_done_with_total_shows_elapsed_not_eta(self):
+        progress, _ = make(CounterRecorder(), total=10)
+        line = progress._line()
+        assert "0/10 trials" in line
+        assert "ETA" not in line
+
+    def test_overrun_total_falls_back_to_elapsed(self):
+        progress, _ = make(CounterRecorder(), total=3)
+        progress.done = 5  # more trials than promised: no negative ETA
+        line = progress._line()
+        assert "5/3 trials" in line
+        assert "ETA" not in line

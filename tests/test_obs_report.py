@@ -26,7 +26,9 @@ from repro.obs import (
     collect_series,
     format_metrics,
     format_series_table,
+    format_serve_section,
     read_trace,
+    serve_latency_histograms,
     summarize_trace,
     format_trace_summary,
 )
@@ -202,3 +204,72 @@ class TestSeriesOutput:
         legacy = capsys.readouterr().out
         assert obs_main(["report", str(path)]) == 0
         assert capsys.readouterr().out == legacy
+
+
+class TestServeSection:
+    """--serve summarizes span latency and duty cycle from a trace."""
+
+    def test_no_serve_series_fallback(self):
+        assert format_serve_section({}) == "(no serve series in trace)"
+
+    def test_duty_cycle_and_span_rows_from_series(self):
+        series_map = {
+            "serve.backpressure.wait_ms": [(0, 30.0), (5, 20.0)],
+            "serve.uptime_ms": [(0, 1000.0)],
+            "serve.span.decide_ms": [(t, 0.5) for t in range(10)],
+            "cache.occupancy": [(0, 3.0)],  # non-serve series ignored
+        }
+        section = format_serve_section(series_map)
+        assert "backpressure duty cycle" in section
+        assert "5.00%" in section  # 50ms blocked of 1000ms uptime
+        assert "serve.span.decide_ms" in section
+        assert "n=10" in section
+        assert "cache.occupancy" not in section
+
+    def test_wait_without_uptime_still_reported(self):
+        section = format_serve_section(
+            {"serve.backpressure.wait_ms": [(0, 12.0)]}
+        )
+        assert "12.0ms (no uptime series)" in section
+
+    def test_histograms_rebuilt_from_points(self):
+        values = [0.1, 0.5, 2.0, 40.0]
+        hists = serve_latency_histograms(
+            {
+                "serve.span.emit_ms": [(t, v) for t, v in enumerate(values)],
+                "serve.queue_depth": [(0, 9.0)],  # not a span series
+            }
+        )
+        assert set(hists) == {"serve.span.emit_ms"}
+        hist = hists["serve.span.emit_ms"]
+        assert hist.count == len(values)
+        assert hist.vmax == 40.0
+
+    def test_traced_replay_round_trips_span_latency(self, tmp_path, capsys):
+        # A traced single-shard replay re-summarizes offline to the
+        # same decide-latency numbers the live server measured.
+        from repro.policies import make_policy
+        from repro.serve import run_replay
+        from repro.sim import ExperimentSpec
+
+        path = tmp_path / "serve.jsonl"
+        r = [i % 5 for i in range(40)]
+        s = [(i + 2) % 5 for i in range(40)]
+        with TraceRecorder(path) as rec:
+            summary = run_replay(
+                ExperimentSpec(kind="join", cache_size=6),
+                lambda: make_policy("lru"),
+                r,
+                s,
+                recorder=rec,
+            )
+        series_map = collect_series(read_trace(path))
+        hists = serve_latency_histograms(series_map)
+        decide = hists["serve.span.decide_ms"]
+        assert decide.count == 40
+        assert decide.quantile(0.99) == pytest.approx(summary.p99_decide_ms)
+        assert report_main([str(path), "--serve"]) == 0
+        out = capsys.readouterr().out
+        assert "serve:" in out
+        assert "serve.span.decide_ms" in out
+        assert "backpressure duty cycle" in out

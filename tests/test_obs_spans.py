@@ -1,0 +1,177 @@
+"""Span timing (:mod:`repro.obs.spans`) and the series-naming contract.
+
+Two concerns share this file because they share the registry:
+
+* :class:`SpanTracker` mechanics — durations land in both sinks
+  (recorder series + latency histograms), spans nest, and an inactive
+  tracker does nothing at all (the ≤2%-overhead contract's substrate);
+* the **naming satellite** — every series name the codebase emits is
+  lowercase dotted, registered in :data:`KNOWN_SERIES`, follows the
+  two-way ``*_ms`` ⟺ milliseconds rule, and is documented in
+  ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import CounterRecorder, NullRecorder
+from repro.obs.hist import HistogramSet
+from repro.obs.spans import (
+    KNOWN_SERIES,
+    MS_SUFFIX,
+    SERVE_SPAN_NAMES,
+    SERVE_SPAN_PREFIX,
+    SpanTracker,
+    check_series_name,
+    is_wall_clock_series,
+)
+from repro.policies import LruPolicy, make_policy
+from repro.serve import run_replay
+from repro.sim import ExperimentSpec
+from repro.sim.join_sim import JoinSimulator
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+
+
+class TestSpanTracker:
+    """Durations reach both sinks; inactive trackers are free."""
+
+    def test_record_hits_series_and_histogram(self):
+        recorder = CounterRecorder()
+        hists = HistogramSet()
+        spans = SpanTracker(recorder, hists, prefix=SERVE_SPAN_PREFIX)
+        spans.record("decide", 3, 1.25)
+        name = f"{SERVE_SPAN_PREFIX}decide{MS_SUFFIX}"
+        assert name in recorder.series_data
+        hist = hists.get(name)
+        assert hist.count == 1
+        assert hist.vmax == pytest.approx(1.25)
+
+    def test_record_without_histograms(self):
+        recorder = CounterRecorder()
+        spans = SpanTracker(recorder, prefix="serve.span.")
+        spans.record("emit", 0, 0.5)
+        assert "serve.span.emit_ms" in recorder.series_data
+
+    def test_active_defaults_to_recorder_enabled(self):
+        assert SpanTracker(CounterRecorder()).active is True
+        assert SpanTracker(NullRecorder()).active is False
+        assert SpanTracker(NullRecorder(), active=True).active is True
+
+    def test_span_context_times_the_block(self):
+        recorder = CounterRecorder()
+        hists = HistogramSet()
+        spans = SpanTracker(recorder, hists, prefix=SERVE_SPAN_PREFIX)
+        with spans.span("decide", 0):
+            time.sleep(0.002)
+        hist = hists.get("serve.span.decide_ms")
+        assert hist.count == 1
+        assert hist.vmax >= 2.0  # slept 2ms, measured in ms
+
+    def test_inactive_span_records_nothing(self):
+        recorder = CounterRecorder()
+        hists = HistogramSet()
+        spans = SpanTracker(recorder, hists, active=False)
+        with spans.span("decide"):
+            assert spans.depth == 0  # no stack entry either
+        assert not hists
+        assert not recorder.series_data
+
+    def test_spans_nest_independently(self):
+        hists = HistogramSet()
+        spans = SpanTracker(NullRecorder(), hists, active=True)
+        with spans.span("outer"):
+            assert spans.depth == 1
+            with spans.span("inner"):
+                assert spans.depth == 2
+                time.sleep(0.001)
+        assert spans.depth == 0
+        outer = hists.get(f"outer{MS_SUFFIX}")
+        inner = hists.get(f"inner{MS_SUFFIX}")
+        assert outer.count == inner.count == 1
+        # The outer span encloses the inner one.
+        assert outer.vmax >= inner.vmax
+
+    def test_histograms_fill_even_when_recorder_disabled(self):
+        # The live-endpoint mode: NullRecorder, spans forced on.
+        recorder = NullRecorder()
+        hists = HistogramSet()
+        spans = SpanTracker(recorder, hists, active=True)
+        spans.record("decide", 0, 3.0)
+        assert hists.get("decide_ms").count == 1
+
+
+class TestNamingConvention:
+    """The registry is self-consistent and matches reality and docs."""
+
+    def test_registry_entries_are_clean(self):
+        problems = [
+            msg for name in KNOWN_SERIES for msg in check_series_name(name)
+        ]
+        assert problems == []
+
+    def test_all_serve_spans_registered(self):
+        for span in SERVE_SPAN_NAMES:
+            name = f"{SERVE_SPAN_PREFIX}{span}{MS_SUFFIX}"
+            assert KNOWN_SERIES.get(name) == "ms"
+
+    def test_ms_suffix_predicate(self):
+        assert is_wall_clock_series("flow.solve_ms")
+        assert not is_wall_clock_series("cache.occupancy")
+
+    def test_violations_are_reported(self, monkeypatch):
+        assert check_series_name("not.registered") != []
+        assert check_series_name("Serve.Span") != []
+        assert check_series_name("serve..depth") != []
+        # Violations of the two-way ms rule, via a scratch registry.
+        monkeypatch.setitem(KNOWN_SERIES, "bad.latency", "ms")
+        monkeypatch.setitem(KNOWN_SERIES, "bad.count_ms", "events")
+        assert any("_ms" in m for m in check_series_name("bad.latency"))
+        assert any("_ms" in m for m in check_series_name("bad.count_ms"))
+
+    def test_simulator_series_names_are_registered(self):
+        recorder = CounterRecorder()
+        r = [i % 5 for i in range(40)]
+        s = [(i + 2) % 5 for i in range(40)]
+        JoinSimulator(4, LruPolicy(), recorder=recorder).run(r, s)
+        assert recorder.series_data  # the run emitted something
+        problems = [
+            msg
+            for name in recorder.series_data
+            for msg in check_series_name(name)
+        ]
+        assert problems == []
+
+    def test_serve_replay_series_names_are_registered(self):
+        # A sharded replay under a counting recorder exercises the
+        # serve-side emitters: queue depth, span series, uptime.
+        recorder = CounterRecorder()
+        r = [i % 7 for i in range(60)]
+        s = [(i + 3) % 7 for i in range(60)]
+        run_replay(
+            ExperimentSpec(kind="join", cache_size=8),
+            lambda: make_policy("lru"),
+            r,
+            s,
+            n_shards=2,
+            recorder=recorder,
+        )
+        emitted = set(recorder.series_data)
+        assert any(name.startswith(SERVE_SPAN_PREFIX) for name in emitted)
+        assert "serve.queue_depth" in emitted
+        assert "serve.uptime_ms" in emitted
+        problems = [
+            msg for name in emitted for msg in check_series_name(name)
+        ]
+        assert problems == []
+
+    def test_every_registered_series_is_documented(self):
+        doc = DOCS.read_text(encoding="utf-8")
+        missing = [name for name in KNOWN_SERIES if name not in doc]
+        assert missing == [], (
+            f"series missing from docs/OBSERVABILITY.md: {missing}"
+        )

@@ -1,0 +1,170 @@
+"""The ``python -m repro.obs top`` dashboard: rendering and CLI modes.
+
+Rendering is a pure function of the health document plus the depth
+history, so these tests drive the full dashboard — header, per-shard
+table, sparkline trend column — without sockets or timers, then cover
+the CLI's snapshot mode, polling loop, and unreachable-endpoint exit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import top
+from repro.obs.__main__ import main as obs_main
+from repro.obs.top import DepthHistory, load_snapshot, render_health
+
+
+def health_doc(**overrides) -> dict:
+    doc = {
+        "status": "ok",
+        "kind": "join",
+        "n_shards": 2,
+        "uptime_seconds": 12.5,
+        "ingested_arrivals": 400,
+        "backpressure_waits": 3,
+        "backpressure_duty": 0.0125,
+        "occupancy": 17,
+        "shards": [
+            {
+                "shard": 0,
+                "alive": True,
+                "queue_depth": 5,
+                "queue_maxsize": 100,
+                "queue_saturation": 0.05,
+                "events_applied": 210,
+                "occupancy": 9,
+                "max_queue_depth": 40,
+                "backpressure_waits": 2,
+                "backpressure_duty": 0.01,
+                "p99_decide_ms": 0.125,
+            },
+            {
+                "shard": 1,
+                "alive": False,
+                "queue_depth": 90,
+                "queue_maxsize": 100,
+                "queue_saturation": 0.9,
+                "events_applied": 190,
+                "occupancy": 8,
+                "max_queue_depth": 95,
+                "backpressure_waits": 1,
+                "backpressure_duty": 0.002,
+                "p99_decide_ms": None,
+            },
+        ],
+        "latency": {
+            "serve.span.decide_ms": {
+                "count": 400,
+                "p50": 0.05,
+                "p90": 0.09,
+                "p99": 0.125,
+                "max": 0.8,
+            }
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestDepthHistory:
+    """Bounded per-shard sample retention for the trend column."""
+
+    def test_push_accumulates_per_shard(self):
+        history = DepthHistory()
+        history.push(health_doc())
+        history.push(health_doc())
+        assert history.samples(0) == [5.0, 5.0]
+        assert history.samples(1) == [90.0, 90.0]
+        assert history.samples(7) == []
+
+    def test_budget_bounds_retention(self):
+        history = DepthHistory(budget=3)
+        for depth in range(10):
+            doc = health_doc()
+            doc["shards"][0]["queue_depth"] = depth
+            history.push(doc)
+        assert history.samples(0) == [7.0, 8.0, 9.0]  # newest three
+
+
+class TestRenderHealth:
+    """The screen: header lines plus the per-shard table."""
+
+    def test_header_and_summary_lines(self):
+        screen = render_health(health_doc())
+        assert "repro serve · join · status=ok · shards=2 · up 12.5s" in screen
+        assert "ingested=400" in screen
+        assert "duty=1.25%" in screen
+        assert "decide latency: p50=0.05ms p90=0.09ms p99=0.12ms max=0.80ms" \
+            in screen
+
+    def test_shard_rows_and_liveness(self):
+        lines = render_health(health_doc()).splitlines()
+        table = [ln for ln in lines if ln and ln[0].isdigit()]
+        assert len(table) == 2
+        assert "up" in table[0] and "0.125" in table[0]
+        assert "DOWN" in table[1]
+        assert table[1].rstrip().endswith("-")  # missing p99 renders "-"
+
+    def test_history_adds_sparkline_column(self):
+        history = DepthHistory()
+        for depth in (0, 20, 50, 90):
+            doc = health_doc()
+            doc["shards"][0]["queue_depth"] = depth
+            history.push(doc)
+        screen = render_health(health_doc(), history)
+        assert any(ch in screen for ch in "▁▂▃▄▅▆▇█")
+
+    def test_degenerate_document_renders(self):
+        # A bare-minimum document must not crash the renderer.
+        screen = render_health({"status": "idle", "shards": []})
+        assert "status=idle" in screen
+
+
+class TestCli:
+    """Snapshot mode, polling loop, and failure exit."""
+
+    def test_snapshot_mode_renders_once(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        path.write_text(json.dumps(health_doc()), encoding="utf-8")
+        assert load_snapshot(str(path))["status"] == "ok"
+        assert top.main(["--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro serve") == 1
+        assert "\x1b[2J" not in out  # snapshot mode never clears
+
+    def test_module_dispatch(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        path.write_text(json.dumps(health_doc()), encoding="utf-8")
+        assert obs_main(["top", "--snapshot", str(path)]) == 0
+        assert "repro serve" in capsys.readouterr().out
+
+    def test_count_limits_live_refreshes(self, monkeypatch, capsys):
+        polled = []
+
+        def fake_fetch(url, timeout=2.0):
+            polled.append(url)
+            return health_doc()
+
+        monkeypatch.setattr(top, "fetch_health", fake_fetch)
+        code = top.main(
+            ["--url", "http://example.invalid:1", "--count", "3",
+             "--interval", "0", "--no-clear"]
+        )
+        assert code == 0
+        assert len(polled) == 3
+        assert capsys.readouterr().out.count("repro serve") == 3
+
+    def test_unreachable_url_exits_nonzero(self, capsys):
+        # A refused connection must produce an actionable error, fast.
+        code = top.main(["--url", "http://127.0.0.1:1", "--count", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_url_and_snapshot_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            top.main(["--url", "http://x", "--snapshot", "x.json"])
+        with pytest.raises(SystemExit):
+            top.main([])

@@ -74,6 +74,9 @@ _LOWER_BETTER_SUFFIXES = (
     # approximation is costing more accuracy vs exact counts.
     "_mem_mb",
     "_hit_rate_delta",
+    # Wall-clock latency metrics (the *_ms naming convention): the serve
+    # decide-span p99 gates here.
+    "_ms",
 )
 
 #: Environment keys that participate in the fingerprint.  Worker count
@@ -159,7 +162,13 @@ def entry_from_report(
             metrics[f"native_{key}"] = float(value)
 
     serve = report.get("serve") or {}
-    for key in ("tuples_per_sec", "p90_queue_depth", "max_queue_depth"):
+    for key in (
+        "tuples_per_sec",
+        "p90_queue_depth",
+        "p99_queue_depth",
+        "max_queue_depth",
+        "p99_ms",
+    ):
         value = serve.get(key)
         if isinstance(value, (int, float)):
             metrics[f"serve_{key}"] = float(value)
